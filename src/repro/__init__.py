@@ -1,0 +1,41 @@
+"""repro: a full reproduction of JPortal (PLDI 2021) on a simulated substrate.
+
+JPortal reconstructs the bytecode-level control flow of JVM programs from
+Intel Processor Trace hardware traces.  This package reimplements the
+complete system in Python -- including the substrates the paper runs on:
+
+* :mod:`repro.jvm` -- a simulated JVM: bytecode ISA, assembler, verifier,
+  CFG/ICFG, template interpreter, JIT compiler with debug info, tiered
+  multi-threaded runtime emitting PT-observable branch events;
+* :mod:`repro.pt` -- a simulated Intel PT: packets, compressing encoder,
+  lossy per-core ring buffers, and a libipt-style decoder;
+* :mod:`repro.core` -- JPortal itself: metadata collection, interpreter/JIT
+  bytecode decoding, the ICFG-as-NFA projection (Algorithms 1-2), the
+  abstraction-guided data recovery (Algorithms 3-4), multi-core trace
+  reassembly, and the end-to-end pipeline;
+* :mod:`repro.profiling` -- clients and baselines: control-flow profiles,
+  Ball-Larus path profiling, sampling profilers, accuracy metrics, and the
+  Table 2 overhead model;
+* :mod:`repro.workloads` -- nine DaCapo-like subjects plus a random
+  program generator.
+
+Quickstart::
+
+    from repro.workloads import build_subject
+    from repro.core import JPortal
+    from repro.pt.perf import PTConfig
+
+    subject = build_subject("batik")
+    run = subject.run()                      # execute + trace
+    jportal = JPortal(subject.program)       # build ICFG/NFA once
+    result = jportal.analyze_run(run)        # decode/reconstruct/recover
+    flow = result.flow_of(0).reconstructed_nodes()
+"""
+
+from .core import JPortal, JPortalResult
+from .pt.perf import PTConfig
+from .workloads import Subject, build_subject
+
+__version__ = "1.0.0"
+
+__all__ = ["JPortal", "JPortalResult", "PTConfig", "Subject", "build_subject", "__version__"]

@@ -1,0 +1,68 @@
+"""JPortal core: metadata, decoding, NFA reconstruction, recovery, pipeline."""
+
+from .abstraction import (
+    TIER_CALL,
+    TIER_CONCRETE,
+    TIER_CONTROL,
+    abstract_ops,
+    abstract_sequence,
+    common_suffix_length,
+)
+from .metadata import CodeDatabase, CodeDump, collect_metadata
+from .multicore import ThreadTrace, split_by_thread
+from .nfa import DFA, NFA, ProgramNFA, abstract_method_nfa, determinize, method_nfa
+from .observed import ObservedHole, ObservedStep, ObservedTrace
+from .pipeline import JPortal, JPortalResult, PhaseTimings, ThreadFlow
+from .reconstruct import (
+    MatchStats,
+    Projection,
+    Projector,
+    abstraction_guided,
+    enumerate_and_test,
+    match_from,
+)
+from .recovery import (
+    RecoveredFlow,
+    RecoveryConfig,
+    RecoveryEngine,
+    RecoveryStats,
+    basic_search,
+)
+
+__all__ = [
+    "TIER_CALL",
+    "TIER_CONCRETE",
+    "TIER_CONTROL",
+    "abstract_ops",
+    "abstract_sequence",
+    "common_suffix_length",
+    "CodeDatabase",
+    "CodeDump",
+    "collect_metadata",
+    "ThreadTrace",
+    "split_by_thread",
+    "DFA",
+    "NFA",
+    "ProgramNFA",
+    "abstract_method_nfa",
+    "determinize",
+    "method_nfa",
+    "ObservedHole",
+    "ObservedStep",
+    "ObservedTrace",
+    "JPortal",
+    "JPortalResult",
+    "PhaseTimings",
+    "ThreadFlow",
+    "MatchStats",
+    "Projection",
+    "Projector",
+    "abstraction_guided",
+    "enumerate_and_test",
+    "match_from",
+    "RecoveredFlow",
+    "RecoveryConfig",
+    "RecoveryEngine",
+    "RecoveryStats",
+    "basic_search",
+]

@@ -1,0 +1,60 @@
+"""Sequence abstractions (paper Definitions 4.2 and 5.2).
+
+The recovery and reconstruction machinery views a trace at three tiers:
+
+* **tier 1 -- call structure**: calls, returns, throws;
+* **tier 2 -- control structure**: tier 1 plus conditional branches,
+  unconditional jumps, and switches (this is exactly Definition 4.2);
+* **tier 3 -- concrete**: every instruction.
+
+``alpha_l`` (:func:`abstract_sequence`) keeps only tier <= l entries,
+preserving order -- the subsequence property of Definition 5.2.  The
+functions are generic over anything that exposes the executed opcode
+(observed steps, reconstructed nodes, plain opcode lists) via a key
+function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ..jvm.opcodes import Op, tier
+
+T = TypeVar("T")
+
+TIER_CALL = 1
+TIER_CONTROL = 2
+TIER_CONCRETE = 3
+
+
+def abstract_sequence(
+    sequence: Sequence[T],
+    level: int,
+    op_of: Callable[[T], Op],
+) -> List[T]:
+    """``alpha_l``: the subsequence of tier <= *level* entries.
+
+    With ``level == 3`` this is the identity (every opcode has tier <= 3).
+    """
+    if level >= TIER_CONCRETE:
+        return list(sequence)
+    return [item for item in sequence if tier(op_of(item)) <= level]
+
+
+def abstract_ops(ops: Sequence[Op], level: int) -> List[Op]:
+    """:func:`abstract_sequence` specialised to plain opcode sequences."""
+    return abstract_sequence(ops, level, lambda op: op)
+
+
+def common_suffix_length(left: Sequence[T], right: Sequence[T]) -> int:
+    """Length of the longest common suffix of two sequences.
+
+    This is the paper's matching operator ``|a . b|`` evaluated directly on
+    already-aligned sequences (recovery compares an IS against a CS prefix
+    "from their end instructions, in reverse order").
+    """
+    limit = min(len(left), len(right))
+    count = 0
+    while count < limit and left[-1 - count] == right[-1 - count]:
+        count += 1
+    return count

@@ -1,0 +1,26 @@
+"""Interpreter-mode bytecode decoding (paper Section 3.1).
+
+A TIP into template space identifies the template that ran, and template
+address ranges map one-to-one onto opcodes, so "we can always precisely
+determine the bytecode instruction interpreted" -- but not *where* in the
+program it sits.  The PT-level decoder has already performed the address
+-> opcode match (via the exported template metadata); this module lifts
+its :class:`~repro.pt.decoder.InterpDispatch` items into
+:class:`~repro.core.observed.ObservedStep` form.
+"""
+
+from __future__ import annotations
+
+from ..pt.decoder import InterpDispatch
+from .observed import ObservedStep
+
+
+def lift_dispatch(item: InterpDispatch) -> ObservedStep:
+    """Turn one decoded template dispatch into an observed step."""
+    return ObservedStep(
+        symbol=item.op,
+        taken=item.taken,
+        location=None,
+        source="interp",
+        tsc=item.tsc,
+    )

@@ -1,0 +1,47 @@
+"""JIT-mode bytecode decoding (paper Section 3.2).
+
+A decoded :class:`~repro.pt.decoder.JitSpan` is the sequence of machine
+instruction addresses executed inside compiled code (Figure 3(d)).  The
+compiler's debug info maps each address that implements a bytecode to its
+``(method, bci)`` -- with inline frames for inlined code, whose innermost
+entry is the executing location (Section 6, "Dealing with Inlined Code").
+Synthetic instructions (prologues, layout jumps) carry no debug record
+and are skipped, exactly as a real decoder skips PCs without a scope
+descriptor.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..jvm.model import JProgram
+from ..pt.decoder import JitSpan
+from .metadata import CodeDatabase
+from .observed import ObservedStep
+
+
+def lift_span(
+    span: JitSpan, database: CodeDatabase, program: JProgram
+) -> List[ObservedStep]:
+    """Map one machine-code span to its observed bytecode steps."""
+    steps: List[ObservedStep] = []
+    for address in span.addresses:
+        frames = database.debug_frames_at(address, span.tsc)
+        if not frames:
+            continue  # synthetic instruction: no debug record
+        qname, bci = frames[-1]
+        if bci < 0:
+            continue  # prologue/epilogue marker
+        class_name, method_name = qname.rsplit(".", 1)
+        method = program.method(class_name, method_name)
+        inst = method.code[bci]
+        steps.append(
+            ObservedStep(
+                symbol=inst.op,
+                taken=None,
+                location=(qname, bci),
+                source="jit",
+                tsc=span.tsc,
+            )
+        )
+    return steps

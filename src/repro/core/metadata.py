@@ -1,0 +1,175 @@
+"""Machine-code metadata collection and the offline code database.
+
+JPortal's online component exports (Section 3 and Section 6):
+
+* the template interpreter's per-opcode address ranges (collected at JVM
+  initialisation);
+* every JIT-compiled method's machine code and address range (exported
+  before GC can reclaim it), together with the compiler's debug info
+  mapping machine PCs to bytecode locations (with inline frames).
+
+:func:`collect_metadata` performs that export from a finished run, and
+:class:`CodeDatabase` is the offline index the decoder and the bytecode
+mappers query.  The database is built **only** from exported artefacts --
+instruction kinds/sizes/targets and debug records -- never from the
+runtime's private semantic maps, preserving the paper's information
+boundary (the decoder must genuinely reconstruct, not peek).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..jvm.machine import AddressSpace, MachineInstruction
+from ..jvm.opcodes import Kind, MNEMONICS, Op, info
+from ..jvm.runtime import RunResult
+
+
+@dataclass
+class CodeDump:
+    """One exported compiled-code blob.
+
+    ``debug`` maps each instruction address to its debug frame stack:
+    ``((caller_qname, call_bci), ..., (qname, bci))`` -- innermost last,
+    exactly the paper's Figure 3(b) with inline frames.
+    """
+
+    qname: str
+    entry: int
+    limit: int
+    instructions: List[MachineInstruction]
+    debug: Dict[int, Tuple[Tuple[str, int], ...]]
+    load_tsc: int
+    unload_tsc: Optional[int]
+
+    def alive_at(self, tsc: Optional[int]) -> bool:
+        if tsc is None:
+            return self.unload_tsc is None
+        if tsc < self.load_tsc:
+            return False
+        return self.unload_tsc is None or tsc < self.unload_tsc
+
+
+def collect_metadata(run: RunResult) -> "CodeDatabase":
+    """Export the machine-code metadata of a finished run."""
+    template_metadata = run.template_table.metadata()
+    dumps: List[CodeDump] = []
+    for code in run.code_cache.all_code():
+        dumps.append(
+            CodeDump(
+                qname=code.method.qualified_name,
+                entry=code.entry,
+                limit=code.limit,
+                instructions=list(code.instructions),
+                debug=dict(code.debug),
+                load_tsc=code.load_tsc,
+                unload_tsc=code.unload_tsc,
+            )
+        )
+    return CodeDatabase(template_metadata, dumps, run.address_space)
+
+
+class CodeDatabase:
+    """Offline index over exported machine-code metadata.
+
+    Implements the protocol :class:`repro.pt.decoder.PTDecoder` expects,
+    plus the debug-info queries of the JIT-mode bytecode mapper.
+    """
+
+    def __init__(
+        self,
+        template_metadata: Dict[str, Tuple[Tuple[int, int], ...]],
+        code_dumps: List[CodeDump],
+        address_space: AddressSpace,
+    ):
+        self.address_space = address_space
+        self.code_dumps = list(code_dumps)
+        # Template interval index: mnemonic ranges -> Op.
+        self._template_intervals: List[Tuple[int, int, Optional[Op]]] = []
+        self._return_stub: Tuple[int, int] = (0, 0)
+        for mnemonic, ranges in template_metadata.items():
+            if mnemonic == "<return-stub>":
+                self._return_stub = ranges[0]
+                continue
+            op = MNEMONICS[mnemonic]
+            for start, end in ranges:
+                self._template_intervals.append((start, end, op))
+        self._template_intervals.sort()
+        self._template_starts = [iv[0] for iv in self._template_intervals]
+        # Compiled-code indices.  Address reuse across GC reclamation is
+        # resolved by timestamp (a dump is consulted only while alive).
+        self._dumps_sorted = sorted(self.code_dumps, key=lambda d: (d.entry, d.load_tsc))
+        self._dump_starts = [dump.entry for dump in self._dumps_sorted]
+        self._mi_index: Dict[int, List[Tuple[CodeDump, MachineInstruction]]] = {}
+        for dump in self._dumps_sorted:
+            for mi in dump.instructions:
+                self._mi_index.setdefault(mi.address, []).append((dump, mi))
+
+    # -------------------------------------------------- decoder protocol
+    def template_op_at(self, ip: int) -> Optional[Op]:
+        position = bisect_right(self._template_starts, ip) - 1
+        if position < 0:
+            return None
+        start, end, op = self._template_intervals[position]
+        if start <= ip < end:
+            return op
+        return None
+
+    @staticmethod
+    def op_is_conditional(op: Op) -> bool:
+        return info(op).kind is Kind.COND
+
+    def is_return_stub(self, ip: int) -> bool:
+        start, end = self._return_stub
+        return start <= ip < end
+
+    def in_code_cache(self, ip: int) -> bool:
+        return self.address_space.in_code_cache(ip)
+
+    def native_instruction_at(
+        self, ip: int, tsc: Optional[int] = None
+    ) -> Optional[MachineInstruction]:
+        candidates = self._mi_index.get(ip)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0][1]
+        for dump, mi in candidates:
+            if dump.alive_at(tsc):
+                return mi
+        return candidates[-1][1]
+
+    # ------------------------------------------------ debug-info queries
+    def dump_at(self, ip: int, tsc: Optional[int] = None) -> Optional[CodeDump]:
+        position = bisect_right(self._dump_starts, ip) - 1
+        while position >= 0:
+            dump = self._dumps_sorted[position]
+            if dump.entry <= ip < dump.limit and dump.alive_at(tsc):
+                return dump
+            position -= 1
+        return None
+
+    def debug_frames_at(
+        self, ip: int, tsc: Optional[int] = None
+    ) -> Optional[Tuple[Tuple[str, int], ...]]:
+        """Debug frame stack for the instruction at *ip* (innermost last)."""
+        candidates = self._mi_index.get(ip)
+        if not candidates:
+            return None
+        for dump, _mi in candidates:
+            if dump.alive_at(tsc):
+                return dump.debug.get(ip)
+        dump, _mi = candidates[-1]
+        return dump.debug.get(ip)
+
+    def compiled_method_count(self) -> int:
+        return len({dump.qname for dump in self.code_dumps})
+
+    def metadata_bytes(self) -> int:
+        """Approximate exported-metadata volume (for overhead accounting)."""
+        total = 64 * len(self._template_intervals)
+        for dump in self.code_dumps:
+            total += (dump.limit - dump.entry) + 16 * len(dump.debug)
+        return total

@@ -1,0 +1,90 @@
+"""Per-core -> per-thread trace reassembly (paper Section 6).
+
+PT records per physical core, but a thread migrates between cores; its
+trace is distributed.  JPortal:
+
+1. obtains, for each core, the thread-switch records (timestamps at which
+   each thread begins running there);
+2. partitions each core's packet stream into windows owned by one thread;
+3. concatenates each thread's windows from all cores in timestamp order.
+
+The switch timestamps come from the OS sideband and "can be inconsistent
+with those embedded in the hardware trace, resulting in occasional
+mistakes in data separation" (Section 7.2) -- reproduced here via the
+runtime's ``switch_timestamp_jitter``, which makes boundary packets land
+in the wrong thread's stream exactly as in the paper.
+
+Loss records are split into the same windows, so each per-thread stream
+is a TSC-ordered list of ``("packet" | "loss", item)`` entries ready for
+:class:`repro.pt.decoder.PTDecoder`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..jvm.machine import ThreadSwitchRecord
+from ..pt.perf import PTTrace
+
+TaggedStream = List[Tuple[str, object]]
+
+
+@dataclass
+class ThreadTrace:
+    """One thread's reassembled, TSC-ordered packet/loss stream."""
+
+    tid: int
+    stream: TaggedStream = field(default_factory=list)
+
+    def packet_count(self) -> int:
+        return sum(1 for tag, _ in self.stream if tag == "packet")
+
+    def loss_count(self) -> int:
+        return sum(1 for tag, _ in self.stream if tag == "loss")
+
+
+def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
+    """Reassemble per-thread streams from a collected :class:`PTTrace`."""
+    # Switch records per core, sorted by (possibly jittered) timestamp.
+    switches_by_core: Dict[int, List[ThreadSwitchRecord]] = {}
+    for record in trace.thread_switches:
+        switches_by_core.setdefault(record.core, []).append(record)
+    for records in switches_by_core.values():
+        records.sort(key=lambda record: record.tsc)
+
+    # Window items per thread: (tsc, sequence, tag, item).  The running
+    # sequence number keeps the original per-core order among items with
+    # equal timestamps.
+    gathered: Dict[int, List[Tuple[int, int, str, object]]] = {}
+    sequence = 0
+    for core_trace in trace.cores:
+        records = switches_by_core.get(core_trace.core, [])
+        timestamps = [record.tsc for record in records]
+
+        def owner_of(tsc: int) -> int:
+            position = bisect_right(timestamps, tsc) - 1
+            if position < 0:
+                # Before the first switch: attribute to the first owner.
+                return records[0].tid if records else 0
+            return records[position].tid
+
+        merged: List[Tuple[int, str, object]] = []
+        for packet in core_trace.packets:
+            merged.append((packet.tsc, "packet", packet))
+        for loss in core_trace.losses:
+            merged.append((loss.start_tsc, "loss", loss))
+        merged.sort(key=lambda entry: entry[0])
+        for tsc, tag, item in merged:
+            tid = owner_of(tsc)
+            gathered.setdefault(tid, []).append((tsc, sequence, tag, item))
+            sequence += 1
+
+    threads: Dict[int, ThreadTrace] = {}
+    for tid, entries in gathered.items():
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        threads[tid] = ThreadTrace(
+            tid=tid, stream=[(tag, item) for _, _, tag, item in entries]
+        )
+    return threads

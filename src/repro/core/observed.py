@@ -1,0 +1,89 @@
+"""The observed bytecode-level trace: what decoding yields before projection.
+
+Decoding (Section 3) turns a hardware trace into a sequence of *observed*
+bytecode instructions.  Crucially, the two execution modes reveal
+different amounts of information:
+
+* **interpreted** code reveals which template ran -- the opcode (plus the
+  TNT outcome for conditionals) but *not* the bytecode position;
+* **JITed** code reveals the exact ``(method, bci)`` via debug info.
+
+Both become :class:`ObservedStep`; data-loss holes become
+:class:`ObservedHole`.  Reconstruction (Section 4) then projects observed
+steps onto the ICFG, using JIT-known locations as anchors, and recovery
+(Section 5) fills the holes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..jvm.opcodes import Op
+
+
+@dataclass
+class ObservedStep:
+    """One observed executed bytecode instruction.
+
+    Attributes:
+        symbol: The opcode observed (template identity / machine semantics).
+        taken: Conditional outcome, when known (TNT bit).
+        location: ``(method_qname, bci)`` when known (JIT debug info),
+            ``None`` for interpreted steps.
+        source: ``"interp"`` or ``"jit"``.
+        tsc: Timestamp.
+    """
+
+    symbol: Op
+    taken: Optional[bool]
+    location: Optional[Tuple[str, int]]
+    source: str
+    tsc: int
+
+
+@dataclass
+class ObservedHole:
+    """A data-loss hole between observed steps (the paper's diamond)."""
+
+    start_tsc: int
+    end_tsc: int
+    bytes_lost: int = 0
+
+    @property
+    def duration(self) -> int:
+        return max(0, self.end_tsc - self.start_tsc)
+
+
+ObservedItem = Union[ObservedStep, ObservedHole]
+
+
+@dataclass
+class ObservedTrace:
+    """One thread's observed trace: steps interleaved with holes."""
+
+    tid: int
+    items: List[ObservedItem] = field(default_factory=list)
+    anomalies: int = 0
+
+    def steps(self) -> List[ObservedStep]:
+        return [item for item in self.items if isinstance(item, ObservedStep)]
+
+    def holes(self) -> List[ObservedHole]:
+        return [item for item in self.items if isinstance(item, ObservedHole)]
+
+    def segments(self) -> List[List[ObservedStep]]:
+        """Maximal hole-free runs of steps, in order (may include empties
+        collapsed away)."""
+        result: List[List[ObservedStep]] = []
+        current: List[ObservedStep] = []
+        for item in self.items:
+            if isinstance(item, ObservedStep):
+                current.append(item)
+            else:
+                if current:
+                    result.append(current)
+                current = []
+        if current:
+            result.append(current)
+        return result

@@ -1,0 +1,224 @@
+"""End-to-end JPortal pipeline.
+
+Wires the whole offline side together, mirroring the paper's architecture:
+
+1. **collect** (online, :mod:`repro.pt.perf`): PT packets per core with
+   data loss + machine-code metadata export;
+2. **reassemble** (:mod:`repro.core.multicore`): per-core -> per-thread
+   packet streams using thread-switch sideband;
+3. **decode** (:mod:`repro.pt.decoder` + the Section 3 mappers): packets
+   -> observed bytecode steps (interp: opcode only; JIT: exact location)
+   and loss holes;
+4. **reconstruct** (:mod:`repro.core.reconstruct`): project each hole-free
+   segment onto the ICFG NFA;
+5. **recover** (:mod:`repro.core.recovery`): fill the holes from matching
+   complete segments.
+
+The result carries everything the evaluation needs: per-thread flows with
+provenance, projection/recovery statistics, timing of each offline phase,
+and the collected trace itself (sizes, loss).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..jvm.icfg import ICFG
+from ..jvm.model import JProgram
+from ..jvm.runtime import RunResult
+from ..pt.decoder import (
+    DecodeAnomaly,
+    InterpDispatch,
+    InterpReturnStub,
+    JitSpan,
+    PTDecoder,
+    TraceLoss,
+)
+from ..pt.perf import PTConfig, PTTrace, collect
+from .interp_decoder import lift_dispatch
+from .jit_decoder import lift_span
+from .metadata import CodeDatabase, collect_metadata
+from .multicore import split_by_thread
+from .nfa import Node, ProgramNFA
+from .observed import ObservedHole, ObservedStep, ObservedTrace
+from .reconstruct import MatchStats, Projector
+from .recovery import RecoveredFlow, RecoveryConfig, RecoveryEngine
+
+
+@dataclass
+class ThreadFlow:
+    """One thread's fully analysed control flow."""
+
+    tid: int
+    observed: ObservedTrace
+    segments: List[List[Optional[Node]]]
+    flow: RecoveredFlow
+    projection: MatchStats
+
+    # -------- convenience views -------------------------------------------
+    def reconstructed_nodes(self) -> List[Optional[Node]]:
+        """Final flow: decoded + recovered entries in order."""
+        return self.flow.nodes()
+
+    def entry_counts(self) -> Dict[str, int]:
+        counts = {"decoded": 0, "recovered": 0, "fallback": 0}
+        for _entry, provenance in self.flow.entries:
+            counts[provenance] += 1
+        return counts
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per offline phase (Table 5's DT/RT split)."""
+
+    decode_seconds: float = 0.0
+    reconstruct_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.decode_seconds + self.reconstruct_seconds + self.recovery_seconds
+
+
+@dataclass
+class JPortalResult:
+    """Output of one analysis."""
+
+    program: JProgram
+    trace: PTTrace
+    database: CodeDatabase
+    flows: Dict[int, ThreadFlow]
+    timings: PhaseTimings
+    anomalies: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.trace.loss_fraction
+
+    def flow_of(self, tid: int) -> ThreadFlow:
+        return self.flows[tid]
+
+    def total_entries(self) -> int:
+        return sum(len(flow.flow.entries) for flow in self.flows.values())
+
+
+class JPortal:
+    """The profiler: build once per program, analyse many runs.
+
+    Args:
+        program: The target program (used to build the static ICFG/NFA).
+        opaque_call_sites: Call sites hidden from the static ICFG
+            (reflection simulation; reconstruction must fall back to the
+            callback search for them).
+        recovery: Recovery tuning.
+        context_sensitive: ``True`` (default) carries a call stack during
+            projection (the PDA alternative of Section 4 "Discussions");
+            ``False`` is the paper's plain NFA.
+    """
+
+    def __init__(
+        self,
+        program: JProgram,
+        opaque_call_sites: Tuple = (),
+        recovery: Optional[RecoveryConfig] = None,
+        context_sensitive: bool = True,
+    ):
+        self.program = program
+        self.icfg = ICFG(program, opaque_call_sites)
+        self.nfa = ProgramNFA(self.icfg)
+        self.projector = Projector(self.nfa, context_sensitive=context_sensitive)
+        self.recovery_config = recovery or RecoveryConfig()
+        self.recovery_engine = RecoveryEngine(self.icfg, self.recovery_config)
+
+    # ------------------------------------------------------------------- API
+    def analyze_run(
+        self, run: RunResult, pt_config: Optional[PTConfig] = None
+    ) -> JPortalResult:
+        """Collect a PT trace from *run* and analyse it."""
+        trace = collect(run, pt_config)
+        database = collect_metadata(run)
+        return self.analyze_trace(trace, database)
+
+    def analyze_trace(self, trace: PTTrace, database: CodeDatabase) -> JPortalResult:
+        """Analyse an already collected trace against exported metadata."""
+        timings = PhaseTimings()
+        started = time.perf_counter()
+        per_thread = split_by_thread(trace)
+        observed: Dict[int, ObservedTrace] = {}
+        total_anomalies = 0
+        for tid, thread_trace in sorted(per_thread.items()):
+            decoder = PTDecoder(database)
+            items = decoder.decode(thread_trace.stream)
+            observed[tid] = self._lift(tid, items, database)
+            total_anomalies += decoder.stats.anomalies
+        timings.decode_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        segmented: Dict[int, Tuple[List[List[Optional[Node]]], List[ObservedHole]]] = {}
+        projections: Dict[int, MatchStats] = {}
+        for tid, trace_of_thread in observed.items():
+            segments: List[List[Optional[Node]]] = []
+            stats = MatchStats()
+            for segment_steps in trace_of_thread.segments():
+                projection = self.projector.project(segment_steps)
+                segments.append(projection.path)
+                _merge_stats(stats, projection.stats)
+            segmented[tid] = (segments, trace_of_thread.holes())
+            projections[tid] = stats
+        timings.reconstruct_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        flows: Dict[int, ThreadFlow] = {}
+        for tid, (segments, holes) in segmented.items():
+            recovered = self.recovery_engine.recover(segments, holes)
+            flows[tid] = ThreadFlow(
+                tid=tid,
+                observed=observed[tid],
+                segments=segments,
+                flow=recovered,
+                projection=projections[tid],
+            )
+        timings.recovery_seconds = time.perf_counter() - started
+
+        return JPortalResult(
+            program=self.program,
+            trace=trace,
+            database=database,
+            flows=flows,
+            timings=timings,
+            anomalies=total_anomalies,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _lift(self, tid: int, items, database: CodeDatabase) -> ObservedTrace:
+        """Map decoded native items to the observed bytecode trace."""
+        trace = ObservedTrace(tid=tid)
+        out = trace.items
+        for item in items:
+            if isinstance(item, InterpDispatch):
+                out.append(lift_dispatch(item))
+            elif isinstance(item, JitSpan):
+                out.extend(lift_span(item, database, self.program))
+            elif isinstance(item, TraceLoss):
+                out.append(
+                    ObservedHole(
+                        start_tsc=item.start_tsc,
+                        end_tsc=item.end_tsc,
+                        bytes_lost=item.bytes_lost,
+                    )
+                )
+            elif isinstance(item, InterpReturnStub):
+                continue  # control returned to the interpreter; no bytecode
+            elif isinstance(item, DecodeAnomaly):
+                trace.anomalies += 1
+        return trace
+
+
+def _merge_stats(into: MatchStats, other: MatchStats) -> None:
+    into.steps += other.steps
+    into.matched += other.matched
+    into.restarts += other.restarts
+    into.callback_fallbacks += other.callback_fallbacks
+    into.frontier_peak = max(into.frontier_peak, other.frontier_peak)

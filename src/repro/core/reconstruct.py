@@ -1,0 +1,365 @@
+"""Control-flow reconstruction: projecting decoded sequences onto the ICFG.
+
+Three matchers are provided:
+
+* :func:`enumerate_and_test` -- the paper's Algorithm 1: try every ICFG
+  node as a start state and test acceptance.  Kept as the baseline for
+  the reconstruction ablation benchmark.
+* :func:`abstraction_guided` -- Algorithm 2: first test the *abstract*
+  sequence (control instructions only) against the ANFA from each start;
+  only starts surviving the abstract test are matched concretely
+  (Theorem 4.4 makes the pre-filter sound).
+* :class:`Projector` -- the production engine used by the pipeline: a
+  subset simulation over all candidate start states at once, with
+
+  - TNT-guided determinisation of conditionals,
+  - JIT debug-info locations as *anchors* (observed steps whose position
+    is already known pin the frontier to one state),
+  - the callback-search fallback for call sites missing from the static
+    ICFG (reflection; Section 4 "Discussions"),
+  - greedy restart on mismatch (each restart is a reconstruction
+    imprecision, counted in the stats).
+
+All three agree on what a match is; the first two exist at the paper's
+algorithmic granularity, the third composes the same ideas efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..jvm.icfg import IEdgeKind
+from ..jvm.opcodes import Kind, Op, tier
+from .nfa import Node, ProgramNFA
+from .observed import ObservedStep
+
+#: Beam cap on the subset-simulation frontier (safety valve; reached only
+#: on pathological ambiguity).
+MAX_FRONTIER = 1024
+
+
+@dataclass
+class MatchStats:
+    """Diagnostics of a projection run."""
+
+    steps: int = 0
+    matched: int = 0
+    restarts: int = 0
+    callback_fallbacks: int = 0
+    frontier_peak: int = 0
+
+
+@dataclass
+class Projection:
+    """Result of projecting one segment.
+
+    ``path[i]`` is the ICFG node assigned to observed step ``i`` (``None``
+    when no assignment was possible -- only at restart boundaries).
+    """
+
+    path: List[Optional[Node]]
+    stats: MatchStats
+
+
+#: Bound on the tracked call-stack depth in context-sensitive mode; on
+#: overflow the oldest frame is forgotten (graceful fallback to
+#: context-insensitivity for very deep recursion).
+MAX_STACK = 64
+
+# A frontier key is (state, stack-of-return-site-states).  In the
+# paper-faithful NFA mode the stack is always ().
+Key = Tuple[int, Tuple[int, ...]]
+
+
+def _candidate_starts(nfa: ProgramNFA, step: ObservedStep) -> List[int]:
+    if step.location is not None:
+        state = nfa.state_of.get(step.location)
+        return [state] if state is not None else []
+    return nfa.initial_states(step.symbol)
+
+
+class Projector:
+    """Production projection engine over a :class:`ProgramNFA`.
+
+    ``context_sensitive=False`` is the paper's plain NFA (Definition 4.1):
+    a return transitions to *every* statically possible return site.  The
+    default ``True`` simulates the pushdown alternative the paper's
+    Section 4 "Discussions" describes: the subset simulation carries a
+    (bounded) stack of pending return sites per frontier state, so
+    interprocedural paths stay feasible and returns are exact whenever the
+    matching call was observed in the same segment.
+    """
+
+    def __init__(self, nfa: ProgramNFA, context_sensitive: bool = True):
+        self.nfa = nfa
+        self.context_sensitive = context_sensitive
+
+    # ------------------------------------------------------------------ steps
+    def _advance(
+        self,
+        frontier: Dict[Key, Optional[Key]],
+        prev: ObservedStep,
+        step: ObservedStep,
+    ) -> Dict[Key, Optional[Key]]:
+        """One subset-simulation step: consume *step* after *prev*."""
+        nfa = self.nfa
+        wanted_op = step.symbol
+        anchor = None
+        if step.location is not None:
+            anchor = nfa.state_of.get(step.location)
+        nxt: Dict[Key, Optional[Key]] = {}
+        sensitive = self.context_sensitive
+        for key in frontier:
+            state, stack = key
+            for succ, kind in nfa.step_edges(state, prev.taken):
+                if nfa.op_of[succ] is not wanted_op:
+                    continue
+                if anchor is not None and succ != anchor:
+                    continue
+                if not sensitive:
+                    new_stack = ()
+                elif kind is IEdgeKind.CALL:
+                    site = nfa.return_site_of_call(state)
+                    new_stack = stack if site is None else stack + (site,)
+                    if len(new_stack) > MAX_STACK:
+                        new_stack = new_stack[1:]
+                elif kind is IEdgeKind.RETURN:
+                    if stack:
+                        if succ != stack[-1]:
+                            continue  # infeasible interprocedural path
+                        new_stack = stack[:-1]
+                    else:
+                        new_stack = stack  # unknown context: NFA behaviour
+                elif kind is IEdgeKind.THROW:
+                    new_stack = self._unwind(stack, succ)
+                else:
+                    new_stack = stack
+                new_key = (succ, new_stack)
+                if new_key not in nxt:
+                    nxt[new_key] = key
+                    if len(nxt) >= MAX_FRONTIER:
+                        return nxt
+        return nxt
+
+    def _unwind(self, stack: Tuple[int, ...], handler_state: int) -> Tuple[int, ...]:
+        """Pop pending frames above the handler's method."""
+        handler_method = self.nfa.nodes[handler_state][0]
+        trimmed = list(stack)
+        while trimmed:
+            site_method = self.nfa.nodes[trimmed[-1]][0]
+            trimmed.pop()
+            if site_method == handler_method:
+                break
+        return tuple(trimmed)
+
+    @staticmethod
+    def _extract(
+        frontiers: List[Dict[Key, Optional[Key]]], nfa: ProgramNFA
+    ) -> List[Node]:
+        """Backtrack parent pointers to one concrete path (deterministic)."""
+        if not frontiers:
+            return []
+        key = min(frontiers[-1])
+        path = [key[0]]
+        for position in range(len(frontiers) - 1, 0, -1):
+            key = frontiers[position][key]
+            path.append(key[0])
+        path.reverse()
+        return [nfa.node(state) for state in path]
+
+    # -------------------------------------------------------------------- API
+    def project(self, steps: Sequence[ObservedStep]) -> Projection:
+        """Project *steps* (one hole-free segment) onto the ICFG."""
+        nfa = self.nfa
+        count = len(steps)
+        path: List[Optional[Node]] = [None] * count
+        stats = MatchStats(steps=count)
+        position = 0
+        while position < count:
+            starts = _candidate_starts(nfa, steps[position])
+            if not starts:
+                position += 1
+                stats.restarts += 1
+                continue
+            frontiers: List[Dict[Key, Optional[Key]]] = [
+                {(state, ()): None for state in starts}
+            ]
+            cursor = position
+            while cursor + 1 < count:
+                frontier = frontiers[-1]
+                nxt = self._advance(frontier, steps[cursor], steps[cursor + 1])
+                if not nxt:
+                    nxt = self._callback_fallback(
+                        frontier, steps[cursor], steps[cursor + 1], stats
+                    )
+                if not nxt:
+                    break
+                stats.frontier_peak = max(stats.frontier_peak, len(nxt))
+                frontiers.append(nxt)
+                cursor += 1
+            matched_path = self._extract(frontiers, nfa)
+            for offset, node in enumerate(matched_path):
+                path[position + offset] = node
+            stats.matched += len(matched_path)
+            if cursor + 1 < count:
+                stats.restarts += 1
+            position = cursor + 1
+        return Projection(path=path, stats=stats)
+
+    # ------------------------------------------------------------- fallbacks
+    def _callback_fallback(
+        self,
+        frontier: Dict[Key, Optional[Key]],
+        prev: ObservedStep,
+        step: ObservedStep,
+        stats: MatchStats,
+    ) -> Dict[Key, Optional[Key]]:
+        """Reflective-call gap: if the dying frontier sits on call nodes
+        with no static callees, search all method entries whose first
+        instruction matches (the paper's callback inspection)."""
+        nfa = self.nfa
+        call_keys = [
+            key for key in frontier if nfa.kind_of[key[0]] is Kind.CALL
+        ]
+        if not call_keys:
+            return {}
+        entries = nfa.entry_states_by_op.get(step.symbol, [])
+        if not entries:
+            return {}
+        anchor = None
+        if step.location is not None:
+            anchor = nfa.state_of.get(step.location)
+        nxt: Dict[Key, Optional[Key]] = {}
+        parent = call_keys[0]
+        parent_state, parent_stack = parent
+        new_stack: Tuple[int, ...] = ()
+        if self.context_sensitive:
+            site = nfa.return_site_of_call(parent_state)
+            new_stack = parent_stack if site is None else parent_stack + (site,)
+        for entry in entries:
+            if anchor is not None and entry != anchor:
+                continue
+            nxt[(entry, new_stack)] = parent
+        if nxt:
+            stats.callback_fallbacks += 1
+        return nxt
+
+
+# ----------------------------------------------------------- paper baselines
+def _ops_to_steps(sequence: Sequence) -> List[ObservedStep]:
+    """Accept raw (op, taken) pairs or ObservedSteps; normalise."""
+    steps: List[ObservedStep] = []
+    for item in sequence:
+        if isinstance(item, ObservedStep):
+            steps.append(item)
+        else:
+            op, taken = item
+            steps.append(
+                ObservedStep(symbol=op, taken=taken, location=None, source="interp", tsc=0)
+            )
+    return steps
+
+
+def match_from(
+    nfa: ProgramNFA, steps: Sequence[ObservedStep], start: int
+) -> Optional[List[Node]]:
+    """IsAccepted + transition extraction from a single start state.
+
+    Uses the paper-faithful context-insensitive NFA semantics.
+    """
+    if not steps:
+        return []
+    if nfa.op_of[start] is not steps[0].symbol:
+        return None
+    projector = Projector(nfa, context_sensitive=False)
+    frontiers: List[Dict[Key, Optional[Key]]] = [{(start, ()): None}]
+    for position in range(len(steps) - 1):
+        nxt = projector._advance(frontiers[-1], steps[position], steps[position + 1])
+        if not nxt:
+            return None
+        frontiers.append(nxt)
+    return Projector._extract(frontiers, nfa)
+
+
+def enumerate_and_test(
+    nfa: ProgramNFA, sequence: Sequence
+) -> Optional[List[Node]]:
+    """Algorithm 1: try every node of G as the projection start."""
+    steps = _ops_to_steps(sequence)
+    for start in range(len(nfa)):
+        result = match_from(nfa, steps, start)
+        if result is not None:
+            return result
+    return None
+
+
+def _abstract_accepts(
+    nfa: ProgramNFA, start: int, abstract_steps: Sequence[ObservedStep]
+) -> bool:
+    """Simulate the ANFA on the abstract sequence from *start*.
+
+    ``abstract_steps`` contains only control (tier <= 2) symbols; epsilon
+    moves over non-control states are folded into
+    :meth:`ProgramNFA.abstract_step` /  ``control_closure``.
+    """
+    if not abstract_steps:
+        return True
+    # Locate the first abstract symbol reachable from the start state.
+    first = abstract_steps[0]
+    if nfa.is_control(start):
+        current = {start} if nfa.op_of[start] is first.symbol else set()
+    else:
+        current = {
+            state
+            for state in nfa.control_closure()[start]
+            if nfa.op_of[state] is first.symbol
+        }
+    if not current:
+        return False
+    for position in range(len(abstract_steps) - 1):
+        prev = abstract_steps[position]
+        wanted = abstract_steps[position + 1].symbol
+        nxt = set()
+        for state in current:
+            for succ in nfa.abstract_step(state, prev.taken):
+                if nfa.op_of[succ] is wanted:
+                    nxt.add(succ)
+        if not nxt:
+            return False
+        current = nxt
+    return True
+
+
+def abstraction_guided(
+    nfa: ProgramNFA, sequence: Sequence
+) -> Optional[List[Node]]:
+    """Algorithm 2: abstract pre-filter, then concrete matching.
+
+    By Theorem 4.4 a start rejected by the ANFA on the abstract sequence
+    cannot accept concretely, so the (much cheaper) abstract test prunes
+    the start-state search.
+    """
+    steps = _ops_to_steps(sequence)
+    abstract_steps = [step for step in steps if tier(step.symbol) <= 2]
+    for start in range(len(nfa)):
+        if steps and nfa.op_of[start] is not steps[0].symbol:
+            continue
+        if not _abstract_accepts(nfa, start, abstract_steps):
+            continue
+        result = match_from(nfa, steps, start)
+        if result is not None:
+            return result
+    return None
+
+
+def explicit_symbols(
+    ops_and_taken: Sequence[Tuple[Op, Optional[bool]]]
+) -> List[Tuple[Op, Optional[bool]]]:
+    """Symbols for matching against :func:`repro.core.nfa.method_nfa`.
+
+    The explicit NFA consumes an instruction when *leaving* its state, so
+    the i-th consumed label is ``(op_i, taken_i)`` of the i-th executed
+    instruction.
+    """
+    return [(op, taken) for op, taken in ops_and_taken]

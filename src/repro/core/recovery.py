@@ -1,0 +1,412 @@
+"""Abstraction-guided recovery of missing trace data (paper Section 5).
+
+A hole (buffer overflow) splits a thread's reconstructed flow into
+segments.  For each hole, the segment before it is the *incomplete
+segment* (IS); recovery searches all segments for a *complete segment*
+(CS) whose context matches the IS and borrows the CS's continuation to
+fill the hole (Definition 5.1, Figure 6):
+
+1. the last ``x`` instructions before the hole are the **anchor**; an
+   inverted n-gram index finds every other occurrence of the anchor
+   cheaply;
+2. candidates are compared to the IS by the length of the common suffix
+   of their prefixes -- evaluated **tier by tier** (call structure ->
+   control structure -> concrete, Definition 5.2), with the early exits
+   that Theorem 5.5 licenses: a candidate whose tier-l common suffix is
+   already shorter than the best-so-far cannot win concretely
+   (Algorithm 4); :func:`basic_search` is the non-abstracted Algorithm 3
+   baseline;
+3. the top-N candidates are tried in rank order: instructions following
+   the anchor in the CS are copied into the hole until ``y`` consecutive
+   instructions match the IS's post-hole continuation; a timestamp budget
+   (hole duration / cost hint) bounds the copy, and exhausted candidates
+   yield to the next (Section 5, "Recovery");
+4. if no CS fills the hole, an ICFG walk connects the pre- and post-hole
+   instructions (the paper's random-path fallback, made deterministic).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..jvm.icfg import ICFG
+from ..jvm.opcodes import tier
+from .observed import ObservedHole
+
+Node = Tuple[str, int]
+Entry = Optional[Node]  # a reconstructed step (None if projection failed)
+
+
+@dataclass
+class RecoveryConfig:
+    """Recovery tuning (the paper's x, y, N and time-budget knobs)."""
+
+    anchor_length: int = 3  # x
+    post_match_length: int = 4  # y
+    top_n: int = 5
+    max_fill: int = 50_000
+    # Conversion from hole duration (TSC units) to an instruction budget;
+    # the runtime's compiled-step cost is the optimistic bound.
+    cost_per_instruction: float = 1.0
+    budget_slack: float = 2.0
+    fallback_max_depth: int = 64
+    # Efficiency valves: hot loops produce thousands of occurrences of the
+    # same anchor, and candidate prefixes can be arbitrarily long; cap the
+    # candidates ranked per hole (most recent first -- temporal locality)
+    # and the per-tier suffix comparison depth.
+    max_candidates: int = 200
+    max_suffix_compare: int = 2_048
+
+
+@dataclass
+class RecoveryStats:
+    holes: int = 0
+    filled_from_cs: int = 0
+    filled_fallback: int = 0
+    unfilled: int = 0
+    candidates_indexed: int = 0
+    candidates_tested: int = 0
+    tier1_pruned: int = 0
+    tier2_pruned: int = 0
+    recovered_instructions: int = 0
+
+
+@dataclass
+class RecoveredFlow:
+    """A thread's final flow: (entry, provenance) pairs.
+
+    Provenance is ``"decoded"`` for directly reconstructed entries,
+    ``"recovered"`` for CS-borrowed fills, ``"fallback"`` for ICFG-walk
+    fills.
+    """
+
+    entries: List[Tuple[Entry, str]]
+    stats: RecoveryStats
+
+    def nodes(self) -> List[Entry]:
+        return [entry for entry, _provenance in self.entries]
+
+    def decoded_nodes(self) -> List[Entry]:
+        return [e for e, p in self.entries if p == "decoded"]
+
+
+class _SegmentView:
+    """A reconstructed segment plus its per-tier abstract projections."""
+
+    def __init__(self, entries: List[Entry], tier_of):
+        self.entries = entries
+        # Positions (into entries) of tier-1 / tier-2 instructions.
+        self.tier_positions: Dict[int, List[int]] = {1: [], 2: []}
+        for position, entry in enumerate(entries):
+            if entry is None:
+                continue
+            level = tier_of(entry)
+            if level <= 1:
+                self.tier_positions[1].append(position)
+            if level <= 2:
+                self.tier_positions[2].append(position)
+
+    def abstract_prefix_positions(self, level: int, end: int) -> List[int]:
+        """Positions of tier <= level entries in ``entries[:end]``."""
+        positions = self.tier_positions[level]
+        cut = bisect_right(positions, end - 1)
+        return positions[:cut]
+
+
+@dataclass
+class _Candidate:
+    segment: int
+    anchor_end: int  # position of the last anchor entry in that segment
+    m1: int = 0
+    m2: int = 0
+    m3: int = 0
+
+
+class RecoveryEngine:
+    """Fills the holes of a segmented, reconstructed thread flow."""
+
+    def __init__(self, icfg: ICFG, config: Optional[RecoveryConfig] = None):
+        self.icfg = icfg
+        self.config = config or RecoveryConfig()
+        self._tiers: Dict[Node, int] = {
+            node: tier(icfg.instruction(node).op) for node in icfg.nodes()
+        }
+
+    def _tier_of(self, entry: Node) -> int:
+        return self._tiers.get(entry, 3)
+
+    # ------------------------------------------------------------------ API
+    def recover(
+        self,
+        segments: Sequence[List[Entry]],
+        holes: Sequence[ObservedHole],
+    ) -> RecoveredFlow:
+        """Recover a thread flow of ``len(segments)`` segments separated by
+        ``len(holes)`` holes (``holes[i]`` sits after ``segments[i]``).
+
+        A trailing hole (fewer segments than holes + 1) is left unfilled.
+        """
+        stats = RecoveryStats()
+        views = [_SegmentView(list(segment), self._tier_of) for segment in segments]
+        index = self._build_anchor_index(views, stats)
+        entries: List[Tuple[Entry, str]] = []
+        for position, view in enumerate(views):
+            for entry in view.entries:
+                entries.append((entry, "decoded"))
+            if position < len(holes):
+                next_view = views[position + 1] if position + 1 < len(views) else None
+                fill = self._fill_hole(
+                    views, index, position, holes[position], next_view, stats
+                )
+                entries.extend(fill)
+        stats.holes = len(holes)
+        return RecoveredFlow(entries=entries, stats=stats)
+
+    # ----------------------------------------------------------- anchor index
+    def _build_anchor_index(
+        self, views: List[_SegmentView], stats: RecoveryStats
+    ) -> Dict[Tuple, List[Tuple[int, int]]]:
+        """n-gram index: anchor tuple -> [(segment, end_position), ...]."""
+        x = self.config.anchor_length
+        index: Dict[Tuple, List[Tuple[int, int]]] = {}
+        for segment_id, view in enumerate(views):
+            entries = view.entries
+            if len(entries) < x:
+                continue
+            window = tuple(entries[:x])
+            for end in range(x - 1, len(entries)):
+                if end >= x:
+                    window = window[1:] + (entries[end],)
+                if None in window:
+                    continue
+                index.setdefault(window, []).append((segment_id, end))
+                stats.candidates_indexed += 1
+        return index
+
+    # ------------------------------------------------------------- hole fill
+    def _fill_hole(
+        self,
+        views: List[_SegmentView],
+        index: Dict[Tuple, List[Tuple[int, int]]],
+        is_id: int,
+        hole: ObservedHole,
+        next_view: Optional[_SegmentView],
+        stats: RecoveryStats,
+    ) -> List[Tuple[Entry, str]]:
+        config = self.config
+        is_view = views[is_id]
+        is_entries = is_view.entries
+        x = config.anchor_length
+        if len(is_entries) < x:
+            return self._fallback(is_view, next_view, stats)
+        anchor = tuple(is_entries[-x:])
+        if None in anchor:
+            return self._fallback(is_view, next_view, stats)
+        occurrences = [
+            (segment, end)
+            for segment, end in index.get(anchor, ())
+            if not (segment == is_id and end == len(is_entries) - 1)
+        ]
+        if not occurrences:
+            return self._fallback(is_view, next_view, stats)
+        if len(occurrences) > config.max_candidates:
+            occurrences = occurrences[-config.max_candidates :]
+        ranked = self._rank_candidates(views, is_view, occurrences, stats)
+        post = next_view.entries[: config.post_match_length] if next_view else []
+        budget = int(
+            hole.duration / max(config.cost_per_instruction, 1e-9) * config.budget_slack
+        )
+        budget = max(1, min(budget, config.max_fill))
+        for candidate in ranked[: config.top_n]:
+            fill = self._try_fill(views, candidate, post, budget)
+            if fill is not None:
+                stats.filled_from_cs += 1
+                stats.recovered_instructions += len(fill)
+                return [(entry, "recovered") for entry in fill]
+        return self._fallback(is_view, next_view, stats)
+
+    def _rank_candidates(
+        self,
+        views: List[_SegmentView],
+        is_view: _SegmentView,
+        occurrences: List[Tuple[int, int]],
+        stats: RecoveryStats,
+    ) -> List[_Candidate]:
+        """Algorithm 4: tiered common-suffix ranking with early exits."""
+        best = (0, 0, 0)
+        candidates: List[_Candidate] = []
+        is_end = len(is_view.entries)
+        for segment_id, end in occurrences:
+            stats.candidates_tested += 1
+            cs_view = views[segment_id]
+            m1 = self._tier_suffix(is_view, is_end, cs_view, end + 1, 1)
+            if m1 < best[0]:
+                stats.tier1_pruned += 1
+                continue
+            m2 = self._tier_suffix(is_view, is_end, cs_view, end + 1, 2)
+            if m2 < best[1]:
+                stats.tier2_pruned += 1
+                continue
+            m3 = self._concrete_suffix(is_view, is_end, cs_view, end + 1)
+            candidate = _Candidate(segment=segment_id, anchor_end=end, m1=m1, m2=m2, m3=m3)
+            candidates.append(candidate)
+            if m3 >= best[2]:
+                best = (m1, m2, m3)
+        candidates.sort(key=lambda c: (-c.m3, -c.m2, -c.m1, c.segment, c.anchor_end))
+        return candidates
+
+    def _tier_suffix(
+        self,
+        is_view: _SegmentView,
+        is_end: int,
+        cs_view: _SegmentView,
+        cs_end: int,
+        level: int,
+    ) -> int:
+        left_positions = is_view.abstract_prefix_positions(level, is_end)
+        right_positions = cs_view.abstract_prefix_positions(level, cs_end)
+        left = is_view.entries
+        right = cs_view.entries
+        count = 0
+        limit = min(
+            len(left_positions), len(right_positions), self.config.max_suffix_compare
+        )
+        while count < limit:
+            a = left[left_positions[-1 - count]]
+            b = right[right_positions[-1 - count]]
+            if a != b:
+                break
+            count += 1
+        return count
+
+    def _concrete_suffix(
+        self, is_view: _SegmentView, is_end: int, cs_view: _SegmentView, cs_end: int
+    ) -> int:
+        left = is_view.entries
+        right = cs_view.entries
+        count = 0
+        limit = min(is_end, cs_end, self.config.max_suffix_compare)
+        while count < limit:
+            a = left[is_end - 1 - count]
+            b = right[cs_end - 1 - count]
+            if a is None or a != b:
+                break
+            count += 1
+        return count
+
+    def _try_fill(
+        self,
+        views: List[_SegmentView],
+        candidate: _Candidate,
+        post: List[Entry],
+        budget: int,
+    ) -> Optional[List[Entry]]:
+        """Copy the CS continuation until the post-hole context matches."""
+        cs_entries = views[candidate.segment].entries
+        suffix = cs_entries[candidate.anchor_end + 1 :]
+        y = len(post)
+        if y == 0:
+            # Trailing hole: copy up to the budget.
+            return list(suffix[:budget]) if suffix else None
+        limit = min(len(suffix), budget + y)
+        for position in range(0, limit - y + 1):
+            if suffix[position : position + y] == post:
+                return list(suffix[:position])
+        return None
+
+    # --------------------------------------------------------------- fallback
+    def _fallback(
+        self,
+        is_view: _SegmentView,
+        next_view: Optional[_SegmentView],
+        stats: RecoveryStats,
+    ) -> List[Tuple[Entry, str]]:
+        """ICFG walk connecting the pre- and post-hole instructions."""
+        source: Entry = None
+        for entry in reversed(is_view.entries):
+            if entry is not None:
+                source = entry
+                break
+        target: Entry = None
+        if next_view is not None:
+            for entry in next_view.entries:
+                if entry is not None:
+                    target = entry
+                    break
+        if source is None or target is None:
+            stats.unfilled += 1
+            return []
+        path = self._icfg_path(source, target)
+        if path is None:
+            stats.unfilled += 1
+            return []
+        stats.filled_fallback += 1
+        stats.recovered_instructions += len(path)
+        return [(node, "fallback") for node in path]
+
+    def _icfg_path(self, source: Node, target: Node) -> Optional[List[Node]]:
+        """Shortest ICFG path strictly between *source* and *target*."""
+        limit = self.config.fallback_max_depth
+        parents: Dict[Node, Optional[Node]] = {source: None}
+        queue = deque([(source, 0)])
+        while queue:
+            current, depth = queue.popleft()
+            if depth >= limit:
+                continue
+            for nxt, _kind in self.icfg.successors(current):
+                if nxt in parents:
+                    continue
+                parents[nxt] = current
+                if nxt == target:
+                    path: List[Node] = []
+                    walk = parents[target]
+                    while walk is not None and walk != source:
+                        path.append(walk)
+                        walk = parents[walk]
+                    path.reverse()
+                    return path
+                queue.append((nxt, depth + 1))
+        return None
+
+
+def basic_search(
+    views_entries: Sequence[List[Entry]],
+    is_id: int,
+    anchor_length: int = 3,
+) -> Optional[Tuple[int, int, int]]:
+    """Algorithm 3: exhaustive concrete CS search (ablation baseline).
+
+    Returns ``(segment, anchor_end, suffix_length)`` of the best match, or
+    ``None``.  No abstraction, no index pruning beyond the anchor scan --
+    per-instruction comparison against every occurrence, as written in the
+    paper's basic algorithm.
+    """
+    segments = [list(entries) for entries in views_entries]
+    is_entries = segments[is_id]
+    if len(is_entries) < anchor_length:
+        return None
+    anchor = is_entries[-anchor_length:]
+    if None in anchor:
+        return None
+    best: Optional[Tuple[int, int, int]] = None
+    for segment_id, entries in enumerate(segments):
+        for end in range(anchor_length - 1, len(entries)):
+            if segment_id == is_id and end == len(is_entries) - 1:
+                continue
+            if entries[end - anchor_length + 1 : end + 1] != anchor:
+                continue
+            # Concrete common suffix of the prefixes.
+            count = 0
+            limit = min(len(is_entries), end + 1)
+            while count < limit:
+                a = is_entries[len(is_entries) - 1 - count]
+                b = entries[end - count]
+                if a is None or a != b:
+                    break
+                count += 1
+            if best is None or count > best[2]:
+                best = (segment_id, end, count)
+    return best

@@ -1,0 +1,69 @@
+"""Simulated JVM substrate: bytecode ISA, CFG/ICFG, interpreter, JIT, runtime."""
+
+from .assembler import AssemblyError, MethodAssembler
+from .cfg import CFG, BasicBlock, Edge, EdgeKind
+from .icfg import ICFG, IEdgeKind
+from .instructions import FieldRef, Instruction, MethodRef, SwitchTable
+from .interpreter import Frame, JArray, JObject, Outcome, OutcomeKind, Statics, step
+from .jit import CodeCache, JITCompiler, JITPolicy, NativeCode
+from .machine import AddressSpace, DEFAULT_ADDRESS_SPACE, MIKind, MachineInstruction
+from .model import ExceptionHandler, JClass, JMethod, JProgram, ProgramError
+from .opcodes import Kind, Op, OpInfo, info, tier
+from .runtime import (
+    ExecutionBudgetExceeded,
+    JVMRuntime,
+    RunResult,
+    RuntimeConfig,
+    run_program,
+)
+from .templates import TemplateTable
+from .verifier import VerificationError, verify_method, verify_program
+
+__all__ = [
+    "AssemblyError",
+    "MethodAssembler",
+    "CFG",
+    "BasicBlock",
+    "Edge",
+    "EdgeKind",
+    "ICFG",
+    "IEdgeKind",
+    "FieldRef",
+    "Instruction",
+    "MethodRef",
+    "SwitchTable",
+    "Frame",
+    "JArray",
+    "JObject",
+    "Outcome",
+    "OutcomeKind",
+    "Statics",
+    "step",
+    "CodeCache",
+    "JITCompiler",
+    "JITPolicy",
+    "NativeCode",
+    "AddressSpace",
+    "DEFAULT_ADDRESS_SPACE",
+    "MIKind",
+    "MachineInstruction",
+    "ExceptionHandler",
+    "JClass",
+    "JMethod",
+    "JProgram",
+    "ProgramError",
+    "Kind",
+    "Op",
+    "OpInfo",
+    "info",
+    "tier",
+    "ExecutionBudgetExceeded",
+    "JVMRuntime",
+    "RunResult",
+    "RuntimeConfig",
+    "run_program",
+    "TemplateTable",
+    "VerificationError",
+    "verify_method",
+    "verify_program",
+]

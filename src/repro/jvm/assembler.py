@@ -1,0 +1,394 @@
+"""Label-based bytecode assembler.
+
+The assembler is the construction API for workloads and tests::
+
+    asm = MethodAssembler("Test", "fun", arg_count=2, returns_value=True)
+    asm.load(0)
+    asm.ifeq("else")
+    asm.load(1).const(1).iadd().store(1).goto("join")
+    asm.label("else")
+    asm.load(1).const(2).isub().store(1)
+    asm.label("join")
+    asm.load(1).ireturn()
+    method = asm.build()
+
+Branch targets are symbolic labels resolved at :meth:`MethodAssembler.build`
+time; generic loads/stores/constants are rewritten to their ``_n``
+specialised forms exactly as javac would emit them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from .instructions import FieldRef, Instruction, MethodRef, SwitchTable
+from .model import ExceptionHandler, JMethod, ProgramError
+from .opcodes import Op, iconst_for, specialize
+
+LabelOrBci = Union[str, int]
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly (unknown labels, bad operands)."""
+
+
+class MethodAssembler:
+    """Builds one :class:`~repro.jvm.model.JMethod` instruction by instruction.
+
+    All emit methods return ``self`` so instructions can be chained.
+    """
+
+    def __init__(
+        self,
+        class_name: str,
+        name: str,
+        arg_count: int,
+        returns_value: bool,
+        max_locals: Optional[int] = None,
+        is_static: bool = True,
+    ):
+        self._class_name = class_name
+        self._name = name
+        self._arg_count = arg_count
+        self._returns_value = returns_value
+        self._max_locals = max_locals
+        self._is_static = is_static
+        # Each pending entry: (op, operand dict with possibly-symbolic targets)
+        self._pending: List[Tuple[Op, dict]] = []
+        self._labels: Dict[str, int] = {}
+        self._handlers: List[Tuple[LabelOrBci, LabelOrBci, LabelOrBci]] = []
+        self._max_local_seen = arg_count
+
+    # ----------------------------------------------------------------- labels
+    def label(self, name: str) -> "MethodAssembler":
+        """Bind *name* to the next instruction's bci."""
+        if name in self._labels:
+            raise AssemblyError("duplicate label %r" % name)
+        self._labels[name] = len(self._pending)
+        return self
+
+    def here(self) -> int:
+        """The bci of the next instruction to be emitted."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ emits
+    def emit(self, op: Op, **operands) -> "MethodAssembler":
+        self._pending.append((op, operands))
+        return self
+
+    def _track_local(self, index: int) -> None:
+        if index < 0:
+            raise AssemblyError("negative local index %d" % index)
+        self._max_local_seen = max(self._max_local_seen, index + 1)
+
+    def const(self, value: int) -> "MethodAssembler":
+        """Push an int constant, picking the tightest encoding."""
+        spec = iconst_for(value)
+        if spec is not None:
+            return self.emit(spec)
+        if -128 <= value < 128:
+            return self.emit(Op.BIPUSH, const=value)
+        if -32768 <= value < 32768:
+            return self.emit(Op.SIPUSH, const=value)
+        return self.emit(Op.LDC, const=value)
+
+    def aconst_null(self) -> "MethodAssembler":
+        return self.emit(Op.ACONST_NULL)
+
+    def load(self, index: int) -> "MethodAssembler":
+        """Load int local *index* (specialised when possible)."""
+        self._track_local(index)
+        spec = specialize(Op.ILOAD, index)
+        if spec is not None:
+            return self.emit(spec)
+        return self.emit(Op.ILOAD, index=index)
+
+    def store(self, index: int) -> "MethodAssembler":
+        self._track_local(index)
+        spec = specialize(Op.ISTORE, index)
+        if spec is not None:
+            return self.emit(spec)
+        return self.emit(Op.ISTORE, index=index)
+
+    def aload(self, index: int) -> "MethodAssembler":
+        self._track_local(index)
+        spec = specialize(Op.ALOAD, index)
+        if spec is not None:
+            return self.emit(spec)
+        return self.emit(Op.ALOAD, index=index)
+
+    def astore(self, index: int) -> "MethodAssembler":
+        self._track_local(index)
+        spec = specialize(Op.ASTORE, index)
+        if spec is not None:
+            return self.emit(spec)
+        return self.emit(Op.ASTORE, index=index)
+
+    def iinc(self, index: int, delta: int = 1) -> "MethodAssembler":
+        self._track_local(index)
+        return self.emit(Op.IINC, index=index, const=delta)
+
+    # Arithmetic / stack ops: one method per mnemonic, generated explicitly
+    # for discoverability (dir(asm) shows the ISA).
+    def nop(self):
+        return self.emit(Op.NOP)
+
+    def iadd(self):
+        return self.emit(Op.IADD)
+
+    def isub(self):
+        return self.emit(Op.ISUB)
+
+    def imul(self):
+        return self.emit(Op.IMUL)
+
+    def idiv(self):
+        return self.emit(Op.IDIV)
+
+    def irem(self):
+        return self.emit(Op.IREM)
+
+    def ineg(self):
+        return self.emit(Op.INEG)
+
+    def ishl(self):
+        return self.emit(Op.ISHL)
+
+    def ishr(self):
+        return self.emit(Op.ISHR)
+
+    def iand(self):
+        return self.emit(Op.IAND)
+
+    def ior(self):
+        return self.emit(Op.IOR)
+
+    def ixor(self):
+        return self.emit(Op.IXOR)
+
+    def pop(self):
+        return self.emit(Op.POP)
+
+    def dup(self):
+        return self.emit(Op.DUP)
+
+    def dup_x1(self):
+        return self.emit(Op.DUP_X1)
+
+    def swap(self):
+        return self.emit(Op.SWAP)
+
+    # Arrays / objects / fields
+    def newarray(self):
+        return self.emit(Op.NEWARRAY)
+
+    def anewarray(self, class_name: str):
+        return self.emit(Op.ANEWARRAY, classref=class_name)
+
+    def iaload(self):
+        return self.emit(Op.IALOAD)
+
+    def iastore(self):
+        return self.emit(Op.IASTORE)
+
+    def aaload(self):
+        return self.emit(Op.AALOAD)
+
+    def aastore(self):
+        return self.emit(Op.AASTORE)
+
+    def arraylength(self):
+        return self.emit(Op.ARRAYLENGTH)
+
+    def new(self, class_name: str):
+        return self.emit(Op.NEW, classref=class_name)
+
+    def getfield(self, class_name: str, field_name: str):
+        return self.emit(Op.GETFIELD, fieldref=FieldRef(class_name, field_name))
+
+    def putfield(self, class_name: str, field_name: str):
+        return self.emit(Op.PUTFIELD, fieldref=FieldRef(class_name, field_name))
+
+    def getstatic(self, class_name: str, field_name: str):
+        return self.emit(Op.GETSTATIC, fieldref=FieldRef(class_name, field_name))
+
+    def putstatic(self, class_name: str, field_name: str):
+        return self.emit(Op.PUTSTATIC, fieldref=FieldRef(class_name, field_name))
+
+    # Branches
+    def _branch(self, op: Op, target: LabelOrBci) -> "MethodAssembler":
+        return self.emit(op, target=target)
+
+    def ifeq(self, target):
+        return self._branch(Op.IFEQ, target)
+
+    def ifne(self, target):
+        return self._branch(Op.IFNE, target)
+
+    def iflt(self, target):
+        return self._branch(Op.IFLT, target)
+
+    def ifge(self, target):
+        return self._branch(Op.IFGE, target)
+
+    def ifgt(self, target):
+        return self._branch(Op.IFGT, target)
+
+    def ifle(self, target):
+        return self._branch(Op.IFLE, target)
+
+    def if_icmpeq(self, target):
+        return self._branch(Op.IF_ICMPEQ, target)
+
+    def if_icmpne(self, target):
+        return self._branch(Op.IF_ICMPNE, target)
+
+    def if_icmplt(self, target):
+        return self._branch(Op.IF_ICMPLT, target)
+
+    def if_icmpge(self, target):
+        return self._branch(Op.IF_ICMPGE, target)
+
+    def if_icmpgt(self, target):
+        return self._branch(Op.IF_ICMPGT, target)
+
+    def if_icmple(self, target):
+        return self._branch(Op.IF_ICMPLE, target)
+
+    def if_acmpeq(self, target):
+        return self._branch(Op.IF_ACMPEQ, target)
+
+    def if_acmpne(self, target):
+        return self._branch(Op.IF_ACMPNE, target)
+
+    def ifnull(self, target):
+        return self._branch(Op.IFNULL, target)
+
+    def ifnonnull(self, target):
+        return self._branch(Op.IFNONNULL, target)
+
+    def goto(self, target):
+        return self._branch(Op.GOTO, target)
+
+    def tableswitch(self, cases: Dict[int, LabelOrBci], default: LabelOrBci):
+        return self.emit(Op.TABLESWITCH, switch_cases=dict(cases), switch_default=default)
+
+    def lookupswitch(self, cases: Dict[int, LabelOrBci], default: LabelOrBci):
+        return self.emit(
+            Op.LOOKUPSWITCH, switch_cases=dict(cases), switch_default=default
+        )
+
+    # Calls / returns / throw
+    def invokestatic(self, class_name, method_name, arg_count, returns_value=True):
+        return self.emit(
+            Op.INVOKESTATIC,
+            methodref=MethodRef(class_name, method_name, arg_count, returns_value),
+        )
+
+    def invokevirtual(self, class_name, method_name, arg_count, returns_value=True):
+        """*arg_count* includes the receiver."""
+        return self.emit(
+            Op.INVOKEVIRTUAL,
+            methodref=MethodRef(class_name, method_name, arg_count, returns_value),
+        )
+
+    def invokespecial(self, class_name, method_name, arg_count, returns_value=False):
+        return self.emit(
+            Op.INVOKESPECIAL,
+            methodref=MethodRef(class_name, method_name, arg_count, returns_value),
+        )
+
+    def ireturn(self):
+        return self.emit(Op.IRETURN)
+
+    def areturn(self):
+        return self.emit(Op.ARETURN)
+
+    def return_(self):
+        return self.emit(Op.RETURN)
+
+    def athrow(self):
+        return self.emit(Op.ATHROW)
+
+    # Exception table
+    def handler(self, start: LabelOrBci, end: LabelOrBci, target: LabelOrBci):
+        """Register a handler covering ``[start, end)``."""
+        self._handlers.append((start, end, target))
+        return self
+
+    # ------------------------------------------------------------------ build
+    def _resolve(self, target: LabelOrBci) -> int:
+        if isinstance(target, int):
+            return target
+        try:
+            return self._labels[target]
+        except KeyError:
+            raise AssemblyError(
+                "undefined label %r in %s.%s" % (target, self._class_name, self._name)
+            ) from None
+
+    def build(self) -> JMethod:
+        """Resolve labels and produce the finished method."""
+        code: List[Instruction] = []
+        for bci, (op, operands) in enumerate(self._pending):
+            fields = dict(operands)
+            if "target" in fields:
+                fields["target"] = self._resolve(fields["target"])
+            if "switch_cases" in fields:
+                cases = tuple(
+                    sorted(
+                        (key, self._resolve(dest))
+                        for key, dest in fields.pop("switch_cases").items()
+                    )
+                )
+                default = self._resolve(fields.pop("switch_default"))
+                fields["switch"] = SwitchTable(cases=cases, default=default)
+            code.append(Instruction(op=op, bci=bci, **fields))
+        handlers = [
+            ExceptionHandler(
+                self._resolve(start), self._resolve(end), self._resolve(target)
+            )
+            for start, end, target in self._handlers
+        ]
+        max_locals = self._max_locals
+        if max_locals is None:
+            max_locals = self._max_local_seen
+        if max_locals < self._max_local_seen:
+            raise AssemblyError(
+                "max_locals=%d but local %d used"
+                % (max_locals, self._max_local_seen - 1)
+            )
+        method = JMethod(
+            class_name=self._class_name,
+            name=self._name,
+            arg_count=self._arg_count,
+            returns_value=self._returns_value,
+            max_locals=max_locals,
+            code=code,
+            handlers=handlers,
+            is_static=self._is_static,
+        )
+        if not code:
+            raise AssemblyError("empty method %s" % method.qualified_name)
+        return method
+
+
+def assemble_counting_loop(
+    class_name: str, name: str, iterations: int, body_ops: int = 2
+) -> JMethod:
+    """Convenience: a loop running *iterations* times with a small body.
+
+    Used widely in tests; returns the loop counter's final value.
+    """
+    if iterations < 0:
+        raise ProgramError("iterations must be >= 0")
+    asm = MethodAssembler(class_name, name, arg_count=0, returns_value=True)
+    asm.const(0).store(0)
+    asm.label("head")
+    asm.load(0).const(iterations).if_icmpge("done")
+    for _ in range(body_ops):
+        asm.nop()
+    asm.iinc(0, 1).goto("head")
+    asm.label("done")
+    asm.load(0).ireturn()
+    return asm.build()

@@ -1,0 +1,251 @@
+"""Intra-method control-flow graphs at basic-block granularity.
+
+The block-level CFG is used by the JIT (block layout), by Ball-Larus path
+profiling (edge instrumentation on the loop-free DAG), and by coverage
+clients.  The paper's NFA works at *instruction* granularity and is built
+separately in :mod:`repro.jvm.icfg`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .model import JMethod
+from .opcodes import Kind
+
+
+class EdgeKind(enum.Enum):
+    """Why control may flow from one block to another."""
+
+    FALLTHROUGH = "fallthrough"  # straight-line or branch-not-taken
+    TAKEN = "taken"  # conditional branch taken
+    JUMP = "jump"  # unconditional goto
+    SWITCH = "switch"  # one switch arm
+    EXCEPTION = "exception"  # into a handler
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A CFG edge between block ids."""
+
+    src: int
+    dst: int
+    kind: EdgeKind
+
+    def __str__(self):
+        return "B%d -%s-> B%d" % (self.src, self.kind.value, self.dst)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` is the bci of the first instruction; ``end`` is one past the
+    bci of the last.
+    """
+
+    block_id: int
+    start: int
+    end: int
+    successors: List[Edge] = field(default_factory=list)
+    predecessors: List[Edge] = field(default_factory=list)
+
+    def bcis(self):
+        return range(self.start, self.end)
+
+    @property
+    def last_bci(self) -> int:
+        return self.end - 1
+
+    def __len__(self):
+        return self.end - self.start
+
+    def __str__(self):
+        return "B%d[%d..%d)" % (self.block_id, self.start, self.end)
+
+
+class CFG:
+    """Basic-block control-flow graph of one method."""
+
+    def __init__(self, method: JMethod):
+        self.method = method
+        self.blocks: List[BasicBlock] = []
+        self._block_of_bci: Dict[int, int] = {}
+        self._build()
+
+    # --------------------------------------------------------------- building
+    def _leaders(self) -> List[int]:
+        code = self.method.code
+        leaders = {0}
+        for inst in code:
+            kind = inst.kind
+            if kind in (Kind.COND, Kind.GOTO, Kind.SWITCH):
+                for target in inst.successors_within(len(code)):
+                    leaders.add(target)
+                if inst.bci + 1 < len(code):
+                    leaders.add(inst.bci + 1)
+            elif kind in (Kind.RETURN, Kind.THROW):
+                if inst.bci + 1 < len(code):
+                    leaders.add(inst.bci + 1)
+        for handler in self.method.handlers:
+            leaders.add(handler.handler)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        code = self.method.code
+        leaders = self._leaders()
+        bounds = leaders + [len(code)]
+        for block_id, (start, end) in enumerate(zip(bounds, bounds[1:])):
+            block = BasicBlock(block_id=block_id, start=start, end=end)
+            self.blocks.append(block)
+            for bci in range(start, end):
+                self._block_of_bci[bci] = block_id
+        for block in self.blocks:
+            last = code[block.last_bci]
+            kind = last.kind
+            if kind is Kind.COND:
+                self._add_edge(block.block_id, last.bci + 1, EdgeKind.FALLTHROUGH)
+                self._add_edge(block.block_id, last.target, EdgeKind.TAKEN)
+            elif kind is Kind.GOTO:
+                self._add_edge(block.block_id, last.target, EdgeKind.JUMP)
+            elif kind is Kind.SWITCH:
+                for target in last.switch.all_targets():
+                    self._add_edge(block.block_id, target, EdgeKind.SWITCH)
+            elif kind in (Kind.RETURN, Kind.THROW):
+                pass
+            elif block.end < len(code):
+                self._add_edge(block.block_id, block.end, EdgeKind.FALLTHROUGH)
+        # Exception edges: any covered block may transfer to its handler.
+        for handler in self.method.handlers:
+            handler_block = self._block_of_bci[handler.handler]
+            for block in self.blocks:
+                if any(handler.covers(bci) for bci in block.bcis()):
+                    edge = Edge(block.block_id, handler_block, EdgeKind.EXCEPTION)
+                    if edge not in block.successors:
+                        block.successors.append(edge)
+                        self.blocks[handler_block].predecessors.append(edge)
+
+    def _add_edge(self, src_block: int, dst_bci: int, kind: EdgeKind) -> None:
+        dst_block = self._block_of_bci[dst_bci]
+        edge = Edge(src_block, dst_block, kind)
+        self.blocks[src_block].successors.append(edge)
+        self.blocks[dst_block].predecessors.append(edge)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_of(self, bci: int) -> BasicBlock:
+        return self.blocks[self._block_of_bci[bci]]
+
+    def edges(self) -> List[Edge]:
+        return [edge for block in self.blocks for edge in block.successors]
+
+    def reverse_postorder(self, include_exception_edges: bool = True) -> List[int]:
+        """Block ids in reverse postorder from the entry.
+
+        Unreachable blocks (e.g. handlers never targeted by a normal edge)
+        are appended afterwards in id order so layout covers all code.
+        """
+        visited = set()
+        postorder: List[int] = []
+
+        def visit(block_id: int) -> None:
+            stack = [(block_id, iter(self._succ_ids(block_id, include_exception_edges)))]
+            visited.add(block_id)
+            while stack:
+                current, successor_iter = stack[-1]
+                advanced = False
+                for succ in successor_iter:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append(
+                            (succ, iter(self._succ_ids(succ, include_exception_edges)))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(current)
+                    stack.pop()
+
+        visit(0)
+        order = list(reversed(postorder))
+        for block in self.blocks:
+            if block.block_id not in visited:
+                order.append(block.block_id)
+        return order
+
+    def _succ_ids(self, block_id: int, include_exception_edges: bool) -> List[int]:
+        result = []
+        for edge in self.blocks[block_id].successors:
+            if not include_exception_edges and edge.kind is EdgeKind.EXCEPTION:
+                continue
+            if edge.dst not in result:
+                result.append(edge.dst)
+        return result
+
+    def back_edges(self) -> List[Edge]:
+        """Edges whose removal makes the CFG acyclic (DFS retreating edges)."""
+        color: Dict[int, int] = {}
+        result: List[Edge] = []
+
+        def visit(block_id: int) -> None:
+            stack: List[Tuple[int, int]] = [(block_id, 0)]
+            color[block_id] = 1
+            while stack:
+                current, edge_index = stack.pop()
+                successors = self.blocks[current].successors
+                while edge_index < len(successors):
+                    edge = successors[edge_index]
+                    edge_index += 1
+                    state = color.get(edge.dst, 0)
+                    if state == 1:
+                        result.append(edge)
+                    elif state == 0:
+                        stack.append((current, edge_index))
+                        color[edge.dst] = 1
+                        stack.append((edge.dst, 0))
+                        break
+                else:
+                    color[current] = 2
+
+        for block in self.blocks:
+            if color.get(block.block_id, 0) == 0:
+                visit(block.block_id)
+        return result
+
+    def __str__(self):
+        lines = ["CFG(%s)" % self.method.qualified_name]
+        for block in self.blocks:
+            succ = ", ".join(str(edge) for edge in block.successors)
+            lines.append("  %s -> [%s]" % (block, succ))
+        return "\n".join(lines)
+
+
+def loop_depths(cfg: CFG) -> Dict[int, int]:
+    """Approximate loop-nesting depth per block.
+
+    Each back edge ``(latch -> header)`` defines a natural-loop body found
+    by walking predecessors from the latch until the header; a block's
+    depth is the number of loop bodies containing it.  Used by the JIT's
+    hotness heuristics and by workload statistics.
+    """
+    depths = {block.block_id: 0 for block in cfg.blocks}
+    for back in cfg.back_edges():
+        header, latch = back.dst, back.src
+        body = {header, latch}
+        work = [latch]
+        while work:
+            current = work.pop()
+            if current == header:
+                continue
+            for edge in cfg.blocks[current].predecessors:
+                if edge.src not in body:
+                    body.add(edge.src)
+                    work.append(edge.src)
+        for member in body:
+            depths[member] += 1
+    return depths

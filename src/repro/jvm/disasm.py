@@ -1,0 +1,83 @@
+"""Textual disassembly of bytecode methods and JIT-compiled code.
+
+Produces the kinds of listings the paper's figures show: Figure 2(b)'s
+bytecode listing, Figure 2(c)'s template metadata table, and Figure 3(a)/
+(b)'s compiled code with its debug info.  Used by examples, debugging
+sessions, and golden tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .jit import NativeCode
+from .model import JMethod, JProgram
+from .templates import TemplateTable
+
+
+def disassemble_method(method: JMethod) -> str:
+    """Figure 2(b)-style listing of one method."""
+    lines = [
+        "%s(args=%d, locals=%d)%s:"
+        % (
+            method.qualified_name,
+            method.arg_count,
+            method.max_locals,
+            "" if method.is_static else " [instance]",
+        )
+    ]
+    for inst in method.code:
+        lines.append("  %4d: %s" % (inst.bci, inst))
+    for handler in method.handlers:
+        lines.append(
+            "  catch [%d, %d) -> %d" % (handler.start, handler.end, handler.handler)
+        )
+    return "\n".join(lines)
+
+
+def disassemble_program(program: JProgram) -> str:
+    """Every method of a program, deterministically ordered."""
+    return "\n\n".join(disassemble_method(method) for method in program.methods())
+
+
+def template_metadata_listing(
+    table: TemplateTable, mnemonics: Optional[List[str]] = None
+) -> str:
+    """Figure 2(c)-style template address-range table."""
+    metadata = table.metadata()
+    names = mnemonics if mnemonics is not None else sorted(metadata)
+    lines = []
+    for name in names:
+        ranges = metadata[name]
+        rendered = ", ".join("[0x%x, 0x%x)" % (start, end) for start, end in ranges)
+        lines.append("%-16s %s" % (name, rendered))
+    return "\n".join(lines)
+
+
+def disassemble_native(code: NativeCode, with_debug: bool = True) -> str:
+    """Figure 3(a)/(b)-style listing of compiled code.
+
+    With ``with_debug``, each instruction carrying a debug record shows
+    its bytecode location (inline frames rendered as a chain).
+    """
+    lines = ["%s:" % code]
+    for mi in code.instructions:
+        annotation = ""
+        if with_debug:
+            frames = code.debug.get(mi.address)
+            if frames is not None:
+                annotation = "   ; " + " > ".join(
+                    "%s@%d" % (qname, bci) for qname, bci in frames
+                )
+        lines.append("  %s%s" % (mi, annotation))
+    return "\n".join(lines)
+
+
+def debug_info_listing(code: NativeCode) -> str:
+    """Figure 3(b): pc -> method@bci records (inline frames included)."""
+    lines = []
+    for address in sorted(code.debug):
+        frames = code.debug[address]
+        rendered = " > ".join("%s@%d" % (qname, bci) for qname, bci in frames)
+        lines.append("pc=0x%x  %s" % (address, rendered))
+    return "\n".join(lines)

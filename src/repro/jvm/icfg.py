@@ -1,0 +1,178 @@
+"""Interprocedural control-flow graph at instruction granularity.
+
+Nodes are ``(method_qualified_name, bci)`` pairs; edges are the
+"potential-next-instruction-to-execute" relation of the paper's
+Definition 4.1, i.e. the relation over *dynamically observed* instruction
+sequences:
+
+* a call site's successors are the entry instructions of every statically
+  possible callee (virtual dispatch over-approximated by subtype
+  overrides);
+* a return instruction's successors are the *return sites* (call bci + 1)
+  of every call site that may invoke the returning method;
+* ``athrow`` flows to the innermost covering handler in its own method or,
+  when uncovered, unwinds to handlers covering any reachable call site in
+  (transitive) callers;
+* everything else follows the intra-method successor relation.
+
+Call sites may be marked *opaque* (``opaque_call_sites``) to model dynamic
+features such as reflection whose targets a static builder cannot see --
+the situation the paper's Section 4 "Discussions" handles by searching all
+potential callback methods.  Opaque sites get no callee edges here; the
+reconstruction layer supplies the callback-search fallback.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .model import JMethod, JProgram
+from .opcodes import Kind, Op
+
+Node = Tuple[str, int]
+
+
+class IEdgeKind(enum.Enum):
+    """Classification of ICFG edges."""
+
+    INTRA = "intra"  # straight-line / branch / jump / switch
+    CALL = "call"  # call site -> callee entry
+    RETURN = "return"  # return instruction -> return site
+    THROW = "throw"  # athrow -> handler entry (possibly in a caller)
+
+
+class ICFG:
+    """Instruction-granularity interprocedural CFG of a whole program."""
+
+    def __init__(
+        self,
+        program: JProgram,
+        opaque_call_sites: Iterable[Node] = (),
+    ):
+        self.program = program
+        self.opaque_call_sites: FrozenSet[Node] = frozenset(opaque_call_sites)
+        self._methods: Dict[str, JMethod] = {
+            method.qualified_name: method for method in program.methods()
+        }
+        self._successors: Dict[Node, List[Tuple[Node, IEdgeKind]]] = {}
+        self._predecessors: Dict[Node, List[Tuple[Node, IEdgeKind]]] = {}
+        self._callers: Dict[str, List[Node]] = {}  # callee qname -> call-site nodes
+        self._build()
+
+    # --------------------------------------------------------------- building
+    def _build(self) -> None:
+        # Pass 1: intra-method edges and the caller map.
+        for qname, method in self._methods.items():
+            for inst in method.code:
+                node = (qname, inst.bci)
+                self._successors.setdefault(node, [])
+                if inst.kind is Kind.CALL:
+                    if node not in self.opaque_call_sites:
+                        for callee in self.program.possible_targets(
+                            inst.methodref, virtual=inst.op is Op.INVOKEVIRTUAL
+                        ):
+                            self._callers.setdefault(callee.qualified_name, []).append(
+                                node
+                            )
+                    continue
+                if inst.kind is Kind.THROW:
+                    continue  # handled in pass 2
+                for target in inst.successors_within(len(method.code)):
+                    self._add_edge(node, (qname, target), IEdgeKind.INTRA)
+
+        # Pass 2: interprocedural edges.
+        for qname, method in self._methods.items():
+            for inst in method.code:
+                node = (qname, inst.bci)
+                if inst.kind is Kind.CALL and node not in self.opaque_call_sites:
+                    for callee in self.program.possible_targets(
+                        inst.methodref, virtual=inst.op is Op.INVOKEVIRTUAL
+                    ):
+                        self._add_edge(
+                            node, (callee.qualified_name, 0), IEdgeKind.CALL
+                        )
+                elif inst.kind is Kind.RETURN:
+                    for call_node in self._callers.get(qname, ()):
+                        call_method = self._methods[call_node[0]]
+                        return_site = call_node[1] + 1
+                        if return_site < len(call_method.code):
+                            self._add_edge(
+                                node, (call_node[0], return_site), IEdgeKind.RETURN
+                            )
+                elif inst.kind is Kind.THROW:
+                    for handler_node in self._throw_targets(method, inst.bci):
+                        self._add_edge(node, handler_node, IEdgeKind.THROW)
+
+    def _add_edge(self, src: Node, dst: Node, kind: IEdgeKind) -> None:
+        entry = (dst, kind)
+        successors = self._successors.setdefault(src, [])
+        if entry not in successors:
+            successors.append(entry)
+            self._predecessors.setdefault(dst, []).append((src, kind))
+
+    def _throw_targets(
+        self, method: JMethod, bci: int, _visiting: Optional[Set[str]] = None
+    ) -> List[Node]:
+        """Handler entries a throw at ``method@bci`` may reach.
+
+        The innermost covering handler in the same method wins; otherwise
+        the exception unwinds to every (transitive) caller whose call site
+        is covered.  Context-insensitive, like the rest of the ICFG.
+        """
+        handler = method.handler_for(bci)
+        if handler is not None:
+            return [(method.qualified_name, handler.handler)]
+        if _visiting is None:
+            _visiting = set()
+        if method.qualified_name in _visiting:
+            return []
+        _visiting.add(method.qualified_name)
+        targets: List[Node] = []
+        for call_node in self._callers.get(method.qualified_name, ()):
+            caller = self._methods[call_node[0]]
+            for node in self._throw_targets(caller, call_node[1], _visiting):
+                if node not in targets:
+                    targets.append(node)
+        return targets
+
+    # ---------------------------------------------------------------- queries
+    def methods(self) -> Dict[str, JMethod]:
+        return self._methods
+
+    def method(self, qname: str) -> JMethod:
+        return self._methods[qname]
+
+    def nodes(self) -> Iterable[Node]:
+        for qname in sorted(self._methods):
+            method = self._methods[qname]
+            for inst in method.code:
+                yield (qname, inst.bci)
+
+    def instruction(self, node: Node):
+        return self._methods[node[0]].code[node[1]]
+
+    def successors(self, node: Node) -> List[Tuple[Node, IEdgeKind]]:
+        return self._successors.get(node, [])
+
+    def predecessors(self, node: Node) -> List[Tuple[Node, IEdgeKind]]:
+        return self._predecessors.get(node, [])
+
+    def entry_node(self, method: JMethod) -> Node:
+        return (method.qualified_name, 0)
+
+    def callers_of(self, qname: str) -> List[Node]:
+        return list(self._callers.get(qname, ()))
+
+    def node_count(self) -> int:
+        return sum(len(method.code) for method in self._methods.values())
+
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._successors.values())
+
+    def __str__(self):
+        return "ICFG(%s: %d nodes, %d edges)" % (
+            self.program.name,
+            self.node_count(),
+            self.edge_count(),
+        )

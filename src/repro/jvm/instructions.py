@@ -1,0 +1,155 @@
+"""Bytecode instruction objects and their trace-symbol form.
+
+An :class:`Instruction` is one bytecode instruction at a fixed bytecode
+index (bci) inside a method.  Its :meth:`Instruction.symbol` is the
+*observable identity* a PT trace reveals for interpreted execution: the
+(possibly ``_n``-specialised) opcode, without operand values for generic
+forms.  Symbols are the alphabet Sigma of the paper's Definition 4.1 NFA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from .opcodes import Kind, Op, info
+
+
+@dataclass(frozen=True)
+class SwitchTable:
+    """Jump table of a ``tableswitch``/``lookupswitch``.
+
+    Attributes:
+        cases: Mapping from int key to target bci.
+        default: Target bci when no case matches.
+    """
+
+    cases: Tuple[Tuple[int, int], ...]
+    default: int
+
+    def target_for(self, key: int) -> int:
+        for case_key, target in self.cases:
+            if case_key == key:
+                return target
+        return self.default
+
+    def all_targets(self) -> Tuple[int, ...]:
+        seen = []
+        for _, target in self.cases:
+            if target not in seen:
+                seen.append(target)
+        if self.default not in seen:
+            seen.append(self.default)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class MethodRef:
+    """Symbolic reference to a callee method (constant-pool entry)."""
+
+    class_name: str
+    method_name: str
+    arg_count: int
+    returns_value: bool
+
+    def __str__(self):
+        return "%s.%s/%d" % (self.class_name, self.method_name, self.arg_count)
+
+
+@dataclass(frozen=True)
+class FieldRef:
+    """Symbolic reference to a field (constant-pool entry)."""
+
+    class_name: str
+    field_name: str
+
+    def __str__(self):
+        return "%s.%s" % (self.class_name, self.field_name)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One bytecode instruction.
+
+    Attributes:
+        op: Opcode.
+        bci: Bytecode index within the owning method.
+        index: Local-variable index (loads/stores/iinc), if any.
+        const: Immediate constant (bipush/sipush/ldc/iinc), if any.
+        target: Branch target bci (conditionals, goto), if any.
+        methodref: Callee reference (invokes), if any.
+        fieldref: Field reference (get/put), if any.
+        classref: Class name (new/anewarray), if any.
+        switch: Jump table (switch opcodes), if any.
+    """
+
+    op: Op
+    bci: int
+    index: Optional[int] = None
+    const: Optional[int] = None
+    target: Optional[int] = None
+    methodref: Optional[MethodRef] = None
+    fieldref: Optional[FieldRef] = None
+    classref: Optional[str] = None
+    switch: Optional[SwitchTable] = field(default=None)
+
+    @property
+    def kind(self) -> Kind:
+        return info(self.op).kind
+
+    @property
+    def is_control(self) -> bool:
+        return info(self.op).is_control
+
+    def symbol(self) -> Op:
+        """The observable trace symbol for this instruction.
+
+        A PT trace of interpreted code reveals exactly which template ran,
+        i.e. the opcode (with ``_n`` specialisation), but not the operand
+        bytes the template fetched from the method body.
+        """
+        return self.op
+
+    def successors_within(self, code_length: int) -> Tuple[int, ...]:
+        """Possible next bcis *within the same method*.
+
+        Calls fall through (the interprocedural edge is the ICFG's job);
+        returns and throws have no intra-method successor.
+        """
+        kind = self.kind
+        if kind is Kind.COND:
+            return (self.bci + 1, self.target)
+        if kind is Kind.GOTO:
+            return (self.target,)
+        if kind is Kind.SWITCH:
+            return self.switch.all_targets()
+        if kind in (Kind.RETURN, Kind.THROW):
+            return ()
+        next_bci = self.bci + 1
+        if next_bci < code_length:
+            return (next_bci,)
+        return ()
+
+    def __str__(self):
+        parts = [info(self.op).mnemonic]
+        if self.index is not None and self.op not in ():
+            parts.append(str(self.index))
+        if self.const is not None:
+            parts.append(str(self.const))
+        if self.target is not None:
+            parts.append("-> %d" % self.target)
+        if self.methodref is not None:
+            parts.append(str(self.methodref))
+        if self.fieldref is not None:
+            parts.append(str(self.fieldref))
+        if self.classref is not None:
+            parts.append(self.classref)
+        if self.switch is not None:
+            parts.append(
+                "{%s, default -> %d}"
+                % (
+                    ", ".join("%d -> %d" % kv for kv in self.switch.cases),
+                    self.switch.default,
+                )
+            )
+        return " ".join(parts)

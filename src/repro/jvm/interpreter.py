@@ -1,0 +1,376 @@
+"""Semantic execution of bytecode instructions.
+
+:func:`step` executes exactly one instruction's *data* effect on a frame
+(operand stack + locals + heap) and reports the *control* effect as an
+:class:`Outcome`.  The runtime (:mod:`repro.jvm.runtime`) owns frames,
+call/return/throw handling, tiering, and hardware-event emission -- the
+same semantic step therefore drives both the template interpreter and the
+execution of JIT-compiled machine code, which keeps the two modes
+behaviourally identical (as they are on a real JVM) while letting them
+emit completely different PT event streams.
+
+Values are Python ints (wrapped to 32-bit signed), ``None`` (null),
+:class:`JObject` and :class:`JArray` references.  Implicit runtime
+exceptions (divide by zero, null dereference, array bounds) are produced
+exactly where a JVM would produce them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .instructions import Instruction, MethodRef
+from .model import JMethod, JProgram
+from .opcodes import DESPECIALIZED, ICONST_VALUE, Kind, Op
+
+
+def i32(value: int) -> int:
+    """Wrap *value* to 32-bit signed two's-complement, like JVM ints."""
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+class JObject:
+    """A heap object: class name plus named fields."""
+
+    __slots__ = ("class_name", "fields")
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = {}
+
+    def __repr__(self):
+        return "<%s>" % self.class_name
+
+
+class JArray:
+    """A heap array of fixed length."""
+
+    __slots__ = ("elements",)
+
+    def __init__(self, length: int, fill: Any = 0):
+        self.elements: List[Any] = [fill] * length
+
+    def __len__(self):
+        return len(self.elements)
+
+    def __repr__(self):
+        return "<array[%d]>" % len(self.elements)
+
+
+class TrapKind(enum.Enum):
+    """Implicit runtime exceptions."""
+
+    ARITHMETIC = "java.lang.ArithmeticException"
+    NULL_POINTER = "java.lang.NullPointerException"
+    ARRAY_BOUNDS = "java.lang.ArrayIndexOutOfBoundsException"
+    NEGATIVE_ARRAY = "java.lang.NegativeArraySizeException"
+
+
+class OutcomeKind(enum.Enum):
+    FALL = "fall"  # continue at bci + 1
+    BRANCH = "branch"  # conditional: taken/not-taken
+    JUMP = "jump"  # goto
+    SWITCH = "switch"  # multi-way
+    CALL = "call"  # invoke: runtime must push a callee frame
+    RETURN = "return"  # pop this frame
+    THROW = "throw"  # dispatch to a handler / unwind
+
+
+@dataclass
+class Outcome:
+    """Control effect of one executed instruction.
+
+    Attributes:
+        kind: What happened.
+        next_bci: Intra-method continuation (fall/branch/jump/switch).
+        taken: For BRANCH, whether the branch was taken (the TNT bit).
+        callee: For CALL, the runtime-resolved callee method.
+        args: For CALL, argument values (receiver first for instance calls).
+        value: For RETURN, the returned value (``None`` for void).
+        exception: For THROW, the thrown object.
+    """
+
+    kind: OutcomeKind
+    next_bci: int = -1
+    taken: bool = False
+    callee: Optional[JMethod] = None
+    args: Tuple = ()
+    value: Any = None
+    exception: Optional[JObject] = None
+
+
+@dataclass
+class Frame:
+    """One semantic activation record."""
+
+    method: JMethod
+    locals: List[Any]
+    stack: List[Any] = field(default_factory=list)
+    bci: int = 0
+
+    @classmethod
+    def for_call(cls, method: JMethod, args: Tuple) -> "Frame":
+        local_slots: List[Any] = list(args)
+        local_slots.extend([0] * (method.max_locals - len(args)))
+        return cls(method=method, locals=local_slots)
+
+    def push(self, value: Any) -> None:
+        self.stack.append(value)
+
+    def pop(self) -> Any:
+        return self.stack.pop()
+
+
+class Statics:
+    """Program-wide static fields, keyed by ``Class.field``."""
+
+    def __init__(self):
+        self._values: Dict[str, Any] = {}
+
+    def get(self, key: str) -> Any:
+        return self._values.get(key, 0)
+
+    def put(self, key: str, value: Any) -> None:
+        self._values[key] = value
+
+
+def _trap(kind: TrapKind) -> Outcome:
+    return Outcome(kind=OutcomeKind.THROW, exception=JObject(kind.value))
+
+
+_COMPARES = {
+    Op.IFEQ: lambda v: v == 0,
+    Op.IFNE: lambda v: v != 0,
+    Op.IFLT: lambda v: v < 0,
+    Op.IFGE: lambda v: v >= 0,
+    Op.IFGT: lambda v: v > 0,
+    Op.IFLE: lambda v: v <= 0,
+}
+
+_ICOMPARES = {
+    Op.IF_ICMPEQ: lambda a, b: a == b,
+    Op.IF_ICMPNE: lambda a, b: a != b,
+    Op.IF_ICMPLT: lambda a, b: a < b,
+    Op.IF_ICMPGE: lambda a, b: a >= b,
+    Op.IF_ICMPGT: lambda a, b: a > b,
+    Op.IF_ICMPLE: lambda a, b: a <= b,
+}
+
+_ARITH = {
+    Op.IADD: lambda a, b: a + b,
+    Op.ISUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: a * b,
+    Op.ISHL: lambda a, b: a << (b & 31),
+    Op.ISHR: lambda a, b: a >> (b & 31),
+    Op.IAND: lambda a, b: a & b,
+    Op.IOR: lambda a, b: a | b,
+    Op.IXOR: lambda a, b: a ^ b,
+}
+
+
+def step(frame: Frame, program: JProgram, statics: Statics) -> Outcome:
+    """Execute the instruction at ``frame.bci``; report its control effect.
+
+    Mutates the frame's stack/locals and the heap, but never ``frame.bci``
+    or the frame stack -- those belong to the runtime.
+    """
+    inst = frame.method.code[frame.bci]
+    op = inst.op
+    stack = frame.stack
+
+    # --- constants ---------------------------------------------------------
+    if op in ICONST_VALUE:
+        stack.append(ICONST_VALUE[op])
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op in (Op.BIPUSH, Op.SIPUSH, Op.LDC):
+        stack.append(i32(inst.const))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.ACONST_NULL:
+        stack.append(None)
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.NOP:
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- locals -------------------------------------------------------------
+    if op in DESPECIALIZED:
+        generic, index = DESPECIALIZED[op]
+        op, inst_index = generic, index
+    else:
+        inst_index = inst.index
+    if op in (Op.ILOAD, Op.ALOAD):
+        stack.append(frame.locals[inst_index])
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op in (Op.ISTORE, Op.ASTORE):
+        frame.locals[inst_index] = stack.pop()
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.IINC:
+        frame.locals[inst_index] = i32(frame.locals[inst_index] + inst.const)
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- stack shuffling -----------------------------------------------------
+    if op is Op.POP:
+        stack.pop()
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.DUP:
+        stack.append(stack[-1])
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.DUP_X1:
+        top = stack.pop()
+        second = stack.pop()
+        stack.extend((top, second, top))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.SWAP:
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- arithmetic -----------------------------------------------------------
+    if op in _ARITH:
+        right = stack.pop()
+        left = stack.pop()
+        stack.append(i32(_ARITH[op](left, right)))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op in (Op.IDIV, Op.IREM):
+        right = stack.pop()
+        left = stack.pop()
+        if right == 0:
+            return _trap(TrapKind.ARITHMETIC)
+        # JVM semantics: truncate toward zero.
+        quotient = abs(left) // abs(right)
+        if (left < 0) != (right < 0):
+            quotient = -quotient
+        if op is Op.IDIV:
+            stack.append(i32(quotient))
+        else:
+            stack.append(i32(left - quotient * right))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.INEG:
+        stack.append(i32(-stack.pop()))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- branches --------------------------------------------------------------
+    if op in _COMPARES:
+        taken = _COMPARES[op](stack.pop())
+        return Outcome(
+            OutcomeKind.BRANCH,
+            next_bci=inst.target if taken else frame.bci + 1,
+            taken=taken,
+        )
+    if op in _ICOMPARES:
+        right = stack.pop()
+        left = stack.pop()
+        taken = _ICOMPARES[op](left, right)
+        return Outcome(
+            OutcomeKind.BRANCH,
+            next_bci=inst.target if taken else frame.bci + 1,
+            taken=taken,
+        )
+    if op in (Op.IF_ACMPEQ, Op.IF_ACMPNE):
+        right = stack.pop()
+        left = stack.pop()
+        same = left is right
+        taken = same if op is Op.IF_ACMPEQ else not same
+        return Outcome(
+            OutcomeKind.BRANCH,
+            next_bci=inst.target if taken else frame.bci + 1,
+            taken=taken,
+        )
+    if op in (Op.IFNULL, Op.IFNONNULL):
+        value = stack.pop()
+        taken = (value is None) if op is Op.IFNULL else (value is not None)
+        return Outcome(
+            OutcomeKind.BRANCH,
+            next_bci=inst.target if taken else frame.bci + 1,
+            taken=taken,
+        )
+    if op is Op.GOTO:
+        return Outcome(OutcomeKind.JUMP, next_bci=inst.target)
+    if op in (Op.TABLESWITCH, Op.LOOKUPSWITCH):
+        key = stack.pop()
+        return Outcome(OutcomeKind.SWITCH, next_bci=inst.switch.target_for(key))
+
+    # --- arrays ------------------------------------------------------------------
+    if op in (Op.NEWARRAY, Op.ANEWARRAY):
+        length = stack.pop()
+        if length < 0:
+            return _trap(TrapKind.NEGATIVE_ARRAY)
+        stack.append(JArray(length, fill=0 if op is Op.NEWARRAY else None))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op in (Op.IALOAD, Op.AALOAD):
+        index = stack.pop()
+        array = stack.pop()
+        if not isinstance(array, JArray):
+            return _trap(TrapKind.NULL_POINTER)
+        if not 0 <= index < len(array):
+            return _trap(TrapKind.ARRAY_BOUNDS)
+        stack.append(array.elements[index])
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op in (Op.IASTORE, Op.AASTORE):
+        value = stack.pop()
+        index = stack.pop()
+        array = stack.pop()
+        if not isinstance(array, JArray):
+            return _trap(TrapKind.NULL_POINTER)
+        if not 0 <= index < len(array):
+            return _trap(TrapKind.ARRAY_BOUNDS)
+        array.elements[index] = i32(value) if op is Op.IASTORE else value
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.ARRAYLENGTH:
+        array = stack.pop()
+        if not isinstance(array, JArray):
+            return _trap(TrapKind.NULL_POINTER)
+        stack.append(len(array))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- objects and fields ---------------------------------------------------------
+    if op is Op.NEW:
+        stack.append(JObject(inst.classref))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.GETFIELD:
+        receiver = stack.pop()
+        if not isinstance(receiver, JObject):
+            return _trap(TrapKind.NULL_POINTER)
+        stack.append(receiver.fields.get(inst.fieldref.field_name, 0))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.PUTFIELD:
+        value = stack.pop()
+        receiver = stack.pop()
+        if not isinstance(receiver, JObject):
+            return _trap(TrapKind.NULL_POINTER)
+        receiver.fields[inst.fieldref.field_name] = value
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.GETSTATIC:
+        stack.append(statics.get(str(inst.fieldref)))
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+    if op is Op.PUTSTATIC:
+        statics.put(str(inst.fieldref), stack.pop())
+        return Outcome(OutcomeKind.FALL, next_bci=frame.bci + 1)
+
+    # --- calls, returns, throws --------------------------------------------------------
+    if op in (Op.INVOKESTATIC, Op.INVOKESPECIAL, Op.INVOKEVIRTUAL):
+        ref: MethodRef = inst.methodref
+        args = tuple(stack[len(stack) - ref.arg_count :]) if ref.arg_count else ()
+        del stack[len(stack) - ref.arg_count :]
+        if op is Op.INVOKEVIRTUAL:
+            receiver = args[0] if args else None
+            if not isinstance(receiver, JObject):
+                return _trap(TrapKind.NULL_POINTER)
+            callee = program.resolve_virtual(receiver.class_name, ref.method_name)
+        else:
+            callee = program.method(ref.class_name, ref.method_name)
+        return Outcome(OutcomeKind.CALL, callee=callee, args=args)
+    if op in (Op.IRETURN, Op.ARETURN):
+        return Outcome(OutcomeKind.RETURN, value=stack.pop())
+    if op is Op.RETURN:
+        return Outcome(OutcomeKind.RETURN, value=None)
+    if op is Op.ATHROW:
+        exception = stack.pop()
+        if not isinstance(exception, JObject):
+            return _trap(TrapKind.NULL_POINTER)
+        return Outcome(OutcomeKind.THROW, exception=exception)
+
+    raise NotImplementedError("unhandled opcode %s" % inst)

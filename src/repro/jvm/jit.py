@@ -1,0 +1,567 @@
+"""The JIT compiler: bytecode -> synthetic machine code + debug info.
+
+Hot methods are compiled to :class:`~repro.jvm.machine.MachineInstruction`
+sequences laid out in reverse postorder, with small monomorphic callees
+inlined.  Two artefacts come out of compilation:
+
+* the **machine code itself** (instruction kinds, sizes, direct targets) --
+  this is what the PT decoder walks, exactly as libipt walks real code;
+* the **debug info** mapping every machine PC to a stack of
+  ``(method, bci)`` frames (innermost last) -- the metadata HotSpot
+  maintains for deoptimisation/exceptions and that JPortal repurposes for
+  bytecode-level reconstruction (paper Section 3.2 and Figure 3(b));
+  inlined code is represented by multi-entry frame stacks (Section 6,
+  "Dealing with Inlined Code").
+
+A third, **runtime-private** artefact is the semantic map (machine PC ->
+which bytecode's data effect to apply) used by the execution engine in
+:mod:`repro.jvm.runtime`.  It is never handed to the decoding side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cfg import CFG
+from .machine import DEFAULT_ADDRESS_SPACE, AddressSpace, MachineInstruction, MIKind
+from .model import JMethod, JProgram
+from .opcodes import Kind, Op
+
+# Inline context: the chain of call sites through which a method body was
+# inlined, outermost first.  () is the root method's own context.
+Ctx = Tuple[Tuple[str, int], ...]
+# Label key: a machine location addressable by (context, method, bci), plus
+# synthetic continuation labels for inline call sites.
+LabelKey = Tuple
+
+
+@dataclass(frozen=True)
+class SemBytecode:
+    """Machine instruction implements the bytecode at ``qname@bci``."""
+
+    qname: str
+    bci: int
+    ctx: Ctx = ()
+
+
+@dataclass(frozen=True)
+class SemInlineEnter:
+    """An inlined call site: bind arguments into a new inline frame."""
+
+    qname: str
+    bci: int
+    ctx: Ctx
+    callee_qname: str
+
+
+@dataclass(frozen=True)
+class SemInlineReturn:
+    """A return inside an inlined body: pop the inline frame."""
+
+    qname: str
+    bci: int
+    ctx: Ctx
+
+
+@dataclass(frozen=True)
+class SemGuard:
+    """A speculative-inlining guard at a polymorphic call site.
+
+    Compiled as a real conditional branch: not-taken falls into the
+    inlined body of the *expected* callee; taken jumps to the method's
+    deoptimisation stub (an uncommon trap), transferring the activation
+    back to the interpreter.  Like HotSpot's class-check guards, the
+    branch is PT-visible as one TNT bit, which is what keeps decoding
+    exact across deoptimisation.
+    """
+
+    qname: str
+    bci: int
+    ctx: Ctx
+    expected_qname: str
+
+
+class JITError(Exception):
+    """Raised on compilation failures (code cache exhaustion etc.)."""
+
+
+@dataclass
+class JITPolicy:
+    """Tuning knobs of the compiler.
+
+    Attributes:
+        hot_threshold: Invocation count after which a method is compiled.
+        inline_max_size: Max callee instruction count eligible for inlining.
+        inline_max_depth: Max nesting of inlined bodies.
+        enable_inlining: Master switch (ablation knob).
+        max_compile_size: Methods longer than this stay interpreted.
+        osr_threshold: Back-edge count after which a *running* interpreted
+            activation is switched onto compiled code at the loop header
+            (HotSpot's on-stack replacement).  0 disables OSR.
+        speculative_inlining: Inline the statically resolved target even
+            at polymorphic virtual sites, behind a class-check guard whose
+            failure deoptimises back to the interpreter.
+    """
+
+    hot_threshold: int = 10
+    inline_max_size: int = 14
+    inline_max_depth: int = 2
+    enable_inlining: bool = True
+    max_compile_size: int = 2000
+    osr_threshold: int = 0
+    speculative_inlining: bool = False
+
+
+# Deterministic machine-instruction sizes per kind (bytes); loosely x86-ish.
+_SIZES = {
+    MIKind.OTHER: 3,
+    MIKind.COND_BRANCH: 6,
+    MIKind.JMP_DIRECT: 5,
+    MIKind.JMP_INDIRECT: 6,
+    MIKind.CALL_DIRECT: 5,
+    MIKind.CALL_INDIRECT: 6,
+    MIKind.RET: 1,
+}
+_PROLOGUE_SIZE = 12
+
+
+@dataclass
+class _Pending:
+    kind: MIKind
+    size: int
+    semantic: object = None
+    target_key: Optional[LabelKey] = None
+    direct_target: Optional[int] = None
+    text: str = ""
+
+
+class NativeCode:
+    """One compiled method: code, debug info, and runtime-private maps."""
+
+    def __init__(
+        self,
+        method: JMethod,
+        entry: int,
+        instructions: List[MachineInstruction],
+        semantic: Dict[int, object],
+        debug: Dict[int, Tuple[Tuple[str, int], ...]],
+        entry_points: Dict[LabelKey, int],
+        load_tsc: int,
+    ):
+        self.method = method
+        self.entry = entry
+        self.instructions = instructions
+        self.semantic = semantic
+        self.debug = debug
+        self.entry_points = entry_points
+        self.load_tsc = load_tsc
+        self.unload_tsc: Optional[int] = None
+        self._by_address = {mi.address: i for i, mi in enumerate(instructions)}
+
+    @property
+    def limit(self) -> int:
+        last = self.instructions[-1]
+        return last.address + last.size
+
+    def contains(self, address: int) -> bool:
+        return self.entry <= address < self.limit
+
+    def at(self, address: int) -> MachineInstruction:
+        return self.instructions[self._by_address[address]]
+
+    def after(self, mi: MachineInstruction) -> Optional[MachineInstruction]:
+        """The fallthrough successor of *mi*, or None at the end."""
+        index = self._by_address[mi.address] + 1
+        if index < len(self.instructions):
+            return self.instructions[index]
+        return None
+
+    def address_of(self, ctx: Ctx, qname: str, bci: int) -> int:
+        """Machine address where ``qname@bci`` (under *ctx*) begins."""
+        return self.entry_points[(ctx, qname, bci)]
+
+    def size(self) -> int:
+        return self.limit - self.entry
+
+    def __str__(self):
+        return "NativeCode(%s @0x%x, %d insts)" % (
+            self.method.qualified_name,
+            self.entry,
+            len(self.instructions),
+        )
+
+
+class CodeCache:
+    """The JIT code cache: a bump allocator over the code-cache range.
+
+    Tracks live and reclaimed code with load/unload timestamps so that the
+    decoding side can resolve an IP observed at time *t* to the code that
+    occupied it then (the paper exports code before GC reclaims it).
+    """
+
+    def __init__(self, address_space: AddressSpace = DEFAULT_ADDRESS_SPACE):
+        self.address_space = address_space
+        self._cursor = address_space.code_cache_base
+        self._live: Dict[str, NativeCode] = {}
+        self._all: List[NativeCode] = []
+        # Reclaimed regions available for reuse: (base, size).  Address
+        # reuse is what makes export-before-GC matter: the decoder must
+        # resolve an IP to the code that occupied it *at trace time*.
+        self._free: List[Tuple[int, int]] = []
+
+    def allocate(self, size: int) -> int:
+        for index, (base, free_size) in enumerate(self._free):
+            if free_size >= size:
+                remaining = free_size - size - 0x10
+                if remaining > 0x20:
+                    self._free[index] = (base + size + 0x10, remaining)
+                else:
+                    del self._free[index]
+                return base
+        base = self._cursor
+        if base + size > self.address_space.code_cache_limit:
+            raise JITError("code cache exhausted")
+        self._cursor = base + size + 0x10  # alignment gap
+        return base
+
+    def install(self, code: NativeCode) -> None:
+        self._live[code.method.qualified_name] = code
+        self._all.append(code)
+
+    def evict(self, qname: str, tsc: int) -> None:
+        """Reclaim a method's code (simulated GC of the code cache).
+
+        The region becomes reusable by later compilations; the unload
+        timestamp is what lets the offline side pick the right epoch.
+        """
+        code = self._live.pop(qname, None)
+        if code is not None:
+            code.unload_tsc = tsc
+            self._free.append((code.entry, code.limit - code.entry))
+
+    def lookup(self, qname: str) -> Optional[NativeCode]:
+        return self._live.get(qname)
+
+    def code_at(self, address: int) -> Optional[NativeCode]:
+        for code in self._live.values():
+            if code.contains(address):
+                return code
+        return None
+
+    def all_code(self) -> List[NativeCode]:
+        """Every compiled blob ever installed (including reclaimed)."""
+        return list(self._all)
+
+    def compiled_methods(self) -> List[str]:
+        return sorted(self._live)
+
+
+class JITCompiler:
+    """Compiles methods against a program, a policy, and a code cache."""
+
+    def __init__(
+        self,
+        program: JProgram,
+        code_cache: CodeCache,
+        policy: Optional[JITPolicy] = None,
+    ):
+        self.program = program
+        self.code_cache = code_cache
+        self.policy = policy or JITPolicy()
+
+    # ------------------------------------------------------------------ API
+    def should_compile(self, method: JMethod, invocation_count: int) -> bool:
+        if len(method.code) > self.policy.max_compile_size:
+            return False
+        return invocation_count >= self.policy.hot_threshold
+
+    def compile(
+        self, method: JMethod, tsc: int = 0, allow_speculation: bool = True
+    ) -> NativeCode:
+        """Compile *method*, install it in the code cache, and return it.
+
+        ``allow_speculation=False`` disables speculative inlining for this
+        one compilation -- how a method is recompiled after its guards
+        have trapped too often.
+        """
+        self._allow_speculation = allow_speculation
+        pending: List[_Pending] = []
+        labels: Dict[LabelKey, int] = {}
+        pending.append(
+            _Pending(MIKind.OTHER, _PROLOGUE_SIZE, text="prologue")
+        )
+        self._emit_method(method, ctx=(), depth=0, pending=pending, labels=labels)
+        if any(isinstance(item.semantic, SemGuard) for item in pending):
+            # One uncommon-trap stub per nmethod: every guard's taken arm
+            # lands here; the transition back to the interpreter is an
+            # indirect jump whose target the next TIP reveals.
+            labels[("deopt_stub",)] = len(pending)
+            pending.append(
+                _Pending(
+                    MIKind.JMP_INDIRECT,
+                    _SIZES[MIKind.JMP_INDIRECT],
+                    text="deopt-stub",
+                )
+            )
+
+        total = sum(item.size for item in pending)
+        base = self.code_cache.allocate(total)
+        addresses: List[int] = []
+        cursor = base
+        for item in pending:
+            addresses.append(cursor)
+            cursor += item.size
+
+        entry_points = {key: addresses[index] for key, index in labels.items()}
+        instructions: List[MachineInstruction] = []
+        semantic: Dict[int, object] = {}
+        debug: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+        for item, address in zip(pending, addresses):
+            target = item.direct_target
+            if item.target_key is not None:
+                target = entry_points[item.target_key]
+            instructions.append(
+                MachineInstruction(
+                    address=address,
+                    size=item.size,
+                    kind=item.kind,
+                    target=target,
+                    text=item.text,
+                )
+            )
+            if item.semantic is not None:
+                semantic[address] = item.semantic
+                # Debug records exist only where the compiler planted them
+                # (bytecode-implementing instructions); synthetic layout
+                # jumps, guards, and the prologue have none, like real
+                # nmethods.  (A guard must not produce an observed step:
+                # the inline-enter right after it carries the call site.)
+                if not isinstance(item.semantic, SemGuard):
+                    debug[address] = self._frames_of(item.semantic)
+
+        code = NativeCode(
+            method=method,
+            entry=base,
+            instructions=instructions,
+            semantic=semantic,
+            debug=debug,
+            entry_points=entry_points,
+            load_tsc=tsc,
+        )
+        self.code_cache.install(code)
+        return code
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _frames_of(semantic) -> Tuple[Tuple[str, int], ...]:
+        """Debug frame stack for a semantic record: inline sites, then the
+        executing location (innermost last)."""
+        return semantic.ctx + ((semantic.qname, semantic.bci),)
+
+    def _inline_target(self, method: JMethod, inst, depth: int):
+        """``(callee, needs_guard)`` for the callee to inline here, if any.
+
+        A unique static target inlines unguarded; with speculative
+        inlining enabled, a polymorphic virtual site inlines the resolved
+        base target behind a deopt guard.
+        """
+        if not self.policy.enable_inlining:
+            return None, False
+        if depth >= self.policy.inline_max_depth:
+            return None, False
+        targets = self.program.possible_targets(
+            inst.methodref, virtual=inst.op is Op.INVOKEVIRTUAL
+        )
+        needs_guard = False
+        if len(targets) == 1:
+            callee = targets[0]
+        elif self.policy.speculative_inlining and getattr(
+            self, "_allow_speculation", True
+        ):
+            callee = targets[0]  # the statically resolved method
+            needs_guard = True
+        else:
+            return None, False
+        if callee.qualified_name == method.qualified_name:
+            return None, False  # no self-inlining
+        if len(callee.code) > self.policy.inline_max_size:
+            return None, False
+        if callee.handlers:
+            return None, False  # keep inlined bodies handler-free
+        return callee, needs_guard
+
+    def _emit_method(
+        self,
+        method: JMethod,
+        ctx: Ctx,
+        depth: int,
+        pending: List[_Pending],
+        labels: Dict[LabelKey, int],
+    ) -> None:
+        qname = method.qualified_name
+        cfg = CFG(method)
+        order = cfg.reverse_postorder()
+        position_in_layout = {block_id: i for i, block_id in enumerate(order)}
+        code = method.code
+
+        for layout_index, block_id in enumerate(order):
+            block = cfg.blocks[block_id]
+            next_block = order[layout_index + 1] if layout_index + 1 < len(order) else None
+            for bci in block.bcis():
+                inst = code[bci]
+                labels[(ctx, qname, bci)] = len(pending)
+                kind = inst.kind
+                if kind is Kind.COND:
+                    pending.append(
+                        _Pending(
+                            MIKind.COND_BRANCH,
+                            _SIZES[MIKind.COND_BRANCH],
+                            semantic=SemBytecode(qname, bci, ctx),
+                            target_key=(ctx, qname, inst.target),
+                            text="jcc<%s@%d>" % (qname, bci),
+                        )
+                    )
+                elif kind is Kind.GOTO:
+                    pending.append(
+                        _Pending(
+                            MIKind.JMP_DIRECT,
+                            _SIZES[MIKind.JMP_DIRECT],
+                            semantic=SemBytecode(qname, bci, ctx),
+                            target_key=(ctx, qname, inst.target),
+                            text="jmp<%s@%d>" % (qname, bci),
+                        )
+                    )
+                elif kind is Kind.SWITCH:
+                    pending.append(
+                        _Pending(
+                            MIKind.JMP_INDIRECT,
+                            _SIZES[MIKind.JMP_INDIRECT],
+                            semantic=SemBytecode(qname, bci, ctx),
+                            text="jmp*<%s@%d>" % (qname, bci),
+                        )
+                    )
+                elif kind is Kind.THROW:
+                    pending.append(
+                        _Pending(
+                            MIKind.JMP_INDIRECT,
+                            _SIZES[MIKind.JMP_INDIRECT],
+                            semantic=SemBytecode(qname, bci, ctx),
+                            text="throw<%s@%d>" % (qname, bci),
+                        )
+                    )
+                elif kind is Kind.CALL:
+                    inline_callee, needs_guard = self._inline_target(
+                        method, inst, depth
+                    )
+                    if inline_callee is not None:
+                        if needs_guard:
+                            pending.append(
+                                _Pending(
+                                    MIKind.COND_BRANCH,
+                                    _SIZES[MIKind.COND_BRANCH],
+                                    semantic=SemGuard(
+                                        qname, bci, ctx, inline_callee.qualified_name
+                                    ),
+                                    target_key=("deopt_stub",),
+                                    text="guard<%s>" % inline_callee.qualified_name,
+                                )
+                            )
+                        pending.append(
+                            _Pending(
+                                MIKind.OTHER,
+                                _SIZES[MIKind.OTHER],
+                                semantic=SemInlineEnter(
+                                    qname, bci, ctx, inline_callee.qualified_name
+                                ),
+                                text="inline-enter<%s>" % inline_callee.qualified_name,
+                            )
+                        )
+                        inner_ctx = ctx + ((qname, bci),)
+                        self._emit_method(
+                            inline_callee, inner_ctx, depth + 1, pending, labels
+                        )
+                        labels[(ctx, qname, bci, "cont")] = len(pending)
+                    else:
+                        direct = inst.op in (Op.INVOKESTATIC, Op.INVOKESPECIAL)
+                        callee_code = None
+                        if direct:
+                            callee_code = self.code_cache.lookup(
+                                "%s.%s"
+                                % (
+                                    inst.methodref.class_name,
+                                    inst.methodref.method_name,
+                                )
+                            )
+                        if direct and callee_code is not None:
+                            # The callee's entry is already known: emit a
+                            # direct call (no TIP packet at runtime).
+                            pending.append(
+                                _Pending(
+                                    MIKind.CALL_DIRECT,
+                                    _SIZES[MIKind.CALL_DIRECT],
+                                    semantic=SemBytecode(qname, bci, ctx),
+                                    direct_target=callee_code.entry,
+                                    text="call<%s@%d> 0x%x"
+                                    % (qname, bci, callee_code.entry),
+                                )
+                            )
+                        else:
+                            pending.append(
+                                _Pending(
+                                    MIKind.CALL_INDIRECT,
+                                    _SIZES[MIKind.CALL_INDIRECT],
+                                    semantic=SemBytecode(qname, bci, ctx),
+                                    text="call*<%s@%d>" % (qname, bci),
+                                )
+                            )
+                elif kind is Kind.RETURN:
+                    if ctx:
+                        site_ctx, (site_qname, site_bci) = ctx[:-1], ctx[-1]
+                        pending.append(
+                            _Pending(
+                                MIKind.JMP_DIRECT,
+                                _SIZES[MIKind.JMP_DIRECT],
+                                semantic=SemInlineReturn(qname, bci, ctx),
+                                target_key=(site_ctx, site_qname, site_bci, "cont"),
+                                text="inline-ret<%s@%d>" % (qname, bci),
+                            )
+                        )
+                    else:
+                        pending.append(
+                            _Pending(
+                                MIKind.RET,
+                                _SIZES[MIKind.RET],
+                                semantic=SemBytecode(qname, bci, ctx),
+                                text="ret<%s@%d>" % (qname, bci),
+                            )
+                        )
+                else:
+                    pending.append(
+                        _Pending(
+                            MIKind.OTHER,
+                            _SIZES[MIKind.OTHER],
+                            semantic=SemBytecode(qname, bci, ctx),
+                            text="<%s@%d>" % (qname, bci),
+                        )
+                    )
+            # Fallthrough adjustment: if the block can fall through but the
+            # next block in layout is not the fallthrough target, bridge
+            # with a synthetic jump (no semantics, decoder-transparent).
+            last = code[block.last_bci]
+            fall_bci = None
+            if last.kind is Kind.COND:
+                fall_bci = block.last_bci + 1
+            elif last.kind in (Kind.NORMAL, Kind.CALL) and block.end < len(code):
+                fall_bci = block.end
+            if fall_bci is not None:
+                fall_block = cfg.block_of(fall_bci).block_id
+                if next_block != fall_block:
+                    pending.append(
+                        _Pending(
+                            MIKind.JMP_DIRECT,
+                            _SIZES[MIKind.JMP_DIRECT],
+                            target_key=(ctx, qname, fall_bci),
+                            text="jmp-layout",
+                        )
+                    )

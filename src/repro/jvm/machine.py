@@ -1,0 +1,163 @@
+"""Machine-level instruction and branch-event model.
+
+This is the level Intel PT observes.  Two things live here:
+
+* :class:`MachineInstruction` -- the synthetic native instructions the JIT
+  emits (and whose control-transfer behaviour the PT decoder must walk);
+* branch *events* -- the dynamic occurrences a tracing run produces, which
+  the PT encoder (:mod:`repro.pt.encoder`) turns into packets:
+
+  - an **indirect** control transfer (indirect jump/call, return,
+    interpreter template dispatch) produces a ``TIP`` packet carrying the
+    target IP;
+  - a **conditional** branch produces one ``TNT`` bit;
+  - a **direct** jump or call produces *no* packet (the target is
+    statically known from the code, as in real PT);
+  - tracing start/stop produce ``PGE``/``PGD``;
+  - asynchronous events (thread preemption) produce ``FUP``.
+
+Every event carries a TSC timestamp (a global step counter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class MIKind(enum.Enum):
+    """Control-transfer class of a machine instruction."""
+
+    OTHER = "other"  # no control transfer: falls through
+    COND_BRANCH = "jcc"  # conditional direct branch (TNT)
+    JMP_DIRECT = "jmp"  # unconditional direct jump (no packet)
+    JMP_INDIRECT = "jmp*"  # indirect jump (TIP)
+    CALL_DIRECT = "call"  # direct call (no packet; return address pushed)
+    CALL_INDIRECT = "call*"  # indirect call (TIP)
+    RET = "ret"  # return (TIP)
+
+
+@dataclass(frozen=True)
+class MachineInstruction:
+    """One synthetic native instruction.
+
+    Attributes:
+        address: Start IP.
+        size: Encoded size in bytes.
+        kind: Control-transfer class.
+        target: Static target IP for direct jumps/calls/branches.
+        text: Human-readable disassembly (for dumps and debugging).
+    """
+
+    address: int
+    size: int
+    kind: MIKind
+    target: Optional[int] = None
+    text: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    @property
+    def is_branch(self) -> bool:
+        return self.kind is not MIKind.OTHER
+
+    def __str__(self):
+        label = self.text or self.kind.value
+        if self.target is not None:
+            return "0x%x: %s 0x%x" % (self.address, label, self.target)
+        return "0x%x: %s" % (self.address, label)
+
+
+# --------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class BranchEvent:
+    """Base class for dynamic branch events observed by the tracer."""
+
+    tsc: int
+
+
+@dataclass(frozen=True)
+class TipEvent(BranchEvent):
+    """Indirect control transfer to ``target`` (produces a TIP packet)."""
+
+    target: int = 0
+
+
+@dataclass(frozen=True)
+class TntEvent(BranchEvent):
+    """Conditional branch outcome (one TNT bit)."""
+
+    taken: bool = False
+
+
+@dataclass(frozen=True)
+class EnableEvent(BranchEvent):
+    """Tracing enabled at ``ip`` (PGE)."""
+
+    ip: int = 0
+
+
+@dataclass(frozen=True)
+class DisableEvent(BranchEvent):
+    """Tracing disabled at ``ip`` (PGD)."""
+
+    ip: int = 0
+
+
+@dataclass(frozen=True)
+class FupEvent(BranchEvent):
+    """Asynchronous event at source ``ip`` (FUP packet)."""
+
+    ip: int = 0
+
+
+HardwareEvent = Union[TipEvent, TntEvent, EnableEvent, DisableEvent, FupEvent]
+
+
+# ------------------------------------------------------------------- sideband
+@dataclass(frozen=True)
+class ThreadSwitchRecord:
+    """Sideband record: at ``tsc``, ``core`` started running ``tid``.
+
+    The paper (Section 6) uses exactly this information to segregate each
+    core's PT data into per-thread streams.
+    """
+
+    core: int
+    tid: int
+    tsc: int
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Layout constants of the simulated process.
+
+    The template interpreter and the JIT code cache both live inside
+    ``code_cache``: JPortal programs PT's IP filter to exactly this range
+    (Section 6, "Filtering Out Irrelevant Data").
+    """
+
+    template_base: int = 0x7FA000000000
+    template_limit: int = 0x7FA000100000
+    code_cache_base: int = 0x7FA419000000
+    code_cache_limit: int = 0x7FA419800000
+    # Addresses outside the filter range (JVM runtime stubs, GC, syscalls):
+    runtime_base: int = 0x7FB000000000
+
+    def in_filter_range(self, ip: int) -> bool:
+        return (
+            self.template_base <= ip < self.template_limit
+            or self.code_cache_base <= ip < self.code_cache_limit
+        )
+
+    def in_template_space(self, ip: int) -> bool:
+        return self.template_base <= ip < self.template_limit
+
+    def in_code_cache(self, ip: int) -> bool:
+        return self.code_cache_base <= ip < self.code_cache_limit
+
+
+DEFAULT_ADDRESS_SPACE = AddressSpace()

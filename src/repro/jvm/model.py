@@ -1,0 +1,228 @@
+"""Program model: methods, classes, and whole programs.
+
+Bytecode indices are instruction indices (every instruction is one unit
+long); this loses nothing relevant to control-flow reconstruction and keeps
+branch targets readable.
+
+Dynamic dispatch is modelled with a single-inheritance class hierarchy:
+``invokevirtual`` resolves against the *runtime* receiver class by walking
+the superclass chain, while the static ICFG must consider every subtype's
+override -- exactly the source of interprocedural ambiguity the paper's
+NFA formulation deals with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import Instruction, MethodRef
+from .opcodes import Kind
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown classes, methods, fields)."""
+
+
+@dataclass(frozen=True)
+class ExceptionHandler:
+    """One entry of a method's exception table.
+
+    Covers bcis in ``[start, end)``; control transfers to ``handler`` when
+    an exception is thrown in range.
+    """
+
+    start: int
+    end: int
+    handler: int
+
+    def covers(self, bci: int) -> bool:
+        return self.start <= bci < self.end
+
+
+@dataclass
+class JMethod:
+    """A bytecode method.
+
+    Attributes:
+        class_name: Owning class.
+        name: Simple method name.
+        arg_count: Number of arguments (including the receiver for
+            instance methods).
+        returns_value: Whether the method pushes a result on return.
+        max_locals: Size of the local-variable array.
+        code: Instruction list; ``code[i].bci == i``.
+        handlers: Exception table.
+        is_static: Static methods dispatch directly.
+    """
+
+    class_name: str
+    name: str
+    arg_count: int
+    returns_value: bool
+    max_locals: int
+    code: List[Instruction] = field(default_factory=list)
+    handlers: List[ExceptionHandler] = field(default_factory=list)
+    is_static: bool = True
+
+    @property
+    def qualified_name(self) -> str:
+        return "%s.%s" % (self.class_name, self.name)
+
+    @property
+    def ref(self) -> MethodRef:
+        return MethodRef(self.class_name, self.name, self.arg_count, self.returns_value)
+
+    def handler_for(self, bci: int) -> Optional[ExceptionHandler]:
+        """Innermost (first-listed) handler covering *bci*, if any."""
+        for handler in self.handlers:
+            if handler.covers(bci):
+                return handler
+        return None
+
+    def instruction_at(self, bci: int) -> Instruction:
+        return self.code[bci]
+
+    def __len__(self):
+        return len(self.code)
+
+    def __str__(self):
+        lines = ["%s(args=%d):" % (self.qualified_name, self.arg_count)]
+        for inst in self.code:
+            lines.append("  %3d: %s" % (inst.bci, inst))
+        return "\n".join(lines)
+
+
+@dataclass
+class JClass:
+    """A class: named methods, fields, and an optional superclass."""
+
+    name: str
+    superclass: Optional[str] = None
+    methods: Dict[str, JMethod] = field(default_factory=dict)
+    fields: Tuple[str, ...] = ()
+
+    def add_method(self, method: JMethod) -> None:
+        if method.class_name != self.name:
+            raise ProgramError(
+                "method %s added to class %s" % (method.qualified_name, self.name)
+            )
+        self.methods[method.name] = method
+
+
+class JProgram:
+    """A whole program: a set of classes plus an entry method.
+
+    Provides the resolution queries the rest of the system needs:
+    runtime dispatch (:meth:`resolve_virtual`), static possible-target
+    enumeration (:meth:`possible_targets`), and method iteration.
+    """
+
+    def __init__(self, name: str, entry: Optional[MethodRef] = None):
+        self.name = name
+        self.classes: Dict[str, JClass] = {}
+        self.entry = entry
+        self._subclasses: Dict[str, List[str]] = {}
+
+    # ---------------------------------------------------------- construction
+    def add_class(self, jclass: JClass) -> JClass:
+        if jclass.name in self.classes:
+            raise ProgramError("duplicate class %s" % jclass.name)
+        self.classes[jclass.name] = jclass
+        self._subclasses.setdefault(jclass.name, [])
+        if jclass.superclass is not None:
+            self._subclasses.setdefault(jclass.superclass, []).append(jclass.name)
+        return jclass
+
+    def set_entry(self, class_name: str, method_name: str) -> None:
+        method = self.method(class_name, method_name)
+        self.entry = method.ref
+
+    # ---------------------------------------------------------------- lookup
+    def jclass(self, name: str) -> JClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise ProgramError("unknown class %s" % name) from None
+
+    def method(self, class_name: str, method_name: str) -> JMethod:
+        """Find *method_name* on *class_name* or its superclasses."""
+        current = class_name
+        while current is not None:
+            jclass = self.jclass(current)
+            if method_name in jclass.methods:
+                return jclass.methods[method_name]
+            current = jclass.superclass
+        raise ProgramError("unknown method %s.%s" % (class_name, method_name))
+
+    def entry_method(self) -> JMethod:
+        if self.entry is None:
+            raise ProgramError("program %s has no entry method" % self.name)
+        return self.method(self.entry.class_name, self.entry.method_name)
+
+    def methods(self):
+        """Iterate over all methods, in deterministic order."""
+        for class_name in sorted(self.classes):
+            jclass = self.classes[class_name]
+            for method_name in sorted(jclass.methods):
+                yield jclass.methods[method_name]
+
+    # ------------------------------------------------------------- dispatch
+    def resolve_virtual(self, receiver_class: str, method_name: str) -> JMethod:
+        """Runtime dispatch: the method the JVM actually invokes."""
+        return self.method(receiver_class, method_name)
+
+    def subclasses_of(self, class_name: str) -> List[str]:
+        """Transitive subclasses of *class_name* (not including itself)."""
+        result: List[str] = []
+        work = list(self._subclasses.get(class_name, ()))
+        while work:
+            current = work.pop()
+            result.append(current)
+            work.extend(self._subclasses.get(current, ()))
+        return result
+
+    def possible_targets(self, ref: MethodRef, virtual: bool) -> List[JMethod]:
+        """All methods an invoke could reach, for static ICFG construction.
+
+        For static/special calls this is the single resolved method.  For
+        virtual calls it is the resolved method plus every override in a
+        subtype -- the static over-approximation the ICFG needs.
+        """
+        resolved = self.method(ref.class_name, ref.method_name)
+        if not virtual:
+            return [resolved]
+        targets = [resolved]
+        for sub in self.subclasses_of(ref.class_name):
+            jclass = self.classes[sub]
+            if ref.method_name in jclass.methods:
+                override = jclass.methods[ref.method_name]
+                if override is not resolved:
+                    targets.append(override)
+        return targets
+
+    # ------------------------------------------------------------ statistics
+    def stats(self) -> Dict[str, int]:
+        """Size statistics in the spirit of the paper's Table 1."""
+        n_methods = 0
+        n_instructions = 0
+        n_branches = 0
+        n_calls = 0
+        for method in self.methods():
+            n_methods += 1
+            n_instructions += len(method.code)
+            for inst in method.code:
+                if inst.kind in (Kind.COND, Kind.SWITCH):
+                    n_branches += 1
+                elif inst.kind is Kind.CALL:
+                    n_calls += 1
+        return {
+            "classes": len(self.classes),
+            "methods": n_methods,
+            "instructions": n_instructions,
+            "branches": n_branches,
+            "call_sites": n_calls,
+        }
+
+    def __str__(self):
+        return "JProgram(%s: %d classes)" % (self.name, len(self.classes))

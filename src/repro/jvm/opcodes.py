@@ -1,0 +1,348 @@
+"""Bytecode instruction set of the simulated JVM.
+
+The set is a faithful subset of the real JVM ISA, chosen so that every
+mechanism JPortal's algorithms depend on is present:
+
+* ``_n``-specialised opcodes (``iload_0`` ... ``iconst_5``) exist as distinct
+  opcodes because the HotSpot template interpreter gives each its own
+  machine-code template -- a PT ``TIP`` packet therefore reveals the
+  specialised form but not the operand of the generic form.
+* Conditional branches, unconditional jumps, switches, calls, and returns
+  are classified by :class:`Kind`, which drives both the PT event model
+  (what packet a dynamic instance produces) and the abstraction tiers of
+  the paper's Definitions 4.2 and 5.2.
+* Field/array/object opcodes exist so that workloads have realistic shape;
+  they carry no control flow.
+
+Every opcode is described by an :class:`OpInfo` record in :data:`OP_TABLE`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Kind(enum.Enum):
+    """Control-flow classification of an opcode."""
+
+    NORMAL = "normal"  # straight-line: falls through to the next bci
+    COND = "cond"  # two-way conditional branch (TNT bit)
+    GOTO = "goto"  # unconditional direct jump
+    SWITCH = "switch"  # multi-way branch (indirect jump in JITed code)
+    CALL = "call"  # method invocation
+    RETURN = "return"  # method return
+    THROW = "throw"  # athrow: transfers to a handler or unwinds
+
+
+class Op(enum.IntEnum):
+    """Opcodes of the simulated ISA (values are arbitrary but stable)."""
+
+    NOP = 0
+    ACONST_NULL = 1
+    ICONST_M1 = 2
+    ICONST_0 = 3
+    ICONST_1 = 4
+    ICONST_2 = 5
+    ICONST_3 = 6
+    ICONST_4 = 7
+    ICONST_5 = 8
+    BIPUSH = 9
+    SIPUSH = 10
+    LDC = 11
+
+    ILOAD = 20
+    ILOAD_0 = 21
+    ILOAD_1 = 22
+    ILOAD_2 = 23
+    ILOAD_3 = 24
+    ALOAD = 25
+    ALOAD_0 = 26
+    ALOAD_1 = 27
+    ALOAD_2 = 28
+    ALOAD_3 = 29
+
+    ISTORE = 40
+    ISTORE_0 = 41
+    ISTORE_1 = 42
+    ISTORE_2 = 43
+    ISTORE_3 = 44
+    ASTORE = 45
+    ASTORE_0 = 46
+    ASTORE_1 = 47
+    ASTORE_2 = 48
+    ASTORE_3 = 49
+
+    IALOAD = 60
+    IASTORE = 61
+    AALOAD = 62
+    AASTORE = 63
+    ARRAYLENGTH = 64
+    NEWARRAY = 65
+    ANEWARRAY = 66
+
+    POP = 80
+    DUP = 81
+    DUP_X1 = 82
+    SWAP = 83
+
+    IADD = 96
+    ISUB = 100
+    IMUL = 104
+    IDIV = 108
+    IREM = 112
+    INEG = 116
+    ISHL = 120
+    ISHR = 122
+    IAND = 126
+    IOR = 128
+    IXOR = 130
+    IINC = 132
+
+    IFEQ = 153
+    IFNE = 154
+    IFLT = 155
+    IFGE = 156
+    IFGT = 157
+    IFLE = 158
+    IF_ICMPEQ = 159
+    IF_ICMPNE = 160
+    IF_ICMPLT = 161
+    IF_ICMPGE = 162
+    IF_ICMPGT = 163
+    IF_ICMPLE = 164
+    IF_ACMPEQ = 165
+    IF_ACMPNE = 166
+    IFNULL = 198
+    IFNONNULL = 199
+
+    GOTO = 167
+    TABLESWITCH = 170
+    LOOKUPSWITCH = 171
+
+    IRETURN = 172
+    ARETURN = 176
+    RETURN = 177
+
+    GETSTATIC = 178
+    PUTSTATIC = 179
+    GETFIELD = 180
+    PUTFIELD = 181
+
+    INVOKEVIRTUAL = 182
+    INVOKESPECIAL = 183
+    INVOKESTATIC = 184
+
+    NEW = 187
+    ATHROW = 191
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode.
+
+    Attributes:
+        op: The opcode.
+        mnemonic: Lower-case assembly name, e.g. ``"iload_0"``.
+        kind: Control-flow classification.
+        operands: Schema of assembler operands, a tuple drawn from
+            ``{"index", "const", "target", "methodref", "fieldref",
+            "classref", "switch"}``.
+        pops: Number of operand-stack slots consumed (``-1`` = depends on
+            the call signature).
+        pushes: Number of operand-stack slots produced (``-1`` likewise).
+    """
+
+    op: Op
+    mnemonic: str
+    kind: Kind
+    operands: tuple
+    pops: int
+    pushes: int
+
+    @property
+    def is_control(self) -> bool:
+        """True if dynamic instances are tier-2 (control) instructions."""
+        return self.kind is not Kind.NORMAL
+
+    @property
+    def is_call_like(self) -> bool:
+        """True if dynamic instances are tier-1 (call-structure) instructions."""
+        return self.kind in (Kind.CALL, Kind.RETURN)
+
+
+def _info(op, mnemonic, kind, operands=(), pops=0, pushes=0):
+    return OpInfo(op, mnemonic, kind, tuple(operands), pops, pushes)
+
+
+OP_TABLE = {
+    Op.NOP: _info(Op.NOP, "nop", Kind.NORMAL),
+    Op.ACONST_NULL: _info(Op.ACONST_NULL, "aconst_null", Kind.NORMAL, pushes=1),
+    Op.ICONST_M1: _info(Op.ICONST_M1, "iconst_m1", Kind.NORMAL, pushes=1),
+    Op.ICONST_0: _info(Op.ICONST_0, "iconst_0", Kind.NORMAL, pushes=1),
+    Op.ICONST_1: _info(Op.ICONST_1, "iconst_1", Kind.NORMAL, pushes=1),
+    Op.ICONST_2: _info(Op.ICONST_2, "iconst_2", Kind.NORMAL, pushes=1),
+    Op.ICONST_3: _info(Op.ICONST_3, "iconst_3", Kind.NORMAL, pushes=1),
+    Op.ICONST_4: _info(Op.ICONST_4, "iconst_4", Kind.NORMAL, pushes=1),
+    Op.ICONST_5: _info(Op.ICONST_5, "iconst_5", Kind.NORMAL, pushes=1),
+    Op.BIPUSH: _info(Op.BIPUSH, "bipush", Kind.NORMAL, ("const",), pushes=1),
+    Op.SIPUSH: _info(Op.SIPUSH, "sipush", Kind.NORMAL, ("const",), pushes=1),
+    Op.LDC: _info(Op.LDC, "ldc", Kind.NORMAL, ("const",), pushes=1),
+    Op.ILOAD: _info(Op.ILOAD, "iload", Kind.NORMAL, ("index",), pushes=1),
+    Op.ILOAD_0: _info(Op.ILOAD_0, "iload_0", Kind.NORMAL, pushes=1),
+    Op.ILOAD_1: _info(Op.ILOAD_1, "iload_1", Kind.NORMAL, pushes=1),
+    Op.ILOAD_2: _info(Op.ILOAD_2, "iload_2", Kind.NORMAL, pushes=1),
+    Op.ILOAD_3: _info(Op.ILOAD_3, "iload_3", Kind.NORMAL, pushes=1),
+    Op.ALOAD: _info(Op.ALOAD, "aload", Kind.NORMAL, ("index",), pushes=1),
+    Op.ALOAD_0: _info(Op.ALOAD_0, "aload_0", Kind.NORMAL, pushes=1),
+    Op.ALOAD_1: _info(Op.ALOAD_1, "aload_1", Kind.NORMAL, pushes=1),
+    Op.ALOAD_2: _info(Op.ALOAD_2, "aload_2", Kind.NORMAL, pushes=1),
+    Op.ALOAD_3: _info(Op.ALOAD_3, "aload_3", Kind.NORMAL, pushes=1),
+    Op.ISTORE: _info(Op.ISTORE, "istore", Kind.NORMAL, ("index",), pops=1),
+    Op.ISTORE_0: _info(Op.ISTORE_0, "istore_0", Kind.NORMAL, pops=1),
+    Op.ISTORE_1: _info(Op.ISTORE_1, "istore_1", Kind.NORMAL, pops=1),
+    Op.ISTORE_2: _info(Op.ISTORE_2, "istore_2", Kind.NORMAL, pops=1),
+    Op.ISTORE_3: _info(Op.ISTORE_3, "istore_3", Kind.NORMAL, pops=1),
+    Op.ASTORE: _info(Op.ASTORE, "astore", Kind.NORMAL, ("index",), pops=1),
+    Op.ASTORE_0: _info(Op.ASTORE_0, "astore_0", Kind.NORMAL, pops=1),
+    Op.ASTORE_1: _info(Op.ASTORE_1, "astore_1", Kind.NORMAL, pops=1),
+    Op.ASTORE_2: _info(Op.ASTORE_2, "astore_2", Kind.NORMAL, pops=1),
+    Op.ASTORE_3: _info(Op.ASTORE_3, "astore_3", Kind.NORMAL, pops=1),
+    Op.IALOAD: _info(Op.IALOAD, "iaload", Kind.NORMAL, pops=2, pushes=1),
+    Op.IASTORE: _info(Op.IASTORE, "iastore", Kind.NORMAL, pops=3),
+    Op.AALOAD: _info(Op.AALOAD, "aaload", Kind.NORMAL, pops=2, pushes=1),
+    Op.AASTORE: _info(Op.AASTORE, "aastore", Kind.NORMAL, pops=3),
+    Op.ARRAYLENGTH: _info(Op.ARRAYLENGTH, "arraylength", Kind.NORMAL, pops=1, pushes=1),
+    Op.NEWARRAY: _info(Op.NEWARRAY, "newarray", Kind.NORMAL, pops=1, pushes=1),
+    Op.ANEWARRAY: _info(
+        Op.ANEWARRAY, "anewarray", Kind.NORMAL, ("classref",), pops=1, pushes=1
+    ),
+    Op.POP: _info(Op.POP, "pop", Kind.NORMAL, pops=1),
+    Op.DUP: _info(Op.DUP, "dup", Kind.NORMAL, pops=1, pushes=2),
+    Op.DUP_X1: _info(Op.DUP_X1, "dup_x1", Kind.NORMAL, pops=2, pushes=3),
+    Op.SWAP: _info(Op.SWAP, "swap", Kind.NORMAL, pops=2, pushes=2),
+    Op.IADD: _info(Op.IADD, "iadd", Kind.NORMAL, pops=2, pushes=1),
+    Op.ISUB: _info(Op.ISUB, "isub", Kind.NORMAL, pops=2, pushes=1),
+    Op.IMUL: _info(Op.IMUL, "imul", Kind.NORMAL, pops=2, pushes=1),
+    Op.IDIV: _info(Op.IDIV, "idiv", Kind.NORMAL, pops=2, pushes=1),
+    Op.IREM: _info(Op.IREM, "irem", Kind.NORMAL, pops=2, pushes=1),
+    Op.INEG: _info(Op.INEG, "ineg", Kind.NORMAL, pops=1, pushes=1),
+    Op.ISHL: _info(Op.ISHL, "ishl", Kind.NORMAL, pops=2, pushes=1),
+    Op.ISHR: _info(Op.ISHR, "ishr", Kind.NORMAL, pops=2, pushes=1),
+    Op.IAND: _info(Op.IAND, "iand", Kind.NORMAL, pops=2, pushes=1),
+    Op.IOR: _info(Op.IOR, "ior", Kind.NORMAL, pops=2, pushes=1),
+    Op.IXOR: _info(Op.IXOR, "ixor", Kind.NORMAL, pops=2, pushes=1),
+    Op.IINC: _info(Op.IINC, "iinc", Kind.NORMAL, ("index", "const")),
+    Op.IFEQ: _info(Op.IFEQ, "ifeq", Kind.COND, ("target",), pops=1),
+    Op.IFNE: _info(Op.IFNE, "ifne", Kind.COND, ("target",), pops=1),
+    Op.IFLT: _info(Op.IFLT, "iflt", Kind.COND, ("target",), pops=1),
+    Op.IFGE: _info(Op.IFGE, "ifge", Kind.COND, ("target",), pops=1),
+    Op.IFGT: _info(Op.IFGT, "ifgt", Kind.COND, ("target",), pops=1),
+    Op.IFLE: _info(Op.IFLE, "ifle", Kind.COND, ("target",), pops=1),
+    Op.IF_ICMPEQ: _info(Op.IF_ICMPEQ, "if_icmpeq", Kind.COND, ("target",), pops=2),
+    Op.IF_ICMPNE: _info(Op.IF_ICMPNE, "if_icmpne", Kind.COND, ("target",), pops=2),
+    Op.IF_ICMPLT: _info(Op.IF_ICMPLT, "if_icmplt", Kind.COND, ("target",), pops=2),
+    Op.IF_ICMPGE: _info(Op.IF_ICMPGE, "if_icmpge", Kind.COND, ("target",), pops=2),
+    Op.IF_ICMPGT: _info(Op.IF_ICMPGT, "if_icmpgt", Kind.COND, ("target",), pops=2),
+    Op.IF_ICMPLE: _info(Op.IF_ICMPLE, "if_icmple", Kind.COND, ("target",), pops=2),
+    Op.IF_ACMPEQ: _info(Op.IF_ACMPEQ, "if_acmpeq", Kind.COND, ("target",), pops=2),
+    Op.IF_ACMPNE: _info(Op.IF_ACMPNE, "if_acmpne", Kind.COND, ("target",), pops=2),
+    Op.IFNULL: _info(Op.IFNULL, "ifnull", Kind.COND, ("target",), pops=1),
+    Op.IFNONNULL: _info(Op.IFNONNULL, "ifnonnull", Kind.COND, ("target",), pops=1),
+    Op.GOTO: _info(Op.GOTO, "goto", Kind.GOTO, ("target",)),
+    Op.TABLESWITCH: _info(Op.TABLESWITCH, "tableswitch", Kind.SWITCH, ("switch",), pops=1),
+    Op.LOOKUPSWITCH: _info(
+        Op.LOOKUPSWITCH, "lookupswitch", Kind.SWITCH, ("switch",), pops=1
+    ),
+    Op.IRETURN: _info(Op.IRETURN, "ireturn", Kind.RETURN, pops=1),
+    Op.ARETURN: _info(Op.ARETURN, "areturn", Kind.RETURN, pops=1),
+    Op.RETURN: _info(Op.RETURN, "return", Kind.RETURN),
+    Op.GETSTATIC: _info(Op.GETSTATIC, "getstatic", Kind.NORMAL, ("fieldref",), pushes=1),
+    Op.PUTSTATIC: _info(Op.PUTSTATIC, "putstatic", Kind.NORMAL, ("fieldref",), pops=1),
+    Op.GETFIELD: _info(
+        Op.GETFIELD, "getfield", Kind.NORMAL, ("fieldref",), pops=1, pushes=1
+    ),
+    Op.PUTFIELD: _info(Op.PUTFIELD, "putfield", Kind.NORMAL, ("fieldref",), pops=2),
+    Op.INVOKEVIRTUAL: _info(
+        Op.INVOKEVIRTUAL, "invokevirtual", Kind.CALL, ("methodref",), pops=-1, pushes=-1
+    ),
+    Op.INVOKESPECIAL: _info(
+        Op.INVOKESPECIAL, "invokespecial", Kind.CALL, ("methodref",), pops=-1, pushes=-1
+    ),
+    Op.INVOKESTATIC: _info(
+        Op.INVOKESTATIC, "invokestatic", Kind.CALL, ("methodref",), pops=-1, pushes=-1
+    ),
+    Op.NEW: _info(Op.NEW, "new", Kind.NORMAL, ("classref",), pushes=1),
+    Op.ATHROW: _info(Op.ATHROW, "athrow", Kind.THROW, pops=1),
+}
+
+# Mnemonic -> Op lookup (used by the assembler's text front end).
+MNEMONICS = {info.mnemonic: op for op, info in OP_TABLE.items()}
+
+# Generic <-> specialised load/store/const forms. The assembler rewrites
+# generic forms with small operands into the specialised ones, mirroring
+# javac output and giving the template interpreter distinct templates.
+SPECIALIZED = {
+    (Op.ILOAD, 0): Op.ILOAD_0,
+    (Op.ILOAD, 1): Op.ILOAD_1,
+    (Op.ILOAD, 2): Op.ILOAD_2,
+    (Op.ILOAD, 3): Op.ILOAD_3,
+    (Op.ALOAD, 0): Op.ALOAD_0,
+    (Op.ALOAD, 1): Op.ALOAD_1,
+    (Op.ALOAD, 2): Op.ALOAD_2,
+    (Op.ALOAD, 3): Op.ALOAD_3,
+    (Op.ISTORE, 0): Op.ISTORE_0,
+    (Op.ISTORE, 1): Op.ISTORE_1,
+    (Op.ISTORE, 2): Op.ISTORE_2,
+    (Op.ISTORE, 3): Op.ISTORE_3,
+    (Op.ASTORE, 0): Op.ASTORE_0,
+    (Op.ASTORE, 1): Op.ASTORE_1,
+    (Op.ASTORE, 2): Op.ASTORE_2,
+    (Op.ASTORE, 3): Op.ASTORE_3,
+}
+
+# Specialised opcode -> (generic opcode, implied operand).
+DESPECIALIZED = {spec: (gen, idx) for (gen, idx), spec in SPECIALIZED.items()}
+
+_ICONSTS = {
+    -1: Op.ICONST_M1,
+    0: Op.ICONST_0,
+    1: Op.ICONST_1,
+    2: Op.ICONST_2,
+    3: Op.ICONST_3,
+    4: Op.ICONST_4,
+    5: Op.ICONST_5,
+}
+
+ICONST_VALUE = {op: value for value, op in _ICONSTS.items()}
+
+
+def info(op: Op) -> OpInfo:
+    """Return the :class:`OpInfo` record for *op*."""
+    return OP_TABLE[op]
+
+
+def iconst_for(value: int):
+    """Return the specialised ``iconst`` opcode for *value*, or ``None``."""
+    return _ICONSTS.get(value)
+
+
+def specialize(op: Op, index: int):
+    """Return the ``_n`` form of a load/store for *index*, or ``None``."""
+    return SPECIALIZED.get((op, index))
+
+
+def tier(op: Op) -> int:
+    """Abstraction tier of *op* per Definition 5.2.
+
+    Tier 1 contains call-structure instructions (calls, returns, throws --
+    a throw transfers across frames like a return); tier 2 additionally
+    contains all other control instructions (branches, jumps, switches);
+    tier 3 is everything (concrete).
+    """
+    kind = OP_TABLE[op].kind
+    if kind in (Kind.CALL, Kind.RETURN, Kind.THROW):
+        return 1
+    if kind in (Kind.COND, Kind.GOTO, Kind.SWITCH):
+        return 2
+    return 3

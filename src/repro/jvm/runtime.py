@@ -1,0 +1,778 @@
+"""Tiered JVM runtime: interpretation, JIT execution, threads, and tracing.
+
+The runtime executes a :class:`~repro.jvm.model.JProgram` the way HotSpot
+does at the granularity this reproduction needs:
+
+* every method starts **interpreted**; executing a bytecode is an indirect
+  jump to its template (one ``TIP`` event per bytecode, plus a ``TNT`` bit
+  per conditional) -- Figure 2(d) of the paper;
+* a method crossing the invocation threshold is **JIT-compiled**; its
+  execution then walks the compiled machine code, emitting only the events
+  real PT would see (TNT bits for jcc, TIP for indirect calls / returns /
+  switches, nothing for direct jumps) -- Figure 3(c);
+* mixed-mode transitions emit the bridging TIPs (interpreter -> compiled
+  entry; compiled ``ret`` -> the interpreter return stub);
+* threads are scheduled round-robin in quanta over ``cores`` simulated
+  cores; each quantum appends a sideband :class:`ThreadSwitchRecord`
+  (with optional timestamp jitter -- the inconsistency the paper names as
+  an accuracy-loss source for multi-threaded programs);
+* implicit traps and explicit ``athrow`` dispatch exceptions across frames
+  and modes, emitting ``FUP``/``TIP`` like hardware would;
+* simulated GC pauses toggle tracing (``PGD``/``PGE``).
+
+Alongside the hardware-event streams the runtime records the **ground
+truth**: the exact (method, bci) sequence each thread executed, and
+per-method self-cost for hot-method experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .interpreter import Frame, Outcome, OutcomeKind, Statics, step
+from .jit import (
+    CodeCache,
+    JITCompiler,
+    JITPolicy,
+    NativeCode,
+    SemBytecode,
+    SemGuard,
+    SemInlineEnter,
+    SemInlineReturn,
+)
+from .machine import (
+    DEFAULT_ADDRESS_SPACE,
+    AddressSpace,
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    HardwareEvent,
+    MIKind,
+    ThreadSwitchRecord,
+    TipEvent,
+    TntEvent,
+)
+from .model import JMethod, JProgram
+from .opcodes import Op
+from .templates import TemplateTable
+
+
+class ExecutionBudgetExceeded(Exception):
+    """The run exceeded ``config.max_steps`` (likely a non-terminating test)."""
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the simulated JVM and its scheduler / cost model."""
+
+    cores: int = 4
+    quantum: int = 400  # semantic steps per scheduling slice
+    seed: int = 12345
+    max_steps: int = 50_000_000
+    # Cost model (arbitrary "cycle" units; ratios are what matters).
+    interp_step_cost: int = 10
+    compiled_step_cost: int = 1
+    compile_cost_per_instruction: int = 25
+    thread_switch_cost: int = 30
+    gc_pause_cost: int = 3_000
+    gc_period_allocations: int = 20_000
+    deopt_cost: int = 400
+    # After this many uncommon traps, a method is made not-entrant and
+    # recompiled without the failing speculation (HotSpot's trap action).
+    deopt_recompile_threshold: int = 5
+    # Sideband fidelity: thread-switch records may disagree with the trace
+    # timestamps by up to this many TSC units (paper Section 7.2).
+    switch_timestamp_jitter: int = 0
+    # Sampling-profiler support: take one (tsc, method) sample whenever the
+    # TSC crosses a multiple of sample_interval (0 = disabled).  Each
+    # sample costs sample_cost TSC units (the profiler's own overhead).
+    sample_interval: int = 0
+    sample_cost: int = 150
+    # Emit branch events from JVM-internal code (GC, runtime stubs) at
+    # addresses outside the code cache during GC pauses.  Real PT records
+    # them unless the IP filter is programmed (paper §6, "Filtering Out
+    # Irrelevant Data"); enables the filter's negative-control tests.
+    emit_runtime_noise: bool = False
+    jit: JITPolicy = field(default_factory=JITPolicy)
+
+
+class ActMode(enum.Enum):
+    INTERP = "interp"
+    COMPILED = "compiled"
+    INLINED = "inlined"
+
+
+@dataclass
+class Activation:
+    """One activation record, possibly an inline frame of a compiled one."""
+
+    frame: Frame
+    mode: ActMode
+    native: Optional[NativeCode] = None
+    machine_pc: int = 0  # meaningful on COMPILED roots only
+    root: Optional["Activation"] = None  # for INLINED: the compiled root
+    ret_address: Optional[int] = None  # caller resume IP if caller compiled
+    ctx: Tuple[Tuple[str, int], ...] = ()
+    call_bci: int = -1  # bci of the outstanding call while a callee runs
+
+    @property
+    def machine_root(self) -> "Activation":
+        return self.root if self.root is not None else self
+
+
+@dataclass
+class ThreadContext:
+    """One simulated Java thread."""
+
+    tid: int
+    name: str
+    activations: List[Activation] = field(default_factory=list)
+    finished: bool = False
+    result: Any = None
+    uncaught: Any = None
+    truth: List[Tuple[str, int]] = field(default_factory=list)
+    steps: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything a tracing run produces.
+
+    The *online* side of JPortal consumes ``core_events`` (via the PT
+    encoder/buffer), ``thread_switches``, ``template_table`` and
+    ``code_cache`` (machine-code metadata).  The *evaluation* side consumes
+    ``threads[i].truth`` (ground-truth control flow), ``method_self_cost``
+    and the counters.
+    """
+
+    program: JProgram
+    config: RuntimeConfig
+    address_space: AddressSpace
+    template_table: TemplateTable
+    code_cache: CodeCache
+    core_events: List[List[HardwareEvent]]
+    thread_switches: List[ThreadSwitchRecord]
+    threads: List[ThreadContext]
+    statics: Statics
+    method_self_cost: Dict[str, int]
+    total_cost: int
+    counters: Dict[str, int]
+    samples: List[Tuple[int, str]] = field(default_factory=list)
+
+    def truth_of(self, tid: int) -> List[Tuple[str, int]]:
+        return self.threads[tid].truth
+
+    def event_count(self) -> int:
+        return sum(len(events) for events in self.core_events)
+
+
+_ALLOC_OPS = (Op.NEW, Op.NEWARRAY, Op.ANEWARRAY)
+
+
+class JVMRuntime:
+    """Executes a program while producing PT-observable event streams."""
+
+    def __init__(
+        self,
+        program: JProgram,
+        config: Optional[RuntimeConfig] = None,
+        address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
+    ):
+        self.program = program
+        self.config = config or RuntimeConfig()
+        self.address_space = address_space
+        self.templates = TemplateTable(address_space)
+        self.code_cache = CodeCache(address_space)
+        self.compiler = JITCompiler(program, self.code_cache, self.config.jit)
+        self.statics = Statics()
+        self.tsc = 0
+        self.threads: List[ThreadContext] = []
+        self.core_events: List[List[HardwareEvent]] = [
+            [] for _ in range(self.config.cores)
+        ]
+        self.thread_switches: List[ThreadSwitchRecord] = []
+        self.method_self_cost: Dict[str, int] = {}
+        self.invocation_counts: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {
+            "steps": 0,
+            "steps_interp": 0,
+            "steps_compiled": 0,
+            "invocations": 0,
+            "compiles": 0,
+            "allocations": 0,
+            "gc_pauses": 0,
+            "thread_switches": 0,
+            "exceptions": 0,
+            "samples": 0,
+            "osr_transitions": 0,
+            "deopts": 0,
+            "recompiles": 0,
+        }
+        self.backedge_counts: Dict[str, int] = {}
+        self.deopt_counts: Dict[str, int] = {}
+        self.samples: List[Tuple[int, str]] = []
+        self._rng = random.Random(self.config.seed)
+        self._allocations_since_gc = 0
+        self._core_started = [False] * self.config.cores
+
+    # -------------------------------------------------------------- thread API
+    def add_thread(
+        self,
+        class_name: Optional[str] = None,
+        method_name: Optional[str] = None,
+        args: Tuple = (),
+        name: Optional[str] = None,
+    ) -> ThreadContext:
+        """Register a thread; defaults to the program entry method."""
+        if class_name is None:
+            method = self.program.entry_method()
+        else:
+            method = self.program.method(class_name, method_name)
+        tid = len(self.threads)
+        thread = ThreadContext(tid=tid, name=name or ("thread-%d" % tid))
+        thread.activations.append(
+            Activation(frame=Frame.for_call(method, args), mode=ActMode.INTERP)
+        )
+        self.invocation_counts[method.qualified_name] = (
+            self.invocation_counts.get(method.qualified_name, 0) + 1
+        )
+        self.threads.append(thread)
+        return thread
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> RunResult:
+        """Run all registered threads to completion and collect the result."""
+        if not self.threads:
+            self.add_thread()
+        ready = deque(self.threads)
+        quantum = self.config.quantum
+        while ready:
+            for core in range(self.config.cores):
+                if not ready:
+                    break
+                thread = ready.popleft()
+                self._begin_quantum(core, thread)
+                executed = 0
+                while executed < quantum and not thread.finished:
+                    self._step_thread(thread, core)
+                    executed += 1
+                # Descheduling: tracing on this core stops (the IP filter
+                # sees other processes / the idle loop), which -- as on
+                # real PT -- flushes the core's pending TNT packet.  This
+                # matters for correctness: without the PGD barrier, bits
+                # emitted after the thread returns to this core would be
+                # packed into the stale pre-switch TNT packet and jump
+                # the queue ahead of the thread's interim work elsewhere.
+                self._emit(
+                    core,
+                    DisableEvent(
+                        tsc=self.tsc,
+                        ip=0 if thread.finished else self._current_ip(thread),
+                    ),
+                )
+                if not thread.finished:
+                    ready.append(thread)
+        return RunResult(
+            program=self.program,
+            config=self.config,
+            address_space=self.address_space,
+            template_table=self.templates,
+            code_cache=self.code_cache,
+            core_events=self.core_events,
+            thread_switches=self.thread_switches,
+            threads=self.threads,
+            statics=self.statics,
+            method_self_cost=dict(self.method_self_cost),
+            total_cost=self.tsc,
+            counters=dict(self.counters),
+            samples=list(self.samples),
+        )
+
+    # ------------------------------------------------------------- internals
+    def _emit(self, core: int, event: HardwareEvent) -> None:
+        self.core_events[core].append(event)
+
+    def _begin_quantum(self, core: int, thread: ThreadContext) -> None:
+        # Tracing resumes on this core for the scheduled thread (PGE).
+        self._emit(core, EnableEvent(tsc=self.tsc, ip=self._current_ip(thread)))
+        self._core_started[core] = True
+        jitter = self.config.switch_timestamp_jitter
+        recorded = self.tsc
+        if jitter:
+            recorded = max(0, self.tsc + self._rng.randint(-jitter, jitter))
+        self.thread_switches.append(
+            ThreadSwitchRecord(core=core, tid=thread.tid, tsc=recorded)
+        )
+        self.counters["thread_switches"] += 1
+        self.tsc += self.config.thread_switch_cost
+
+    def _current_ip(self, thread: ThreadContext) -> int:
+        if not thread.activations:
+            return 0
+        act = thread.activations[-1]
+        if act.mode is ActMode.INTERP:
+            inst = act.frame.method.code[act.frame.bci]
+            return self.templates.entry(inst.op)
+        return act.machine_root.machine_pc
+
+    def _charge(self, qname: str, cost: int) -> None:
+        interval = self.config.sample_interval
+        if interval:
+            before = self.tsc // interval
+            after = (self.tsc + cost) // interval
+            if after > before:
+                self.samples.append((self.tsc + cost, qname))
+                self.counters["samples"] += 1
+                self.tsc += self.config.sample_cost * (after - before)
+        self.tsc += cost
+        self.method_self_cost[qname] = self.method_self_cost.get(qname, 0) + cost
+
+    def _budget_check(self) -> None:
+        self.counters["steps"] += 1
+        if self.counters["steps"] > self.config.max_steps:
+            raise ExecutionBudgetExceeded(
+                "exceeded %d steps" % self.config.max_steps
+            )
+
+    # ---------------------------------------------------------- stepping core
+    def _step_thread(self, thread: ThreadContext, core: int) -> None:
+        self._budget_check()
+        thread.steps += 1
+        act = thread.activations[-1]
+        if act.mode is ActMode.INTERP:
+            self._step_interpreted(thread, act, core)
+        else:
+            self._step_compiled(thread, act, core)
+
+    # --- interpreted mode ----------------------------------------------------
+    def _step_interpreted(
+        self, thread: ThreadContext, act: Activation, core: int
+    ) -> None:
+        frame = act.frame
+        method = frame.method
+        inst = method.code[frame.bci]
+        qname = method.qualified_name
+        # Template dispatch: the indirect jump PT records.
+        self._emit(core, TipEvent(tsc=self.tsc, target=self.templates.entry(inst.op)))
+        self.counters["steps_interp"] += 1
+        thread.truth.append((qname, frame.bci))
+        if inst.op in _ALLOC_OPS:
+            self._maybe_gc(core, thread)
+        outcome = step(frame, self.program, self.statics)
+        self._charge(qname, self.config.interp_step_cost)
+
+        kind = outcome.kind
+        if kind is OutcomeKind.BRANCH:
+            self._emit(core, TntEvent(tsc=self.tsc, taken=outcome.taken))
+            if outcome.next_bci <= frame.bci:
+                self._count_back_edge(thread, act, core, outcome.next_bci)
+            frame.bci = outcome.next_bci
+        elif kind in (OutcomeKind.FALL, OutcomeKind.JUMP, OutcomeKind.SWITCH):
+            if outcome.next_bci <= frame.bci and kind is not OutcomeKind.FALL:
+                self._count_back_edge(thread, act, core, outcome.next_bci)
+            frame.bci = outcome.next_bci
+        elif kind is OutcomeKind.CALL:
+            act.call_bci = frame.bci
+            frame.bci += 1
+            self._invoke(thread, core, outcome.callee, outcome.args, caller=act)
+        elif kind is OutcomeKind.RETURN:
+            self._do_return(thread, core, outcome.value)
+        elif kind is OutcomeKind.THROW:
+            implicit = inst.op is not Op.ATHROW
+            self._dispatch_exception(
+                thread,
+                core,
+                outcome.exception,
+                implicit=implicit,
+                source_ip=self.templates.entry(inst.op),
+            )
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(kind)
+
+    def _count_back_edge(
+        self, thread: ThreadContext, act: Activation, core: int, header_bci: int
+    ) -> None:
+        """Back-edge counting for on-stack replacement (OSR).
+
+        When a long-running interpreted loop crosses the OSR threshold,
+        the activation is switched onto compiled code at the loop header:
+        the semantic frame (locals, stack) carries over unchanged, and the
+        transition is visible to PT as a TIP into the code cache -- which
+        is exactly how the decoder discovers it.
+        """
+        threshold = self.config.jit.osr_threshold
+        if not threshold:
+            return
+        qname = act.frame.method.qualified_name
+        count = self.backedge_counts.get(qname, 0) + 1
+        self.backedge_counts[qname] = count
+        if count < threshold:
+            return
+        self.backedge_counts[qname] = 0
+        method = act.frame.method
+        if len(method.code) > self.config.jit.max_compile_size:
+            return
+        native = self.code_cache.lookup(qname)
+        if native is None:
+            native = self.compiler.compile(method, tsc=self.tsc)
+            self.counters["compiles"] += 1
+            self.tsc += self.config.compile_cost_per_instruction * len(
+                native.instructions
+            )
+        osr_entry = native.entry_points.get(((), qname, header_bci))
+        if osr_entry is None:
+            return
+        act.mode = ActMode.COMPILED
+        act.native = native
+        act.machine_pc = osr_entry
+        self.counters["osr_transitions"] += 1
+        self._emit(core, TipEvent(tsc=self.tsc, target=osr_entry))
+
+    # --- compiled mode ---------------------------------------------------------
+    def _step_compiled(self, thread: ThreadContext, act: Activation, core: int) -> None:
+        root = act.machine_root
+        native = root.native
+        mi = native.at(root.machine_pc)
+        semantic = native.semantic.get(mi.address)
+        self.counters["steps_compiled"] += 1
+
+        if semantic is None:
+            # Synthetic instruction: prologue or layout jump.
+            if mi.kind is MIKind.JMP_DIRECT:
+                root.machine_pc = mi.target
+            else:
+                root.machine_pc = mi.end
+            self._charge(native.method.qualified_name, self.config.compiled_step_cost)
+            return
+
+        if isinstance(semantic, SemGuard):
+            self._step_guard(thread, act, core, mi, semantic)
+            return
+        if isinstance(semantic, SemInlineEnter):
+            self._step_inline_enter(thread, act, core, mi, semantic)
+            return
+        if isinstance(semantic, SemInlineReturn):
+            self._step_inline_return(thread, act, mi, semantic)
+            return
+
+        # SemBytecode: execute the bytecode's data effect on this frame.
+        frame = act.frame
+        frame.bci = semantic.bci
+        qname = semantic.qname
+        thread.truth.append((qname, semantic.bci))
+        inst = frame.method.code[semantic.bci]
+        if inst.op in _ALLOC_OPS:
+            self._maybe_gc(core, thread)
+        outcome = step(frame, self.program, self.statics)
+        self._charge(qname, self.config.compiled_step_cost)
+
+        kind = outcome.kind
+        if kind is OutcomeKind.FALL:
+            root.machine_pc = mi.end
+        elif kind is OutcomeKind.BRANCH:
+            self._emit(core, TntEvent(tsc=self.tsc, taken=outcome.taken))
+            root.machine_pc = mi.target if outcome.taken else mi.end
+        elif kind is OutcomeKind.JUMP:
+            root.machine_pc = mi.target
+        elif kind is OutcomeKind.SWITCH:
+            target = native.entry_points[(semantic.ctx, qname, outcome.next_bci)]
+            self._emit(core, TipEvent(tsc=self.tsc, target=target))
+            root.machine_pc = target
+        elif kind is OutcomeKind.CALL:
+            act.call_bci = semantic.bci
+            root.machine_pc = mi.end
+            self._invoke(
+                thread,
+                core,
+                outcome.callee,
+                outcome.args,
+                caller=act,
+                ret_address=mi.end,
+                direct=mi.kind is MIKind.CALL_DIRECT,
+            )
+        elif kind is OutcomeKind.RETURN:
+            self._do_return(thread, core, outcome.value)
+        elif kind is OutcomeKind.THROW:
+            implicit = inst.op is not Op.ATHROW
+            self._dispatch_exception(
+                thread, core, outcome.exception, implicit=implicit, source_ip=mi.address
+            )
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(kind)
+
+    def _step_guard(self, thread, act, core, mi, semantic) -> None:
+        """Speculative-inlining class check: pass falls into the inlined
+        body; failure takes the branch to the uncommon-trap stub and
+        deoptimises the activation back to the interpreter."""
+        from .interpreter import JObject
+
+        frame = act.frame
+        ref = frame.method.code[semantic.bci].methodref
+        receiver = frame.stack[-ref.arg_count] if ref.arg_count else None
+        passes = (
+            isinstance(receiver, JObject)
+            and self.program.resolve_virtual(
+                receiver.class_name, ref.method_name
+            ).qualified_name
+            == semantic.expected_qname
+        )
+        # The guard is a real machine branch: one TNT bit.
+        self._emit(core, TntEvent(tsc=self.tsc, taken=not passes))
+        self._charge(semantic.qname, self.config.compiled_step_cost)
+        root = act.machine_root
+        if passes:
+            root.machine_pc = mi.end
+            return
+        self._deoptimize(thread, act, semantic.bci)
+
+    def _deoptimize(self, thread: ThreadContext, act: Activation, call_bci: int) -> None:
+        """Uncommon trap: materialise every frame sharing this activation's
+        compiled root as an interpreter frame and resume there.
+
+        The triggering frame re-executes the guarded invoke in the
+        interpreter; enclosing inline frames resume after their call sites
+        once their callees return.
+        """
+        root = act.machine_root
+        trapped_qname = root.frame.method.qualified_name
+        converted = [
+            a
+            for a in thread.activations
+            if a is root or a.root is root
+        ]
+        for a in converted:
+            a.mode = ActMode.INTERP
+            if a is not act and a.call_bci >= 0:
+                a.frame.bci = a.call_bci + 1
+            a.native = None
+            a.root = None
+        act.frame.bci = call_bci
+        self.counters["deopts"] += 1
+        self.tsc += self.config.deopt_cost
+        # Repeatedly trapping code is made not-entrant and recompiled
+        # without the speculation; the reclaimed region becomes reusable,
+        # so the offline side must resolve its addresses by epoch.
+        count = self.deopt_counts.get(trapped_qname, 0) + 1
+        self.deopt_counts[trapped_qname] = count
+        old_code = self.code_cache.lookup(trapped_qname)
+        if count >= self.config.deopt_recompile_threshold and old_code is not None:
+            self.deopt_counts[trapped_qname] = 0
+            # The region may only be reclaimed (and reused) once no other
+            # activation still executes the old code -- otherwise the old
+            # nmethod stays a zombie: unreachable for new calls but alive
+            # for decode purposes.
+            still_running = any(
+                a.native is old_code
+                for other in self.threads
+                for a in other.activations
+            )
+            if not still_running:
+                self.code_cache.evict(trapped_qname, tsc=self.tsc)
+            method = root.frame.method
+            if len(method.code) <= self.config.jit.max_compile_size:
+                native = self.compiler.compile(
+                    method, tsc=self.tsc, allow_speculation=False
+                )
+                self.counters["recompiles"] += 1
+                self.tsc += self.config.compile_cost_per_instruction * len(
+                    native.instructions
+                )
+
+    def _step_inline_enter(self, thread, act, core, mi, semantic) -> None:
+        frame = act.frame
+        frame.bci = semantic.bci
+        qname = semantic.qname
+        thread.truth.append((qname, semantic.bci))
+        outcome = step(frame, self.program, self.statics)
+        self._charge(qname, self.config.compiled_step_cost)
+        root = act.machine_root
+        if outcome.kind is OutcomeKind.THROW:
+            # e.g. invokevirtual on a null receiver at an inlined site
+            self._dispatch_exception(
+                thread, core, outcome.exception, implicit=True, source_ip=mi.address
+            )
+            return
+        assert outcome.kind is OutcomeKind.CALL
+        callee = outcome.callee
+        act.call_bci = semantic.bci
+        self.counters["invocations"] += 1
+        self.invocation_counts[callee.qualified_name] = (
+            self.invocation_counts.get(callee.qualified_name, 0) + 1
+        )
+        inline_frame = Frame.for_call(callee, outcome.args)
+        thread.activations.append(
+            Activation(
+                frame=inline_frame,
+                mode=ActMode.INLINED,
+                native=root.native,
+                root=root,
+                ctx=semantic.ctx + ((semantic.qname, semantic.bci),),
+            )
+        )
+        root.machine_pc = mi.end  # falls into the inlined body
+
+    def _step_inline_return(self, thread, act, mi, semantic) -> None:
+        frame = act.frame
+        frame.bci = semantic.bci
+        qname = semantic.qname
+        thread.truth.append((qname, semantic.bci))
+        outcome = step(frame, self.program, self.statics)
+        self._charge(qname, self.config.compiled_step_cost)
+        assert outcome.kind is OutcomeKind.RETURN
+        root = act.machine_root
+        thread.activations.pop()
+        caller = thread.activations[-1]
+        if frame.method.returns_value:
+            caller.frame.push(outcome.value)
+        root.machine_pc = mi.target  # jump to the inline continuation
+
+    # --- calls / returns ---------------------------------------------------------
+    def _invoke(
+        self,
+        thread: ThreadContext,
+        core: int,
+        callee: JMethod,
+        args: Tuple,
+        caller: Activation,
+        ret_address: Optional[int] = None,
+        direct: bool = False,
+    ) -> None:
+        qname = callee.qualified_name
+        self.counters["invocations"] += 1
+        count = self.invocation_counts.get(qname, 0) + 1
+        self.invocation_counts[qname] = count
+        native = self.code_cache.lookup(qname)
+        if native is None and self.compiler.should_compile(callee, count):
+            native = self.compiler.compile(callee, tsc=self.tsc)
+            self.counters["compiles"] += 1
+            self.tsc += self.config.compile_cost_per_instruction * len(
+                native.instructions
+            )
+        frame = Frame.for_call(callee, args)
+        if native is not None:
+            if not (direct and caller.mode is not ActMode.INTERP):
+                # Indirect entry into compiled code produces a TIP; a
+                # compiled direct call does not.
+                self._emit(core, TipEvent(tsc=self.tsc, target=native.entry))
+            thread.activations.append(
+                Activation(
+                    frame=frame,
+                    mode=ActMode.COMPILED,
+                    native=native,
+                    machine_pc=native.entry,
+                    ret_address=ret_address,
+                )
+            )
+        else:
+            # Interpreted callee: its first template dispatch TIP is the
+            # observable entry.
+            thread.activations.append(
+                Activation(frame=frame, mode=ActMode.INTERP, ret_address=ret_address)
+            )
+
+    def _do_return(self, thread: ThreadContext, core: int, value: Any) -> None:
+        done = thread.activations.pop()
+        returns_value = done.frame.method.returns_value
+        if done.mode is ActMode.COMPILED:
+            # The RET machine instruction's TIP.
+            target = (
+                done.ret_address
+                if done.ret_address is not None
+                else self.templates.return_stub_entry
+            )
+            self._emit(core, TipEvent(tsc=self.tsc, target=target))
+        if not thread.activations:
+            thread.finished = True
+            thread.result = value
+            return
+        caller = thread.activations[-1]
+        if returns_value:
+            caller.frame.push(value)
+        if caller.mode is not ActMode.INTERP:
+            root = caller.machine_root
+            root.machine_pc = done.ret_address
+            if done.mode is ActMode.INTERP:
+                # Interpreter returning into compiled code: the c2i bridge
+                # lands at the caller's resume address.
+                self._emit(core, TipEvent(tsc=self.tsc, target=done.ret_address))
+        caller.call_bci = -1
+
+    # --- exceptions -------------------------------------------------------------
+    def _dispatch_exception(
+        self,
+        thread: ThreadContext,
+        core: int,
+        exception,
+        implicit: bool,
+        source_ip: int,
+    ) -> None:
+        self.counters["exceptions"] += 1
+        if implicit:
+            self._emit(core, FupEvent(tsc=self.tsc, ip=source_ip))
+        acts = thread.activations
+        top = True
+        while acts:
+            act = acts[-1]
+            look_bci = act.frame.bci if top else act.call_bci
+            handler = None
+            if look_bci >= 0:
+                handler = act.frame.method.handler_for(look_bci)
+            if handler is not None:
+                act.frame.stack.clear()
+                act.frame.stack.append(exception)
+                act.frame.bci = handler.handler
+                if act.mode is not ActMode.INTERP:
+                    root = act.machine_root
+                    address = root.native.entry_points[
+                        (act.ctx, act.frame.method.qualified_name, handler.handler)
+                    ]
+                    root.machine_pc = address
+                    self._emit(core, TipEvent(tsc=self.tsc, target=address))
+                return
+            top = False
+            acts.pop()
+        thread.uncaught = exception
+        thread.finished = True
+
+    # --- GC ------------------------------------------------------------------------
+    def _maybe_gc(self, core: int, thread: ThreadContext) -> None:
+        self.counters["allocations"] += 1
+        self._allocations_since_gc += 1
+        if self._allocations_since_gc < self.config.gc_period_allocations:
+            return
+        self._allocations_since_gc = 0
+        self.counters["gc_pauses"] += 1
+        ip = self._current_ip(thread)
+        self._emit(core, DisableEvent(tsc=self.tsc, ip=ip))
+        if self.config.emit_runtime_noise:
+            # The collector's own branches: real PT would trace these too
+            # unless the IP filter is set to the code-cache range.
+            base = self.address_space.runtime_base
+            for offset in range(4):
+                self._emit(
+                    core,
+                    TipEvent(tsc=self.tsc + offset, target=base + 0x40 * offset),
+                )
+                self._emit(core, TntEvent(tsc=self.tsc + offset, taken=bool(offset & 1)))
+        self.tsc += self.config.gc_pause_cost
+        self._emit(core, EnableEvent(tsc=self.tsc, ip=ip))
+
+
+def run_program(
+    program: JProgram,
+    config: Optional[RuntimeConfig] = None,
+    thread_entries: Optional[List[Tuple[str, str, Tuple]]] = None,
+) -> RunResult:
+    """Convenience: run *program* (entry method, plus optional extra threads).
+
+    ``thread_entries`` is a list of ``(class_name, method_name, args)``.
+    """
+    runtime = JVMRuntime(program, config)
+    runtime.add_thread(name="main")
+    for class_name, method_name, args in thread_entries or ():
+        runtime.add_thread(class_name, method_name, args)
+    return runtime.run()

@@ -1,0 +1,115 @@
+"""Template interpreter machine-code layout.
+
+During JVM initialisation the template interpreter assembles one machine
+code *template* per bytecode opcode; executing a bytecode is an indirect
+jump to its template's entry (Section 2 of the paper).  JPortal's
+interpreter-mode metadata is exactly the per-opcode address range table
+built here (Section 3.1, Figure 2(c)).
+
+We reproduce two details that matter to decoding:
+
+* distinct templates for the ``_n`` specialised forms (so a TIP reveals
+  ``iload_0`` vs ``iload_1``);
+* *non-contiguous* templates for some handlers ("for certain cases where
+  the machine code for a byte code handler is non-contiguous, multiple
+  sub-ranges could be recorded") -- conditional-branch templates get a
+  second sub-range, exercising multi-range matching.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from .machine import DEFAULT_ADDRESS_SPACE, AddressSpace
+from .opcodes import Kind, Op, info
+
+
+class TemplateTable:
+    """Opcode -> machine address range(s), with reverse lookup.
+
+    The layout is deterministic for a given address space, mirroring how a
+    JVM's template table is fixed once the VM has initialised.
+    """
+
+    #: main template size in bytes; roughly the scale of real templates
+    MAIN_SIZE = 0x60
+    #: secondary (non-contiguous) range size for conditional handlers
+    AUX_SIZE = 0x20
+    #: gap between consecutive templates
+    GAP = 0x20
+
+    def __init__(self, address_space: AddressSpace = DEFAULT_ADDRESS_SPACE):
+        self.address_space = address_space
+        self._ranges: Dict[Op, Tuple[Tuple[int, int], ...]] = {}
+        self._entries: Dict[Op, int] = {}
+        cursor = address_space.template_base
+        aux_cursor = None
+        ops = sorted(Op, key=int)
+        # First lay out the main ranges, then auxiliary sub-ranges after
+        # them, so auxiliary ranges are genuinely discontiguous.
+        for op in ops:
+            start = cursor
+            end = start + self.MAIN_SIZE
+            self._ranges[op] = ((start, end),)
+            self._entries[op] = start
+            cursor = end + self.GAP
+        aux_cursor = cursor + 0x1000
+        for op in ops:
+            if info(op).kind is Kind.COND:
+                start = aux_cursor
+                end = start + self.AUX_SIZE
+                self._ranges[op] = self._ranges[op] + ((start, end),)
+                aux_cursor = end + self.GAP
+        # Return stub: the interpreter entry point that compiled code
+        # returns to when its caller is interpreted (c2i continuation).
+        stub_start = aux_cursor + 0x100
+        self.return_stub: Tuple[int, int] = (stub_start, stub_start + 0x40)
+        aux_cursor = self.return_stub[1]
+        if aux_cursor >= address_space.template_limit:
+            raise ValueError("template space overflow")
+        # Sorted interval index for reverse lookup.
+        self._starts: List[int] = []
+        self._intervals: List[Tuple[int, int, Op]] = []
+        for op, ranges in self._ranges.items():
+            for start, end in ranges:
+                self._intervals.append((start, end, op))
+        self._intervals.sort()
+        self._starts = [interval[0] for interval in self._intervals]
+
+    # ---------------------------------------------------------------- queries
+    def entry(self, op: Op) -> int:
+        """Entry address of *op*'s template (the dispatch TIP target)."""
+        return self._entries[op]
+
+    def ranges(self, op: Op) -> Tuple[Tuple[int, int], ...]:
+        """All ``[start, end)`` sub-ranges of *op*'s template."""
+        return self._ranges[op]
+
+    def op_at(self, address: int) -> Optional[Op]:
+        """The opcode whose template contains *address*, or ``None``."""
+        position = bisect_right(self._starts, address) - 1
+        if position < 0:
+            return None
+        start, end, op = self._intervals[position]
+        if start <= address < end:
+            return op
+        return None
+
+    @property
+    def return_stub_entry(self) -> int:
+        """Target IP of a compiled method's ``ret`` into the interpreter."""
+        return self.return_stub[0]
+
+    def is_return_stub(self, address: int) -> bool:
+        start, end = self.return_stub
+        return start <= address < end
+
+    def metadata(self) -> Dict[str, Tuple[Tuple[int, int], ...]]:
+        """Exportable metadata: mnemonic -> sub-ranges (Figure 2(c))."""
+        exported = {info(op).mnemonic: ranges for op, ranges in self._ranges.items()}
+        exported["<return-stub>"] = (self.return_stub,)
+        return exported
+
+    def __len__(self):
+        return len(self._ranges)

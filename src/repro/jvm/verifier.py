@@ -1,0 +1,150 @@
+"""Structural bytecode verifier.
+
+Checks the properties the rest of the system relies on:
+
+* every branch/switch/handler target is a valid bci;
+* no instruction falls off the end of the method;
+* local-variable indices are within ``max_locals``;
+* the operand stack has a single consistent depth at every bci (computed
+  by a worklist dataflow over the CFG successors), never underflows, and
+  is exactly the returned-value depth at returns;
+* exception handlers are entered with depth 1 (the thrown object).
+
+The verifier is deliberately *structural* (no type inference): that is all
+the decoding/reconstruction layers need, and it keeps generated workloads
+honest without re-implementing the full JVM verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .model import JMethod, JProgram
+from .opcodes import Kind, Op, info
+
+
+class VerificationError(Exception):
+    """Raised when a method fails verification."""
+
+
+def _stack_effect(method: JMethod, bci: int):
+    """(pops, pushes) for the instruction at *bci*."""
+    inst = method.code[bci]
+    op_info = info(inst.op)
+    if inst.kind is Kind.CALL:
+        ref = inst.methodref
+        return ref.arg_count, (1 if ref.returns_value else 0)
+    return op_info.pops, op_info.pushes
+
+
+def verify_method(method: JMethod) -> None:
+    """Verify one method; raises :class:`VerificationError` on failure."""
+    code = method.code
+    if not code:
+        raise VerificationError("%s: empty code" % method.qualified_name)
+    length = len(code)
+
+    def fail(bci, message):
+        raise VerificationError(
+            "%s @%d (%s): %s" % (method.qualified_name, bci, code[bci], message)
+        )
+
+    # -- structural checks ---------------------------------------------------
+    for position, inst in enumerate(code):
+        if inst.bci != position:
+            raise VerificationError(
+                "%s: instruction at position %d has bci %d"
+                % (method.qualified_name, position, inst.bci)
+            )
+        for target in inst.successors_within(length):
+            if not 0 <= target < length:
+                fail(inst.bci, "branch target %d out of range" % target)
+        if inst.kind not in (Kind.RETURN, Kind.THROW, Kind.GOTO, Kind.SWITCH):
+            if inst.bci + 1 >= length and inst.kind is not Kind.COND:
+                fail(inst.bci, "falls off the end of the method")
+        if inst.kind is Kind.COND and inst.bci + 1 >= length:
+            fail(inst.bci, "conditional fall-through off the end")
+        if inst.index is not None and inst.index >= method.max_locals:
+            fail(inst.bci, "local %d >= max_locals %d" % (inst.index, method.max_locals))
+        if inst.op in (Op.ILOAD_0, Op.ISTORE_0, Op.ALOAD_0, Op.ASTORE_0):
+            if method.max_locals < 1:
+                fail(inst.bci, "local 0 >= max_locals 0")
+    for handler in method.handlers:
+        if not (0 <= handler.start < handler.end <= length):
+            raise VerificationError(
+                "%s: bad handler range [%d, %d)"
+                % (method.qualified_name, handler.start, handler.end)
+            )
+        if not 0 <= handler.handler < length:
+            raise VerificationError(
+                "%s: handler target %d out of range"
+                % (method.qualified_name, handler.handler)
+            )
+
+    # -- stack-depth dataflow -------------------------------------------------
+    depth_at: Dict[int, int] = {0: 0}
+    work: List[int] = [0]
+    # Handler entries are reachable with depth 1 from any covered bci; seed
+    # them eagerly so unreachable-looking handlers are still checked.
+    for handler in method.handlers:
+        if handler.handler not in depth_at:
+            depth_at[handler.handler] = 1
+            work.append(handler.handler)
+    while work:
+        bci = work.pop()
+        depth = depth_at[bci]
+        inst = code[bci]
+        pops, pushes = _stack_effect(method, bci)
+        if depth < pops:
+            fail(bci, "stack underflow (depth %d, pops %d)" % (depth, pops))
+        depth_out = depth - pops + pushes
+        if inst.kind is Kind.RETURN:
+            wants = 1 if inst.op in (Op.IRETURN, Op.ARETURN) else 0
+            if depth < wants:
+                fail(bci, "return with empty stack")
+            continue
+        if inst.kind is Kind.THROW:
+            continue
+        for target in inst.successors_within(length):
+            seen = depth_at.get(target)
+            if seen is None:
+                depth_at[target] = depth_out
+                work.append(target)
+            elif seen != depth_out:
+                fail(
+                    bci,
+                    "inconsistent stack depth at %d: %d vs %d"
+                    % (target, seen, depth_out),
+                )
+
+
+def verify_program(program: JProgram) -> None:
+    """Verify every method and the entry point of *program*.
+
+    Also checks that every call site's symbolic reference resolves and that
+    the callee's signature matches the reference.
+    """
+    program.entry_method()  # raises if missing
+    for method in program.methods():
+        verify_method(method)
+        for inst in method.code:
+            if inst.kind is Kind.CALL:
+                callee = program.method(
+                    inst.methodref.class_name, inst.methodref.method_name
+                )
+                if callee.arg_count != inst.methodref.arg_count:
+                    raise VerificationError(
+                        "%s @%d: call %s expects %d args, callee takes %d"
+                        % (
+                            method.qualified_name,
+                            inst.bci,
+                            inst.methodref,
+                            inst.methodref.arg_count,
+                            callee.arg_count,
+                        )
+                    )
+                if callee.returns_value != inst.methodref.returns_value:
+                    raise VerificationError(
+                        "%s @%d: call %s return-kind mismatch"
+                        % (method.qualified_name, inst.bci, inst.methodref)
+                    )

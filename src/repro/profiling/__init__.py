@@ -1,0 +1,57 @@
+"""Profiling clients and baselines: profiles, accuracy, Ball-Larus, sampling."""
+
+from .accuracy import (
+    RunAccuracy,
+    ThreadAccuracy,
+    hot_method_intersection,
+    run_accuracy,
+    sequence_similarity,
+    thread_accuracy,
+)
+from .calltree import CallTree, CallTreeNode
+from .ball_larus import (
+    BallLarusNumbering,
+    BallLarusProfiler,
+    PathProfile,
+    block_executions,
+    split_activations,
+)
+from .hotmethods import jportal_hot_methods
+from .hotspots import HotWindow, hottest_window, invocation_hot_spots, thread_hot_windows
+from .overhead import OverheadModel, SlowdownRow, compute_slowdowns
+from .profiles import ControlFlowProfile
+from .sampling import (
+    JProfilerSampler,
+    SampleProfile,
+    XProfSampler,
+    ground_truth_hot_methods,
+)
+
+__all__ = [
+    "RunAccuracy",
+    "ThreadAccuracy",
+    "hot_method_intersection",
+    "run_accuracy",
+    "sequence_similarity",
+    "thread_accuracy",
+    "CallTree",
+    "CallTreeNode",
+    "BallLarusNumbering",
+    "BallLarusProfiler",
+    "PathProfile",
+    "block_executions",
+    "split_activations",
+    "jportal_hot_methods",
+    "HotWindow",
+    "hottest_window",
+    "invocation_hot_spots",
+    "thread_hot_windows",
+    "OverheadModel",
+    "SlowdownRow",
+    "compute_slowdowns",
+    "ControlFlowProfile",
+    "JProfilerSampler",
+    "SampleProfile",
+    "XProfSampler",
+    "ground_truth_hot_methods",
+]

@@ -1,0 +1,244 @@
+"""Accuracy metrics: reconstructed flows vs. ground truth.
+
+The paper measures "the degree of matching between each JPortal-
+reconstructed control flow path and its corresponding path collected by
+the baseline approach" (Section 7.2, Figure 7).  We realise that as the
+similarity ratio of an optimal-ish alignment (difflib's matching-blocks,
+i.e. ``2*M / (len_a + len_b)``) over ``(method, bci)`` sequences.
+
+Table 3's per-component breakdown is computed from the same alignment
+plus provenance tags:
+
+* **PMD** -- percent of trace bytes lost to buffer overflow;
+* **PDC** -- percent captured (1 - PMD);
+* **PD / PR** -- share of the final flow that was decoded directly /
+  recovered;
+* **DA / RA** -- alignment accuracy restricted to decoded / recovered
+  entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import JPortalResult, ThreadFlow
+from ..jvm.runtime import RunResult
+
+Node = Tuple[str, int]
+
+
+#: Chunk width for the windowed aligner.  difflib's SequenceMatcher can go
+#: quadratic on long, highly repetitive sequences (loop-dominated traces
+#: are exactly that), so long inputs are aligned chunk by chunk: match a
+#: window of each side, commit up to the last agreed block, repeat.  The
+#: result is a (slightly conservative) set of matching blocks computed in
+#: roughly linear time.
+_ALIGN_WINDOW = 1_500
+#: Inputs shorter than this are aligned exactly in one SequenceMatcher call.
+_EXACT_LIMIT = 6_000
+
+
+def _matching_blocks(
+    truth: Sequence, reconstructed: Sequence
+) -> List[Tuple[int, int, int]]:
+    """(a_start, b_start, size) matching blocks between the sequences."""
+    a = list(truth)
+    b = list(reconstructed)
+    if not a or not b:
+        return []
+    if len(a) <= _EXACT_LIMIT and len(b) <= _EXACT_LIMIT:
+        matcher = SequenceMatcher(a=a, b=b, autojunk=False)
+        return [
+            (block.a, block.b, block.size)
+            for block in matcher.get_matching_blocks()
+            if block.size
+        ]
+    blocks: List[Tuple[int, int, int]] = []
+    i = j = 0
+    window = _ALIGN_WINDOW
+    while i < len(a) and j < len(b):
+        sub_a = a[i : i + window]
+        sub_b = b[j : j + window]
+        matcher = SequenceMatcher(a=sub_a, b=sub_b, autojunk=False)
+        local = [blk for blk in matcher.get_matching_blocks() if blk.size]
+        if not local:
+            i += window // 2
+            j += window // 2
+            continue
+        for block in local:
+            blocks.append((i + block.a, j + block.b, block.size))
+        last = local[-1]
+        advance_a = last.a + last.size
+        advance_b = last.b + last.size
+        # Always make progress even if matching stalled at the window edge.
+        i += max(advance_a, 1)
+        j += max(advance_b, 1)
+    return blocks
+
+
+def sequence_similarity(
+    truth: Sequence[Node], reconstructed: Sequence[Optional[Node]]
+) -> float:
+    """Alignment ratio in [0, 1] between two node sequences."""
+    if not truth and not reconstructed:
+        return 1.0
+    if not truth or not reconstructed:
+        return 0.0
+    matched = sum(size for _a, _b, size in _matching_blocks(truth, reconstructed))
+    return 2.0 * matched / (len(truth) + len(reconstructed))
+
+
+def _aligned_correct_flags(
+    truth: Sequence[Node], reconstructed: Sequence[Optional[Node]]
+) -> List[bool]:
+    """Per-reconstructed-entry correctness under the alignment."""
+    flags = [False] * len(reconstructed)
+    for _a_start, b_start, size in _matching_blocks(truth, reconstructed):
+        for offset in range(size):
+            flags[b_start + offset] = True
+    return flags
+
+
+@dataclass
+class ThreadAccuracy:
+    """Accuracy breakdown for one thread (Table 3 rows)."""
+
+    tid: int
+    truth_length: int
+    overall: float
+    decoded_entries: int
+    recovered_entries: int
+    decoded_correct: int
+    recovered_correct: int
+
+    @property
+    def decoding_accuracy(self) -> float:
+        """DA: correctness of directly decoded/reconstructed entries."""
+        if self.decoded_entries == 0:
+            return 0.0
+        return self.decoded_correct / self.decoded_entries
+
+    @property
+    def recovery_accuracy(self) -> float:
+        """RA: correctness of hole-filled entries."""
+        if self.recovered_entries == 0:
+            return 0.0
+        return self.recovered_correct / self.recovered_entries
+
+    @property
+    def percent_decoded(self) -> float:
+        """PD: decoded share of the true flow."""
+        if self.truth_length == 0:
+            return 0.0
+        return min(1.0, self.decoded_entries / self.truth_length)
+
+    @property
+    def percent_recovered(self) -> float:
+        """PR: recovered share of the true flow."""
+        if self.truth_length == 0:
+            return 0.0
+        return min(1.0, self.recovered_entries / self.truth_length)
+
+
+def thread_accuracy(truth: Sequence[Node], flow: ThreadFlow) -> ThreadAccuracy:
+    """Accuracy of one thread's reconstructed flow against its truth."""
+    nodes = flow.flow.nodes()
+    provenance = [p for _e, p in flow.flow.entries]
+    overall = sequence_similarity(truth, nodes)
+    flags = _aligned_correct_flags(truth, nodes)
+    decoded = recovered = decoded_ok = recovered_ok = 0
+    for flag, tag in zip(flags, provenance):
+        if tag == "decoded":
+            decoded += 1
+            if flag:
+                decoded_ok += 1
+        else:
+            recovered += 1
+            if flag:
+                recovered_ok += 1
+    return ThreadAccuracy(
+        tid=flow.tid,
+        truth_length=len(truth),
+        overall=overall,
+        decoded_entries=decoded,
+        recovered_entries=recovered,
+        decoded_correct=decoded_ok,
+        recovered_correct=recovered_ok,
+    )
+
+
+@dataclass
+class RunAccuracy:
+    """Whole-run accuracy: Figure 7's bar plus Table 3's breakdown."""
+
+    threads: List[ThreadAccuracy]
+    percent_missing_data: float  # PMD (trace bytes lost)
+
+    @property
+    def overall(self) -> float:
+        """Length-weighted overall accuracy (the Figure 7 number)."""
+        total = sum(t.truth_length for t in self.threads)
+        if total == 0:
+            return 1.0
+        return sum(t.overall * t.truth_length for t in self.threads) / total
+
+    @property
+    def percent_data_captured(self) -> float:
+        return 1.0 - self.percent_missing_data
+
+    def _weighted(self, value, weight) -> float:
+        total = sum(weight(t) for t in self.threads)
+        if total == 0:
+            return 0.0
+        return sum(value(t) * weight(t) for t in self.threads) / total
+
+    @property
+    def decoding_accuracy(self) -> float:
+        return self._weighted(
+            lambda t: t.decoding_accuracy, lambda t: t.decoded_entries
+        )
+
+    @property
+    def recovery_accuracy(self) -> float:
+        return self._weighted(
+            lambda t: t.recovery_accuracy, lambda t: t.recovered_entries
+        )
+
+    @property
+    def percent_decoded(self) -> float:
+        return self._weighted(lambda t: t.percent_decoded, lambda t: t.truth_length)
+
+    @property
+    def percent_recovered(self) -> float:
+        return self._weighted(lambda t: t.percent_recovered, lambda t: t.truth_length)
+
+
+def run_accuracy(run: RunResult, result: JPortalResult) -> RunAccuracy:
+    """Compare a JPortal analysis against the run's ground truth."""
+    threads: List[ThreadAccuracy] = []
+    for thread in run.threads:
+        flow = result.flows.get(thread.tid)
+        if flow is None:
+            threads.append(
+                ThreadAccuracy(
+                    tid=thread.tid,
+                    truth_length=len(thread.truth),
+                    overall=0.0,
+                    decoded_entries=0,
+                    recovered_entries=0,
+                    decoded_correct=0,
+                    recovered_correct=0,
+                )
+            )
+            continue
+        threads.append(thread_accuracy(thread.truth, flow))
+    return RunAccuracy(threads=threads, percent_missing_data=result.loss_fraction)
+
+
+def hot_method_intersection(
+    truth_hot: Sequence[str], estimated_hot: Sequence[str]
+) -> int:
+    """Table 4's metric: |top-N(estimate) intersect top-N(ground truth)|."""
+    return len(set(truth_hot) & set(estimated_hot))

@@ -1,0 +1,401 @@
+"""Ball-Larus profiling baselines (the paper's SC / PF / CF comparators).
+
+Implements the real algorithms the paper reimplemented over ASM:
+
+* **Efficient path profiling** (Ball & Larus, MICRO'96): per-method DAG
+  construction (back edges replaced by pseudo entry/exit edges), the
+  ``NumPaths``/``Val`` numbering that makes path sums unique and compact,
+  a *spanning-tree chord placement* so only chord edges carry increments,
+  and path regeneration from ids.
+* **Statement coverage** and **control-flow tracing** probe models
+  (Ball & Larus, TOPLAS'94): probe counts per block execution, used by the
+  overhead model (Table 2).
+
+Profiles are computed by replaying the runtime's exact ground-truth paths
+through the instrumentation semantics -- equivalent to running the
+instrumented program, with the probe executions counted for the cost
+model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..jvm.cfg import CFG, Edge, EdgeKind
+from ..jvm.model import JProgram
+from ..jvm.opcodes import Kind
+
+Node = Tuple[str, int]
+
+#: Virtual entry/exit node ids used by the DAG transformation.  A real
+#: synthetic ENTRY matters: when the loop header is block 0, the pseudo
+#: edge ENTRY -> header must not self-loop.
+ENTRY = -2
+EXIT = -1
+
+
+@dataclass(frozen=True)
+class DagEdge:
+    """One DAG edge; pseudo edges come from the back-edge transformation."""
+
+    src: int
+    dst: int
+    pseudo: bool = False
+    # The original back edge this pseudo edge stands for (None otherwise).
+    back: Optional[Tuple[int, int]] = None
+
+
+class BallLarusNumbering:
+    """Path numbering + chord instrumentation for one method."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.back_edge_set = {
+            (edge.src, edge.dst)
+            for edge in cfg.back_edges()
+        }
+        self.edges: List[DagEdge] = []
+        self._build_dag()
+        self.val: Dict[DagEdge, int] = {}
+        self.num_paths: Dict[int, int] = {}
+        self._assign_values()
+        self.phi: Dict[int, int] = {}
+        self.chords: Dict[Tuple[int, int, bool], DagEdge] = {}
+        self.inc: Dict[DagEdge, int] = {}
+        self._place_chords()
+
+    # ------------------------------------------------------------------- DAG
+    def _build_dag(self) -> None:
+        seen = set()
+
+        def add(edge: DagEdge) -> None:
+            key = (edge.src, edge.dst, edge.pseudo, edge.back)
+            if key not in seen:
+                seen.add(key)
+                self.edges.append(edge)
+
+        add(DagEdge(ENTRY, 0))
+        has_exit_edge = False
+        for block in self.cfg.blocks:
+            terminal = True
+            for edge in block.successors:
+                if edge.kind is EdgeKind.EXCEPTION:
+                    continue  # exception edges are outside the BL DAG
+                terminal = False
+                pair = (edge.src, edge.dst)
+                if pair in self.back_edge_set:
+                    add(DagEdge(ENTRY, edge.dst, pseudo=True, back=pair))
+                    add(DagEdge(edge.src, EXIT, pseudo=True, back=pair))
+                else:
+                    add(DagEdge(edge.src, edge.dst))
+            if terminal:
+                add(DagEdge(block.block_id, EXIT))
+                has_exit_edge = True
+        if not has_exit_edge and not self.edges:
+            add(DagEdge(0, EXIT))
+
+    def _topological(self) -> List[int]:
+        indegree: Dict[int, int] = {EXIT: 0, ENTRY: 0}
+        succ: Dict[int, List[DagEdge]] = {}
+        for edge in self.edges:
+            indegree.setdefault(edge.src, 0)
+            indegree[edge.dst] = indegree.get(edge.dst, 0) + 1
+            succ.setdefault(edge.src, []).append(edge)
+        order: List[int] = []
+        ready = sorted(node for node, degree in indegree.items() if degree == 0)
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for edge in succ.get(node, ()):
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        return order
+
+    def _assign_values(self) -> None:
+        succ: Dict[int, List[DagEdge]] = {}
+        for edge in self.edges:
+            succ.setdefault(edge.src, []).append(edge)
+        for edges in succ.values():
+            edges.sort(key=lambda e: (e.dst, e.pseudo))
+        order = self._topological()
+        for node in reversed(order):
+            if node == EXIT or node not in succ:
+                self.num_paths[node] = 1
+                continue
+            total = 0
+            for edge in succ[node]:
+                self.val[edge] = total
+                total += self.num_paths.get(edge.dst, 1)
+            self.num_paths[node] = total if total else 1
+
+    @property
+    def path_count(self) -> int:
+        """Number of distinct ENTRY -> EXIT DAG paths."""
+        return self.num_paths.get(ENTRY, 1)
+
+    # ---------------------------------------------------------------- chords
+    def _place_chords(self) -> None:
+        """Spanning tree + chord increments (the BL event-counting trick).
+
+        With ``phi`` the signed Val-potential over an (undirected) spanning
+        tree, every tree edge's increment telescopes to zero and a chord
+        ``u -> v`` carries ``Val + phi(u) - phi(v)``; a path's chord-sum
+        then equals its Val-sum plus the constant ``phi(ENTRY) -
+        phi(EXIT)``, which the initialisation absorbs.
+        """
+        adjacency: Dict[int, List[Tuple[int, DagEdge, int]]] = {}
+        for edge in self.edges:
+            adjacency.setdefault(edge.src, []).append((edge.dst, edge, +1))
+            adjacency.setdefault(edge.dst, []).append((edge.src, edge, -1))
+        tree: set = set()
+        self.phi = {ENTRY: 0}
+        stack = [ENTRY]
+        while stack:
+            node = stack.pop()
+            for other, edge, sign in adjacency.get(node, ()):
+                if other in self.phi:
+                    continue
+                tree.add(edge)
+                self.phi[other] = self.phi[node] + sign * self.val.get(edge, 0)
+                stack.append(other)
+        for edge in self.edges:
+            if edge in tree:
+                continue
+            self.inc[edge] = (
+                self.val.get(edge, 0)
+                + self.phi.get(edge.src, 0)
+                - self.phi.get(edge.dst, 0)
+            )
+
+    @property
+    def initial_register(self) -> int:
+        return self.phi.get(EXIT, 0) - self.phi.get(ENTRY, 0)
+
+    @property
+    def chord_count(self) -> int:
+        return len(self.inc)
+
+    # -------------------------------------------------------------- profiling
+    def _edge_for(self, src: int, dst: int) -> Optional[DagEdge]:
+        for edge in self.edges:
+            if edge.src == src and edge.dst == dst and not edge.pseudo:
+                return edge
+        return None
+
+    def path_events(
+        self, blocks: Sequence[int]
+    ) -> Tuple[Counter, int, int]:
+        """Replay one activation's block sequence through instrumentation.
+
+        Returns ``(path_counter, probe_executions, truncated_paths)``.
+        Probe executions count chord-increment firings plus the final
+        table update -- what the instrumented program would execute.
+        """
+        counts: Counter = Counter()
+        probes = 0
+        truncated = 0
+        if not blocks:
+            return counts, probes, truncated
+
+        register = self.initial_register
+
+        def fire(edge: Optional[DagEdge]) -> None:
+            nonlocal register, probes
+            if edge is not None and edge in self.inc:
+                register += self.inc[edge]
+                probes += 1
+
+        fire(self._edge_for(ENTRY, blocks[0]))
+        previous = blocks[0]
+        for block in blocks[1:]:
+            pair = (previous, block)
+            if pair in self.back_edge_set:
+                # Back edge: finish via v -> EXIT pseudo, restart via
+                # ENTRY -> w pseudo.
+                for edge in self.edges:
+                    if edge.pseudo and edge.back == pair and edge.dst == EXIT:
+                        fire(edge)
+                counts[register] += 1
+                probes += 1
+                register = self.initial_register
+                for edge in self.edges:
+                    if edge.pseudo and edge.back == pair and edge.src == ENTRY:
+                        fire(edge)
+            else:
+                edge = self._edge_for(previous, block)
+                if edge is None:
+                    # Off-DAG transition (exception): truncate the path.
+                    counts[register] += 1
+                    probes += 1
+                    register = self.initial_register
+                    truncated += 1
+                else:
+                    fire(edge)
+            previous = block
+        exit_edge = self._edge_for(previous, EXIT)
+        fire(exit_edge)
+        counts[register] += 1
+        probes += 1
+        return counts, probes, truncated
+
+    def regenerate(self, path_id: int) -> List[int]:
+        """Blocks of the DAG path with sum *path_id* (unique by BL)."""
+        succ: Dict[int, List[DagEdge]] = {}
+        for edge in self.edges:
+            succ.setdefault(edge.src, []).append(edge)
+        for edges in succ.values():
+            edges.sort(key=lambda e: -self.val.get(e, 0))
+        node = ENTRY
+        remaining = path_id
+        path = []
+        while node != EXIT:
+            chosen = None
+            for edge in succ.get(node, ()):
+                if self.val.get(edge, 0) <= remaining:
+                    chosen = edge
+                    break
+            if chosen is None:
+                break
+            remaining -= self.val.get(chosen, 0)
+            node = chosen.dst
+            if node != EXIT:
+                path.append(node)
+        return path
+
+
+# ------------------------------------------------------------- path splitting
+def split_activations(
+    program: JProgram, path: Sequence[Node]
+) -> Dict[str, List[List[int]]]:
+    """Split a thread's ground-truth path into per-method block sequences.
+
+    Walks the path with a simulated call stack (calls push on entering
+    bci 0, returns pop, throws unwind) and converts each activation's bci
+    run into the sequence of basic blocks entered.
+    """
+    cfgs: Dict[str, CFG] = {}
+
+    def cfg_of(qname: str) -> CFG:
+        cfg = cfgs.get(qname)
+        if cfg is None:
+            class_name, method_name = qname.rsplit(".", 1)
+            cfg = CFG(program.method(class_name, method_name))
+            cfgs[qname] = cfg
+        return cfg
+
+    result: Dict[str, List[List[int]]] = {}
+
+    def finish(activation: Tuple[str, List[int]]) -> None:
+        qname, blocks = activation
+        if blocks:
+            result.setdefault(qname, []).append(blocks)
+
+    stack: List[Tuple[str, List[int]]] = []
+    prev: Optional[Node] = None
+    prev_block: Optional[int] = None
+    for node in path:
+        qname, bci = node
+        cfg = cfg_of(qname)
+        block = cfg.block_of(bci).block_id
+        starts_new = False
+        if prev is None:
+            starts_new = True
+        else:
+            prev_qname, prev_bci = prev
+            prev_kind = cfg_of(prev_qname).method.code[prev_bci].kind
+            if prev_kind is Kind.CALL and bci == 0:
+                # A call always enters the callee at bci 0 (including
+                # recursive self-calls) -- push a fresh activation.
+                starts_new = True
+            elif prev_kind is Kind.RETURN:
+                if stack:
+                    finish(stack.pop())
+                starts_new = not stack or stack[-1][0] != qname
+                if not starts_new:
+                    prev_block = None  # returning: block continuity broken
+            elif prev_kind is Kind.THROW:
+                # Unwind until an activation of this method is on top (or
+                # the handler is in the throwing method itself).
+                while stack and stack[-1][0] != qname:
+                    finish(stack.pop())
+                starts_new = not stack
+                prev_block = None
+            elif prev_qname != qname:
+                # Mode/attribution glitch; treat as a fresh activation.
+                while stack and stack[-1][0] != qname:
+                    finish(stack.pop())
+                starts_new = not stack
+                prev_block = None
+        if starts_new:
+            stack.append((qname, []))
+            prev_block = None
+        blocks = stack[-1][1]
+        prev_bci_val = prev[1] if prev and prev[0] == qname else None
+        if (
+            prev_block is None
+            or block != prev_block
+            or prev_bci_val is None
+            or bci != prev_bci_val + 1
+        ):
+            blocks.append(block)
+        prev = node
+        prev_block = block
+    while stack:
+        finish(stack.pop())
+    return result
+
+
+# ------------------------------------------------------------------ profilers
+@dataclass
+class PathProfile:
+    """Whole-program Ball-Larus path profile."""
+
+    per_method: Dict[str, Counter] = field(default_factory=dict)
+    probe_executions: int = 0
+    truncated_paths: int = 0
+
+    def total_paths(self) -> int:
+        return sum(sum(counter.values()) for counter in self.per_method.values())
+
+
+class BallLarusProfiler:
+    """Path-frequency profiling over ground-truth paths (the PF baseline)."""
+
+    def __init__(self, program: JProgram):
+        self.program = program
+        self._numberings: Dict[str, BallLarusNumbering] = {}
+
+    def numbering(self, qname: str) -> BallLarusNumbering:
+        numbering = self._numberings.get(qname)
+        if numbering is None:
+            class_name, method_name = qname.rsplit(".", 1)
+            numbering = BallLarusNumbering(CFG(self.program.method(class_name, method_name)))
+            self._numberings[qname] = numbering
+        return numbering
+
+    def profile(self, paths: Iterable[Sequence[Node]]) -> PathProfile:
+        profile = PathProfile()
+        for path in paths:
+            activations = split_activations(self.program, path)
+            for qname, runs in activations.items():
+                numbering = self.numbering(qname)
+                counter = profile.per_method.setdefault(qname, Counter())
+                for blocks in runs:
+                    counts, probes, truncated = numbering.path_events(blocks)
+                    counter.update(counts)
+                    profile.probe_executions += probes
+                    profile.truncated_paths += truncated
+        return profile
+
+
+def block_executions(program: JProgram, paths: Iterable[Sequence[Node]]) -> int:
+    """Total basic-block entries (probe count for SC / CF instrumentation)."""
+    total = 0
+    for path in paths:
+        for runs in split_activations(program, path).values():
+            for blocks in runs:
+                total += len(blocks)
+    return total

@@ -1,0 +1,151 @@
+"""Calling-context tree (CCT) profiles from control-flow paths.
+
+The paper's introduction lists "call tree profiles" among the statistics
+that are "all close at hand" once the control flow is reconstructed.
+This module builds them: a calling-context tree whose nodes are call
+chains, each carrying invocation counts and self/inclusive instruction
+counts, constructed by replaying a (ground-truth or reconstructed)
+``(method, bci)`` path with the same call/return/throw tracking used by
+the Ball-Larus activation splitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..jvm.model import JProgram
+from ..jvm.opcodes import Kind
+
+Node = Tuple[str, int]
+
+
+@dataclass
+class CallTreeNode:
+    """One calling context: a method reached through a specific chain."""
+
+    qname: str
+    children: Dict[str, "CallTreeNode"] = field(default_factory=dict)
+    invocations: int = 0
+    self_instructions: int = 0
+
+    def child(self, qname: str) -> "CallTreeNode":
+        node = self.children.get(qname)
+        if node is None:
+            node = CallTreeNode(qname=qname)
+            self.children[qname] = node
+        return node
+
+    @property
+    def inclusive_instructions(self) -> int:
+        return self.self_instructions + sum(
+            child.inclusive_instructions for child in self.children.values()
+        )
+
+    def walk(self, depth: int = 0):
+        yield depth, self
+        for qname in sorted(self.children):
+            yield from self.children[qname].walk(depth + 1)
+
+
+class CallTree:
+    """A whole-thread calling-context tree."""
+
+    def __init__(self):
+        self.root = CallTreeNode(qname="<root>")
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def from_path(
+        cls, program: JProgram, path: Sequence[Optional[Node]]
+    ) -> "CallTree":
+        """Replay *path*, attributing instructions to calling contexts.
+
+        ``None`` entries (unprojected steps) reset the context tracking to
+        the last known frame, losing only their own attribution.
+        """
+        tree = cls()
+        stack: List[CallTreeNode] = []
+        prev: Optional[Node] = None
+
+        def enter(qname: str) -> None:
+            parent = stack[-1] if stack else tree.root
+            node = parent.child(qname)
+            node.invocations += 1
+            stack.append(node)
+
+        for entry in path:
+            if entry is None:
+                prev = None
+                continue
+            qname, bci = entry
+            class_name, method_name = qname.rsplit(".", 1)
+            method = program.method(class_name, method_name)
+            if prev is None:
+                if not stack or stack[-1].qname != qname:
+                    enter(qname)
+            else:
+                prev_qname, prev_bci = prev
+                prev_class, prev_method = prev_qname.rsplit(".", 1)
+                prev_kind = (
+                    program.method(prev_class, prev_method).code[prev_bci].kind
+                )
+                if prev_kind is Kind.CALL and bci == 0:
+                    enter(qname)
+                elif prev_kind is Kind.RETURN:
+                    if stack:
+                        stack.pop()
+                    if not stack or stack[-1].qname != qname:
+                        # Lost context (e.g. trace began mid-execution).
+                        enter(qname)
+                elif prev_kind is Kind.THROW:
+                    while stack and stack[-1].qname != qname:
+                        stack.pop()
+                    if not stack:
+                        enter(qname)
+                elif prev_qname != qname:
+                    # Attribution glitch: resynchronise.
+                    while stack and stack[-1].qname != qname:
+                        stack.pop()
+                    if not stack:
+                        enter(qname)
+            stack[-1].self_instructions += 1
+            prev = entry
+        return tree
+
+    # --------------------------------------------------------------- queries
+    def node_count(self) -> int:
+        return sum(1 for _depth, _node in self.root.walk()) - 1
+
+    def hottest_contexts(self, top: int = 5) -> List[Tuple[Tuple[str, ...], int]]:
+        """Top calling contexts by self instruction count."""
+        contexts: List[Tuple[Tuple[str, ...], int]] = []
+
+        def visit(node: CallTreeNode, chain: Tuple[str, ...]) -> None:
+            for qname in sorted(node.children):
+                child = node.children[qname]
+                extended = chain + (qname,)
+                contexts.append((extended, child.self_instructions))
+                visit(child, extended)
+
+        visit(self.root, ())
+        contexts.sort(key=lambda item: (-item[1], item[0]))
+        return contexts[:top]
+
+    def render(self, max_depth: int = 6) -> str:
+        """Human-readable tree dump."""
+        lines = []
+        for depth, node in self.root.walk():
+            if node is self.root or depth > max_depth:
+                continue
+            lines.append(
+                "%s%s  calls=%d self=%d incl=%d"
+                % (
+                    "  " * (depth - 1),
+                    node.qname,
+                    node.invocations,
+                    node.self_instructions,
+                    node.inclusive_instructions,
+                )
+            )
+        return "\n".join(lines)

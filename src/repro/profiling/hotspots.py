@@ -1,0 +1,113 @@
+"""Timestamp-based hot-spot detection.
+
+"Hardware traces contain event timestamps, enabling performance analysis
+such as detection of invocation hot spots" (paper, introduction).  The
+observed steps that come out of decoding carry TSC timestamps; this
+module slices a thread's observed trace into fixed-width time windows and
+reports, per window, the dominant method and the instruction throughput --
+surfacing *when* a method was hot, not just that it was.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.pipeline import JPortalResult
+
+
+@dataclass(frozen=True)
+class HotWindow:
+    """One time window of a thread's execution."""
+
+    start_tsc: int
+    end_tsc: int
+    instructions: int
+    dominant_method: Optional[str]
+    dominant_share: float
+
+    @property
+    def width(self) -> int:
+        return self.end_tsc - self.start_tsc
+
+
+def thread_hot_windows(
+    result: JPortalResult, tid: int, window: int = 5_000
+) -> List[HotWindow]:
+    """Slice thread *tid*'s observed trace into *window*-wide TSC slices."""
+    flow = result.flows[tid]
+    steps = flow.observed.steps()
+    if not steps:
+        return []
+    buckets: Dict[int, Counter] = {}
+    for step in steps:
+        if step.location is not None:
+            method = step.location[0]
+        else:
+            method = None  # interpreted: method known only post-projection
+        buckets.setdefault(step.tsc // window, Counter())[method] += 1
+    # Fill interpreted attribution from the projection where available.
+    projected = iter_projected_methods(flow)
+    for method, tsc in projected:
+        bucket = buckets.setdefault(tsc // window, Counter())
+        if bucket.get(None):
+            bucket[method] += 1
+            bucket[None] -= 1
+            if bucket[None] <= 0:
+                del bucket[None]
+    windows: List[HotWindow] = []
+    for index in sorted(buckets):
+        counts = buckets[index]
+        total = sum(counts.values())
+        named = Counter(
+            {method: count for method, count in counts.items() if method is not None}
+        )
+        if named:
+            method, count = named.most_common(1)[0]
+            share = count / total
+        else:
+            method, share = None, 0.0
+        windows.append(
+            HotWindow(
+                start_tsc=index * window,
+                end_tsc=(index + 1) * window,
+                instructions=total,
+                dominant_method=method,
+                dominant_share=share,
+            )
+        )
+    return windows
+
+
+def iter_projected_methods(flow) -> List[Tuple[str, int]]:
+    """(method, tsc) for interpreted steps whose projection succeeded."""
+    steps = flow.observed.steps()
+    result: List[Tuple[str, int]] = []
+    entries = [e for e, p in flow.flow.entries if p == "decoded"]
+    for step, entry in zip(steps, entries):
+        if step.location is None and entry is not None:
+            result.append((entry[0], step.tsc))
+    return result
+
+
+def hottest_window(
+    result: JPortalResult, tid: int, window: int = 5_000
+) -> Optional[HotWindow]:
+    """The window with the highest instruction throughput."""
+    windows = thread_hot_windows(result, tid, window)
+    if not windows:
+        return None
+    return max(windows, key=lambda w: (w.instructions, -w.start_tsc))
+
+
+def invocation_hot_spots(
+    result: JPortalResult, window: int = 5_000, top: int = 5
+) -> List[Tuple[int, HotWindow]]:
+    """Across all threads: the *top* busiest (tid, window) pairs."""
+    spots: List[Tuple[int, HotWindow]] = []
+    for tid in result.flows:
+        for hot in thread_hot_windows(result, tid, window):
+            spots.append((tid, hot))
+    spots.sort(key=lambda item: (-item[1].instructions, item[0], item[1].start_tsc))
+    return spots[:top]

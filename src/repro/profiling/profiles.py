@@ -1,0 +1,103 @@
+"""Control-flow profiles and the clients built on them.
+
+A :class:`ControlFlowProfile` is what JPortal ultimately delivers (and
+what the paper's intro promises is "close at hand" once the control flow
+is known): per-instruction execution counts, statement coverage, edge
+frequencies, method invocation counts, and hot methods.
+
+Profiles can be built from the ground-truth path (equivalent to perfect
+instrumentation-based control-flow tracing) or from a JPortal-
+reconstructed flow -- the accuracy experiments compare the two.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..jvm.model import JProgram
+
+Node = Tuple[str, int]
+
+
+@dataclass
+class ControlFlowProfile:
+    """Aggregated execution statistics of one run (all threads)."""
+
+    program: JProgram
+    node_counts: Counter = field(default_factory=Counter)
+    edge_counts: Counter = field(default_factory=Counter)
+    invocation_counts: Counter = field(default_factory=Counter)
+    total_instructions: int = 0
+
+    # ------------------------------------------------------------- building
+    @classmethod
+    def from_paths(
+        cls, program: JProgram, paths: Iterable[Sequence[Optional[Node]]]
+    ) -> "ControlFlowProfile":
+        """Build a profile from per-thread node paths.
+
+        ``None`` entries (unprojected steps) contribute to nothing.
+        """
+        profile = cls(program=program)
+        for path in paths:
+            previous: Optional[Node] = None
+            for node in path:
+                if node is None:
+                    previous = None
+                    continue
+                profile.node_counts[node] += 1
+                profile.total_instructions += 1
+                if node[1] == 0:
+                    profile.invocation_counts[node[0]] += 1
+                if previous is not None:
+                    profile.edge_counts[(previous, node)] += 1
+                previous = node
+        return profile
+
+    @classmethod
+    def from_truth(cls, run) -> "ControlFlowProfile":
+        """Profile from the runtime's ground-truth paths (exact)."""
+        return cls.from_paths(run.program, [t.truth for t in run.threads])
+
+    # --------------------------------------------------------------- queries
+    def statement_coverage(self) -> Dict[str, float]:
+        """Per-method fraction of bytecode instructions executed."""
+        executed: Dict[str, set] = {}
+        for (qname, bci), count in self.node_counts.items():
+            if count:
+                executed.setdefault(qname, set()).add(bci)
+        coverage: Dict[str, float] = {}
+        for method in self.program.methods():
+            qname = method.qualified_name
+            total = len(method.code)
+            coverage[qname] = len(executed.get(qname, ())) / total if total else 0.0
+        return coverage
+
+    def overall_coverage(self) -> float:
+        """Whole-program statement coverage."""
+        total = sum(len(m.code) for m in self.program.methods())
+        if total == 0:
+            return 0.0
+        covered = len({node for node, count in self.node_counts.items() if count})
+        return covered / total
+
+    def method_instruction_counts(self) -> Counter:
+        """Instructions executed per method (self counts)."""
+        counts: Counter = Counter()
+        for (qname, _bci), count in self.node_counts.items():
+            counts[qname] += count
+        return counts
+
+    def hot_methods(self, top: int = 10) -> List[str]:
+        """Top methods by executed-instruction count (a time proxy)."""
+        counts = self.method_instruction_counts()
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return [qname for qname, _count in ranked[:top]]
+
+    def edge_frequency(self, src: Node, dst: Node) -> int:
+        return self.edge_counts.get((src, dst), 0)
+
+    def executed_methods(self) -> List[str]:
+        return sorted(self.method_instruction_counts())

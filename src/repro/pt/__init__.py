@@ -1,0 +1,57 @@
+"""Simulated Intel PT substrate: packets, encoder, lossy ring buffer, decoder."""
+
+from .buffer import BufferResult, RingBuffer, RingBufferConfig, interleave_with_losses
+from .decoder import (
+    DecodeAnomaly,
+    DecodeStats,
+    InterpDispatch,
+    InterpReturnStub,
+    JitSpan,
+    PTDecoder,
+    TraceLoss,
+)
+from .encoder import EncoderConfig, EncoderStats, PTEncoder, encode_core
+from .packets import (
+    AuxLossRecord,
+    FUPPacket,
+    Packet,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    compressed_tip_size,
+)
+from .perf import CoreTrace, PTConfig, PTTrace, collect, filter_events
+
+__all__ = [
+    "BufferResult",
+    "RingBuffer",
+    "RingBufferConfig",
+    "interleave_with_losses",
+    "DecodeAnomaly",
+    "DecodeStats",
+    "InterpDispatch",
+    "InterpReturnStub",
+    "JitSpan",
+    "PTDecoder",
+    "TraceLoss",
+    "EncoderConfig",
+    "EncoderStats",
+    "PTEncoder",
+    "encode_core",
+    "AuxLossRecord",
+    "FUPPacket",
+    "Packet",
+    "PGDPacket",
+    "PGEPacket",
+    "TIPPacket",
+    "TNTPacket",
+    "TSCPacket",
+    "compressed_tip_size",
+    "CoreTrace",
+    "PTConfig",
+    "PTTrace",
+    "collect",
+    "filter_events",
+]

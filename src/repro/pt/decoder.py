@@ -1,0 +1,263 @@
+"""libipt-equivalent packet decoder: packets -> native control flow.
+
+Given one *thread's* TSC-ordered stream of packets and loss records, plus
+the machine-code metadata (a code database providing template lookup and
+compiled-code lookup), the decoder produces the native-level flow:
+
+* :class:`InterpDispatch` -- an interpreter template was entered (one per
+  executed bytecode; conditional templates carry their TNT outcome);
+* :class:`InterpReturnStub` -- compiled code returned into the interpreter;
+* :class:`JitSpan` -- a maximal walk through compiled machine code,
+  recorded as the sequence of executed instruction addresses (paper
+  Figure 3(d)); the walk follows direct jumps/calls statically, consumes
+  one TNT bit per ``jcc``, and stops at indirect branches awaiting the
+  next TIP, exactly like libipt;
+* :class:`TraceLoss` -- a buffer-overflow hole (segmentation point);
+* :class:`DecodeAnomaly` -- diagnostics (orphan TNT bits after a loss,
+  unknown IPs, desynchronised walks).
+
+The code database must provide::
+
+    template_op_at(ip)        -> Op or None (which template contains ip)
+    op_is_conditional(op)     -> bool
+    is_return_stub(ip)        -> bool
+    in_code_cache(ip)         -> bool
+    native_instruction_at(ip) -> MachineInstruction or None
+
+which :class:`repro.core.metadata.CodeDatabase` implements from the
+exported metadata only (never from runtime-private state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..jvm.machine import MIKind
+from .packets import (
+    AuxLossRecord,
+    FUPPacket,
+    Packet,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+)
+
+#: Safety bound on machine instructions walked without consuming a packet.
+MAX_WALK = 2_000_000
+
+
+@dataclass
+class InterpDispatch:
+    """One interpreted bytecode: a TIP into template space."""
+
+    tsc: int
+    op: object  # repro.jvm.opcodes.Op
+    taken: Optional[bool] = None  # TNT outcome for conditional templates
+
+
+@dataclass
+class InterpReturnStub:
+    """Compiled code returned to the interpreter (c2i stub TIP)."""
+
+    tsc: int
+
+
+@dataclass
+class JitSpan:
+    """A contiguous walk through compiled code (executed MI addresses)."""
+
+    tsc: int
+    addresses: List[int] = field(default_factory=list)
+
+
+@dataclass
+class TraceLoss:
+    """A hole: data between ``start_tsc`` and ``end_tsc`` was dropped."""
+
+    start_tsc: int
+    end_tsc: int
+    bytes_lost: int
+
+
+@dataclass
+class DecodeAnomaly:
+    """Something unexpected in the stream (kept for diagnostics)."""
+
+    tsc: int
+    reason: str
+
+
+DecodedItem = object
+
+
+@dataclass
+class DecodeStats:
+    packets: int = 0
+    tips: int = 0
+    tnt_bits: int = 0
+    losses: int = 0
+    anomalies: int = 0
+    walked_instructions: int = 0
+
+
+class PTDecoder:
+    """Decodes one thread's packet stream against a code database."""
+
+    def __init__(self, database):
+        self.database = database
+        self.stats = DecodeStats()
+        self._items: List[DecodedItem] = []
+        self._bits = deque()
+        # Pending interpreted conditional waiting for its TNT bit.
+        self._pending_cond: Optional[InterpDispatch] = None
+        # Suspended machine walk: (span, next_address) waiting for TNT bits.
+        self._walk: Optional[Tuple[JitSpan, int]] = None
+
+    # -------------------------------------------------------------------- API
+    def decode(
+        self, stream: Sequence[Tuple[str, object]]
+    ) -> List[DecodedItem]:
+        """Decode a merged ``("packet"|"loss", item)`` stream (one thread)."""
+        for tag, item in stream:
+            if tag == "loss":
+                self._on_loss(item)
+            else:
+                self._on_packet(item)
+        self._finish_pending()
+        return self._items
+
+    # --------------------------------------------------------------- handlers
+    def _on_loss(self, loss: AuxLossRecord) -> None:
+        self.stats.losses += 1
+        self._abandon("data loss")
+        self._bits.clear()
+        self._items.append(
+            TraceLoss(
+                start_tsc=loss.start_tsc,
+                end_tsc=loss.end_tsc,
+                bytes_lost=loss.bytes_lost,
+            )
+        )
+
+    def _on_packet(self, packet: Packet) -> None:
+        self.stats.packets += 1
+        if isinstance(packet, TSCPacket):
+            return
+        if isinstance(packet, TNTPacket):
+            self.stats.tnt_bits += len(packet.bits)
+            self._bits.extend(packet.bits)
+            self._drain_bits(packet.tsc)
+            return
+        if isinstance(packet, TIPPacket):
+            self.stats.tips += 1
+            self._on_tip(packet)
+            return
+        if isinstance(packet, FUPPacket):
+            # Asynchronous event: the current flow is interrupted; control
+            # resumes at the next TIP.
+            self._abandon("fup")
+            return
+        if isinstance(packet, (PGEPacket, PGDPacket)):
+            # Benign tracing pauses (e.g. GC) do not move control; the
+            # suspended walk stays valid.
+            return
+        raise TypeError("unknown packet %r" % (packet,))  # pragma: no cover
+
+    def _on_tip(self, packet: TIPPacket) -> None:
+        target = packet.target
+        # A TIP while a conditional still awaits its bit, or while a walk
+        # awaits TNTs, means the stream is inconsistent (post-loss).
+        if self._pending_cond is not None:
+            # The bit never arrived (lost): emit with unknown outcome.
+            self._note(packet.tsc, "conditional without TNT bit")
+            self._items.append(self._pending_cond)
+            self._pending_cond = None
+        if self._walk is not None:
+            self._note(packet.tsc, "walk abandoned by TIP")
+            self._walk = None
+        database = self.database
+        if database.is_return_stub(target):
+            self._items.append(InterpReturnStub(tsc=packet.tsc))
+            return
+        op = database.template_op_at(target)
+        if op is not None:
+            dispatch = InterpDispatch(tsc=packet.tsc, op=op)
+            if database.op_is_conditional(op):
+                if self._bits:
+                    dispatch.taken = self._bits.popleft()
+                    self._items.append(dispatch)
+                else:
+                    self._pending_cond = dispatch
+            else:
+                self._items.append(dispatch)
+            return
+        if database.in_code_cache(target):
+            span = JitSpan(tsc=packet.tsc)
+            self._items.append(span)
+            self._run_walk(span, target, packet.tsc)
+            return
+        self._note(packet.tsc, "TIP to unknown address 0x%x" % target)
+
+    # ------------------------------------------------------------------- walk
+    def _run_walk(self, span: JitSpan, address: int, tsc: int) -> None:
+        """Walk compiled code from *address* until input is exhausted."""
+        database = self.database
+        walked = 0
+        while True:
+            if walked > MAX_WALK:
+                self._note(tsc, "walk budget exceeded")
+                return
+            mi = database.native_instruction_at(address, tsc)
+            if mi is None:
+                self._note(tsc, "walk desynchronised at 0x%x" % address)
+                return
+            span.addresses.append(address)
+            self.stats.walked_instructions += 1
+            walked += 1
+            kind = mi.kind
+            if kind is MIKind.OTHER:
+                address = mi.end
+            elif kind in (MIKind.JMP_DIRECT, MIKind.CALL_DIRECT):
+                address = mi.target
+            elif kind is MIKind.COND_BRANCH:
+                if not self._bits:
+                    # Starve: suspend until more TNT bits arrive.  The
+                    # branch address is re-visited on resume.
+                    span.addresses.pop()
+                    self.stats.walked_instructions -= 1
+                    self._walk = (span, address)
+                    return
+                taken = self._bits.popleft()
+                address = mi.target if taken else mi.end
+            else:
+                # Indirect branch / return: the next TIP carries the target.
+                return
+
+    def _drain_bits(self, tsc: int) -> None:
+        if self._pending_cond is not None and self._bits:
+            self._pending_cond.taken = self._bits.popleft()
+            self._items.append(self._pending_cond)
+            self._pending_cond = None
+        if self._walk is not None and self._bits:
+            span, address = self._walk
+            self._walk = None
+            self._run_walk(span, address, tsc)
+
+    # ---------------------------------------------------------------- cleanup
+    def _abandon(self, why: str) -> None:
+        if self._pending_cond is not None:
+            # Emit with unknown outcome rather than dropping the dispatch.
+            self._items.append(self._pending_cond)
+            self._pending_cond = None
+        self._walk = None
+
+    def _finish_pending(self) -> None:
+        self._abandon("end of stream")
+
+    def _note(self, tsc: int, reason: str) -> None:
+        self.stats.anomalies += 1
+        self._items.append(DecodeAnomaly(tsc=tsc, reason=reason))

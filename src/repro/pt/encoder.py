@@ -1,0 +1,142 @@
+"""PT packet encoder: hardware branch events -> a compressed packet stream.
+
+Implements the compression behaviour the paper describes in Section 2:
+
+* conditional outcomes are packed into multi-bit TNT packets (the pending
+  TNT buffer is flushed before any non-TNT packet so the bit/branch
+  correspondence survives stream segmentation);
+* unconditional direct jumps produce nothing (the runtime never emits
+  events for them in the first place);
+* TIP target IPs are compressed against the previously emitted IP;
+* TSC packets are inserted whenever enough time has passed since the last
+  one.
+
+The encoder is per-core and stateful; use :func:`encode_core` for the
+common one-shot case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from ..jvm.machine import (
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    HardwareEvent,
+    TipEvent,
+    TntEvent,
+)
+from .packets import (
+    FUPPacket,
+    Packet,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    compressed_tip_size,
+)
+
+
+@dataclass
+class EncoderConfig:
+    """Encoder tuning.
+
+    Attributes:
+        tsc_interval: Emit a TSC packet when at least this many TSC units
+            elapsed since the previous one.
+        tnt_capacity: Bits per short TNT packet (6 in real PT).
+    """
+
+    tsc_interval: int = 2_000
+    tnt_capacity: int = 6
+
+
+@dataclass
+class EncoderStats:
+    """Byte/packet accounting for trace-size experiments (Table 5)."""
+
+    packets: int = 0
+    bytes: int = 0
+    tnt_bits: int = 0
+    tips: int = 0
+
+    def add(self, packet: Packet) -> None:
+        self.packets += 1
+        self.bytes += packet.size
+        if isinstance(packet, TNTPacket):
+            self.tnt_bits += len(packet.bits)
+        elif isinstance(packet, TIPPacket):
+            self.tips += 1
+
+
+class PTEncoder:
+    """Stateful single-core encoder."""
+
+    def __init__(self, config: EncoderConfig = EncoderConfig()):
+        self.config = config
+        self.stats = EncoderStats()
+        self._pending_bits: List[bool] = []
+        self._pending_tsc = 0
+        self._last_ip = 0
+        self._last_tsc_packet = None
+
+    def encode(self, events: Iterable[HardwareEvent]) -> List[Packet]:
+        """Encode *events* (in TSC order) into packets."""
+        packets: List[Packet] = []
+        for event in events:
+            self._maybe_tsc(event.tsc, packets)
+            if isinstance(event, TntEvent):
+                if not self._pending_bits:
+                    self._pending_tsc = event.tsc
+                self._pending_bits.append(event.taken)
+                if len(self._pending_bits) >= self.config.tnt_capacity:
+                    self._flush_tnt(packets)
+            elif isinstance(event, TipEvent):
+                self._flush_tnt(packets)
+                size = compressed_tip_size(event.target, self._last_ip)
+                self._last_ip = event.target
+                self._append(packets, TIPPacket(event.tsc, event.target, size))
+            elif isinstance(event, FupEvent):
+                self._flush_tnt(packets)
+                self._append(packets, FUPPacket(event.tsc, event.ip))
+            elif isinstance(event, EnableEvent):
+                self._flush_tnt(packets)
+                self._append(packets, PGEPacket(event.tsc, event.ip))
+            elif isinstance(event, DisableEvent):
+                self._flush_tnt(packets)
+                self._append(packets, PGDPacket(event.tsc, event.ip))
+            else:  # pragma: no cover - exhaustive over HardwareEvent
+                raise TypeError("unknown event %r" % (event,))
+        self._flush_tnt(packets)
+        return packets
+
+    # ------------------------------------------------------------- internals
+    def _append(self, packets: List[Packet], packet: Packet) -> None:
+        packets.append(packet)
+        self.stats.add(packet)
+
+    def _flush_tnt(self, packets: List[Packet]) -> None:
+        if self._pending_bits:
+            self._append(
+                packets, TNTPacket(self._pending_tsc, tuple(self._pending_bits))
+            )
+            self._pending_bits = []
+
+    def _maybe_tsc(self, tsc: int, packets: List[Packet]) -> None:
+        if (
+            self._last_tsc_packet is None
+            or tsc - self._last_tsc_packet >= self.config.tsc_interval
+        ):
+            self._flush_tnt(packets)
+            self._append(packets, TSCPacket(tsc))
+            self._last_tsc_packet = tsc
+
+
+def encode_core(
+    events: Iterable[HardwareEvent], config: EncoderConfig = EncoderConfig()
+) -> List[Packet]:
+    """Encode one core's event list; convenience wrapper."""
+    return PTEncoder(config).encode(events)

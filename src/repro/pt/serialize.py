@@ -1,0 +1,177 @@
+"""Binary serialisation of PT packet streams.
+
+The online collector "periodically dumps trace packets to files"
+(Section 3); this module defines the on-disk format: a compact binary
+encoding with one header byte per packet, variable-length payloads
+matching each packet's compressed size, and framed aux-loss records.
+:func:`write_stream` / :func:`read_stream` round-trip a merged
+``("packet" | "loss", item)`` stream, so a collected trace can be stored,
+shipped, and decoded later exactly as perf data files are.
+
+Format (little-endian):
+
+====  =======================================================
+byte  meaning
+====  =======================================================
+0x01  PGE   -- u64 tsc, u64 ip
+0x02  PGD   -- u64 tsc, u64 ip
+0x03  TNT   -- u64 tsc, u8 count, u8 bitfield
+0x04  TIP   -- u64 tsc, u8 compressed_size, u64 target
+0x05  FUP   -- u64 tsc, u64 ip
+0x06  TSC   -- u64 tsc
+0x07  LOSS  -- u64 start, u64 end, u64 bytes, u32 packets
+====  =======================================================
+
+The logical ``compressed_size`` is stored so byte accounting survives the
+round trip (the file stores full IPs for simplicity; real PT would store
+the compressed form -- the *semantics* is identical).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, List, Tuple
+
+from .packets import (
+    AuxLossRecord,
+    FUPPacket,
+    Packet,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+)
+
+_TAG_PGE = 0x01
+_TAG_PGD = 0x02
+_TAG_TNT = 0x03
+_TAG_TIP = 0x04
+_TAG_FUP = 0x05
+_TAG_TSC = 0x06
+_TAG_LOSS = 0x07
+
+_MAGIC = b"RPT1"
+
+
+class TraceFormatError(Exception):
+    """Raised on malformed trace files."""
+
+
+def write_stream(
+    stream: Iterable[Tuple[str, object]], sink: BinaryIO
+) -> int:
+    """Serialise a merged packet/loss stream; returns bytes written."""
+    written = sink.write(_MAGIC)
+    for tag, item in stream:
+        if tag == "loss":
+            record: AuxLossRecord = item
+            written += sink.write(
+                struct.pack(
+                    "<BQQQI",
+                    _TAG_LOSS,
+                    record.start_tsc,
+                    record.end_tsc,
+                    record.bytes_lost,
+                    record.packets_lost,
+                )
+            )
+            continue
+        packet: Packet = item
+        if isinstance(packet, PGEPacket):
+            written += sink.write(struct.pack("<BQQ", _TAG_PGE, packet.tsc, packet.ip))
+        elif isinstance(packet, PGDPacket):
+            written += sink.write(struct.pack("<BQQ", _TAG_PGD, packet.tsc, packet.ip))
+        elif isinstance(packet, TNTPacket):
+            bits = 0
+            for position, bit in enumerate(packet.bits):
+                if bit:
+                    bits |= 1 << position
+            written += sink.write(
+                struct.pack("<BQBB", _TAG_TNT, packet.tsc, len(packet.bits), bits)
+            )
+        elif isinstance(packet, TIPPacket):
+            written += sink.write(
+                struct.pack(
+                    "<BQBQ", _TAG_TIP, packet.tsc, packet.compressed_size, packet.target
+                )
+            )
+        elif isinstance(packet, FUPPacket):
+            written += sink.write(struct.pack("<BQQ", _TAG_FUP, packet.tsc, packet.ip))
+        elif isinstance(packet, TSCPacket):
+            written += sink.write(struct.pack("<BQ", _TAG_TSC, packet.tsc))
+        else:  # pragma: no cover - exhaustive
+            raise TypeError("unknown packet %r" % (packet,))
+    return written
+
+
+def read_stream(source: BinaryIO) -> List[Tuple[str, object]]:
+    """Parse a serialised stream back into ``("packet"|"loss", item)``."""
+    magic = source.read(4)
+    if magic != _MAGIC:
+        raise TraceFormatError("bad magic %r" % magic)
+    stream: List[Tuple[str, object]] = []
+
+    def need(count: int) -> bytes:
+        data = source.read(count)
+        if len(data) != count:
+            raise TraceFormatError("truncated trace file")
+        return data
+
+    while True:
+        tag_byte = source.read(1)
+        if not tag_byte:
+            break
+        tag = tag_byte[0]
+        if tag == _TAG_PGE:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            stream.append(("packet", PGEPacket(tsc=tsc, ip=ip)))
+        elif tag == _TAG_PGD:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            stream.append(("packet", PGDPacket(tsc=tsc, ip=ip)))
+        elif tag == _TAG_TNT:
+            tsc, count, bitfield = struct.unpack("<QBB", need(10))
+            if not 1 <= count <= 6:
+                raise TraceFormatError("invalid TNT count %d" % count)
+            bits = tuple(bool(bitfield & (1 << i)) for i in range(count))
+            stream.append(("packet", TNTPacket(tsc=tsc, bits=bits)))
+        elif tag == _TAG_TIP:
+            tsc, size, target = struct.unpack("<QBQ", need(17))
+            stream.append(
+                ("packet", TIPPacket(tsc=tsc, target=target, compressed_size=size))
+            )
+        elif tag == _TAG_FUP:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            stream.append(("packet", FUPPacket(tsc=tsc, ip=ip)))
+        elif tag == _TAG_TSC:
+            (tsc,) = struct.unpack("<Q", need(8))
+            stream.append(("packet", TSCPacket(tsc=tsc)))
+        elif tag == _TAG_LOSS:
+            start, end, lost, packets = struct.unpack("<QQQI", need(28))
+            stream.append(
+                (
+                    "loss",
+                    AuxLossRecord(
+                        start_tsc=start,
+                        end_tsc=end,
+                        bytes_lost=lost,
+                        packets_lost=packets,
+                    ),
+                )
+            )
+        else:
+            raise TraceFormatError("unknown tag 0x%02x" % tag)
+    return stream
+
+
+def dump_bytes(stream: Iterable[Tuple[str, object]]) -> bytes:
+    """Serialise to an in-memory buffer."""
+    sink = io.BytesIO()
+    write_stream(stream, sink)
+    return sink.getvalue()
+
+
+def load_bytes(data: bytes) -> List[Tuple[str, object]]:
+    """Parse from an in-memory buffer."""
+    return read_stream(io.BytesIO(data))

@@ -1,0 +1,19 @@
+"""Workloads: DaCapo-like subjects and the random program generator."""
+
+from .dacapo import (
+    BUILDERS,
+    SUBJECT_NAMES,
+    Subject,
+    all_subjects,
+    build_subject,
+    default_config,
+)
+
+__all__ = [
+    "BUILDERS",
+    "SUBJECT_NAMES",
+    "Subject",
+    "all_subjects",
+    "build_subject",
+    "default_config",
+]

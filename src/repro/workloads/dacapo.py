@@ -1,0 +1,917 @@
+"""Synthetic DaCapo-like benchmark subjects.
+
+Nine subjects named after the nine DaCapo programs the paper evaluates
+(Table 1), each built in our bytecode ISA with the workload *character*
+that drives the paper's observed behaviour:
+
+========  ==========================================================
+avrora    instruction-dispatch simulator: tableswitch loop, very hot
+batik     rasteriser: nested arithmetic loops, small inlinable helpers
+fop       layout tree: recursion + virtual dispatch + exceptions
+h2        hash-table database: multi-threaded transactions over arrays
+jython    stack-machine interpreter: call-heavy dispatch loop
+luindex   indexer: binary search + array insertion, branchy
+lusearch  search: posting-list merge joins, multi-threaded
+pmd       AST rule checker: many small virtual predicates, multi-threaded
+sunflow   ray tracer: fixed-point arithmetic inner loops, highest
+          trace-generation rate
+========  ==========================================================
+
+Sizes are scaled to simulator speed: ``size`` is roughly the number of
+outer-loop iterations / transactions; the default produces tens of
+thousands of executed bytecodes per subject.  ``Subject.run`` executes the
+workload and returns the :class:`~repro.jvm.runtime.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..jvm.assembler import MethodAssembler
+from ..jvm.jit import JITPolicy
+from ..jvm.model import JClass, JProgram
+from ..jvm.runtime import JVMRuntime, RunResult, RuntimeConfig
+from ..jvm.verifier import verify_program
+
+ThreadEntry = Tuple[str, str, Tuple]
+
+
+@dataclass
+class Subject:
+    """One benchmark subject."""
+
+    name: str
+    program: JProgram
+    extra_threads: List[ThreadEntry] = field(default_factory=list)
+    description: str = ""
+    # Suggested call sites to hide from the static ICFG (reflection-style
+    # dispatch); used by the reconstruction experiments.
+    opaque_call_sites: Tuple = ()
+
+    @property
+    def threaded(self) -> bool:
+        return bool(self.extra_threads)
+
+    def make_runtime(self, config: Optional[RuntimeConfig] = None) -> JVMRuntime:
+        runtime = JVMRuntime(self.program, config or default_config())
+        runtime.add_thread(name="main")
+        for class_name, method_name, args in self.extra_threads:
+            runtime.add_thread(class_name, method_name, args)
+        return runtime
+
+    def run(self, config: Optional[RuntimeConfig] = None) -> RunResult:
+        return self.make_runtime(config).run()
+
+
+def default_config(**overrides) -> RuntimeConfig:
+    """Runtime configuration used by the evaluation harness."""
+    config = RuntimeConfig(
+        cores=4,
+        quantum=300,
+        jit=JITPolicy(hot_threshold=8),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _finish(program: JProgram) -> JProgram:
+    verify_program(program)
+    return program
+
+
+# --------------------------------------------------------------------- shared
+def _emit_lcg(asm: MethodAssembler, seed_local: int) -> None:
+    """seed = (seed * 1103515245 + 12345) & 0x7fffffff, in bytecode."""
+    asm.load(seed_local)
+    asm.const(1103515245)
+    asm.imul()
+    asm.const(12345)
+    asm.iadd()
+    asm.const(0x7FFFFFFF)
+    asm.iand()
+    asm.store(seed_local)
+
+
+def _rand_method(class_name: str) -> MethodAssembler:
+    """static int rand(int seed) -> next seed (shared PRNG helper)."""
+    asm = MethodAssembler(class_name, "rand", arg_count=1, returns_value=True)
+    _emit_lcg(asm, 0)
+    asm.load(0).ireturn()
+    return asm
+
+
+# --------------------------------------------------------------------- avrora
+def build_avrora(size: int = 4_000) -> Subject:
+    """AVR simulator: fetch/decode/execute loop with a tableswitch.
+
+    Locals in ``main``: 0=steps-left, 1=pc, 2=firmware, 3=regs, 4=word,
+    5=opcode, 6=operand, 7=scratch.
+    """
+    prog_len = 64
+    cls = JClass("Avrora")
+
+    gen = MethodAssembler("Avrora", "firmware", arg_count=1, returns_value=True)
+    # locals: 0=seed, 1=arr, 2=i
+    gen.const(prog_len).newarray().astore(1)
+    gen.const(0).store(2)
+    gen.label("head")
+    gen.load(2).const(prog_len).if_icmpge("done")
+    _emit_lcg(gen, 0)
+    gen.aload(1).load(2).load(0).iastore()
+    gen.iinc(2, 1).goto("head")
+    gen.label("done")
+    gen.aload(1).areturn()
+    cls.add_method(gen.build())
+
+    alu = MethodAssembler("Avrora", "alu", arg_count=3, returns_value=True)
+    # locals: 0=a, 1=b, 2=op-kind
+    alu.load(2).ifne("sub")
+    alu.load(0).load(1).iadd().ireturn()
+    alu.label("sub")
+    alu.load(2).const(1).if_icmpne("xor")
+    alu.load(0).load(1).isub().ireturn()
+    alu.label("xor")
+    alu.load(0).load(1).ixor().ireturn()
+    cls.add_method(alu.build())
+
+    main = MethodAssembler("Avrora", "main", arg_count=0, returns_value=True)
+    main.const(size).store(0)
+    main.const(0).store(1)
+    main.const(20251).invokestatic("Avrora", "firmware", 1, True).astore(2)
+    main.const(8).newarray().astore(3)
+    main.label("loop")
+    main.load(0).ifle("halt")
+    # word = firmware[pc]; opcode = word & 7; operand = (word >> 3) % 64
+    main.aload(2).load(1).iaload().store(4)
+    main.load(4).const(7).iand().store(5)
+    main.load(4).const(3).ishr().const(prog_len).irem().store(6)
+    main.load(5).tableswitch(
+        {0: "op_add", 1: "op_sub", 2: "op_xor", 3: "op_jmp", 4: "op_brz",
+         5: "op_ld", 6: "op_st"},
+        "op_nop",
+    )
+    main.label("op_add")
+    main.aload(3).const(0)
+    main.aload(3).const(0).iaload()
+    main.load(6).const(0).invokestatic("Avrora", "alu", 3, True)
+    main.iastore().goto("next")
+    main.label("op_sub")
+    main.aload(3).const(1)
+    main.aload(3).const(1).iaload()
+    main.load(6).const(1).invokestatic("Avrora", "alu", 3, True)
+    main.iastore().goto("next")
+    main.label("op_xor")
+    main.aload(3).const(2)
+    main.aload(3).const(2).iaload()
+    main.load(6).const(2).invokestatic("Avrora", "alu", 3, True)
+    main.iastore().goto("next")
+    main.label("op_jmp")
+    # A timer interrupt (regs[0], ticked every cycle) occasionally forces
+    # fallthrough, so jump-only firmware cycles cannot trap the pc.
+    main.aload(3).const(0).iaload().const(3).iand().ifeq("next")
+    main.load(1).load(6).iadd().const(prog_len).irem().store(1).goto("count")
+    main.label("op_brz")
+    main.aload(3).const(0).iaload().const(1).iand().ifne("next")
+    main.load(6).store(1).goto("count")
+    main.label("op_ld")
+    main.aload(3).const(3).aload(2).load(6).iaload().iastore().goto("next")
+    main.label("op_st")
+    main.aload(3).const(4).load(6).iastore().goto("next")
+    main.label("op_nop")
+    main.goto("next")
+    main.label("next")
+    main.load(1).const(1).iadd().const(prog_len).irem().store(1)
+    main.label("count")
+    # timer tick: regs[0]++
+    main.aload(3).const(0)
+    main.aload(3).const(0).iaload().const(1).iadd()
+    main.iastore()
+    main.iinc(0, -1).goto("loop")
+    main.label("halt")
+    main.aload(3).const(0).iaload().ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("avrora")
+    program.add_class(cls)
+    program.set_entry("Avrora", "main")
+    return Subject(
+        name="avrora",
+        program=_finish(program),
+        description="instruction-dispatch simulator (tableswitch loop)",
+    )
+
+
+# ---------------------------------------------------------------------- batik
+def build_batik(size: int = 150) -> Subject:
+    """Rasteriser: nested scanline loops with inlinable edge functions."""
+    width = 48
+    cls = JClass("Batik")
+
+    edge = MethodAssembler("Batik", "edge", arg_count=4, returns_value=True)
+    # locals: 0=x, 1=y, 2=ax, 3=ay  -> sign of cross product
+    edge.load(0).load(3).imul()
+    edge.load(1).load(2).imul()
+    edge.isub()
+    edge.ifge("inside")
+    edge.const(0).ireturn()
+    edge.label("inside")
+    edge.const(1).ireturn()
+    cls.add_method(edge.build())
+
+    shade = MethodAssembler("Batik", "shade", arg_count=2, returns_value=True)
+    # locals: 0=x, 1=y -> cheap shading value
+    shade.load(0).load(1).imul().const(255).iand().ireturn()
+    cls.add_method(shade.build())
+
+    main = MethodAssembler("Batik", "main", arg_count=0, returns_value=True)
+    # locals: 0=y, 1=x, 2=acc, 3=rows
+    main.const(0).store(2)
+    main.const(size).store(3)
+    main.const(0).store(0)
+    main.label("rows")
+    main.load(0).load(3).if_icmpge("done")
+    main.const(0).store(1)
+    main.label("cols")
+    main.load(1).const(width).if_icmpge("row_done")
+    main.load(1).load(0).const(31).const(17)
+    main.invokestatic("Batik", "edge", 4, True)
+    main.ifeq("skip")
+    main.load(2)
+    main.load(1).load(0).invokestatic("Batik", "shade", 2, True)
+    main.iadd().store(2)
+    main.label("skip")
+    main.iinc(1, 1).goto("cols")
+    main.label("row_done")
+    main.iinc(0, 1).goto("rows")
+    main.label("done")
+    main.load(2).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("batik")
+    program.add_class(cls)
+    program.set_entry("Batik", "main")
+    return Subject(
+        name="batik",
+        program=_finish(program),
+        description="scanline rasteriser (nested arithmetic loops)",
+    )
+
+
+# ------------------------------------------------------------------------ fop
+def build_fop(size: int = 60) -> Subject:
+    """Layout engine: recursive tree building + virtual dispatch + throws.
+
+    A random binary layout tree is built (``build``), then measured by
+    virtual ``measure`` methods overridden per node class; text nodes with
+    a zero width throw a LayoutException handled at the root.
+    """
+    base = JClass("Node", fields=("kind", "left", "right", "width"))
+    measure_base = MethodAssembler(
+        "Node", "measure", arg_count=1, returns_value=True, is_static=False
+    )
+    measure_base.aload(0).getfield("Node", "width").ireturn()
+    base.add_method(measure_base.build())
+
+    block = JClass("BlockNode", superclass="Node")
+    measure_block = MethodAssembler(
+        "BlockNode", "measure", arg_count=1, returns_value=True, is_static=False
+    )
+    # width = measure(left) + measure(right)
+    measure_block.aload(0).getfield("Node", "left")
+    measure_block.invokevirtual("Node", "measure", 1, True)
+    measure_block.aload(0).getfield("Node", "right")
+    measure_block.invokevirtual("Node", "measure", 1, True)
+    measure_block.iadd().ireturn()
+    block.add_method(measure_block.build())
+
+    inline = JClass("InlineNode", superclass="Node")
+    measure_inline = MethodAssembler(
+        "InlineNode", "measure", arg_count=1, returns_value=True, is_static=False
+    )
+    # max(left, right) approximated by left + (right>>1)
+    measure_inline.aload(0).getfield("Node", "left")
+    measure_inline.invokevirtual("Node", "measure", 1, True)
+    measure_inline.aload(0).getfield("Node", "right")
+    measure_inline.invokevirtual("Node", "measure", 1, True)
+    measure_inline.const(1).ishr().iadd().ireturn()
+    inline.add_method(measure_inline.build())
+
+    text = JClass("TextNode", superclass="Node")
+    measure_text = MethodAssembler(
+        "TextNode", "measure", arg_count=1, returns_value=True, is_static=False
+    )
+    measure_text.aload(0).getfield("Node", "width").store(1)
+    measure_text.load(1).ifne("ok")
+    measure_text.new("LayoutException").athrow()
+    measure_text.label("ok")
+    measure_text.load(1).ireturn()
+    text.add_method(measure_text.build())
+
+    driver = JClass("Fop")
+    build = MethodAssembler("Fop", "build", arg_count=2, returns_value=True)
+    # locals: 0=depth, 1=seed, 2=node, 3=seed'
+    build.load(1).invokestatic("Fop", "rand", 1, True).store(3)
+    build.load(0).ifgt("internal")
+    # leaf: TextNode with width seed%17 (zero sometimes -> throw)
+    build.new("TextNode").astore(2)
+    build.aload(2).load(3).const(17).irem().putfield("Node", "width")
+    build.aload(2).areturn()
+    build.label("internal")
+    build.load(3).const(1).iand().ifeq("make_block")
+    build.new("InlineNode").astore(2)
+    build.goto("children")
+    build.label("make_block")
+    build.new("BlockNode").astore(2)
+    build.label("children")
+    build.aload(2)
+    build.load(0).const(1).isub().load(3).invokestatic("Fop", "build", 2, True)
+    build.putfield("Node", "left")
+    build.aload(2)
+    build.load(0).const(1).isub()
+    build.load(3).const(7919).iadd().invokestatic("Fop", "build", 2, True)
+    build.putfield("Node", "right")
+    build.aload(2).areturn()
+    driver.add_method(build.build())
+    driver.add_method(_rand_method("Fop").build())
+
+    main = MethodAssembler("Fop", "main", arg_count=0, returns_value=True)
+    # locals: 0=i, 1=acc, 2=tree
+    main.const(0).store(0)
+    main.const(0).store(1)
+    main.label("head")
+    main.load(0).const(size).if_icmpge("done")
+    main.const(5).load(0).const(31).imul().const(11).iadd()
+    main.invokestatic("Fop", "build", 2, True).astore(2)
+    main.label("try_start")
+    main.aload(2).invokevirtual("Node", "measure", 1, True)
+    main.load(1).iadd().store(1)
+    main.label("try_end")
+    main.goto("next")
+    main.label("catch")
+    main.pop()  # discard the exception object
+    main.iinc(1, -1)
+    main.label("next")
+    main.iinc(0, 1).goto("head")
+    main.label("done")
+    main.load(1).ireturn()
+    main.handler("try_start", "try_end", "catch")
+    driver.add_method(main.build())
+
+    program = JProgram("fop")
+    for jclass in (base, block, inline, text, driver, JClass("LayoutException")):
+        program.add_class(jclass)
+    program.set_entry("Fop", "main")
+    return Subject(
+        name="fop",
+        program=_finish(program),
+        description="layout tree: recursion, virtual dispatch, exceptions",
+    )
+
+
+# ------------------------------------------------------------------------- h2
+def build_h2(size: int = 600, workers: int = 3) -> Subject:
+    """Hash-table database: multi-threaded insert/lookup transactions."""
+    buckets = 128
+    cls = JClass("H2")
+    cls_fields = ("table",)
+    cls.fields = cls_fields
+
+    setup = MethodAssembler("H2", "setup", arg_count=0, returns_value=False)
+    setup.const(buckets).newarray().putstatic("H2", "table")
+    setup.return_()
+    cls.add_method(setup.build())
+
+    hashm = MethodAssembler("H2", "hash", arg_count=1, returns_value=True)
+    hashm.load(0).const(2654435761).imul()
+    hashm.const(0x7FFFFFFF).iand()
+    hashm.const(buckets).irem().ireturn()
+    cls.add_method(hashm.build())
+
+    insert = MethodAssembler("H2", "insert", arg_count=1, returns_value=True)
+    # locals: 0=key, 1=slot, 2=probes, 3=occupant
+    insert.load(0).invokestatic("H2", "hash", 1, True).store(1)
+    insert.const(0).store(2)
+    insert.label("probe")
+    insert.load(2).const(buckets).if_icmpge("full")
+    insert.getstatic("H2", "table").load(1).iaload().store(3)
+    insert.load(3).ifeq("empty")
+    insert.load(3).load(0).if_icmpeq("exists")
+    insert.load(1).const(1).iadd().const(buckets).irem().store(1)
+    insert.iinc(2, 1).goto("probe")
+    insert.label("empty")
+    insert.getstatic("H2", "table").load(1).load(0).iastore()
+    insert.const(1).ireturn()
+    insert.label("exists")
+    insert.const(0).ireturn()
+    insert.label("full")
+    insert.const(0).ireturn()
+    cls.add_method(insert.build())
+
+    lookup = MethodAssembler("H2", "lookup", arg_count=1, returns_value=True)
+    # locals: 0=key, 1=slot, 2=probes
+    lookup.load(0).invokestatic("H2", "hash", 1, True).store(1)
+    lookup.const(0).store(2)
+    lookup.label("probe")
+    lookup.load(2).const(buckets).if_icmpge("miss")
+    lookup.getstatic("H2", "table").load(1).iaload().load(0).if_icmpeq("hit")
+    lookup.getstatic("H2", "table").load(1).iaload().ifeq("miss")
+    lookup.load(1).const(1).iadd().const(buckets).irem().store(1)
+    lookup.iinc(2, 1).goto("probe")
+    lookup.label("hit")
+    lookup.const(1).ireturn()
+    lookup.label("miss")
+    lookup.const(0).ireturn()
+    cls.add_method(lookup.build())
+
+    worker = MethodAssembler("H2", "worker", arg_count=1, returns_value=True)
+    # locals: 0=seed, 1=ops, 2=acc, 3=key
+    worker.const(size).store(1)
+    worker.const(0).store(2)
+    worker.label("loop")
+    worker.load(1).ifle("done")
+    _emit_lcg(worker, 0)
+    worker.load(0).const(97).irem().const(1).iadd().store(3)
+    worker.load(0).const(3).iand().ifne("do_lookup")
+    worker.load(3).invokestatic("H2", "insert", 1, True)
+    worker.load(2).iadd().store(2)
+    worker.goto("next")
+    worker.label("do_lookup")
+    worker.load(3).invokestatic("H2", "lookup", 1, True)
+    worker.load(2).iadd().store(2)
+    worker.label("next")
+    worker.iinc(1, -1).goto("loop")
+    worker.label("done")
+    worker.load(2).ireturn()
+    cls.add_method(worker.build())
+
+    main = MethodAssembler("H2", "main", arg_count=0, returns_value=True)
+    main.invokestatic("H2", "setup", 0, False)
+    main.const(777).invokestatic("H2", "worker", 1, True).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("h2")
+    program.add_class(cls)
+    program.set_entry("H2", "main")
+    extra = [("H2", "worker", (1000 + 13 * i,)) for i in range(workers)]
+    return Subject(
+        name="h2",
+        program=_finish(program),
+        extra_threads=extra,
+        description="hash-table database, multi-threaded transactions",
+    )
+
+
+# --------------------------------------------------------------------- jython
+def build_jython(size: int = 1_500) -> Subject:
+    """Stack-machine interpreter: call-heavy lookupswitch dispatch loop.
+
+    The "Python program" is a little stack program evaluated over and
+    over; each operation is a static method call (jython's interpreter is
+    famously call-dense).
+    """
+    prog_len = 24
+    cls = JClass("Jython")
+
+    push_op = MethodAssembler("Jython", "op_push", arg_count=2, returns_value=True)
+    # (value, acc) -> acc stand-in: acc*3 + value
+    push_op.load(1).const(3).imul().load(0).iadd()
+    push_op.const(0x7FFFFFFF).iand().ireturn()
+    cls.add_method(push_op.build())
+
+    add_op = MethodAssembler("Jython", "op_add", arg_count=1, returns_value=True)
+    add_op.load(0).const(7).iadd().ireturn()
+    cls.add_method(add_op.build())
+
+    mul_op = MethodAssembler("Jython", "op_mul", arg_count=1, returns_value=True)
+    mul_op.load(0).const(3).imul().const(0x7FFFFFFF).iand().ireturn()
+    cls.add_method(mul_op.build())
+
+    cmp_op = MethodAssembler("Jython", "op_cmp", arg_count=1, returns_value=True)
+    cmp_op.load(0).const(2).irem().ifne("odd")
+    cmp_op.const(1).ireturn()
+    cmp_op.label("odd")
+    cmp_op.const(0).ireturn()
+    cls.add_method(cmp_op.build())
+
+    main = MethodAssembler("Jython", "main", arg_count=0, returns_value=True)
+    # locals: 0=iterations, 1=ip, 2=acc, 3=opcode, 4=seed
+    main.const(size).store(0)
+    main.const(0).store(1)
+    main.const(1).store(2)
+    main.const(40099).store(4)
+    main.label("loop")
+    main.load(0).ifle("halt")
+    _emit_lcg(main, 4)
+    main.load(4).load(1).iadd().const(5).irem().store(3)
+    main.load(3).lookupswitch(
+        {0: "do_push", 1: "do_add", 2: "do_mul", 3: "do_cmp"}, "do_jump"
+    )
+    main.label("do_push")
+    main.load(1).load(2).invokestatic("Jython", "op_push", 2, True).store(2)
+    main.goto("next")
+    main.label("do_add")
+    main.load(2).invokestatic("Jython", "op_add", 1, True).store(2)
+    main.goto("next")
+    main.label("do_mul")
+    main.load(2).invokestatic("Jython", "op_mul", 1, True).store(2)
+    main.goto("next")
+    main.label("do_cmp")
+    main.load(2).invokestatic("Jython", "op_cmp", 1, True).ifeq("next")
+    main.iinc(2, 1)
+    main.goto("next")
+    main.label("do_jump")
+    main.load(4).const(prog_len).irem().store(1)
+    main.label("next")
+    main.load(1).const(1).iadd().const(prog_len).irem().store(1)
+    main.iinc(0, -1).goto("loop")
+    main.label("halt")
+    main.load(2).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("jython")
+    program.add_class(cls)
+    program.set_entry("Jython", "main")
+    return Subject(
+        name="jython",
+        program=_finish(program),
+        description="stack-machine interpreter (call-heavy dispatch)",
+    )
+
+
+# -------------------------------------------------------------------- luindex
+def build_luindex(size: int = 250) -> Subject:
+    """Indexer: tokenise a pseudo-random document and keep a sorted index
+    via binary search + shifting insertion (branch-dense array code)."""
+    index_cap = 256
+    cls = JClass("Luindex")
+
+    search = MethodAssembler("Luindex", "search", arg_count=3, returns_value=True)
+    # locals: 0=index arr, 1=count, 2=needle, 3=lo, 4=hi, 5=mid, 6=val
+    search.const(0).store(3)
+    search.load(1).store(4)
+    search.label("loop")
+    search.load(3).load(4).if_icmpge("done")
+    search.load(3).load(4).iadd().const(1).ishr().store(5)
+    search.aload(0).load(5).iaload().store(6)
+    search.load(6).load(2).if_icmplt("go_right")
+    search.load(5).store(4).goto("loop")
+    search.label("go_right")
+    search.load(5).const(1).iadd().store(3).goto("loop")
+    search.label("done")
+    search.load(3).ireturn()
+    cls.add_method(search.build())
+
+    insert = MethodAssembler("Luindex", "insert", arg_count=3, returns_value=True)
+    # locals: 0=arr, 1=count, 2=word, 3=pos, 4=i
+    insert.load(1).const(index_cap).if_icmplt("room")
+    insert.load(1).ireturn()
+    insert.label("room")
+    insert.aload(0).load(1).load(2).invokestatic("Luindex", "search", 3, True)
+    insert.store(3)
+    # already present? (pos < count and arr[pos] == word)
+    insert.load(3).load(1).if_icmpge("shift")
+    insert.aload(0).load(3).iaload().load(2).if_icmpne("shift")
+    insert.load(1).ireturn()
+    insert.label("shift")
+    insert.load(1).store(4)
+    insert.label("shift_loop")
+    insert.load(4).load(3).if_icmple("place")
+    insert.aload(0).load(4)
+    insert.aload(0).load(4).const(1).isub().iaload()
+    insert.iastore()
+    insert.iinc(4, -1).goto("shift_loop")
+    insert.label("place")
+    insert.aload(0).load(3).load(2).iastore()
+    insert.load(1).const(1).iadd().ireturn()
+    cls.add_method(insert.build())
+
+    main = MethodAssembler("Luindex", "main", arg_count=0, returns_value=True)
+    # locals: 0=docs-left, 1=seed, 2=index, 3=count, 4=tokens-left, 5=word
+    main.const(size).store(0)
+    main.const(90001).store(1)
+    main.const(index_cap).newarray().astore(2)
+    main.const(0).store(3)
+    main.label("docs")
+    main.load(0).ifle("done")
+    main.const(12).store(4)
+    main.label("tokens")
+    main.load(4).ifle("doc_done")
+    _emit_lcg(main, 1)
+    main.load(1).const(700).irem().store(5)
+    main.aload(2).load(3).load(5).invokestatic("Luindex", "insert", 3, True)
+    main.store(3)
+    main.iinc(4, -1).goto("tokens")
+    main.label("doc_done")
+    main.iinc(0, -1).goto("docs")
+    main.label("done")
+    main.load(3).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("luindex")
+    program.add_class(cls)
+    program.set_entry("Luindex", "main")
+    return Subject(
+        name="luindex",
+        program=_finish(program),
+        description="sorted-index builder (binary search + insertion)",
+    )
+
+
+# ------------------------------------------------------------------- lusearch
+def build_lusearch(size: int = 25, workers: int = 2) -> Subject:
+    """Search: conjunctive posting-list merge joins, multi-threaded."""
+    postings = 48
+    cls = JClass("Lusearch")
+
+    build_list = MethodAssembler("Lusearch", "postings", arg_count=1, returns_value=True)
+    # locals: 0=seed, 1=arr, 2=i, 3=doc
+    build_list.const(postings).newarray().astore(1)
+    build_list.const(0).store(2)
+    build_list.const(0).store(3)
+    build_list.label("fill")
+    build_list.load(2).const(postings).if_icmpge("done")
+    _emit_lcg(build_list, 0)
+    build_list.load(3).load(0).const(5).irem().const(1).iadd().iadd().store(3)
+    build_list.aload(1).load(2).load(3).iastore()
+    build_list.iinc(2, 1).goto("fill")
+    build_list.label("done")
+    build_list.aload(1).areturn()
+    cls.add_method(build_list.build())
+
+    join = MethodAssembler("Lusearch", "join", arg_count=2, returns_value=True)
+    # merge-intersect two sorted posting arrays; locals: 0=a, 1=b, 2=i,
+    # 3=j, 4=hits, 5=da, 6=db
+    join.const(0).store(2)
+    join.const(0).store(3)
+    join.const(0).store(4)
+    join.label("loop")
+    join.load(2).const(postings).if_icmpge("done")
+    join.load(3).const(postings).if_icmpge("done")
+    join.aload(0).load(2).iaload().store(5)
+    join.aload(1).load(3).iaload().store(6)
+    join.load(5).load(6).if_icmpne("unequal")
+    join.iinc(4, 1).iinc(2, 1).iinc(3, 1).goto("loop")
+    join.label("unequal")
+    join.load(5).load(6).if_icmpgt("adv_b")
+    join.iinc(2, 1).goto("loop")
+    join.label("adv_b")
+    join.iinc(3, 1).goto("loop")
+    join.label("done")
+    join.load(4).ireturn()
+    cls.add_method(join.build())
+
+    query = MethodAssembler("Lusearch", "query", arg_count=1, returns_value=True)
+    # locals: 0=seed, 1=queries-left, 2=hits, 3=list-a, 4=list-b
+    query.const(size).store(1)
+    query.const(0).store(2)
+    query.label("loop")
+    query.load(1).ifle("done")
+    _emit_lcg(query, 0)
+    query.load(0).invokestatic("Lusearch", "postings", 1, True).astore(3)
+    query.load(0).const(31).ixor().invokestatic("Lusearch", "postings", 1, True).astore(4)
+    query.aload(3).aload(4).invokestatic("Lusearch", "join", 2, True)
+    query.load(2).iadd().store(2)
+    query.iinc(1, -1).goto("loop")
+    query.label("done")
+    query.load(2).ireturn()
+    cls.add_method(query.build())
+
+    main = MethodAssembler("Lusearch", "main", arg_count=0, returns_value=True)
+    main.const(31337).invokestatic("Lusearch", "query", 1, True).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("lusearch")
+    program.add_class(cls)
+    program.set_entry("Lusearch", "main")
+    extra = [("Lusearch", "query", (5000 + 17 * i,)) for i in range(workers)]
+    return Subject(
+        name="lusearch",
+        program=_finish(program),
+        extra_threads=extra,
+        description="posting-list merge joins, multi-threaded",
+    )
+
+
+# ------------------------------------------------------------------------ pmd
+def build_pmd(size: int = 80, workers: int = 2) -> Subject:
+    """AST rule checker: virtual predicates over a synthetic tree,
+    multi-threaded; the rule dispatch site doubles as the reflective-call
+    example (see ``opaque_call_sites``)."""
+    base = JClass("AstNode", fields=("kind", "left", "right", "depth"))
+    check_base = MethodAssembler(
+        "AstNode", "check", arg_count=1, returns_value=True, is_static=False
+    )
+    check_base.aload(0).getfield("AstNode", "kind").const(3).irem().ifne("ok")
+    check_base.const(1).ireturn()
+    check_base.label("ok")
+    check_base.const(0).ireturn()
+    base.add_method(check_base.build())
+
+    stmt = JClass("StmtNode", superclass="AstNode")
+    check_stmt = MethodAssembler(
+        "StmtNode", "check", arg_count=1, returns_value=True, is_static=False
+    )
+    check_stmt.aload(0).getfield("AstNode", "depth").const(4).if_icmple("shallow")
+    check_stmt.const(1).ireturn()
+    check_stmt.label("shallow")
+    check_stmt.const(0).ireturn()
+    stmt.add_method(check_stmt.build())
+
+    expr = JClass("ExprNode", superclass="AstNode")
+    check_expr = MethodAssembler(
+        "ExprNode", "check", arg_count=1, returns_value=True, is_static=False
+    )
+    check_expr.aload(0).getfield("AstNode", "kind").const(1).iand().ireturn()
+    expr.add_method(check_expr.build())
+
+    driver = JClass("Pmd")
+    driver.add_method(_rand_method("Pmd").build())
+
+    build = MethodAssembler("Pmd", "build", arg_count=2, returns_value=True)
+    # locals: 0=depth, 1=seed, 2=node, 3=seed'
+    build.load(1).invokestatic("Pmd", "rand", 1, True).store(3)
+    build.load(0).ifgt("internal")
+    build.new("AstNode").astore(2)
+    build.aload(2).aconst_null().putfield("AstNode", "left")
+    build.aload(2).aconst_null().putfield("AstNode", "right")
+    build.goto("fill")
+    build.label("internal")
+    build.load(3).const(1).iand().ifeq("make_stmt")
+    build.new("ExprNode").astore(2)
+    build.goto("children")
+    build.label("make_stmt")
+    build.new("StmtNode").astore(2)
+    build.label("children")
+    build.aload(2)
+    build.load(0).const(1).isub().load(3).invokestatic("Pmd", "build", 2, True)
+    build.putfield("AstNode", "left")
+    build.aload(2)
+    build.load(0).const(1).isub().load(3).const(1231).ixor()
+    build.invokestatic("Pmd", "build", 2, True)
+    build.putfield("AstNode", "right")
+    build.label("fill")
+    build.aload(2).load(3).const(11).irem().putfield("AstNode", "kind")
+    build.aload(2).load(0).putfield("AstNode", "depth")
+    build.aload(2).areturn()
+    driver.add_method(build.build())
+
+    visit = MethodAssembler("Pmd", "visit", arg_count=1, returns_value=True)
+    # locals: 0=node, 1=violations
+    visit.aload(0).ifnonnull("live")
+    visit.const(0).ireturn()
+    visit.label("live")
+    visit.aload(0).invokevirtual("AstNode", "check", 1, True).store(1)
+    visit.aload(0).getfield("AstNode", "left").invokestatic("Pmd", "visit", 1, True)
+    visit.load(1).iadd().store(1)
+    visit.aload(0).getfield("AstNode", "right").invokestatic("Pmd", "visit", 1, True)
+    visit.load(1).iadd().store(1)
+    visit.load(1).ireturn()
+    driver.add_method(visit.build())
+
+    worker = MethodAssembler("Pmd", "worker", arg_count=1, returns_value=True)
+    # locals: 0=seed, 1=files-left, 2=acc, 3=tree
+    worker.const(size).store(1)
+    worker.const(0).store(2)
+    worker.label("loop")
+    worker.load(1).ifle("done")
+    _emit_lcg(worker, 0)
+    worker.const(4).load(0).invokestatic("Pmd", "build", 2, True).astore(3)
+    worker.aload(3).invokestatic("Pmd", "visit", 1, True)
+    worker.load(2).iadd().store(2)
+    worker.iinc(1, -1).goto("loop")
+    worker.label("done")
+    worker.load(2).ireturn()
+    driver.add_method(worker.build())
+
+    main = MethodAssembler("Pmd", "main", arg_count=0, returns_value=True)
+    main.const(5501).invokestatic("Pmd", "worker", 1, True).ireturn()
+    driver.add_method(main.build())
+
+    program = JProgram("pmd")
+    for jclass in (base, stmt, expr, driver):
+        program.add_class(jclass)
+    program.set_entry("Pmd", "main")
+    # The virtual rule-dispatch call inside Pmd.visit is the site we hide
+    # from the ICFG in the reflective-gap experiments.
+    visit_method = program.method("Pmd", "visit")
+    opaque = ()
+    for inst in visit_method.code:
+        if inst.methodref is not None and inst.methodref.method_name == "check":
+            opaque = (("Pmd.visit", inst.bci),)
+            break
+    extra = [("Pmd", "worker", (9000 + 29 * i,)) for i in range(workers)]
+    return Subject(
+        name="pmd",
+        program=_finish(program),
+        extra_threads=extra,
+        description="AST rule checker (virtual predicates), multi-threaded",
+        opaque_call_sites=opaque,
+    )
+
+
+# -------------------------------------------------------------------- sunflow
+def build_sunflow(size: int = 12) -> Subject:
+    """Ray tracer: fixed-point sphere intersection per pixel.
+
+    Arithmetic-dense inner loops that get compiled early -- the subject
+    with the highest trace-generation rate, as in the paper.
+    """
+    width = 32
+    cls = JClass("Sunflow")
+
+    intersect = MethodAssembler("Sunflow", "intersect", arg_count=3, returns_value=True)
+    # locals: 0=ox, 1=oy, 2=r2 -> discriminant-like value (fixed point)
+    intersect.load(0).load(0).imul()
+    intersect.load(1).load(1).imul()
+    intersect.iadd().store(2)
+    intersect.load(2).const(4096).if_icmpgt("miss")
+    intersect.const(4096).load(2).isub().ireturn()
+    intersect.label("miss")
+    intersect.const(0).ireturn()
+    cls.add_method(intersect.build())
+
+    shade_px = MethodAssembler("Sunflow", "shade", arg_count=2, returns_value=True)
+    # locals: 0=hit, 1=light -> shaded value
+    shade_px.load(0).ifne("lit")
+    shade_px.const(0).ireturn()
+    shade_px.label("lit")
+    shade_px.load(0).load(1).imul().const(12).ishr().ireturn()
+    cls.add_method(shade_px.build())
+
+    render = MethodAssembler("Sunflow", "render", arg_count=1, returns_value=True)
+    # locals: 0=frame, 1=y, 2=x, 3=acc, 4=hit
+    render.const(0).store(3)
+    render.const(0).store(1)
+    render.label("rows")
+    render.load(1).const(width).if_icmpge("done")
+    render.const(0).store(2)
+    render.label("cols")
+    render.load(2).const(width).if_icmpge("row_done")
+    render.load(2).const(16).isub().load(0).iadd()
+    render.load(1).const(16).isub()
+    render.const(0)
+    render.invokestatic("Sunflow", "intersect", 3, True).store(4)
+    render.load(4).const(96).invokestatic("Sunflow", "shade", 2, True)
+    render.load(3).iadd().const(0x7FFFFFFF).iand().store(3)
+    render.iinc(2, 1).goto("cols")
+    render.label("row_done")
+    render.iinc(1, 1).goto("rows")
+    render.label("done")
+    render.load(3).ireturn()
+    cls.add_method(render.build())
+
+    main = MethodAssembler("Sunflow", "main", arg_count=0, returns_value=True)
+    # locals: 0=frames-left, 1=acc
+    main.const(size).store(0)
+    main.const(0).store(1)
+    main.label("loop")
+    main.load(0).ifle("done")
+    main.load(0).invokestatic("Sunflow", "render", 1, True)
+    main.load(1).iadd().const(0x7FFFFFFF).iand().store(1)
+    main.iinc(0, -1).goto("loop")
+    main.label("done")
+    main.load(1).ireturn()
+    cls.add_method(main.build())
+
+    program = JProgram("sunflow")
+    program.add_class(cls)
+    program.set_entry("Sunflow", "main")
+    return Subject(
+        name="sunflow",
+        program=_finish(program),
+        description="fixed-point ray tracer (arithmetic-dense inner loops)",
+    )
+
+
+# ------------------------------------------------------------------- registry
+BUILDERS: Dict[str, Callable[..., Subject]] = {
+    "avrora": build_avrora,
+    "batik": build_batik,
+    "fop": build_fop,
+    "h2": build_h2,
+    "jython": build_jython,
+    "luindex": build_luindex,
+    "lusearch": build_lusearch,
+    "pmd": build_pmd,
+    "sunflow": build_sunflow,
+}
+
+SUBJECT_NAMES = tuple(sorted(BUILDERS))
+
+
+def build_subject(name: str, **kwargs) -> Subject:
+    """Build one subject by DaCapo name."""
+    try:
+        builder = BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown subject %r (expected one of %s)" % (name, ", ".join(SUBJECT_NAMES))
+        ) from None
+    return builder(**kwargs)
+
+
+def all_subjects(**kwargs) -> List[Subject]:
+    """Build all nine subjects with default sizes."""
+    return [build_subject(name) for name in SUBJECT_NAMES]

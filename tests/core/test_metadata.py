@@ -1,0 +1,127 @@
+"""Unit tests for metadata collection and the offline code database."""
+
+from repro.core.metadata import CodeDatabase, CodeDump, collect_metadata
+from repro.jvm.jit import JITPolicy
+from repro.jvm.opcodes import Op
+from repro.jvm.runtime import RuntimeConfig, run_program
+
+from ..conftest import build_figure2_program
+
+
+def _run(threshold=5):
+    program = build_figure2_program(iterations=30)
+    config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+    return run_program(program, config)
+
+
+class TestCollection:
+    def test_dump_per_compiled_method(self):
+        run = _run()
+        database = collect_metadata(run)
+        assert database.compiled_method_count() == run.counters["compiles"]
+
+    def test_dumps_carry_load_timestamps(self):
+        run = _run()
+        database = collect_metadata(run)
+        for dump in database.code_dumps:
+            assert dump.load_tsc >= 0
+            assert dump.unload_tsc is None
+            assert dump.entry < dump.limit
+
+    def test_metadata_bytes_positive(self):
+        database = collect_metadata(_run())
+        assert database.metadata_bytes() > 0
+
+
+class TestTemplateQueries:
+    def setup_method(self):
+        self.run = _run()
+        self.database = collect_metadata(self.run)
+
+    def test_template_lookup_roundtrip(self):
+        table = self.run.template_table
+        for op in (Op.ILOAD_0, Op.IFEQ, Op.GOTO, Op.IRETURN):
+            assert self.database.template_op_at(table.entry(op)) is op
+
+    def test_return_stub_detected(self):
+        table = self.run.template_table
+        assert self.database.is_return_stub(table.return_stub_entry)
+        assert not self.database.is_return_stub(table.entry(Op.NOP))
+
+    def test_conditional_classifier(self):
+        assert self.database.op_is_conditional(Op.IFEQ)
+        assert not self.database.op_is_conditional(Op.GOTO)
+        assert not self.database.op_is_conditional(Op.IADD)
+
+
+class TestNativeQueries:
+    def setup_method(self):
+        self.run = _run()
+        self.database = collect_metadata(self.run)
+        self.code = self.run.code_cache.lookup("Test.fun")
+
+    def test_instruction_lookup(self):
+        for mi in self.code.instructions:
+            found = self.database.native_instruction_at(mi.address)
+            assert found is not None
+            assert found.address == mi.address
+
+    def test_lookup_outside_code_is_none(self):
+        assert self.database.native_instruction_at(0x1234) is None
+        assert self.database.native_instruction_at(self.code.entry + 1) is None
+
+    def test_dump_at_resolves_range(self):
+        dump = self.database.dump_at(self.code.entry)
+        assert dump is not None
+        assert dump.qname == "Test.fun"
+        assert self.database.dump_at(self.code.limit + 1000) is None
+
+    def test_debug_frames_for_semantic_instructions(self):
+        frames_seen = 0
+        for mi in self.code.instructions:
+            frames = self.database.debug_frames_at(mi.address)
+            if frames is not None:
+                frames_seen += 1
+                assert frames[-1][0] in ("Test.fun", "Test.main")
+        assert frames_seen == len(self.code.debug)
+
+    def test_in_code_cache(self):
+        assert self.database.in_code_cache(self.code.entry)
+        assert not self.database.in_code_cache(
+            self.run.template_table.entry(Op.NOP)
+        )
+
+
+class TestAddressReuse:
+    def test_timestamp_disambiguates_reused_addresses(self):
+        from repro.jvm.machine import MachineInstruction, MIKind, DEFAULT_ADDRESS_SPACE
+
+        base = DEFAULT_ADDRESS_SPACE.code_cache_base
+        old_mi = MachineInstruction(base, 3, MIKind.OTHER, text="old")
+        new_mi = MachineInstruction(base, 3, MIKind.RET, text="new")
+        old = CodeDump(
+            qname="T.old", entry=base, limit=base + 3,
+            instructions=[old_mi], debug={base: (("T.old", 0),)},
+            load_tsc=0, unload_tsc=100,
+        )
+        new = CodeDump(
+            qname="T.new", entry=base, limit=base + 3,
+            instructions=[new_mi], debug={base: (("T.new", 0),)},
+            load_tsc=100, unload_tsc=None,
+        )
+        database = CodeDatabase({}, [old, new], DEFAULT_ADDRESS_SPACE)
+        assert database.native_instruction_at(base, tsc=50).text == "old"
+        assert database.native_instruction_at(base, tsc=150).text == "new"
+        assert database.debug_frames_at(base, tsc=50) == (("T.old", 0),)
+        assert database.debug_frames_at(base, tsc=150) == (("T.new", 0),)
+
+    def test_alive_at_semantics(self):
+        dump = CodeDump(
+            qname="q", entry=0, limit=1, instructions=[], debug={},
+            load_tsc=10, unload_tsc=20,
+        )
+        assert not dump.alive_at(5)
+        assert dump.alive_at(10)
+        assert dump.alive_at(19)
+        assert not dump.alive_at(20)
+        assert not dump.alive_at(None)  # None = "currently live"

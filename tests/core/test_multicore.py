@@ -1,0 +1,125 @@
+"""Unit tests for per-core -> per-thread trace reassembly (Section 6)."""
+
+from repro.core.multicore import split_by_thread
+from repro.jvm.jit import JITPolicy
+from repro.jvm.machine import ThreadSwitchRecord
+from repro.jvm.runtime import JVMRuntime, RuntimeConfig
+from repro.pt.packets import TIPPacket
+from repro.pt.perf import CoreTrace, PTConfig, PTTrace, collect
+
+from ..conftest import build_figure2_program, lossless_config
+
+
+def _synthetic_trace(switches, packets_by_core):
+    cores = []
+    for core_id, packets in enumerate(packets_by_core):
+        cores.append(
+            CoreTrace(
+                core=core_id,
+                packets=packets,
+                losses=[],
+                bytes_generated=sum(p.size for p in packets),
+                bytes_lost=0,
+                encoder_stats=None,
+            )
+        )
+    return PTTrace(cores=cores, thread_switches=switches, config=PTConfig())
+
+
+def _tip(tsc):
+    return TIPPacket(tsc=tsc, target=0x1000)
+
+
+class TestSyntheticSplitting:
+    def test_single_thread_single_core(self):
+        switches = [ThreadSwitchRecord(core=0, tid=0, tsc=0)]
+        trace = _synthetic_trace(switches, [[_tip(1), _tip(5)]])
+        threads = split_by_thread(trace)
+        assert set(threads) == {0}
+        assert threads[0].packet_count() == 2
+
+    def test_windows_assign_by_timestamp(self):
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=1, tsc=10),
+            ThreadSwitchRecord(core=0, tid=0, tsc=20),
+        ]
+        packets = [_tip(1), _tip(11), _tip(15), _tip(25)]
+        threads = split_by_thread(_synthetic_trace(switches, [packets]))
+        assert threads[0].packet_count() == 2
+        assert threads[1].packet_count() == 2
+
+    def test_cross_core_merge_in_tsc_order(self):
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=1, tid=0, tsc=10),
+        ]
+        trace = _synthetic_trace(
+            switches, [[_tip(1), _tip(2)], [_tip(11), _tip(12)]]
+        )
+        threads = split_by_thread(trace)
+        timestamps = [p.tsc for _tag, p in threads[0].stream]
+        assert timestamps == sorted(timestamps)
+        assert threads[0].packet_count() == 4
+
+    def test_packet_before_any_switch_goes_to_first_owner(self):
+        switches = [ThreadSwitchRecord(core=0, tid=3, tsc=100)]
+        trace = _synthetic_trace(switches, [[_tip(5)]])
+        threads = split_by_thread(trace)
+        assert threads[3].packet_count() == 1
+
+    def test_jittered_boundary_misassigns(self):
+        """A switch record whose timestamp lies (wrongly) after packets of
+        the new thread sends those packets to the old thread -- the
+        paper's multi-thread inaccuracy source."""
+        true_switch_at = 10
+        recorded_at = 13  # jitter: +3
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=1, tsc=recorded_at),
+        ]
+        packets = [_tip(11), _tip(12), _tip(14)]
+        threads = split_by_thread(_synthetic_trace(switches, [packets]))
+        assert threads[0].packet_count() == 2  # 11, 12 misassigned
+        assert threads[1].packet_count() == 1
+
+
+class TestRealRuns:
+    def _multithreaded_run(self, jitter=0):
+        program = build_figure2_program(iterations=60)
+        config = RuntimeConfig(
+            cores=2,
+            quantum=40,
+            jit=JITPolicy(hot_threshold=10**9),
+            switch_timestamp_jitter=jitter,
+        )
+        runtime = JVMRuntime(program, config)
+        runtime.add_thread(name="main")
+        runtime.add_thread("Test", "main", ())
+        return runtime.run()
+
+    def test_all_threads_have_streams(self):
+        run = self._multithreaded_run()
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        assert set(threads) == {0, 1}
+        for thread in threads.values():
+            assert thread.packet_count() > 0
+            assert thread.loss_count() == 0
+
+    def test_packet_conservation(self):
+        run = self._multithreaded_run()
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        total = sum(t.packet_count() for t in threads.values())
+        assert total == trace.packet_count()
+
+    def test_per_thread_streams_are_tsc_ordered(self):
+        run = self._multithreaded_run()
+        threads = split_by_thread(collect(run, lossless_config()))
+        for thread in threads.values():
+            timestamps = [
+                item.tsc if tag == "packet" else item.start_tsc
+                for tag, item in thread.stream
+            ]
+            assert timestamps == sorted(timestamps)

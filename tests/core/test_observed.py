@@ -1,0 +1,89 @@
+"""Unit tests for the observed-trace model and the bytecode lifters."""
+
+from repro.core.interp_decoder import lift_dispatch
+from repro.core.jit_decoder import lift_span
+from repro.core.metadata import collect_metadata
+from repro.core.observed import ObservedHole, ObservedStep, ObservedTrace
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.pt.decoder import InterpDispatch, JitSpan
+from repro.jvm.opcodes import Op
+
+from ..conftest import build_figure2_program
+
+
+def _step(op=Op.NOP, tsc=0):
+    return ObservedStep(symbol=op, taken=None, location=None, source="interp", tsc=tsc)
+
+
+def _hole(tsc=0):
+    return ObservedHole(start_tsc=tsc, end_tsc=tsc + 10)
+
+
+class TestObservedTrace:
+    def test_segments_split_at_holes(self):
+        trace = ObservedTrace(tid=0)
+        trace.items.extend([_step(), _step(), _hole(), _step(), _hole(), _hole(), _step()])
+        segments = trace.segments()
+        assert [len(s) for s in segments] == [2, 1, 1]
+
+    def test_segments_without_holes(self):
+        trace = ObservedTrace(tid=0)
+        trace.items.extend([_step(), _step()])
+        assert [len(s) for s in trace.segments()] == [2]
+
+    def test_leading_and_trailing_holes(self):
+        trace = ObservedTrace(tid=0)
+        trace.items.extend([_hole(), _step(), _hole()])
+        assert [len(s) for s in trace.segments()] == [1]
+        assert len(trace.holes()) == 2
+
+    def test_hole_duration(self):
+        hole = ObservedHole(start_tsc=5, end_tsc=25)
+        assert hole.duration == 20
+        assert ObservedHole(start_tsc=9, end_tsc=3).duration == 0
+
+    def test_steps_and_holes_views(self):
+        trace = ObservedTrace(tid=1)
+        trace.items.extend([_step(), _hole(), _step()])
+        assert len(trace.steps()) == 2
+        assert len(trace.holes()) == 1
+
+
+class TestLifters:
+    def test_lift_dispatch(self):
+        item = InterpDispatch(tsc=7, op=Op.IFEQ, taken=True)
+        step = lift_dispatch(item)
+        assert step.symbol is Op.IFEQ
+        assert step.taken is True
+        assert step.location is None
+        assert step.source == "interp"
+        assert step.tsc == 7
+
+    def test_lift_span_maps_debug_locations(self):
+        program = build_figure2_program(iterations=30)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        )
+        database = collect_metadata(run)
+        code = run.code_cache.lookup("Test.fun")
+        # A span covering the whole compiled body in address order.
+        span = JitSpan(tsc=0, addresses=[mi.address for mi in code.instructions])
+        steps = lift_span(span, database, program)
+        # Synthetic instructions are skipped; every step has a location.
+        assert 0 < len(steps) <= len(code.instructions)
+        for step in steps:
+            assert step.source == "jit"
+            assert step.location is not None
+            qname, bci = step.location
+            assert qname == "Test.fun"
+            assert program.method("Test", "fun").code[bci].op is step.symbol
+
+    def test_lift_span_skips_unknown_addresses(self):
+        program = build_figure2_program(iterations=30)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        )
+        database = collect_metadata(run)
+        span = JitSpan(tsc=0, addresses=[0xDEAD])
+        assert lift_span(span, database, program) == []

@@ -1,0 +1,99 @@
+"""Integration tests for the end-to-end JPortal pipeline."""
+
+from repro.core import JPortal
+from repro.core.recovery import RecoveryConfig
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import JVMRuntime, RuntimeConfig, run_program
+
+from ..conftest import (
+    build_figure2_program,
+    lossless_config,
+    lossy_config,
+)
+
+
+class TestLosslessExactness:
+    def test_interp_only_run_reconstructs_exactly(self):
+        program = build_figure2_program(iterations=40)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10**9))
+        )
+        result = JPortal(program).analyze_run(run, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+
+    def test_mixed_mode_run_reconstructs_exactly(self):
+        program = build_figure2_program(iterations=80)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        )
+        result = JPortal(program).analyze_run(run, lossless_config())
+        flow = result.flow_of(0)
+        assert flow.reconstructed_nodes() == run.threads[0].truth
+        assert flow.projection.restarts == 0
+        assert result.anomalies == 0
+
+    def test_inlined_run_reconstructs_exactly(self):
+        program = build_figure2_program(iterations=80)
+        run = run_program(
+            program,
+            RuntimeConfig(
+                cores=1, jit=JITPolicy(hot_threshold=3, enable_inlining=True)
+            ),
+        )
+        result = JPortal(program).analyze_run(run, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+
+    def test_all_entries_decoded_when_lossless(self):
+        program = build_figure2_program(iterations=30)
+        run = run_program(program, RuntimeConfig(cores=1))
+        result = JPortal(program).analyze_run(run, lossless_config())
+        counts = result.flow_of(0).entry_counts()
+        assert counts["recovered"] == 0
+        assert counts["fallback"] == 0
+        assert result.loss_fraction == 0.0
+
+
+class TestLossyPipeline:
+    def _lossy_result(self):
+        program = build_figure2_program(iterations=400)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10))
+        )
+        jportal = JPortal(program, recovery=RecoveryConfig(cost_per_instruction=1.0))
+        return run, jportal.analyze_run(run, lossy_config())
+
+    def test_loss_produces_holes_and_recovery(self):
+        run, result = self._lossy_result()
+        flow = result.flow_of(0)
+        assert result.loss_fraction > 0
+        assert flow.observed.holes()
+        counts = flow.entry_counts()
+        assert counts["recovered"] + counts["fallback"] > 0
+
+    def test_segments_match_holes(self):
+        _run, result = self._lossy_result()
+        flow = result.flow_of(0)
+        assert len(flow.segments) >= len(flow.observed.holes())
+
+    def test_timings_populated(self):
+        _run, result = self._lossy_result()
+        timings = result.timings
+        assert timings.decode_seconds >= 0
+        assert timings.total_seconds == (
+            timings.decode_seconds
+            + timings.reconstruct_seconds
+            + timings.recovery_seconds
+        )
+
+
+class TestMultiThreaded:
+    def test_two_threads_reconstruct_independently(self):
+        program = build_figure2_program(iterations=50)
+        config = RuntimeConfig(cores=2, quantum=60, jit=JITPolicy(hot_threshold=10**9))
+        runtime = JVMRuntime(program, config)
+        runtime.add_thread(name="main")
+        runtime.add_thread("Test", "main", ())
+        run = runtime.run()
+        result = JPortal(program).analyze_run(run, lossless_config())
+        for tid in (0, 1):
+            assert result.flow_of(tid).reconstructed_nodes() == run.threads[tid].truth

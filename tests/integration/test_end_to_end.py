@@ -1,0 +1,123 @@
+"""End-to-end integration tests over the DaCapo-like subjects."""
+
+import pytest
+
+from repro.core import JPortal
+from repro.core.recovery import RecoveryConfig
+from repro.profiling.accuracy import run_accuracy
+from repro.profiling.profiles import ControlFlowProfile
+from repro.workloads import build_subject
+
+from ..conftest import lossless_config, lossy_config
+
+# Scaled sizes keeping the suite fast (benchmarks use defaults).
+SMALL_SIZE = {
+    "avrora": 600,
+    "batik": 30,
+    "fop": 12,
+    "h2": 100,
+    "jython": 300,
+    "luindex": 50,
+    "lusearch": 6,
+    "pmd": 12,
+    "sunflow": 3,
+}
+
+SINGLE_THREADED = ("avrora", "batik", "fop", "jython", "luindex", "sunflow")
+MULTI_THREADED = ("h2", "lusearch", "pmd")
+
+
+_CACHE = {}
+
+
+def _analyze(name, pt_config, jitter=0):
+    key = (name, id(pt_config) if pt_config.buffer.capacity_bytes < 10**9 else "ll", jitter)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    subject = build_subject(name, size=SMALL_SIZE[name])
+    from repro.workloads import default_config
+
+    config = default_config()
+    config.switch_timestamp_jitter = jitter
+    run = subject.run(config)
+    jportal = JPortal(
+        subject.program, recovery=RecoveryConfig(cost_per_instruction=1.0)
+    )
+    cached = (subject, run, jportal.analyze_run(run, pt_config))
+    _CACHE[key] = cached
+    return cached
+
+
+@pytest.mark.parametrize("name", SINGLE_THREADED)
+class TestLosslessSingleThreaded:
+    def test_exact_reconstruction(self, name):
+        """The headline invariant: a lossless hardware trace reconstructs
+        the executed bytecode path exactly, across interpretation, JIT,
+        inlining, switches, and exceptions."""
+        _subject, run, result = _analyze(name, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+
+    def test_accuracy_metric_reports_perfect(self, name):
+        _subject, run, result = _analyze(name, lossless_config())
+        accuracy = run_accuracy(run, result)
+        assert accuracy.overall == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", MULTI_THREADED)
+class TestLosslessMultiThreaded:
+    def test_exact_reconstruction_all_threads(self, name):
+        _subject, run, result = _analyze(name, lossless_config())
+        for thread in run.threads:
+            nodes = result.flow_of(thread.tid).reconstructed_nodes()
+            assert nodes == thread.truth
+
+    def test_jitter_degrades_but_stays_high(self, name):
+        _subject, run, result = _analyze(name, lossless_config(), jitter=5)
+        accuracy = run_accuracy(run, result)
+        assert accuracy.overall > 0.9
+
+
+class TestLossyEndToEnd:
+    def test_lossy_accuracy_reasonable(self):
+        from repro.pt.perf import calibrate_drain_bandwidth
+
+        subject, run, _ = _analyze("batik", lossless_config())
+        bandwidth = calibrate_drain_bandwidth(run, capacity_bytes=1200)
+        jportal = JPortal(
+            subject.program, recovery=RecoveryConfig(cost_per_instruction=1.0)
+        )
+        result = jportal.analyze_run(
+            run, lossy_config(capacity=1200, bandwidth=bandwidth)
+        )
+        accuracy = run_accuracy(run, result)
+        assert 0 < accuracy.percent_missing_data < 0.8
+        assert accuracy.overall > 0.5
+
+    def test_profiles_from_reconstruction_close_to_truth(self):
+        subject, run, result = _analyze("luindex", lossless_config())
+        truth_profile = ControlFlowProfile.from_truth(run)
+        recon_profile = ControlFlowProfile.from_paths(
+            subject.program,
+            [flow.reconstructed_nodes() for flow in result.flows.values()],
+        )
+        assert truth_profile.node_counts == recon_profile.node_counts
+        assert truth_profile.overall_coverage() == recon_profile.overall_coverage()
+
+
+class TestReflectiveGap:
+    def test_pmd_reconstructs_through_opaque_site(self):
+        """With the rule-dispatch site hidden from the ICFG, reconstruction
+        must survive via the callback-search fallback (Section 4)."""
+        subject = build_subject("pmd", size=SMALL_SIZE["pmd"])
+        run = subject.run()
+        jportal = JPortal(
+            subject.program, opaque_call_sites=subject.opaque_call_sites
+        )
+        result = jportal.analyze_run(run, lossless_config())
+        accuracy = run_accuracy(run, result)
+        total_fallbacks = sum(
+            flow.projection.callback_fallbacks for flow in result.flows.values()
+        )
+        assert total_fallbacks > 0
+        assert accuracy.overall > 0.8

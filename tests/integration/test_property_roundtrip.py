@@ -1,0 +1,122 @@
+"""Property-based whole-pipeline tests over generated programs.
+
+The central invariant: for ANY generated program, under ANY tiering
+policy, a lossless PT trace decodes and reconstructs to exactly the
+executed bytecode path.  Lossy variants must degrade gracefully: the
+decoded portion stays correct and every reconstructed transition is
+ICFG-feasible.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JPortal
+from repro.core.metadata import collect_metadata
+from repro.core.multicore import split_by_thread
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import JVMRuntime, RuntimeConfig
+from repro.pt.decoder import PTDecoder
+from repro.pt.encoder import PTEncoder
+from repro.pt.perf import collect
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+from ..conftest import lossless_config, lossy_config
+
+
+def _run(program, threshold, cores=1, inlining=True):
+    config = RuntimeConfig(
+        cores=cores,
+        jit=JITPolicy(hot_threshold=threshold, enable_inlining=inlining),
+        max_steps=2_000_000,
+    )
+    runtime = JVMRuntime(program, config)
+    runtime.add_thread(name="main")
+    return runtime.run()
+
+
+class TestLosslessExactness:
+    @given(st.integers(0, 10_000), st.sampled_from([1, 3, 10**9]))
+    @settings(max_examples=12, deadline=None)
+    def test_reconstruction_equals_truth(self, seed, threshold):
+        program = generate_program(seed)
+        run = _run(program, threshold)
+        result = JPortal(program).analyze_run(run, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=6, deadline=None)
+    def test_inlining_invisible_to_reconstruction(self, seed):
+        config = GeneratorConfig(methods=5, call_probability=0.8)
+        program = generate_program(seed, config)
+        with_inline = _run(program, threshold=2, inlining=True)
+        without = _run(program, threshold=2, inlining=False)
+        assert with_inline.threads[0].truth == without.threads[0].truth
+        for run in (with_inline, without):
+            result = JPortal(program).analyze_run(run, lossless_config())
+            assert (
+                result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+            )
+
+
+class TestLossyGracefulDegradation:
+    @given(st.integers(0, 2_000))
+    @settings(max_examples=6, deadline=None)
+    def test_recovered_flow_is_icfg_feasible(self, seed):
+        config = GeneratorConfig(methods=4, max_depth=4)
+        program = generate_program(seed, config)
+        run = _run(program, threshold=3)
+        jportal = JPortal(program)
+        result = jportal.analyze_run(run, lossy_config(capacity=700, bandwidth=0.3))
+        icfg = jportal.icfg
+        flow = result.flow_of(0)
+        entries = flow.flow.entries
+        for (left, lp), (right, rp) in zip(entries, entries[1:]):
+            if left is None or right is None:
+                continue
+            if lp == "decoded" and rp == "decoded":
+                # Within one decoded segment transitions are feasible;
+                # across holes they need not be (that's what holes mean),
+                # so only check pairs not separated by recovery output.
+                continue
+            if "recovered" in (lp, rp) or "fallback" in (lp, rp):
+                successors = {dst for dst, _k in icfg.successors(left)}
+                if rp == lp == "recovered" or (lp, rp) == ("fallback", "fallback"):
+                    assert right in successors
+
+
+class TestEncoderDecoderRoundtrip:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=8, deadline=None)
+    def test_packet_counts_conserve_events(self, seed):
+        """Every TIP event becomes exactly one TIP packet; every TNT bit
+        is carried by exactly one TNT packet bit."""
+        from repro.jvm.machine import TipEvent, TntEvent
+
+        program = generate_program(seed)
+        run = _run(program, threshold=3)
+        events = run.core_events[0]
+        tips = sum(1 for e in events if isinstance(e, TipEvent))
+        tnts = sum(1 for e in events if isinstance(e, TntEvent))
+        encoder = PTEncoder()
+        encoder.encode(events)
+        assert encoder.stats.tips == tips
+        assert encoder.stats.tnt_bits == tnts
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=6, deadline=None)
+    def test_decoder_consumes_every_walked_step(self, seed):
+        """Lossless decode must walk exactly the compiled steps executed
+        and dispatch exactly the interpreted steps executed."""
+        program = generate_program(seed)
+        run = _run(program, threshold=3)
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        database = collect_metadata(run)
+        decoder = PTDecoder(database)
+        from repro.pt.decoder import InterpDispatch
+
+        items = decoder.decode(threads[0].stream)
+        assert decoder.stats.walked_instructions == run.counters["steps_compiled"]
+        dispatches = sum(1 for item in items if isinstance(item, InterpDispatch))
+        assert dispatches == run.counters["steps_interp"]
+        assert decoder.stats.anomalies == 0

@@ -1,0 +1,199 @@
+"""Unit tests for the label-based assembler."""
+
+import pytest
+
+from repro.jvm.assembler import AssemblyError, MethodAssembler, assemble_counting_loop
+from repro.jvm.instructions import MethodRef
+from repro.jvm.opcodes import Op
+
+
+def _asm(**kwargs):
+    defaults = dict(class_name="T", name="m", arg_count=0, returns_value=True)
+    defaults.update(kwargs)
+    return MethodAssembler(**defaults)
+
+
+class TestBasics:
+    def test_bcis_are_sequential(self):
+        asm = _asm()
+        asm.const(1).const(2).iadd().ireturn()
+        method = asm.build()
+        assert [inst.bci for inst in method.code] == [0, 1, 2, 3]
+
+    def test_chaining_returns_self(self):
+        asm = _asm()
+        assert asm.const(0) is asm
+
+    def test_empty_method_rejected(self):
+        with pytest.raises(AssemblyError):
+            _asm().build()
+
+    def test_qualified_name(self):
+        asm = _asm(class_name="Foo", name="bar")
+        asm.return_()
+        assert asm.build().qualified_name == "Foo.bar"
+
+
+class TestConstants:
+    def test_small_constants_specialize(self):
+        asm = _asm()
+        for value in (-1, 0, 1, 2, 3, 4, 5):
+            asm.const(value)
+        asm.const(0).ireturn()
+        method = asm.build()
+        expected = [
+            Op.ICONST_M1, Op.ICONST_0, Op.ICONST_1, Op.ICONST_2,
+            Op.ICONST_3, Op.ICONST_4, Op.ICONST_5,
+        ]
+        assert [inst.op for inst in method.code[:7]] == expected
+
+    def test_byte_and_short_and_wide_constants(self):
+        asm = _asm()
+        asm.const(100).const(30000).const(100000).const(0).ireturn()
+        method = asm.build()
+        assert method.code[0].op is Op.BIPUSH
+        assert method.code[0].const == 100
+        assert method.code[1].op is Op.SIPUSH
+        assert method.code[2].op is Op.LDC
+        assert method.code[2].const == 100000
+
+    def test_negative_boundaries(self):
+        asm = _asm()
+        asm.const(-128).const(-129).const(-32768).const(-32769).const(0).ireturn()
+        method = asm.build()
+        assert method.code[0].op is Op.BIPUSH
+        assert method.code[1].op is Op.SIPUSH
+        assert method.code[2].op is Op.SIPUSH
+        assert method.code[3].op is Op.LDC
+
+
+class TestLocals:
+    def test_loads_and_stores_specialize(self):
+        asm = _asm()
+        asm.const(0).store(0)
+        asm.const(0).store(4)
+        asm.load(0).load(4).iadd().ireturn()
+        method = asm.build()
+        ops = [inst.op for inst in method.code]
+        assert Op.ISTORE_0 in ops
+        assert Op.ISTORE in ops  # index 4 stays generic
+        assert Op.ILOAD_0 in ops
+        assert Op.ILOAD in ops
+
+    def test_max_locals_tracked(self):
+        asm = _asm()
+        asm.const(0).store(7).const(0).ireturn()
+        assert asm.build().max_locals == 8
+
+    def test_max_locals_override_checked(self):
+        asm = _asm(max_locals=2)
+        asm.const(0).store(5).const(0).ireturn()
+        with pytest.raises(AssemblyError):
+            asm.build()
+
+    def test_negative_local_rejected(self):
+        with pytest.raises(AssemblyError):
+            _asm().load(-1)
+
+    def test_args_count_toward_max_locals(self):
+        asm = _asm(arg_count=3)
+        asm.const(0).ireturn()
+        assert asm.build().max_locals == 3
+
+
+class TestLabels:
+    def test_forward_and_backward_references(self):
+        asm = _asm()
+        asm.label("start")
+        asm.const(1).ifeq("end")
+        asm.goto("start")
+        asm.label("end")
+        asm.const(0).ireturn()
+        method = asm.build()
+        assert method.code[1].target == 3  # forward to "end"
+        assert method.code[2].target == 0  # backward to "start"
+
+    def test_duplicate_label_rejected(self):
+        asm = _asm()
+        asm.label("x")
+        with pytest.raises(AssemblyError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = _asm()
+        asm.goto("nowhere").const(0).ireturn()
+        with pytest.raises(AssemblyError):
+            asm.build()
+
+    def test_integer_targets_pass_through(self):
+        asm = _asm()
+        asm.goto(2)
+        asm.nop()
+        asm.const(0).ireturn()
+        assert asm.build().code[0].target == 2
+
+    def test_here_reports_next_bci(self):
+        asm = _asm()
+        assert asm.here() == 0
+        asm.nop()
+        assert asm.here() == 1
+
+
+class TestSwitch:
+    def test_tableswitch_resolution(self):
+        asm = _asm()
+        asm.const(1).tableswitch({0: "a", 1: "b"}, "d")
+        asm.label("a")
+        asm.const(10).ireturn()
+        asm.label("b")
+        asm.const(20).ireturn()
+        asm.label("d")
+        asm.const(0).ireturn()
+        method = asm.build()
+        table = method.code[1].switch
+        assert table.target_for(0) == 2
+        assert table.target_for(1) == 4
+        assert table.target_for(99) == 6
+        assert set(table.all_targets()) == {2, 4, 6}
+
+    def test_lookupswitch_sparse_keys(self):
+        asm = _asm()
+        asm.const(7).lookupswitch({-5: "a", 700: "a"}, "a")
+        asm.label("a")
+        asm.const(0).ireturn()
+        table = asm.build().code[1].switch
+        assert table.target_for(-5) == 2
+        assert table.target_for(700) == 2
+        assert table.target_for(0) == 2
+
+
+class TestCallsAndHandlers:
+    def test_invokestatic_ref(self):
+        asm = _asm()
+        asm.const(1).invokestatic("Lib", "f", 1, True).ireturn()
+        ref = asm.build().code[1].methodref
+        assert ref == MethodRef("Lib", "f", 1, True)
+
+    def test_handler_ranges_resolve(self):
+        asm = _asm()
+        asm.label("try")
+        asm.const(1).const(0).idiv()
+        asm.label("endtry")
+        asm.ireturn()
+        asm.label("catch")
+        asm.pop().const(-1).ireturn()
+        asm.handler("try", "endtry", "catch")
+        method = asm.build()
+        handler = method.handlers[0]
+        assert (handler.start, handler.end, handler.handler) == (0, 3, 4)
+        assert handler.covers(1)
+        assert not handler.covers(3)
+
+
+class TestCountingLoopHelper:
+    def test_structure_and_verifies(self):
+        from repro.jvm.verifier import verify_method
+
+        method = assemble_counting_loop("T", "loop", iterations=5)
+        verify_method(method)
+        assert method.returns_value

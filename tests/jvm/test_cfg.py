@@ -1,0 +1,154 @@
+"""Unit tests for basic-block CFG construction."""
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.cfg import CFG, EdgeKind, loop_depths
+
+
+def _asm(**kwargs):
+    defaults = dict(class_name="T", name="m", arg_count=0, returns_value=True)
+    defaults.update(kwargs)
+    return MethodAssembler(**defaults)
+
+
+def _diamond():
+    asm = _asm()
+    asm.const(1).ifeq("else_")
+    asm.const(10).goto("join")
+    asm.label("else_")
+    asm.const(20)
+    asm.label("join")
+    asm.ireturn()
+    return asm.build()
+
+
+def _loop():
+    asm = _asm()
+    asm.const(5).store(0)
+    asm.label("head")
+    asm.load(0).ifle("done")
+    asm.iinc(0, -1).goto("head")
+    asm.label("done")
+    asm.const(0).ireturn()
+    return asm.build()
+
+
+class TestBlocks:
+    def test_straightline_is_one_block(self):
+        asm = _asm()
+        asm.const(1).const(2).iadd().ireturn()
+        cfg = CFG(asm.build())
+        assert len(cfg.blocks) == 1
+        assert len(cfg.blocks[0]) == 4
+
+    def test_diamond_block_structure(self):
+        cfg = CFG(_diamond())
+        # entry, then-arm, else-arm, join
+        assert len(cfg.blocks) == 4
+        assert cfg.entry.start == 0
+
+    def test_block_of_maps_every_bci(self):
+        method = _diamond()
+        cfg = CFG(method)
+        for inst in method.code:
+            block = cfg.block_of(inst.bci)
+            assert block.start <= inst.bci < block.end
+
+    def test_blocks_partition_the_method(self):
+        method = _loop()
+        cfg = CFG(method)
+        covered = sorted(bci for block in cfg.blocks for bci in block.bcis())
+        assert covered == list(range(len(method.code)))
+
+
+class TestEdges:
+    def test_diamond_edges(self):
+        cfg = CFG(_diamond())
+        entry = cfg.blocks[0]
+        kinds = {edge.kind for edge in entry.successors}
+        assert kinds == {EdgeKind.FALLTHROUGH, EdgeKind.TAKEN}
+        join = cfg.block_of(5)
+        assert len(join.predecessors) == 2
+
+    def test_return_block_has_no_successors(self):
+        cfg = CFG(_diamond())
+        exit_block = cfg.block_of(5)
+        assert exit_block.successors == []
+
+    def test_switch_edges(self):
+        asm = _asm()
+        asm.const(0).tableswitch({0: "a", 1: "b"}, "c")
+        asm.label("a")
+        asm.const(1).ireturn()
+        asm.label("b")
+        asm.const(2).ireturn()
+        asm.label("c")
+        asm.const(3).ireturn()
+        cfg = CFG(asm.build())
+        switch_block = cfg.block_of(1)
+        assert len(switch_block.successors) == 3
+        assert all(e.kind is EdgeKind.SWITCH for e in switch_block.successors)
+
+    def test_exception_edges(self):
+        asm = _asm()
+        asm.label("try")
+        asm.const(1).const(0).idiv().ireturn()
+        asm.label("catch")
+        asm.pop().const(-1).ireturn()
+        asm.handler("try", 4, "catch")
+        cfg = CFG(asm.build())
+        handler_block = cfg.block_of(4)
+        assert any(
+            edge.kind is EdgeKind.EXCEPTION for edge in handler_block.predecessors
+        )
+
+
+class TestOrdersAndLoops:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = CFG(_loop())
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert sorted(order) == [b.block_id for b in cfg.blocks]
+
+    def test_back_edges_found(self):
+        cfg = CFG(_loop())
+        back = cfg.back_edges()
+        assert len(back) == 1
+        # latch jumps back to the loop head (block containing bci 2)
+        assert back[0].dst == cfg.block_of(2).block_id
+
+    def test_acyclic_has_no_back_edges(self):
+        assert CFG(_diamond()).back_edges() == []
+
+    def test_loop_depths(self):
+        cfg = CFG(_loop())
+        depths = loop_depths(cfg)
+        head = cfg.block_of(2).block_id
+        assert depths[head] == 1
+        assert depths[cfg.entry.block_id] == 0
+
+    def test_nested_loops_depth_two(self):
+        asm = _asm()
+        asm.const(3).store(0)
+        asm.label("outer")
+        asm.load(0).ifle("done")
+        asm.const(3).store(1)
+        asm.label("inner")
+        asm.load(1).ifle("outer_next")
+        asm.iinc(1, -1).goto("inner")
+        asm.label("outer_next")
+        asm.iinc(0, -1).goto("outer")
+        asm.label("done")
+        asm.const(0).ireturn()
+        cfg = CFG(asm.build())
+        depths = loop_depths(cfg)
+        assert max(depths.values()) == 2
+
+    def test_unreachable_blocks_still_ordered(self):
+        asm = _asm()
+        asm.goto("end")
+        asm.const(99).ireturn()  # unreachable
+        asm.label("end")
+        asm.const(0).ireturn()
+        cfg = CFG(asm.build())
+        order = cfg.reverse_postorder()
+        assert sorted(order) == [b.block_id for b in cfg.blocks]

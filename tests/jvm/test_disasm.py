@@ -1,0 +1,76 @@
+"""Tests for the textual disassembler."""
+
+from repro.jvm.disasm import (
+    debug_info_listing,
+    disassemble_method,
+    disassemble_native,
+    disassemble_program,
+    template_metadata_listing,
+)
+from repro.jvm.jit import CodeCache, JITCompiler, JITPolicy
+from repro.jvm.templates import TemplateTable
+
+from ..conftest import build_figure2_program
+
+
+class TestBytecodeListing:
+    def test_method_listing_contains_all_bcis(self):
+        program = build_figure2_program()
+        method = program.method("Test", "fun")
+        listing = disassemble_method(method)
+        for inst in method.code:
+            assert "%4d: " % inst.bci in listing
+        assert "Test.fun" in listing
+
+    def test_handlers_rendered(self):
+        from repro.jvm.assembler import MethodAssembler
+
+        asm = MethodAssembler("T", "m", arg_count=0, returns_value=True)
+        asm.const(1).const(0).idiv().ireturn()
+        asm.pop().const(-1).ireturn()
+        asm.handler(0, 4, 4)
+        listing = disassemble_method(asm.build())
+        assert "catch [0, 4) -> 4" in listing
+
+    def test_program_listing_covers_all_methods(self):
+        program = build_figure2_program()
+        listing = disassemble_program(program)
+        assert "Test.fun" in listing and "Test.main" in listing
+
+
+class TestTemplateListing:
+    def test_selected_mnemonics(self):
+        table = TemplateTable()
+        listing = template_metadata_listing(table, ["iload_0", "ifeq"])
+        lines = listing.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("iload_0")
+        assert "[0x" in lines[0]
+        # Conditionals have two sub-ranges.
+        assert lines[1].count("[0x") == 2
+
+    def test_full_listing_sorted(self):
+        table = TemplateTable()
+        listing = template_metadata_listing(table)
+        lines = listing.splitlines()
+        assert lines == sorted(lines, key=lambda l: l.split()[0])
+
+
+class TestNativeListing:
+    def _compiled(self):
+        program = build_figure2_program()
+        cache = CodeCache()
+        compiler = JITCompiler(program, cache, JITPolicy())
+        return compiler.compile(program.method("Test", "fun"))
+
+    def test_native_listing_shows_every_instruction(self):
+        code = self._compiled()
+        listing = disassemble_native(code)
+        assert listing.count("0x") >= len(code.instructions)
+        assert "Test.fun@" in listing
+
+    def test_debug_listing_matches_records(self):
+        code = self._compiled()
+        listing = debug_info_listing(code)
+        assert len(listing.splitlines()) == len(code.debug)
+        assert "pc=0x" in listing

@@ -1,0 +1,149 @@
+"""Unit tests for the interprocedural CFG."""
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.icfg import ICFG, IEdgeKind
+from repro.jvm.model import JClass, JProgram
+
+
+def _simple_call_program():
+    callee = MethodAssembler("T", "callee", arg_count=1, returns_value=True)
+    callee.load(0).ireturn()
+    caller = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+    caller.const(1).invokestatic("T", "callee", 1, True).ireturn()
+    cls = JClass("T")
+    cls.add_method(callee.build())
+    cls.add_method(caller.build())
+    program = JProgram("p")
+    program.add_class(cls)
+    program.set_entry("T", "main")
+    return program
+
+
+def _virtual_program():
+    program = JProgram("v")
+    base = JClass("Base")
+    bf = MethodAssembler("Base", "f", arg_count=1, returns_value=True, is_static=False)
+    bf.const(1).ireturn()
+    base.add_method(bf.build())
+    sub = JClass("Sub", superclass="Base")
+    sf = MethodAssembler("Sub", "f", arg_count=1, returns_value=True, is_static=False)
+    sf.const(2).ireturn()
+    sub.add_method(sf.build())
+    main = MethodAssembler("Base", "main", arg_count=0, returns_value=True)
+    main.new("Sub").invokevirtual("Base", "f", 1, True).ireturn()
+    base.add_method(main.build())
+    program.add_class(base)
+    program.add_class(sub)
+    program.set_entry("Base", "main")
+    return program
+
+
+class TestCallEdges:
+    def test_call_edge_to_callee_entry(self):
+        icfg = ICFG(_simple_call_program())
+        successors = icfg.successors(("T.main", 1))
+        assert (("T.callee", 0), IEdgeKind.CALL) in successors
+
+    def test_call_site_has_no_intra_fallthrough(self):
+        icfg = ICFG(_simple_call_program())
+        successors = icfg.successors(("T.main", 1))
+        kinds = {kind for _dst, kind in successors}
+        assert IEdgeKind.INTRA not in kinds
+
+    def test_return_edge_to_return_site(self):
+        icfg = ICFG(_simple_call_program())
+        successors = icfg.successors(("T.callee", 1))
+        assert (("T.main", 2), IEdgeKind.RETURN) in successors
+
+    def test_virtual_call_covers_all_overrides(self):
+        icfg = ICFG(_virtual_program())
+        successors = icfg.successors(("Base.main", 1))
+        targets = {dst for dst, kind in successors if kind is IEdgeKind.CALL}
+        assert ("Base.f", 0) in targets
+        assert ("Sub.f", 0) in targets
+
+    def test_callers_of(self):
+        icfg = ICFG(_simple_call_program())
+        assert icfg.callers_of("T.callee") == [("T.main", 1)]
+
+
+class TestOpaqueSites:
+    def test_opaque_site_has_no_call_edges(self):
+        program = _simple_call_program()
+        icfg = ICFG(program, opaque_call_sites=[("T.main", 1)])
+        assert icfg.successors(("T.main", 1)) == []
+
+    def test_opaque_site_kills_return_edges_too(self):
+        program = _simple_call_program()
+        icfg = ICFG(program, opaque_call_sites=[("T.main", 1)])
+        # callee's return has nowhere to go: the caller was invisible.
+        successors = icfg.successors(("T.callee", 1))
+        assert successors == []
+
+
+class TestThrowEdges:
+    def _throwing_program(self, handler_in_caller: bool):
+        thrower = MethodAssembler("T", "boom", arg_count=0, returns_value=True)
+        thrower.new("E").athrow()
+        if not handler_in_caller:
+            thrower.handler(0, 2, 0)
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        main.label("try")
+        main.invokestatic("T", "boom", 0, True)
+        main.label("endtry")
+        main.ireturn()
+        main.label("catch")
+        main.pop().const(-1).ireturn()
+        if handler_in_caller:
+            main.handler("try", "endtry", "catch")
+        cls = JClass("T")
+        cls.add_method(thrower.build())
+        cls.add_method(main.build())
+        program = JProgram("p")
+        program.add_class(cls)
+        program.add_class(JClass("E"))
+        program.set_entry("T", "main")
+        return program
+
+    def test_local_handler_edge(self):
+        icfg = ICFG(self._throwing_program(handler_in_caller=False))
+        successors = icfg.successors(("T.boom", 1))
+        assert (("T.boom", 0), IEdgeKind.THROW) in successors
+
+    def test_unwind_to_caller_handler(self):
+        icfg = ICFG(self._throwing_program(handler_in_caller=True))
+        successors = icfg.successors(("T.boom", 1))
+        throws = [dst for dst, kind in successors if kind is IEdgeKind.THROW]
+        assert ("T.main", 2) in throws
+
+    def test_uncaught_throw_has_no_edges(self):
+        thrower = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        thrower.new("E").athrow()
+        cls = JClass("T")
+        cls.add_method(thrower.build())
+        program = JProgram("p")
+        program.add_class(cls)
+        program.add_class(JClass("E"))
+        program.set_entry("T", "main")
+        icfg = ICFG(program)
+        assert icfg.successors(("T.main", 1)) == []
+
+
+class TestShape:
+    def test_node_and_edge_counts(self, figure2):
+        icfg = ICFG(figure2)
+        total_instructions = sum(len(m.code) for m in figure2.methods())
+        assert icfg.node_count() == total_instructions
+        assert icfg.edge_count() > 0
+        assert len(list(icfg.nodes())) == total_instructions
+
+    def test_predecessors_inverse_of_successors(self, figure2):
+        icfg = ICFG(figure2)
+        for node in icfg.nodes():
+            for dst, kind in icfg.successors(node):
+                assert (node, kind) in icfg.predecessors(dst)
+
+    def test_instruction_lookup(self, figure2):
+        icfg = ICFG(figure2)
+        inst = icfg.instruction(("Test.fun", 0))
+        assert inst.bci == 0

@@ -1,0 +1,85 @@
+"""Unit tests for instruction objects and their successor relation."""
+
+from repro.jvm.instructions import (
+    FieldRef,
+    Instruction,
+    MethodRef,
+    SwitchTable,
+)
+from repro.jvm.opcodes import Kind, Op
+
+
+class TestSwitchTable:
+    def setup_method(self):
+        self.table = SwitchTable(cases=((0, 10), (1, 20), (5, 10)), default=30)
+
+    def test_target_for_known_keys(self):
+        assert self.table.target_for(0) == 10
+        assert self.table.target_for(1) == 20
+        assert self.table.target_for(5) == 10
+
+    def test_target_for_unknown_key_is_default(self):
+        assert self.table.target_for(99) == 30
+        assert self.table.target_for(-1) == 30
+
+    def test_all_targets_deduplicated(self):
+        assert self.table.all_targets() == (10, 20, 30)
+
+
+class TestSuccessors:
+    def test_normal_falls_through(self):
+        inst = Instruction(op=Op.IADD, bci=3)
+        assert inst.successors_within(10) == (4,)
+
+    def test_normal_at_end_has_none(self):
+        inst = Instruction(op=Op.IADD, bci=9)
+        assert inst.successors_within(10) == ()
+
+    def test_conditional_has_both_arms(self):
+        inst = Instruction(op=Op.IFEQ, bci=2, target=7)
+        assert inst.successors_within(10) == (3, 7)
+
+    def test_goto_has_target_only(self):
+        inst = Instruction(op=Op.GOTO, bci=2, target=0)
+        assert inst.successors_within(10) == (0,)
+
+    def test_switch_targets(self):
+        table = SwitchTable(cases=((0, 4), (1, 6)), default=8)
+        inst = Instruction(op=Op.TABLESWITCH, bci=1, switch=table)
+        assert set(inst.successors_within(10)) == {4, 6, 8}
+
+    def test_return_and_throw_terminal(self):
+        assert Instruction(op=Op.IRETURN, bci=2).successors_within(10) == ()
+        assert Instruction(op=Op.ATHROW, bci=2).successors_within(10) == ()
+
+    def test_call_falls_through(self):
+        ref = MethodRef("A", "f", 1, True)
+        inst = Instruction(op=Op.INVOKESTATIC, bci=2, methodref=ref)
+        assert inst.successors_within(10) == (3,)
+
+
+class TestSymbolsAndDisplay:
+    def test_symbol_is_opcode(self):
+        inst = Instruction(op=Op.ILOAD_2, bci=0)
+        assert inst.symbol() is Op.ILOAD_2
+
+    def test_kind_classification(self):
+        assert Instruction(op=Op.IFEQ, bci=0, target=1).kind is Kind.COND
+        assert Instruction(op=Op.IADD, bci=0).is_control is False
+        assert Instruction(op=Op.GOTO, bci=0, target=1).is_control is True
+
+    def test_str_forms(self):
+        assert "iload" in str(Instruction(op=Op.ILOAD, bci=0, index=5))
+        assert "-> 7" in str(Instruction(op=Op.GOTO, bci=0, target=7))
+        ref = MethodRef("A", "f", 2, True)
+        assert "A.f/2" in str(Instruction(op=Op.INVOKESTATIC, bci=0, methodref=ref))
+        field = FieldRef("A", "x")
+        assert "A.x" in str(Instruction(op=Op.GETFIELD, bci=0, fieldref=field))
+        table = SwitchTable(cases=((1, 3),), default=5)
+        rendered = str(Instruction(op=Op.TABLESWITCH, bci=0, switch=table))
+        assert "default -> 5" in rendered
+
+    def test_refs_are_value_objects(self):
+        assert MethodRef("A", "f", 1, True) == MethodRef("A", "f", 1, True)
+        assert FieldRef("A", "x") == FieldRef("A", "x")
+        assert FieldRef("A", "x") != FieldRef("A", "y")

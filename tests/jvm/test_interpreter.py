@@ -1,0 +1,359 @@
+"""Unit tests for bytecode semantics (the semantic step function)."""
+
+import pytest
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.interpreter import (
+    Frame,
+    JArray,
+    JObject,
+    OutcomeKind,
+    Statics,
+    TrapKind,
+    i32,
+    step,
+)
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.opcodes import Op
+
+
+def _program():
+    program = JProgram("t")
+    program.add_class(JClass("T"))
+    return program
+
+
+def _run_straight(build, args=(), program=None, max_steps=10_000):
+    """Assemble with *build*, run the single method, return final value."""
+    asm = MethodAssembler("T", "m", arg_count=len(args), returns_value=True)
+    build(asm)
+    method = asm.build()
+    program = program or _program()
+    program.classes["T"].add_method(method)
+    frame = Frame.for_call(method, args)
+    statics = Statics()
+    for _ in range(max_steps):
+        outcome = step(frame, program, statics)
+        if outcome.kind is OutcomeKind.RETURN:
+            return outcome.value
+        if outcome.kind is OutcomeKind.THROW:
+            return outcome.exception
+        frame.bci = outcome.next_bci
+    raise AssertionError("did not terminate")
+
+
+class TestI32:
+    def test_wraps_overflow(self):
+        assert i32(2**31) == -(2**31)
+        assert i32(2**31 - 1) == 2**31 - 1
+        assert i32(-(2**31) - 1) == 2**31 - 1
+        assert i32(2**32) == 0
+
+    def test_identity_in_range(self):
+        for value in (-1, 0, 1, 12345, -99999):
+            assert i32(value) == value
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "emit,expected",
+        [
+            (lambda a: a.const(3).const(4).iadd(), 7),
+            (lambda a: a.const(3).const(4).isub(), -1),
+            (lambda a: a.const(3).const(4).imul(), 12),
+            (lambda a: a.const(9).const(4).idiv(), 2),
+            (lambda a: a.const(9).const(4).irem(), 1),
+            (lambda a: a.const(5).ineg(), -5),
+            (lambda a: a.const(1).const(3).ishl(), 8),
+            (lambda a: a.const(16).const(2).ishr(), 4),
+            (lambda a: a.const(0b1100).const(0b1010).iand(), 0b1000),
+            (lambda a: a.const(0b1100).const(0b1010).ior(), 0b1110),
+            (lambda a: a.const(0b1100).const(0b1010).ixor(), 0b0110),
+        ],
+    )
+    def test_binary_ops(self, emit, expected):
+        assert _run_straight(lambda a: (emit(a), a.ireturn())) == expected
+
+    def test_division_truncates_toward_zero(self):
+        # JVM semantics, not Python floor division.
+        assert _run_straight(lambda a: (a.const(-7).const(2).idiv(), a.ireturn())) == -3
+        assert _run_straight(lambda a: (a.const(7).const(-2).idiv(), a.ireturn())) == -3
+        assert _run_straight(lambda a: (a.const(-7).const(2).irem(), a.ireturn())) == -1
+        assert _run_straight(lambda a: (a.const(7).const(-2).irem(), a.ireturn())) == 1
+
+    def test_divide_by_zero_traps(self):
+        result = _run_straight(lambda a: (a.const(1).const(0).idiv(), a.ireturn()))
+        assert isinstance(result, JObject)
+        assert result.class_name == TrapKind.ARITHMETIC.value
+
+    def test_multiplication_wraps(self):
+        result = _run_straight(
+            lambda a: (a.const(2**30).const(4).imul(), a.ireturn())
+        )
+        assert result == 0
+
+    def test_iinc_wraps(self):
+        def build(a):
+            a.const(2**31 - 1).store(0)
+            a.iinc(0, 1)
+            a.load(0).ireturn()
+
+        assert _run_straight(build) == -(2**31)
+
+
+class TestStackOps:
+    def test_dup(self):
+        assert _run_straight(lambda a: (a.const(5).dup(), a.iadd(), a.ireturn())) == 10
+
+    def test_swap(self):
+        assert _run_straight(lambda a: (a.const(8).const(3).swap(), a.isub(), a.ireturn())) == -5
+
+    def test_dup_x1(self):
+        # [a, b] -> [b, a, b]; then isub twice: b - (a - b)
+        def build(a):
+            a.const(10).const(3).dup_x1()
+            a.isub()  # a - b = 7
+            a.isub()  # b - 7 = -4
+            a.ireturn()
+
+        assert _run_straight(build) == -4
+
+    def test_pop(self):
+        assert _run_straight(lambda a: (a.const(1).const(2).pop(), a.ireturn())) == 1
+
+
+class TestBranches:
+    @pytest.mark.parametrize(
+        "op_name,value,taken",
+        [
+            ("ifeq", 0, True), ("ifeq", 1, False),
+            ("ifne", 0, False), ("ifne", 3, True),
+            ("iflt", -1, True), ("iflt", 0, False),
+            ("ifge", 0, True), ("ifge", -1, False),
+            ("ifgt", 1, True), ("ifgt", 0, False),
+            ("ifle", 0, True), ("ifle", 1, False),
+        ],
+    )
+    def test_unary_compares(self, op_name, value, taken):
+        def build(a):
+            a.const(value)
+            getattr(a, op_name)("yes")
+            a.const(0).ireturn()
+            a.label("yes")
+            a.const(1).ireturn()
+
+        assert _run_straight(build) == (1 if taken else 0)
+
+    @pytest.mark.parametrize(
+        "op_name,left,right,taken",
+        [
+            ("if_icmpeq", 2, 2, True), ("if_icmpeq", 2, 3, False),
+            ("if_icmpne", 2, 3, True),
+            ("if_icmplt", 1, 2, True), ("if_icmplt", 2, 2, False),
+            ("if_icmpge", 2, 2, True),
+            ("if_icmpgt", 3, 2, True),
+            ("if_icmple", 2, 2, True), ("if_icmple", 3, 2, False),
+        ],
+    )
+    def test_binary_compares(self, op_name, left, right, taken):
+        def build(a):
+            a.const(left).const(right)
+            getattr(a, op_name)("yes")
+            a.const(0).ireturn()
+            a.label("yes")
+            a.const(1).ireturn()
+
+        assert _run_straight(build) == (1 if taken else 0)
+
+    def test_reference_compares(self):
+        def build(a):
+            a.aconst_null().aconst_null().if_acmpeq("same")
+            a.const(0).ireturn()
+            a.label("same")
+            a.const(1).ireturn()
+
+        assert _run_straight(build) == 1
+
+    def test_ifnull_and_ifnonnull(self):
+        def build(a):
+            a.aconst_null().ifnull("isnull")
+            a.const(0).ireturn()
+            a.label("isnull")
+            a.new("T").ifnonnull("nonnull")
+            a.const(1).ireturn()
+            a.label("nonnull")
+            a.const(2).ireturn()
+
+        assert _run_straight(build) == 2
+
+    def test_tableswitch_dispatch(self):
+        def build(a):
+            a.const(1).tableswitch({0: "zero", 1: "one"}, "other")
+            a.label("zero")
+            a.const(100).ireturn()
+            a.label("one")
+            a.const(200).ireturn()
+            a.label("other")
+            a.const(300).ireturn()
+
+        assert _run_straight(build) == 200
+
+    def test_switch_default(self):
+        def build(a):
+            a.const(42).lookupswitch({0: "zero"}, "other")
+            a.label("zero")
+            a.const(1).ireturn()
+            a.label("other")
+            a.const(2).ireturn()
+
+        assert _run_straight(build) == 2
+
+
+class TestArrays:
+    def test_store_and_load(self):
+        def build(a):
+            a.const(4).newarray().astore(0)
+            a.aload(0).const(2).const(77).iastore()
+            a.aload(0).const(2).iaload().ireturn()
+
+        assert _run_straight(build) == 77
+
+    def test_arraylength(self):
+        def build(a):
+            a.const(9).newarray().arraylength().ireturn()
+
+        assert _run_straight(build) == 9
+
+    def test_bounds_trap(self):
+        def build(a):
+            a.const(2).newarray().const(5).iaload().ireturn()
+
+        result = _run_straight(build)
+        assert isinstance(result, JObject)
+        assert result.class_name == TrapKind.ARRAY_BOUNDS.value
+
+    def test_negative_size_trap(self):
+        def build(a):
+            a.const(-3).newarray().arraylength().ireturn()
+
+        result = _run_straight(build)
+        assert result.class_name == TrapKind.NEGATIVE_ARRAY.value
+
+    def test_null_array_trap(self):
+        def build(a):
+            a.aconst_null().const(0).iaload().ireturn()
+
+        assert _run_straight(build).class_name == TrapKind.NULL_POINTER.value
+
+    def test_object_arrays(self):
+        def build(a):
+            a.const(3).anewarray("T").astore(0)
+            a.aload(0).const(1).new("T").aastore()
+            a.aload(0).const(1).aaload().ifnonnull("ok")
+            a.const(0).ireturn()
+            a.label("ok")
+            a.const(1).ireturn()
+
+        assert _run_straight(build) == 1
+
+
+class TestObjectsAndFields:
+    def test_new_and_fields(self):
+        def build(a):
+            a.new("T").astore(0)
+            a.aload(0).const(5).putfield("T", "x")
+            a.aload(0).getfield("T", "x").ireturn()
+
+        assert _run_straight(build) == 5
+
+    def test_uninitialized_field_reads_zero(self):
+        def build(a):
+            a.new("T").getfield("T", "y").ireturn()
+
+        assert _run_straight(build) == 0
+
+    def test_null_field_access_traps(self):
+        def build(a):
+            a.aconst_null().getfield("T", "x").ireturn()
+
+        assert _run_straight(build).class_name == TrapKind.NULL_POINTER.value
+
+    def test_statics(self):
+        def build(a):
+            a.const(9).putstatic("T", "g")
+            a.getstatic("T", "g").ireturn()
+
+        assert _run_straight(build) == 9
+
+    def test_statics_default_zero(self):
+        def build(a):
+            a.getstatic("T", "never_written").ireturn()
+
+        assert _run_straight(build) == 0
+
+
+class TestCallsAndThrows:
+    def test_call_outcome_carries_args(self):
+        callee = MethodAssembler("T", "callee", arg_count=2, returns_value=True)
+        callee.load(0).load(1).iadd().ireturn()
+        caller = MethodAssembler("T", "m", arg_count=0, returns_value=True)
+        caller.const(3).const(4).invokestatic("T", "callee", 2, True).ireturn()
+        program = _program()
+        program.classes["T"].add_method(callee.build())
+        method = caller.build()
+        program.classes["T"].add_method(method)
+        frame = Frame.for_call(method, ())
+        statics = Statics()
+        outcome = step(frame, program, statics)  # const 3
+        frame.bci = outcome.next_bci
+        outcome = step(frame, program, statics)  # const 4
+        frame.bci = outcome.next_bci
+        outcome = step(frame, program, statics)  # invokestatic
+        assert outcome.kind is OutcomeKind.CALL
+        assert outcome.callee.qualified_name == "T.callee"
+        assert outcome.args == (3, 4)
+        assert frame.stack == []  # args consumed
+
+    def test_virtual_dispatch_resolves_by_receiver(self):
+        program = JProgram("vd")
+        base = JClass("Base")
+        base_m = MethodAssembler("Base", "f", arg_count=1, returns_value=True, is_static=False)
+        base_m.const(1).ireturn()
+        base.add_method(base_m.build())
+        sub = JClass("Sub", superclass="Base")
+        sub_m = MethodAssembler("Sub", "f", arg_count=1, returns_value=True, is_static=False)
+        sub_m.const(2).ireturn()
+        sub.add_method(sub_m.build())
+        program.add_class(base)
+        program.add_class(sub)
+        caller = MethodAssembler("Base", "m", arg_count=0, returns_value=True)
+        caller.new("Sub").invokevirtual("Base", "f", 1, True).ireturn()
+        method = caller.build()
+        base.add_method(method)
+        frame = Frame.for_call(method, ())
+        statics = Statics()
+        outcome = step(frame, program, statics)  # new Sub
+        frame.bci = outcome.next_bci
+        outcome = step(frame, program, statics)  # invokevirtual
+        assert outcome.kind is OutcomeKind.CALL
+        assert outcome.callee.qualified_name == "Sub.f"
+
+    def test_virtual_call_on_null_traps(self):
+        def build(a):
+            a.aconst_null().invokevirtual("T", "f", 1, True).ireturn()
+
+        assert _run_straight(build).class_name == TrapKind.NULL_POINTER.value
+
+    def test_athrow_explicit(self):
+        def build(a):
+            a.new("MyError").athrow()
+
+        result = _run_straight(build)
+        assert isinstance(result, JObject)
+        assert result.class_name == "MyError"
+
+    def test_athrow_null_traps_as_npe(self):
+        def build(a):
+            a.aconst_null().athrow()
+
+        assert _run_straight(build).class_name == TrapKind.NULL_POINTER.value

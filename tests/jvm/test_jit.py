@@ -1,0 +1,350 @@
+"""Unit tests for the JIT compiler: codegen, debug info, inlining, cache."""
+
+import pytest
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.jit import (
+    CodeCache,
+    JITCompiler,
+    JITError,
+    JITPolicy,
+    SemBytecode,
+    SemInlineEnter,
+    SemInlineReturn,
+)
+from repro.jvm.machine import DEFAULT_ADDRESS_SPACE, MIKind
+from repro.jvm.model import JClass, JProgram
+
+
+def _program_with(*assemblers, entry="main"):
+    cls = JClass("T")
+    for asm in assemblers:
+        cls.add_method(asm.build())
+    program = JProgram("p")
+    program.add_class(cls)
+    program.set_entry("T", entry)
+    return program
+
+
+def _diamond_main():
+    asm = MethodAssembler("T", "main", arg_count=1, returns_value=True)
+    asm.load(0).ifeq("else_")
+    asm.const(10).goto("join")
+    asm.label("else_")
+    asm.const(20)
+    asm.label("join")
+    asm.ireturn()
+    return asm
+
+
+def _compile(program, qname="T.main", policy=None):
+    cache = CodeCache()
+    compiler = JITCompiler(program, cache, policy or JITPolicy())
+    class_name, method_name = qname.rsplit(".", 1)
+    return compiler.compile(program.method(class_name, method_name)), cache
+
+
+class TestCodegenStructure:
+    def test_addresses_in_code_cache(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        for mi in code.instructions:
+            assert DEFAULT_ADDRESS_SPACE.in_code_cache(mi.address)
+        assert code.entry == code.instructions[0].address
+
+    def test_instructions_contiguous(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        for a, b in zip(code.instructions, code.instructions[1:]):
+            assert b.address == a.end
+
+    def test_every_bytecode_has_a_semantic_mi(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        method = program.method("T", "main")
+        covered = {
+            (sem.qname, sem.bci)
+            for sem in code.semantic.values()
+            if isinstance(sem, SemBytecode)
+        }
+        for inst in method.code:
+            assert ("T.main", inst.bci) in covered
+
+    def test_conditional_targets_resolved(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        branches = [mi for mi in code.instructions if mi.kind is MIKind.COND_BRANCH]
+        assert len(branches) == 1
+        target = branches[0].target
+        # target must be the address of the else-arm bytecode (bci 4)
+        assert target == code.entry_points[((), "T.main", 4)]
+
+    def test_prologue_has_no_semantic(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        first = code.instructions[0]
+        assert first.address not in code.semantic
+        assert first.address not in code.debug
+
+    def test_returns_become_ret(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        rets = [mi for mi in code.instructions if mi.kind is MIKind.RET]
+        assert len(rets) == 1
+
+    def test_layout_bridges_have_no_debug_records(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        for mi in code.instructions:
+            if mi.text == "jmp-layout":
+                assert mi.address not in code.debug
+                assert mi.kind is MIKind.JMP_DIRECT
+
+    def test_at_and_after(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        first = code.instructions[0]
+        assert code.at(first.address) is first
+        assert code.after(first) is code.instructions[1]
+        assert code.after(code.instructions[-1]) is None
+
+    def test_switch_compiles_to_indirect_jump(self):
+        asm = MethodAssembler("T", "main", arg_count=1, returns_value=True)
+        asm.load(0).tableswitch({0: "a"}, "b")
+        asm.label("a")
+        asm.const(1).ireturn()
+        asm.label("b")
+        asm.const(2).ireturn()
+        program = _program_with(asm)
+        code, _cache = _compile(program)
+        indirect = [mi for mi in code.instructions if mi.kind is MIKind.JMP_INDIRECT]
+        assert len(indirect) == 1
+
+    def test_athrow_compiles_to_indirect_jump(self):
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.new("E").athrow()
+        program = _program_with(asm)
+        program.add_class(JClass("E"))
+        code, _cache = _compile(program)
+        indirect = [mi for mi in code.instructions if mi.kind is MIKind.JMP_INDIRECT]
+        assert len(indirect) == 1
+
+
+class TestDebugInfo:
+    def test_debug_frames_point_to_root_method(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        for address, frames in code.debug.items():
+            assert frames[-1][0] == "T.main"
+            assert frames[-1][1] >= 0
+
+    def test_debug_covers_all_semantic_addresses(self):
+        program = _program_with(_diamond_main())
+        code, _cache = _compile(program)
+        assert set(code.debug) == set(code.semantic)
+
+
+class TestCalls:
+    def _caller_callee(self, callee_len=30):
+        callee = MethodAssembler("T", "callee", arg_count=1, returns_value=True)
+        for _ in range(callee_len):
+            callee.nop()
+        callee.load(0).ireturn()
+        caller = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        caller.const(1).invokestatic("T", "callee", 1, True).ireturn()
+        return caller, callee
+
+    def test_uncompiled_callee_gets_indirect_call(self):
+        caller, callee = self._caller_callee()
+        program = _program_with(caller, callee)
+        code, _cache = _compile(program)
+        kinds = [mi.kind for mi in code.instructions]
+        assert MIKind.CALL_INDIRECT in kinds
+        assert MIKind.CALL_DIRECT not in kinds
+
+    def test_compiled_callee_gets_direct_call(self):
+        caller, callee = self._caller_callee()
+        program = _program_with(caller, callee)
+        cache = CodeCache()
+        compiler = JITCompiler(program, cache, JITPolicy())
+        callee_code = compiler.compile(program.method("T", "callee"))
+        caller_code = compiler.compile(program.method("T", "main"))
+        directs = [
+            mi for mi in caller_code.instructions if mi.kind is MIKind.CALL_DIRECT
+        ]
+        assert len(directs) == 1
+        assert directs[0].target == callee_code.entry
+
+    def test_virtual_calls_always_indirect(self):
+        program = JProgram("v")
+        base = JClass("Base")
+        bf = MethodAssembler("Base", "f", arg_count=1, returns_value=True, is_static=False)
+        for _ in range(30):
+            bf.nop()
+        bf.const(1).ireturn()
+        base.add_method(bf.build())
+        sub = JClass("Sub", superclass="Base")
+        sf = MethodAssembler("Sub", "f", arg_count=1, returns_value=True, is_static=False)
+        sf.const(2).ireturn()
+        sub.add_method(sf.build())
+        main = MethodAssembler("Base", "main", arg_count=0, returns_value=True)
+        main.new("Sub").invokevirtual("Base", "f", 1, True).ireturn()
+        base.add_method(main.build())
+        program.add_class(base)
+        program.add_class(sub)
+        program.set_entry("Base", "main")
+        cache = CodeCache()
+        compiler = JITCompiler(program, cache, JITPolicy())
+        code = compiler.compile(program.method("Base", "main"))
+        kinds = [mi.kind for mi in code.instructions]
+        assert MIKind.CALL_INDIRECT in kinds
+
+
+class TestInlining:
+    def _inline_pair(self):
+        callee = MethodAssembler("T", "tiny", arg_count=1, returns_value=True)
+        callee.load(0).const(1).iadd().ireturn()
+        caller = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        caller.const(5).invokestatic("T", "tiny", 1, True).ireturn()
+        return caller, callee
+
+    def test_small_callee_is_inlined(self):
+        caller, callee = self._inline_pair()
+        program = _program_with(caller, callee)
+        code, _cache = _compile(program)
+        enters = [
+            sem for sem in code.semantic.values() if isinstance(sem, SemInlineEnter)
+        ]
+        assert len(enters) == 1
+        assert enters[0].callee_qname == "T.tiny"
+        # no call instruction remains
+        assert all(
+            mi.kind not in (MIKind.CALL_DIRECT, MIKind.CALL_INDIRECT)
+            for mi in code.instructions
+        )
+
+    def test_inline_return_jumps_to_continuation(self):
+        caller, callee = self._inline_pair()
+        program = _program_with(caller, callee)
+        code, _cache = _compile(program)
+        returns = [
+            (address, sem)
+            for address, sem in code.semantic.items()
+            if isinstance(sem, SemInlineReturn)
+        ]
+        assert len(returns) == 1
+        address, sem = returns[0]
+        mi = code.at(address)
+        assert mi.kind is MIKind.JMP_DIRECT
+        assert mi.target == code.entry_points[((), "T.main", 1, "cont")]
+
+    def test_inlined_debug_frames_include_call_site(self):
+        caller, callee = self._inline_pair()
+        program = _program_with(caller, callee)
+        code, _cache = _compile(program)
+        inlined_frames = [
+            frames for frames in code.debug.values() if len(frames) == 2
+        ]
+        assert inlined_frames
+        for frames in inlined_frames:
+            assert frames[0] == ("T.main", 1)  # the call site
+            assert frames[1][0] == "T.tiny"
+
+    def test_inlining_disabled_by_policy(self):
+        caller, callee = self._inline_pair()
+        program = _program_with(caller, callee)
+        code, _cache = _compile(program, policy=JITPolicy(enable_inlining=False))
+        assert not any(
+            isinstance(sem, SemInlineEnter) for sem in code.semantic.values()
+        )
+
+    def test_no_self_inlining(self):
+        rec = MethodAssembler("T", "main", arg_count=1, returns_value=True)
+        rec.load(0).ifgt("go")
+        rec.const(0).ireturn()
+        rec.label("go")
+        rec.load(0).const(1).isub().invokestatic("T", "main", 1, True).ireturn()
+        program = _program_with(rec)
+        code, _cache = _compile(program)
+        assert not any(
+            isinstance(sem, SemInlineEnter) for sem in code.semantic.values()
+        )
+
+    def test_polymorphic_site_not_inlined(self):
+        program = JProgram("v")
+        base = JClass("Base")
+        bf = MethodAssembler("Base", "f", arg_count=1, returns_value=True, is_static=False)
+        bf.const(1).ireturn()
+        base.add_method(bf.build())
+        sub = JClass("Sub", superclass="Base")
+        sf = MethodAssembler("Sub", "f", arg_count=1, returns_value=True, is_static=False)
+        sf.const(2).ireturn()
+        sub.add_method(sf.build())
+        main = MethodAssembler("Base", "main", arg_count=0, returns_value=True)
+        main.new("Sub").invokevirtual("Base", "f", 1, True).ireturn()
+        base.add_method(main.build())
+        program.add_class(base)
+        program.add_class(sub)
+        program.set_entry("Base", "main")
+        cache = CodeCache()
+        code = JITCompiler(program, cache, JITPolicy()).compile(
+            program.method("Base", "main")
+        )
+        assert not any(
+            isinstance(sem, SemInlineEnter) for sem in code.semantic.values()
+        )
+
+    def test_nested_inlining_respects_depth(self):
+        c = MethodAssembler("T", "c", arg_count=1, returns_value=True)
+        c.load(0).const(1).iadd().ireturn()
+        b = MethodAssembler("T", "b", arg_count=1, returns_value=True)
+        b.load(0).invokestatic("T", "c", 1, True).ireturn()
+        a = MethodAssembler("T", "a", arg_count=1, returns_value=True)
+        a.load(0).invokestatic("T", "b", 1, True).ireturn()
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        main.const(1).invokestatic("T", "a", 1, True).ireturn()
+        program = _program_with(main, a, b, c)
+        code, _cache = _compile(program, policy=JITPolicy(inline_max_depth=2))
+        depths = [len(frames) for frames in code.debug.values()]
+        assert max(depths) == 3  # main -> a -> b inlined; c called
+
+
+class TestCodeCache:
+    def test_lookup_and_code_at(self):
+        program = _program_with(_diamond_main())
+        code, cache = _compile(program)
+        assert cache.lookup("T.main") is code
+        assert cache.code_at(code.entry) is code
+        assert cache.code_at(code.entry - 1) is None
+
+    def test_eviction_records_unload(self):
+        program = _program_with(_diamond_main())
+        code, cache = _compile(program)
+        cache.evict("T.main", tsc=500)
+        assert cache.lookup("T.main") is None
+        assert code.unload_tsc == 500
+        assert code in cache.all_code()
+
+    def test_exhaustion_raises(self):
+        program = _program_with(_diamond_main())
+        cache = CodeCache()
+        with pytest.raises(JITError):
+            cache.allocate(10**12)
+
+    def test_should_compile_threshold(self):
+        program = _program_with(_diamond_main())
+        compiler = JITCompiler(program, CodeCache(), JITPolicy(hot_threshold=5))
+        method = program.method("T", "main")
+        assert not compiler.should_compile(method, 4)
+        assert compiler.should_compile(method, 5)
+
+    def test_oversized_method_not_compiled(self):
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        for _ in range(50):
+            asm.nop()
+        asm.const(0).ireturn()
+        program = _program_with(asm)
+        compiler = JITCompiler(
+            program, CodeCache(), JITPolicy(hot_threshold=1, max_compile_size=10)
+        )
+        assert not compiler.should_compile(program.method("T", "main"), 100)

@@ -1,0 +1,89 @@
+"""Unit tests for the machine-level model (address space, instructions)."""
+
+from repro.jvm.machine import (
+    DEFAULT_ADDRESS_SPACE,
+    AddressSpace,
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    MIKind,
+    MachineInstruction,
+    ThreadSwitchRecord,
+    TipEvent,
+    TntEvent,
+)
+
+
+class TestAddressSpace:
+    def test_template_and_code_cache_disjoint(self):
+        space = DEFAULT_ADDRESS_SPACE
+        assert space.template_limit <= space.code_cache_base
+
+    def test_filter_range_covers_both(self):
+        space = DEFAULT_ADDRESS_SPACE
+        assert space.in_filter_range(space.template_base)
+        assert space.in_filter_range(space.code_cache_limit - 1)
+        assert not space.in_filter_range(space.code_cache_limit)
+        assert not space.in_filter_range(0)
+
+    def test_classifiers(self):
+        space = DEFAULT_ADDRESS_SPACE
+        assert space.in_template_space(space.template_base)
+        assert not space.in_template_space(space.code_cache_base)
+        assert space.in_code_cache(space.code_cache_base)
+        assert not space.in_code_cache(space.template_base)
+
+    def test_custom_space(self):
+        space = AddressSpace(
+            template_base=0x1000,
+            template_limit=0x2000,
+            code_cache_base=0x3000,
+            code_cache_limit=0x4000,
+        )
+        assert space.in_filter_range(0x1800)
+        assert not space.in_filter_range(0x2800)
+        assert space.in_filter_range(0x3800)
+
+
+class TestMachineInstruction:
+    def test_end_and_branch_flags(self):
+        mi = MachineInstruction(address=0x100, size=6, kind=MIKind.COND_BRANCH, target=0x200)
+        assert mi.end == 0x106
+        assert mi.is_branch
+        plain = MachineInstruction(address=0x100, size=3, kind=MIKind.OTHER)
+        assert not plain.is_branch
+
+    def test_str_with_and_without_target(self):
+        mi = MachineInstruction(address=0x10, size=5, kind=MIKind.JMP_DIRECT, target=0x40)
+        assert "0x10" in str(mi) and "0x40" in str(mi)
+        plain = MachineInstruction(address=0x10, size=1, kind=MIKind.RET)
+        assert "ret" in str(plain)
+
+    def test_immutability(self):
+        mi = MachineInstruction(address=0x10, size=1, kind=MIKind.RET)
+        try:
+            mi.address = 0x20
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestEvents:
+    def test_events_carry_tsc(self):
+        for event in (
+            TipEvent(tsc=5, target=1),
+            TntEvent(tsc=6, taken=True),
+            EnableEvent(tsc=7, ip=2),
+            DisableEvent(tsc=8, ip=3),
+            FupEvent(tsc=9, ip=4),
+        ):
+            assert event.tsc >= 5
+
+    def test_events_are_value_objects(self):
+        assert TipEvent(tsc=1, target=2) == TipEvent(tsc=1, target=2)
+        assert TntEvent(tsc=1, taken=True) != TntEvent(tsc=1, taken=False)
+
+    def test_thread_switch_record(self):
+        record = ThreadSwitchRecord(core=1, tid=3, tsc=99)
+        assert (record.core, record.tid, record.tsc) == (1, 3, 99)

@@ -1,0 +1,122 @@
+"""Unit tests for the program model (classes, dispatch, stats)."""
+
+import pytest
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.model import ExceptionHandler, JClass, JProgram, ProgramError
+
+
+def _method(class_name, name, value):
+    asm = MethodAssembler(class_name, name, arg_count=1, returns_value=True)
+    asm.const(value).ireturn()
+    return asm.build()
+
+
+def _hierarchy():
+    program = JProgram("h")
+    animal = JClass("Animal")
+    animal.add_method(_method("Animal", "speak", 0))
+    dog = JClass("Dog", superclass="Animal")
+    dog.add_method(_method("Dog", "speak", 1))
+    puppy = JClass("Puppy", superclass="Dog")
+    cat = JClass("Cat", superclass="Animal")
+    cat.add_method(_method("Cat", "speak", 2))
+    for jclass in (animal, dog, puppy, cat):
+        program.add_class(jclass)
+    return program
+
+
+class TestClassRegistry:
+    def test_duplicate_class_rejected(self):
+        program = JProgram("p")
+        program.add_class(JClass("A"))
+        with pytest.raises(ProgramError, match="duplicate"):
+            program.add_class(JClass("A"))
+
+    def test_unknown_class_lookup(self):
+        with pytest.raises(ProgramError, match="unknown class"):
+            JProgram("p").jclass("Nope")
+
+    def test_method_must_match_class(self):
+        jclass = JClass("A")
+        with pytest.raises(ProgramError):
+            jclass.add_method(_method("B", "m", 0))
+
+    def test_entry_resolution(self):
+        program = _hierarchy()
+        program.set_entry("Animal", "speak")
+        assert program.entry_method().qualified_name == "Animal.speak"
+
+    def test_missing_entry(self):
+        with pytest.raises(ProgramError, match="no entry"):
+            JProgram("p").entry_method()
+
+
+class TestDispatch:
+    def test_inherited_method_found(self):
+        program = _hierarchy()
+        # Puppy has no speak; inherits Dog's.
+        assert program.method("Puppy", "speak").qualified_name == "Dog.speak"
+
+    def test_resolve_virtual_walks_hierarchy(self):
+        program = _hierarchy()
+        assert program.resolve_virtual("Cat", "speak").qualified_name == "Cat.speak"
+        assert program.resolve_virtual("Puppy", "speak").qualified_name == "Dog.speak"
+
+    def test_unknown_method(self):
+        program = _hierarchy()
+        with pytest.raises(ProgramError, match="unknown method"):
+            program.method("Animal", "fly")
+
+    def test_subclasses_transitive(self):
+        program = _hierarchy()
+        assert set(program.subclasses_of("Animal")) == {"Dog", "Puppy", "Cat"}
+        assert program.subclasses_of("Puppy") == []
+
+    def test_possible_targets_virtual(self):
+        program = _hierarchy()
+        ref = _method("Animal", "speak", 0).ref
+        targets = {
+            m.qualified_name for m in program.possible_targets(ref, virtual=True)
+        }
+        assert targets == {"Animal.speak", "Dog.speak", "Cat.speak"}
+
+    def test_possible_targets_static(self):
+        program = _hierarchy()
+        ref = _method("Animal", "speak", 0).ref
+        targets = program.possible_targets(ref, virtual=False)
+        assert [m.qualified_name for m in targets] == ["Animal.speak"]
+
+
+class TestHandlersAndStats:
+    def test_handler_covers_range(self):
+        handler = ExceptionHandler(start=2, end=5, handler=7)
+        assert not handler.covers(1)
+        assert handler.covers(2)
+        assert handler.covers(4)
+        assert not handler.covers(5)
+
+    def test_handler_for_innermost_first(self):
+        asm = MethodAssembler("A", "m", arg_count=0, returns_value=True)
+        asm.const(1).const(0).idiv().ireturn()
+        asm.pop().const(-1).ireturn()
+        asm.handler(1, 3, 4)  # listed first: wins
+        asm.handler(0, 4, 4)
+        method = asm.build()
+        assert method.handler_for(2).start == 1
+        assert method.handler_for(0).start == 0
+        assert method.handler_for(4) is None
+
+    def test_stats(self):
+        program = _hierarchy()
+        stats = program.stats()
+        assert stats["classes"] == 4
+        assert stats["methods"] == 3
+        assert stats["instructions"] == 6  # const + ireturn per method
+        assert stats["branches"] == 0
+        assert stats["call_sites"] == 0
+
+    def test_methods_iteration_deterministic(self):
+        program = _hierarchy()
+        names = [m.qualified_name for m in program.methods()]
+        assert names == sorted(names)

@@ -1,0 +1,104 @@
+"""Unit tests for the opcode table and its metadata."""
+
+from repro.jvm.opcodes import (
+    DESPECIALIZED,
+    ICONST_VALUE,
+    MNEMONICS,
+    OP_TABLE,
+    Kind,
+    Op,
+    iconst_for,
+    info,
+    specialize,
+    tier,
+)
+
+
+class TestOpTable:
+    def test_every_opcode_described(self):
+        assert set(OP_TABLE) == set(Op)
+
+    def test_mnemonics_unique_and_roundtrip(self):
+        assert len(MNEMONICS) == len(OP_TABLE)
+        for op, op_info in OP_TABLE.items():
+            assert MNEMONICS[op_info.mnemonic] is op
+
+    def test_info_matches_table(self):
+        for op in Op:
+            assert info(op).op is op
+
+    def test_branch_opcodes_take_target(self):
+        for op, op_info in OP_TABLE.items():
+            if op_info.kind is Kind.COND:
+                assert op_info.operands == ("target",)
+            if op_info.kind is Kind.GOTO:
+                assert op_info.operands == ("target",)
+
+    def test_call_opcodes_take_methodref(self):
+        for op, op_info in OP_TABLE.items():
+            if op_info.kind is Kind.CALL:
+                assert op_info.operands == ("methodref",)
+                assert op_info.pops == -1
+
+    def test_returns_have_no_successor_operands(self):
+        for op, op_info in OP_TABLE.items():
+            if op_info.kind is Kind.RETURN:
+                assert op_info.operands == ()
+
+    def test_conditionals_pop_operands(self):
+        assert info(Op.IFEQ).pops == 1
+        assert info(Op.IF_ICMPLT).pops == 2
+        assert info(Op.IFNULL).pops == 1
+        assert info(Op.IF_ACMPEQ).pops == 2
+
+
+class TestSpecialization:
+    def test_iload_specializes_for_small_indices(self):
+        assert specialize(Op.ILOAD, 0) is Op.ILOAD_0
+        assert specialize(Op.ILOAD, 3) is Op.ILOAD_3
+        assert specialize(Op.ILOAD, 4) is None
+
+    def test_despecialize_inverts_specialize(self):
+        for spec, (generic, index) in DESPECIALIZED.items():
+            assert specialize(generic, index) is spec
+
+    def test_iconst_values(self):
+        assert iconst_for(0) is Op.ICONST_0
+        assert iconst_for(-1) is Op.ICONST_M1
+        assert iconst_for(5) is Op.ICONST_5
+        assert iconst_for(6) is None
+        for op, value in ICONST_VALUE.items():
+            assert iconst_for(value) is op
+
+    def test_specialized_forms_have_no_operands(self):
+        for spec in DESPECIALIZED:
+            assert info(spec).operands == ()
+
+
+class TestTiers:
+    def test_calls_and_returns_are_tier1(self):
+        assert tier(Op.INVOKESTATIC) == 1
+        assert tier(Op.INVOKEVIRTUAL) == 1
+        assert tier(Op.IRETURN) == 1
+        assert tier(Op.RETURN) == 1
+        assert tier(Op.ATHROW) == 1
+
+    def test_branches_are_tier2(self):
+        assert tier(Op.IFEQ) == 2
+        assert tier(Op.GOTO) == 2
+        assert tier(Op.TABLESWITCH) == 2
+        assert tier(Op.LOOKUPSWITCH) == 2
+
+    def test_data_instructions_are_tier3(self):
+        assert tier(Op.IADD) == 3
+        assert tier(Op.ILOAD_0) == 3
+        assert tier(Op.GETFIELD) == 3
+        assert tier(Op.NEW) == 3
+
+    def test_tier_hierarchy_is_nested(self):
+        # Every tier-1 opcode is also control (tier <= 2).
+        for op in Op:
+            if tier(op) == 1:
+                assert info(op).is_control
+            if info(op).kind is Kind.NORMAL:
+                assert tier(op) == 3

@@ -1,0 +1,91 @@
+"""Tests for on-stack replacement (OSR)."""
+
+from repro.core import JPortal
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.jit import JITPolicy
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.jvm.verifier import verify_program
+
+from ..conftest import analyze_lossless, build_figure2_program
+
+
+def _long_loop_program(iterations=2_000):
+    """A single main with one hot loop: without OSR it never compiles."""
+    asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+    asm.const(iterations).store(0)
+    asm.const(0).store(1)
+    asm.label("head")
+    asm.load(0).ifle("done")
+    asm.load(1).load(0).iadd().const(0x7FFFFFFF).iand().store(1)
+    asm.iinc(0, -1).goto("head")
+    asm.label("done")
+    asm.load(1).ireturn()
+    cls = JClass("T")
+    cls.add_method(asm.build())
+    program = JProgram("osr")
+    program.add_class(cls)
+    program.set_entry("T", "main")
+    verify_program(program)
+    return program
+
+
+def _config(osr_threshold):
+    return RuntimeConfig(
+        cores=1, jit=JITPolicy(hot_threshold=10**9, osr_threshold=osr_threshold)
+    )
+
+
+class TestOSRTransition:
+    def test_disabled_by_default(self):
+        result = run_program(_long_loop_program(), RuntimeConfig(cores=1))
+        assert result.counters["osr_transitions"] == 0
+
+    def test_hot_loop_triggers_osr(self):
+        result = run_program(_long_loop_program(), _config(osr_threshold=100))
+        assert result.counters["osr_transitions"] == 1
+        assert result.counters["compiles"] == 1
+        assert result.counters["steps_compiled"] > result.counters["steps_interp"]
+
+    def test_result_unchanged_by_osr(self):
+        baseline = run_program(_long_loop_program(), _config(osr_threshold=0))
+        osr = run_program(_long_loop_program(), _config(osr_threshold=100))
+        assert baseline.threads[0].result == osr.threads[0].result
+
+    def test_truth_unchanged_by_osr(self):
+        baseline = run_program(_long_loop_program(500), _config(osr_threshold=0))
+        osr = run_program(_long_loop_program(500), _config(osr_threshold=50))
+        assert baseline.threads[0].truth == osr.threads[0].truth
+
+    def test_osr_entry_mid_method(self):
+        """After OSR the activation executes compiled code from the loop
+        header, not the method entry."""
+        program = _long_loop_program(500)
+        result = run_program(program, _config(osr_threshold=50))
+        code = result.code_cache.lookup("T.main")
+        assert code is not None
+        # No invoke ever ran (main is the thread entry), so invocation-based
+        # tiering cannot explain the compiled steps.
+        assert result.counters["invocations"] == 0
+
+
+class TestOSRReconstruction:
+    def test_lossless_reconstruction_across_osr(self):
+        """The decoder sees an unexplained TIP into the code cache at the
+        loop header and must pick up the walk there; the projection must
+        still be exact."""
+        program = _long_loop_program(800)
+        result = run_program(program, _config(osr_threshold=100))
+        assert result.counters["osr_transitions"] == 1
+        analysis = analyze_lossless(program, result)
+        assert analysis.flow_of(0).reconstructed_nodes() == result.threads[0].truth
+
+    def test_osr_with_calls_in_loop(self):
+        program = build_figure2_program(iterations=300)
+        config = RuntimeConfig(
+            cores=1, jit=JITPolicy(hot_threshold=10**9, osr_threshold=50)
+        )
+        result = run_program(program, config)
+        assert result.counters["osr_transitions"] >= 1
+        analysis = analyze_lossless(program, result)
+        assert analysis.flow_of(0).reconstructed_nodes() == result.threads[0].truth

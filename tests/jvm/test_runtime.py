@@ -1,0 +1,329 @@
+"""Unit/integration tests for the tiered runtime."""
+
+import pytest
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.jit import JITPolicy
+from repro.jvm.machine import (
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    TipEvent,
+    TntEvent,
+)
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.runtime import (
+    ExecutionBudgetExceeded,
+    JVMRuntime,
+    RuntimeConfig,
+    run_program,
+)
+from repro.jvm.verifier import verify_program
+
+from ..conftest import build_figure2_program
+
+
+def _program(*assemblers, entry="main", extra_classes=()):
+    cls = JClass("T")
+    for asm in assemblers:
+        cls.add_method(asm.build())
+    program = JProgram("p")
+    program.add_class(cls)
+    for extra in extra_classes:
+        program.add_class(extra)
+    program.set_entry("T", entry)
+    verify_program(program)
+    return program
+
+
+def _fib_program():
+    fib = MethodAssembler("T", "fib", arg_count=1, returns_value=True)
+    fib.load(0).const(2).if_icmpge("rec")
+    fib.load(0).ireturn()
+    fib.label("rec")
+    fib.load(0).const(1).isub().invokestatic("T", "fib", 1, True)
+    fib.load(0).const(2).isub().invokestatic("T", "fib", 1, True)
+    fib.iadd().ireturn()
+    main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+    main.const(12).invokestatic("T", "fib", 1, True).ireturn()
+    return _program(main, fib)
+
+
+class TestExecutionCorrectness:
+    def test_figure2_result(self):
+        program = build_figure2_program(iterations=50)
+        result = run_program(program, RuntimeConfig(cores=1))
+        assert result.threads[0].result == 50  # fun() is always true here
+
+    def test_recursive_fib(self):
+        result = run_program(_fib_program(), RuntimeConfig(cores=1))
+        assert result.threads[0].result == 144
+
+    def test_result_independent_of_tiering(self):
+        for threshold in (1, 3, 1000):
+            config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+            result = run_program(_fib_program(), config)
+            assert result.threads[0].result == 144
+
+    def test_result_independent_of_inlining(self):
+        for inlining in (True, False):
+            config = RuntimeConfig(
+                cores=1, jit=JITPolicy(hot_threshold=2, enable_inlining=inlining)
+            )
+            result = run_program(_fib_program(), config)
+            assert result.threads[0].result == 144
+
+    def test_truth_identical_across_tiering(self):
+        """Ground-truth bytecode paths must not depend on execution mode."""
+        paths = []
+        for threshold in (2, 10**9):
+            config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+            result = run_program(_fib_program(), config)
+            paths.append(result.threads[0].truth)
+        assert paths[0] == paths[1]
+
+
+class TestTiering:
+    def test_hot_method_compiled(self):
+        config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        result = run_program(_fib_program(), config)
+        assert result.counters["compiles"] >= 1
+        assert result.code_cache.lookup("T.fib") is not None
+
+    def test_cold_threshold_never_compiles(self):
+        config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10**9))
+        result = run_program(_fib_program(), config)
+        assert result.counters["compiles"] == 0
+        assert result.counters["steps_compiled"] == 0
+
+    def test_mixed_mode_steps_counted(self):
+        config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=5))
+        result = run_program(_fib_program(), config)
+        counters = result.counters
+        assert counters["steps_interp"] > 0
+        assert counters["steps_compiled"] > 0
+        assert counters["steps"] == counters["steps_interp"] + counters["steps_compiled"]
+
+
+class TestEventEmission:
+    def test_one_tip_per_interpreted_step(self):
+        config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10**9))
+        result = run_program(build_figure2_program(10), config)
+        tips = [e for e in result.core_events[0] if isinstance(e, TipEvent)]
+        assert len(tips) == result.counters["steps_interp"]
+
+    def test_tnt_per_interpreted_conditional(self):
+        config = RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10**9))
+        result = run_program(build_figure2_program(10), config)
+        tnts = [e for e in result.core_events[0] if isinstance(e, TntEvent)]
+        from repro.jvm.opcodes import Kind, info
+
+        cond_steps = sum(
+            1
+            for qname, bci in result.threads[0].truth
+            if info(
+                result.program.method(*qname.rsplit(".", 1)).code[bci].op
+            ).kind
+            is Kind.COND
+        )
+        assert len(tnts) == cond_steps
+
+    def test_compiled_code_emits_fewer_events(self):
+        interp = run_program(
+            build_figure2_program(60),
+            RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10**9)),
+        )
+        mixed = run_program(
+            build_figure2_program(60),
+            RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=3)),
+        )
+        assert mixed.event_count() < interp.event_count()
+
+    def test_timestamps_monotonic(self):
+        result = run_program(build_figure2_program(20), RuntimeConfig(cores=1))
+        timestamps = [e.tsc for e in result.core_events[0]]
+        assert timestamps == sorted(timestamps)
+
+    def test_trace_starts_with_enable(self):
+        result = run_program(build_figure2_program(5), RuntimeConfig(cores=1))
+        assert isinstance(result.core_events[0][0], EnableEvent)
+        assert isinstance(result.core_events[0][-1], DisableEvent)
+
+
+class TestExceptions:
+    def _thrower(self, caught: bool):
+        boom = MethodAssembler("T", "boom", arg_count=0, returns_value=True)
+        boom.new("E").athrow()
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        main.label("try")
+        main.invokestatic("T", "boom", 0, True)
+        main.label("endtry")
+        main.ireturn()
+        main.label("catch")
+        main.pop().const(-1).ireturn()
+        if caught:
+            main.handler("try", "endtry", "catch")
+        return _program(main, boom, extra_classes=(JClass("E"),))
+
+    def test_caught_exception_reaches_handler(self):
+        result = run_program(self._thrower(caught=True), RuntimeConfig(cores=1))
+        assert result.threads[0].result == -1
+        assert result.threads[0].uncaught is None
+        assert result.counters["exceptions"] == 1
+
+    def test_uncaught_exception_terminates_thread(self):
+        result = run_program(self._thrower(caught=False), RuntimeConfig(cores=1))
+        thread = result.threads[0]
+        assert thread.finished
+        assert thread.uncaught is not None
+        assert thread.uncaught.class_name == "E"
+
+    def test_implicit_trap_emits_fup(self):
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.label("try")
+        asm.const(1).const(0).idiv().ireturn()
+        asm.label("catch")
+        asm.pop().const(-1).ireturn()
+        asm.handler("try", 4, "catch")
+        result = run_program(_program(asm), RuntimeConfig(cores=1))
+        assert result.threads[0].result == -1
+        fups = [e for e in result.core_events[0] if isinstance(e, FupEvent)]
+        assert len(fups) == 1
+
+    def test_exception_in_compiled_code(self):
+        """A hot method that traps must dispatch correctly when compiled."""
+        helper = MethodAssembler("T", "divide", arg_count=2, returns_value=True)
+        helper.load(0).load(1).idiv().ireturn()
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        # locals: 0=i, 1=acc
+        main.const(0).store(0)
+        main.const(0).store(1)
+        main.label("head")
+        main.load(0).const(30).if_icmpge("done")
+        main.label("try")
+        main.const(100).load(0).const(5).irem().invokestatic("T", "divide", 2, True)
+        main.load(1).iadd().store(1)
+        main.label("endtry")
+        main.goto("next")
+        main.label("catch")
+        main.pop().iinc(1, -1)
+        main.label("next")
+        main.iinc(0, 1).goto("head")
+        main.label("done")
+        main.load(1).ireturn()
+        main.handler("try", "endtry", "catch")
+        program = _program(main, helper)
+        for threshold in (3, 10**9):
+            result = run_program(
+                program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+            )
+            # i % 5 == 0 for 6 of 30 iterations -> 6 traps, 24 sums
+            assert result.counters["exceptions"] == 6
+            expected = sum(100 // (i % 5) for i in range(30) if i % 5) - 6
+            assert result.threads[0].result == expected
+
+
+class TestThreadsAndScheduling:
+    def _two_thread_program(self):
+        work = MethodAssembler("T", "work", arg_count=1, returns_value=True)
+        work.const(200).store(1)
+        work.label("head")
+        work.load(1).ifle("done")
+        work.iinc(0, 1).iinc(1, -1).goto("head")
+        work.label("done")
+        work.load(0).ireturn()
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        main.const(7).invokestatic("T", "work", 1, True).ireturn()
+        return _program(main, work)
+
+    def test_extra_threads_run_to_completion(self):
+        program = self._two_thread_program()
+        runtime = JVMRuntime(program, RuntimeConfig(cores=2))
+        runtime.add_thread(name="main")
+        runtime.add_thread("T", "work", (100,))
+        result = runtime.run()
+        assert result.threads[0].result == 207
+        assert result.threads[1].result == 300
+
+    def test_switch_records_cover_all_threads(self):
+        program = self._two_thread_program()
+        runtime = JVMRuntime(program, RuntimeConfig(cores=2, quantum=50))
+        runtime.add_thread(name="main")
+        runtime.add_thread("T", "work", (0,))
+        result = runtime.run()
+        tids = {record.tid for record in result.thread_switches}
+        assert tids == {0, 1}
+
+    def test_threads_migrate_across_cores(self):
+        program = self._two_thread_program()
+        runtime = JVMRuntime(program, RuntimeConfig(cores=2, quantum=20))
+        runtime.add_thread(name="main")
+        runtime.add_thread("T", "work", (0,))
+        runtime.add_thread("T", "work", (0,))
+        result = runtime.run()
+        cores_of_t0 = {r.core for r in result.thread_switches if r.tid == 0}
+        assert len(cores_of_t0) > 1
+
+    def test_jitter_perturbs_switch_timestamps(self):
+        program = self._two_thread_program()
+        base = JVMRuntime(program, RuntimeConfig(cores=2, quantum=20))
+        base.add_thread(name="main")
+        base.add_thread("T", "work", (0,))
+        clean = base.run().thread_switches
+        jittered_rt = JVMRuntime(
+            program, RuntimeConfig(cores=2, quantum=20, switch_timestamp_jitter=9)
+        )
+        jittered_rt.add_thread(name="main")
+        jittered_rt.add_thread("T", "work", (0,))
+        jittered = jittered_rt.run().thread_switches
+        assert any(a.tsc != b.tsc for a, b in zip(clean, jittered))
+
+
+class TestGCAndBudget:
+    def test_gc_pause_emits_disable_enable(self):
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.const(300).store(0)
+        asm.label("head")
+        asm.load(0).ifle("done")
+        asm.const(1).newarray().pop()
+        asm.iinc(0, -1).goto("head")
+        asm.label("done")
+        asm.const(0).ireturn()
+        program = _program(asm)
+        config = RuntimeConfig(cores=1, gc_period_allocations=100)
+        result = run_program(program, config)
+        assert result.counters["gc_pauses"] == 3
+        switches = result.counters["thread_switches"]
+        disables = [e for e in result.core_events[0] if isinstance(e, DisableEvent)]
+        enables = [e for e in result.core_events[0] if isinstance(e, EnableEvent)]
+        # One PGE/PGD pair per scheduling quantum plus one per GC pause.
+        assert len(enables) == switches + 3
+        assert len(disables) == switches + 3
+
+    def test_step_budget_enforced(self):
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.label("spin")
+        asm.goto("spin")
+        program = _program(asm)
+        with pytest.raises(ExecutionBudgetExceeded):
+            run_program(program, RuntimeConfig(cores=1, max_steps=1000))
+
+
+class TestSampling:
+    def test_samples_recorded_at_interval(self):
+        config = RuntimeConfig(cores=1, sample_interval=500)
+        result = run_program(build_figure2_program(100), config)
+        assert result.counters["samples"] > 0
+        assert len(result.samples) == result.counters["samples"]
+        timestamps = [tsc for tsc, _q in result.samples]
+        assert timestamps == sorted(timestamps)
+
+    def test_sampling_disabled_by_default(self):
+        result = run_program(build_figure2_program(10), RuntimeConfig(cores=1))
+        assert result.samples == []
+
+    def test_samples_name_executing_methods(self):
+        config = RuntimeConfig(cores=1, sample_interval=200)
+        result = run_program(build_figure2_program(100), config)
+        names = {qname for _tsc, qname in result.samples}
+        assert names <= {"Test.main", "Test.fun"}

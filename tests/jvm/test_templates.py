@@ -1,0 +1,86 @@
+"""Unit tests for the template interpreter's address-range table."""
+
+from repro.jvm.machine import DEFAULT_ADDRESS_SPACE
+from repro.jvm.opcodes import Kind, Op, info
+from repro.jvm.templates import TemplateTable
+
+
+class TestLayout:
+    def setup_method(self):
+        self.table = TemplateTable()
+
+    def test_every_opcode_has_a_range(self):
+        assert len(self.table) == len(Op)
+        for op in Op:
+            ranges = self.table.ranges(op)
+            assert ranges
+            for start, end in ranges:
+                assert start < end
+
+    def test_ranges_are_disjoint(self):
+        intervals = []
+        for op in Op:
+            intervals.extend(self.table.ranges(op))
+        intervals.append(self.table.return_stub)
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2
+
+    def test_ranges_within_template_space(self):
+        space = DEFAULT_ADDRESS_SPACE
+        for op in Op:
+            for start, end in self.table.ranges(op):
+                assert space.in_template_space(start)
+                assert space.in_template_space(end - 1)
+
+    def test_conditionals_have_two_subranges(self):
+        for op in Op:
+            expected = 2 if info(op).kind is Kind.COND else 1
+            assert len(self.table.ranges(op)) == expected
+
+    def test_entry_is_first_range_start(self):
+        for op in Op:
+            assert self.table.entry(op) == self.table.ranges(op)[0][0]
+
+
+class TestReverseLookup:
+    def setup_method(self):
+        self.table = TemplateTable()
+
+    def test_entry_resolves_to_op(self):
+        for op in Op:
+            assert self.table.op_at(self.table.entry(op)) is op
+
+    def test_every_address_in_every_subrange_resolves(self):
+        for op in Op:
+            for start, end in self.table.ranges(op):
+                assert self.table.op_at(start) is op
+                assert self.table.op_at(end - 1) is op
+                assert self.table.op_at((start + end) // 2) is op
+
+    def test_gap_addresses_resolve_to_none(self):
+        first = self.table.entry(sorted(Op, key=lambda o: self.table.entry(o))[0])
+        assert self.table.op_at(first - 1) is None
+
+    def test_below_template_space_is_none(self):
+        assert self.table.op_at(0) is None
+        assert self.table.op_at(DEFAULT_ADDRESS_SPACE.template_base - 10) is None
+
+
+class TestReturnStub:
+    def setup_method(self):
+        self.table = TemplateTable()
+
+    def test_stub_detection(self):
+        entry = self.table.return_stub_entry
+        assert self.table.is_return_stub(entry)
+        assert not self.table.is_return_stub(entry - 1)
+
+    def test_stub_not_an_opcode_template(self):
+        assert self.table.op_at(self.table.return_stub_entry) is None
+
+    def test_metadata_contains_stub(self):
+        metadata = self.table.metadata()
+        assert "<return-stub>" in metadata
+        assert metadata["iload_0"]
+        assert len(metadata) == len(Op) + 1

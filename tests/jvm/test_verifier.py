@@ -1,0 +1,159 @@
+"""Unit tests for the structural bytecode verifier."""
+
+import pytest
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.verifier import VerificationError, verify_method, verify_program
+
+
+def _asm(**kwargs):
+    defaults = dict(class_name="T", name="m", arg_count=0, returns_value=True)
+    defaults.update(kwargs)
+    return MethodAssembler(**defaults)
+
+
+class TestStructure:
+    def test_valid_straightline(self):
+        asm = _asm()
+        asm.const(1).const(2).iadd().ireturn()
+        verify_method(asm.build())
+
+    def test_branch_target_out_of_range(self):
+        asm = _asm()
+        asm.const(0).ifeq(99).const(0).ireturn()
+        with pytest.raises(VerificationError, match="out of range"):
+            verify_method(asm.build())
+
+    def test_fall_off_end(self):
+        asm = _asm()
+        asm.const(1).pop()
+        with pytest.raises(VerificationError, match="falls off"):
+            verify_method(asm.build())
+
+    def test_conditional_fallthrough_off_end(self):
+        asm = _asm()
+        asm.const(1).ifeq(0)
+        with pytest.raises(VerificationError, match="out of range|off the end"):
+            verify_method(asm.build())
+
+    def test_local_out_of_range(self):
+        asm = _asm(max_locals=9)
+        asm.load(8).ireturn()
+        method = asm.build()
+        # Manually shrink max_locals to trigger the check.
+        method.max_locals = 3
+        with pytest.raises(VerificationError, match="max_locals"):
+            verify_method(method)
+
+    def test_bad_handler_range(self):
+        asm = _asm()
+        asm.const(0).ireturn()
+        asm.handler(1, 1, 0)
+        with pytest.raises(VerificationError, match="handler range"):
+            verify_method(asm.build())
+
+    def test_handler_target_out_of_range(self):
+        asm = _asm()
+        asm.const(0).ireturn()
+        asm.handler(0, 1, 99)
+        with pytest.raises(VerificationError, match="handler target"):
+            verify_method(asm.build())
+
+
+class TestStackDepth:
+    def test_underflow(self):
+        asm = _asm()
+        asm.iadd().const(0).ireturn()
+        with pytest.raises(VerificationError, match="underflow"):
+            verify_method(asm.build())
+
+    def test_inconsistent_join_depth(self):
+        asm = _asm()
+        asm.const(0).ifeq("b")
+        asm.const(1).const(2)  # depth 2 on this arm
+        asm.goto("join")
+        asm.label("b")
+        asm.const(1)  # depth 1 on this arm
+        asm.label("join")
+        asm.ireturn()
+        with pytest.raises(VerificationError, match="inconsistent"):
+            verify_method(asm.build())
+
+    def test_return_needs_value(self):
+        asm = _asm()
+        # ireturn with empty stack
+        asm.nop().ireturn()
+        with pytest.raises(VerificationError, match="underflow|empty"):
+            verify_method(asm.build())
+
+    def test_handler_entry_depth_is_one(self):
+        asm = _asm()
+        asm.label("try")
+        asm.const(1).const(0).idiv().ireturn()
+        asm.label("catch")
+        asm.pop().const(-1).ireturn()
+        asm.handler("try", 4, "catch")
+        verify_method(asm.build())
+
+    def test_loop_depth_consistency(self):
+        asm = _asm()
+        asm.const(10).store(0)
+        asm.label("head")
+        asm.load(0).ifle("done")
+        asm.iinc(0, -1).goto("head")
+        asm.label("done")
+        asm.const(0).ireturn()
+        verify_method(asm.build())
+
+    def test_unbalanced_loop_rejected(self):
+        asm = _asm()
+        asm.const(0)
+        asm.label("head")
+        asm.const(1)  # pushes every iteration: depth grows
+        asm.const(0).ifeq("head")
+        asm.ireturn()
+        with pytest.raises(VerificationError, match="inconsistent"):
+            verify_method(asm.build())
+
+
+class TestProgramChecks:
+    def _program_with_call(self, arg_count, returns_value):
+        callee = _asm(name="callee", arg_count=1, returns_value=True)
+        callee.load(0).ireturn()
+        caller = _asm(name="caller")
+        caller.const(1)
+        caller.emit_index = None
+        from repro.jvm.instructions import MethodRef
+        from repro.jvm.opcodes import Op
+
+        caller.emit(
+            Op.INVOKESTATIC, methodref=MethodRef("T", "callee", arg_count, returns_value)
+        )
+        caller.ireturn()
+        cls = JClass("T")
+        cls.add_method(callee.build())
+        cls.add_method(caller.build())
+        program = JProgram("p")
+        program.add_class(cls)
+        program.set_entry("T", "caller")
+        return program
+
+    def test_matching_signature_ok(self):
+        verify_program(self._program_with_call(1, True))
+
+    def test_arg_count_mismatch(self):
+        with pytest.raises(VerificationError, match="args|underflow"):
+            verify_program(self._program_with_call(2, True))
+
+    def test_return_kind_mismatch(self):
+        # callee returns a value but the ref says void: the call pushes
+        # nothing, so the caller's ireturn underflows -- either error is
+        # acceptable, but the program must not verify.
+        with pytest.raises(VerificationError):
+            verify_program(self._program_with_call(1, False))
+
+    def test_missing_entry(self):
+        program = JProgram("empty")
+        with pytest.raises(Exception):
+            verify_program(program)

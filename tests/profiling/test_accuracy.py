@@ -1,0 +1,100 @@
+"""Unit tests for accuracy metrics."""
+
+import pytest
+
+from repro.core import JPortal
+from repro.core.recovery import RecoveryConfig
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.profiling.accuracy import (
+    hot_method_intersection,
+    run_accuracy,
+    sequence_similarity,
+    thread_accuracy,
+)
+
+from ..conftest import build_figure2_program, lossless_config, lossy_config
+
+A = ("M.a", 0)
+B = ("M.a", 1)
+C = ("M.a", 2)
+D = ("M.a", 3)
+
+
+class TestSequenceSimilarity:
+    def test_identical_is_one(self):
+        assert sequence_similarity([A, B, C], [A, B, C]) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert sequence_similarity([A, A], [B, B]) == 0.0
+
+    def test_empty_cases(self):
+        assert sequence_similarity([], []) == 1.0
+        assert sequence_similarity([A], []) == 0.0
+        assert sequence_similarity([], [A]) == 0.0
+
+    def test_partial_overlap(self):
+        value = sequence_similarity([A, B, C, D], [A, B, D])
+        assert 0.5 < value < 1.0
+
+    def test_symmetric_in_length_penalty(self):
+        # Extra garbage lowers the score.
+        clean = sequence_similarity([A, B, C], [A, B, C])
+        noisy = sequence_similarity([A, B, C], [A, B, C, D, D, D])
+        assert noisy < clean
+
+    def test_handles_none_entries(self):
+        value = sequence_similarity([A, B, C], [A, None, C])
+        assert 0 < value < 1
+
+
+class TestEndToEndAccuracy:
+    def test_lossless_accuracy_is_perfect(self):
+        program = build_figure2_program(iterations=60)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=8))
+        )
+        result = JPortal(program).analyze_run(run, lossless_config())
+        accuracy = run_accuracy(run, result)
+        assert accuracy.overall == pytest.approx(1.0)
+        assert accuracy.percent_missing_data == 0.0
+        assert accuracy.decoding_accuracy == pytest.approx(1.0)
+        assert accuracy.percent_decoded == pytest.approx(1.0)
+        assert accuracy.percent_recovered == 0.0
+
+    def test_lossy_accuracy_breakdown_consistent(self):
+        program = build_figure2_program(iterations=400)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10))
+        )
+        jportal = JPortal(program, recovery=RecoveryConfig(cost_per_instruction=1.0))
+        result = jportal.analyze_run(run, lossy_config())
+        accuracy = run_accuracy(run, result)
+        assert 0 < accuracy.percent_missing_data < 1
+        assert 0 < accuracy.overall < 1
+        thread = accuracy.threads[0]
+        assert thread.decoded_correct <= thread.decoded_entries
+        assert thread.recovered_correct <= thread.recovered_entries
+        assert 0 <= thread.decoding_accuracy <= 1
+        assert 0 <= thread.recovery_accuracy <= 1
+        # Decoding is the high-confidence component (paper: DA ~ 82%).
+        assert thread.decoding_accuracy > 0.5
+
+    def test_smaller_buffer_lowers_accuracy(self):
+        program = build_figure2_program(iterations=400)
+        run = run_program(
+            program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=10))
+        )
+        jportal = JPortal(program, recovery=RecoveryConfig(cost_per_instruction=1.0))
+        small = run_accuracy(run, jportal.analyze_run(run, lossy_config(capacity=500)))
+        large = run_accuracy(run, jportal.analyze_run(run, lossy_config(capacity=2500)))
+        assert small.percent_missing_data >= large.percent_missing_data
+        assert small.overall <= large.overall + 0.05
+
+
+class TestHotMethodIntersection:
+    def test_counts_overlap(self):
+        truth = ["a", "b", "c"]
+        assert hot_method_intersection(truth, ["c", "a", "x"]) == 2
+        assert hot_method_intersection(truth, []) == 0
+        assert hot_method_intersection(truth, truth) == 3

@@ -1,0 +1,232 @@
+"""Unit tests for Ball-Larus path profiling."""
+
+from collections import Counter
+
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.cfg import CFG
+from repro.jvm.jit import JITPolicy
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.jvm.verifier import verify_program
+from repro.profiling.ball_larus import (
+    ENTRY,
+    EXIT,
+    BallLarusNumbering,
+    BallLarusProfiler,
+    block_executions,
+    split_activations,
+)
+
+from ..conftest import build_figure2_program
+
+
+def _diamond_method():
+    asm = MethodAssembler("T", "m", arg_count=1, returns_value=True)
+    asm.load(0).ifeq("else_")
+    asm.const(10).goto("join")
+    asm.label("else_")
+    asm.const(20)
+    asm.label("join")
+    asm.ireturn()
+    return asm.build()
+
+
+def _double_diamond():
+    asm = MethodAssembler("T", "m", arg_count=2, returns_value=True)
+    asm.load(0).ifeq("e1")
+    asm.nop().goto("j1")
+    asm.label("e1")
+    asm.nop()
+    asm.label("j1")
+    asm.load(1).ifeq("e2")
+    asm.nop().goto("j2")
+    asm.label("e2")
+    asm.nop()
+    asm.label("j2")
+    asm.const(0).ireturn()
+    return asm.build()
+
+
+def _loop_method():
+    asm = MethodAssembler("T", "m", arg_count=1, returns_value=True)
+    asm.label("head")
+    asm.load(0).ifle("done")
+    asm.iinc(0, -1).goto("head")
+    asm.label("done")
+    asm.const(0).ireturn()
+    return asm.build()
+
+
+class TestNumbering:
+    def test_diamond_has_two_paths(self):
+        numbering = BallLarusNumbering(CFG(_diamond_method()))
+        assert numbering.path_count == 2
+
+    def test_double_diamond_has_four_paths(self):
+        numbering = BallLarusNumbering(CFG(_double_diamond()))
+        assert numbering.path_count == 4
+
+    def test_straightline_has_one_path(self):
+        asm = MethodAssembler("T", "m", arg_count=0, returns_value=True)
+        asm.const(1).ireturn()
+        numbering = BallLarusNumbering(CFG(asm.build()))
+        assert numbering.path_count == 1
+
+    def test_loop_dag_paths(self):
+        # DAG transform: entry->head->exit plus pseudo paths.
+        numbering = BallLarusNumbering(CFG(_loop_method()))
+        assert numbering.path_count >= 2
+
+    def test_path_sums_unique(self):
+        """Every distinct ENTRY->EXIT DAG path has a distinct Val-sum in
+        [0, NumPaths)."""
+        numbering = BallLarusNumbering(CFG(_double_diamond()))
+        succ = {}
+        for edge in numbering.edges:
+            succ.setdefault(edge.src, []).append(edge)
+
+        sums = []
+
+        def walk(node, total):
+            if node == EXIT:
+                sums.append(total)
+                return
+            for edge in succ.get(node, ()):
+                walk(edge.dst, total + numbering.val.get(edge, 0))
+
+        walk(ENTRY, 0)
+        assert sorted(sums) == list(range(numbering.path_count))
+
+    def test_chord_sums_equal_val_sums(self):
+        """The spanning-tree increment placement preserves path ids."""
+        for method in (_diamond_method(), _double_diamond(), _loop_method()):
+            numbering = BallLarusNumbering(CFG(method))
+            succ = {}
+            for edge in numbering.edges:
+                succ.setdefault(edge.src, []).append(edge)
+
+            def walk(node, val_total, chord_total):
+                if node == EXIT:
+                    # Register-style accumulation equals the Val path sum.
+                    assert (
+                        numbering.initial_register + chord_total == val_total
+                    )
+                    return
+                for edge in succ.get(node, ()):
+                    walk(
+                        edge.dst,
+                        val_total + numbering.val.get(edge, 0),
+                        chord_total + numbering.inc.get(edge, 0),
+                    )
+
+            walk(ENTRY, 0, 0)
+
+    def test_regenerate_inverts_numbering(self):
+        numbering = BallLarusNumbering(CFG(_double_diamond()))
+        seen = set()
+        for path_id in range(numbering.path_count):
+            blocks = numbering.regenerate(path_id)
+            assert blocks[0] == 0
+            assert tuple(blocks) not in seen
+            seen.add(tuple(blocks))
+
+
+class TestPathEvents:
+    def test_diamond_events(self):
+        method = _diamond_method()
+        numbering = BallLarusNumbering(CFG(method))
+        cfg = CFG(method)
+        then_path = [0, cfg.block_of(2).block_id, cfg.block_of(5).block_id]
+        else_path = [0, cfg.block_of(4).block_id, cfg.block_of(5).block_id]
+        counts_then, probes1, _t1 = numbering.path_events(then_path)
+        counts_else, probes2, _t2 = numbering.path_events(else_path)
+        assert sum(counts_then.values()) == 1
+        assert sum(counts_else.values()) == 1
+        assert set(counts_then) != set(counts_else)
+
+    def test_loop_iterations_counted_per_back_edge(self):
+        method = _loop_method()
+        numbering = BallLarusNumbering(CFG(method))
+        cfg = CFG(method)
+        head = cfg.block_of(0).block_id
+        latch = cfg.block_of(2).block_id
+        done = cfg.block_of(4).block_id
+        blocks = [head, latch, head, latch, head, done]  # two iterations
+        counts, _probes, truncated = numbering.path_events(blocks)
+        assert sum(counts.values()) == 3  # 2 back-edge paths + final
+        assert truncated == 0
+
+    def test_empty_sequence(self):
+        numbering = BallLarusNumbering(CFG(_diamond_method()))
+        counts, probes, truncated = numbering.path_events([])
+        assert sum(counts.values()) == 0 and probes == 0
+
+
+class TestActivationSplitting:
+    def test_call_pushes_and_return_pops(self):
+        program = build_figure2_program(iterations=3)
+        run = run_program(program, RuntimeConfig(cores=1))
+        truth = run.threads[0].truth
+        activations = split_activations(program, truth)
+        assert set(activations) == {"Test.main", "Test.fun"}
+        assert len(activations["Test.fun"]) == 3  # one per call
+        assert len(activations["Test.main"]) == 1
+
+    def test_block_sequences_start_at_entry_block(self):
+        program = build_figure2_program(iterations=3)
+        run = run_program(program, RuntimeConfig(cores=1))
+        activations = split_activations(program, run.threads[0].truth)
+        for runs in activations.values():
+            for blocks in runs:
+                assert blocks[0] == 0
+
+    def test_recursion_counted_per_activation(self):
+        fib = MethodAssembler("T", "fib", arg_count=1, returns_value=True)
+        fib.load(0).const(2).if_icmpge("rec")
+        fib.load(0).ireturn()
+        fib.label("rec")
+        fib.load(0).const(1).isub().invokestatic("T", "fib", 1, True)
+        fib.load(0).const(2).isub().invokestatic("T", "fib", 1, True)
+        fib.iadd().ireturn()
+        main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        main.const(6).invokestatic("T", "fib", 1, True).ireturn()
+        cls = JClass("T")
+        cls.add_method(fib.build())
+        cls.add_method(main.build())
+        program = JProgram("p")
+        program.add_class(cls)
+        program.set_entry("T", "main")
+        verify_program(program)
+        run = run_program(program, RuntimeConfig(cores=1))
+        activations = split_activations(program, run.threads[0].truth)
+        # fib(6) makes 25 calls in total.
+        assert len(activations["T.fib"]) == 25
+
+
+class TestProfiler:
+    def test_profile_totals(self):
+        program = build_figure2_program(iterations=20)
+        run = run_program(program, RuntimeConfig(cores=1))
+        profiler = BallLarusProfiler(program)
+        profile = profiler.profile([run.threads[0].truth])
+        # fun: 20 activations -> 20 complete paths; main: loop paths.
+        assert sum(profile.per_method["Test.fun"].values()) == 20
+        assert profile.probe_executions > 0
+
+    def test_profile_mode_independent(self):
+        """BL profiles replayed from truth are tier-independent."""
+        program = build_figure2_program(iterations=20)
+        profiles = []
+        for threshold in (3, 10**9):
+            run = run_program(
+                program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+            )
+            profiler = BallLarusProfiler(program)
+            profiles.append(profiler.profile([run.threads[0].truth]).per_method)
+        assert profiles[0] == profiles[1]
+
+    def test_block_executions_positive(self):
+        program = build_figure2_program(iterations=10)
+        run = run_program(program, RuntimeConfig(cores=1))
+        blocks = block_executions(program, [run.threads[0].truth])
+        assert blocks > 10

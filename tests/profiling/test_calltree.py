@@ -1,0 +1,88 @@
+"""Unit tests for calling-context-tree profiles."""
+
+from repro.core import JPortal
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.jvm.verifier import verify_program
+from repro.profiling.calltree import CallTree
+
+from ..conftest import build_figure2_program, lossless_config
+
+
+def _nested_program():
+    """main -> a -> b, and main -> b directly (two contexts for b)."""
+    b = MethodAssembler("T", "b", arg_count=1, returns_value=True)
+    b.load(0).const(1).iadd().ireturn()
+    a = MethodAssembler("T", "a", arg_count=1, returns_value=True)
+    a.load(0).invokestatic("T", "b", 1, True).ireturn()
+    main = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+    main.const(1).invokestatic("T", "a", 1, True)
+    main.const(2).invokestatic("T", "b", 1, True)
+    main.iadd().ireturn()
+    cls = JClass("T")
+    for asm in (b, a, main):
+        cls.add_method(asm.build())
+    program = JProgram("n")
+    program.add_class(cls)
+    program.set_entry("T", "main")
+    verify_program(program)
+    return program
+
+
+class TestConstruction:
+    def test_contexts_distinguished(self):
+        program = _nested_program()
+        run = run_program(program, RuntimeConfig(cores=1))
+        tree = CallTree.from_path(program, run.threads[0].truth)
+        # Contexts: main; main>a; main>a>b; main>b  -> 4 nodes.
+        assert tree.node_count() == 4
+        main_node = tree.root.children["T.main"]
+        assert set(main_node.children) == {"T.a", "T.b"}
+        assert main_node.children["T.a"].children["T.b"].invocations == 1
+        assert main_node.children["T.b"].invocations == 1
+
+    def test_invocation_counts(self):
+        program = build_figure2_program(iterations=7)
+        run = run_program(program, RuntimeConfig(cores=1))
+        tree = CallTree.from_path(program, run.threads[0].truth)
+        main_node = tree.root.children["Test.main"]
+        assert main_node.invocations == 1
+        assert main_node.children["Test.fun"].invocations == 7
+
+    def test_self_plus_children_equals_inclusive(self):
+        program = build_figure2_program(iterations=5)
+        run = run_program(program, RuntimeConfig(cores=1))
+        tree = CallTree.from_path(program, run.threads[0].truth)
+        main_node = tree.root.children["Test.main"]
+        assert main_node.inclusive_instructions == len(run.threads[0].truth)
+
+    def test_none_entries_tolerated(self):
+        program = build_figure2_program(iterations=3)
+        run = run_program(program, RuntimeConfig(cores=1))
+        path = list(run.threads[0].truth)
+        path[10] = None
+        tree = CallTree.from_path(program, path)
+        assert tree.node_count() >= 2
+
+    def test_render_and_hottest(self):
+        program = _nested_program()
+        run = run_program(program, RuntimeConfig(cores=1))
+        tree = CallTree.from_path(program, run.threads[0].truth)
+        rendered = tree.render()
+        assert "T.main" in rendered and "T.b" in rendered
+        hottest = tree.hottest_contexts(top=2)
+        assert hottest
+        assert all(count >= 0 for _chain, count in hottest)
+
+
+class TestFromReconstruction:
+    def test_tree_from_reconstructed_flow_matches_truth(self):
+        program = build_figure2_program(iterations=25)
+        run = run_program(program, RuntimeConfig(cores=1))
+        result = JPortal(program).analyze_run(run, lossless_config())
+        truth_tree = CallTree.from_path(program, run.threads[0].truth)
+        recon_tree = CallTree.from_path(
+            program, result.flow_of(0).reconstructed_nodes()
+        )
+        assert truth_tree.render() == recon_tree.render()

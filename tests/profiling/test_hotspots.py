@@ -1,0 +1,69 @@
+"""Unit tests for timestamp-based hot-spot detection."""
+
+from repro.core import JPortal
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.profiling.hotspots import (
+    hottest_window,
+    invocation_hot_spots,
+    thread_hot_windows,
+)
+
+from ..conftest import build_figure2_program, lossless_config
+
+
+def _result(iterations=200, threshold=8):
+    program = build_figure2_program(iterations=iterations)
+    run = run_program(
+        program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=threshold))
+    )
+    return run, JPortal(program).analyze_run(run, lossless_config())
+
+
+class TestWindows:
+    def test_windows_cover_execution(self):
+        run, result = _result()
+        windows = thread_hot_windows(result, 0, window=5_000)
+        assert windows
+        total = sum(w.instructions for w in windows)
+        assert total == len(result.flow_of(0).observed.steps())
+        # Windows are ordered and non-overlapping.
+        for left, right in zip(windows, windows[1:]):
+            assert left.end_tsc <= right.start_tsc
+
+    def test_dominant_method_identified(self):
+        _run, result = _result()
+        windows = thread_hot_windows(result, 0, window=10_000)
+        named = [w for w in windows if w.dominant_method is not None]
+        assert named
+        for window in named:
+            assert window.dominant_method in ("Test.main", "Test.fun")
+            assert 0 < window.dominant_share <= 1.0
+
+    def test_hottest_window_is_max(self):
+        _run, result = _result()
+        windows = thread_hot_windows(result, 0, window=5_000)
+        hottest = hottest_window(result, 0, window=5_000)
+        assert hottest is not None
+        assert hottest.instructions == max(w.instructions for w in windows)
+
+    def test_compiled_phase_is_hotter(self):
+        """Once fun is compiled, more instructions land per TSC window, so
+        the hottest window falls in the compiled phase (later in time)."""
+        _run, result = _result(iterations=300, threshold=10)
+        windows = thread_hot_windows(result, 0, window=5_000)
+        hottest = max(windows, key=lambda w: w.instructions)
+        first = windows[0]
+        assert hottest.instructions > first.instructions
+        assert hottest.start_tsc > first.start_tsc
+
+    def test_empty_thread(self):
+        _run, result = _result(iterations=1)
+        assert thread_hot_windows(result, 0, window=10**9)
+
+    def test_invocation_hot_spots_ranked(self):
+        _run, result = _result()
+        spots = invocation_hot_spots(result, window=5_000, top=3)
+        assert len(spots) <= 3
+        counts = [hot.instructions for _tid, hot in spots]
+        assert counts == sorted(counts, reverse=True)

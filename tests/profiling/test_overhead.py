@@ -1,0 +1,74 @@
+"""Unit tests for the Table 2 overhead model."""
+
+import pytest
+
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.profiling.overhead import OverheadModel, compute_slowdowns
+
+from ..conftest import build_figure2_program
+
+
+def _row(iterations=100, trace_bytes=5_000, metadata_bytes=2_000):
+    program = build_figure2_program(iterations=iterations)
+    run = run_program(
+        program, RuntimeConfig(cores=1, jit=JITPolicy(hot_threshold=8))
+    )
+    return compute_slowdowns(
+        "figure2",
+        run,
+        trace_bytes=trace_bytes,
+        metadata_bytes=metadata_bytes,
+        sample_counts=(50, 50),
+    )
+
+
+class TestSlowdowns:
+    def test_all_slowdowns_at_least_one(self):
+        row = _row()
+        for value in row.as_tuple():
+            assert value >= 1.0
+
+    def test_expected_ordering(self):
+        """The paper's shape: JPortal cheapest, CF tracing most expensive
+        among instrumentation, PF >= SC."""
+        row = _row()
+        assert row.jportal < row.statement_coverage
+        assert row.statement_coverage <= row.path_frequency
+        assert row.path_frequency < row.control_flow
+        assert row.jportal < row.xprof * 2  # both lightweight
+
+    def test_jportal_scales_with_trace_volume(self):
+        small = _row(trace_bytes=1_000)
+        large = _row(trace_bytes=100_000)
+        assert large.jportal > small.jportal
+
+    def test_zero_cost_run_rejected(self):
+        program = build_figure2_program(iterations=1)
+        run = run_program(program, RuntimeConfig(cores=1))
+        run.total_cost = 0
+        with pytest.raises(ValueError):
+            compute_slowdowns("x", run, 0, 0)
+
+    def test_custom_model_constants(self):
+        program = build_figure2_program(iterations=50)
+        run = run_program(program, RuntimeConfig(cores=1))
+        cheap = compute_slowdowns(
+            "x", run, 1000, 100, model=OverheadModel(cf_per_block=1.0)
+        )
+        expensive = compute_slowdowns(
+            "x", run, 1000, 100, model=OverheadModel(cf_per_block=500.0)
+        )
+        assert expensive.control_flow > cheap.control_flow
+
+    def test_row_tuple_order(self):
+        row = _row()
+        assert row.as_tuple() == (
+            row.jportal,
+            row.statement_coverage,
+            row.path_frequency,
+            row.control_flow,
+            row.hot_methods,
+            row.xprof,
+            row.jprofiler,
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for control-flow profiles."""
+
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.profiling.profiles import ControlFlowProfile
+
+from ..conftest import build_figure2_program
+
+
+def _profile(iterations=20):
+    program = build_figure2_program(iterations=iterations)
+    run = run_program(program, RuntimeConfig(cores=1))
+    return program, run, ControlFlowProfile.from_truth(run)
+
+
+class TestConstruction:
+    def test_total_instructions_match_truth(self):
+        _program, run, profile = _profile()
+        assert profile.total_instructions == len(run.threads[0].truth)
+
+    def test_node_counts_sum(self):
+        _program, run, profile = _profile()
+        assert sum(profile.node_counts.values()) == len(run.threads[0].truth)
+
+    def test_invocations_counted_at_entry_nodes(self):
+        _program, _run, profile = _profile(iterations=20)
+        assert profile.invocation_counts["Test.fun"] == 20
+        assert profile.invocation_counts["Test.main"] == 1
+
+    def test_none_entries_break_edges(self):
+        program, _run, _profile_obj = _profile()
+        paths = [[("Test.fun", 0), None, ("Test.fun", 2)]]
+        profile = ControlFlowProfile.from_paths(program, paths)
+        assert profile.total_instructions == 2
+        assert not profile.edge_counts
+
+
+class TestCoverage:
+    def test_both_arms_of_fun_covered(self):
+        # 20 iterations alternate a; both arms of fun execute, but the
+        # false-return tail (fun is always even here) never does: 17/19.
+        _program, _run, profile = _profile(iterations=20)
+        coverage = profile.statement_coverage()
+        assert coverage["Test.fun"] == 17 / 19
+        assert coverage["Test.main"] == 1.0
+
+    def test_partial_coverage_detected(self):
+        program, _run, _ = _profile()
+        # Only the else-arm executed:
+        path = [("Test.fun", bci) for bci in (0, 1, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)]
+        profile = ControlFlowProfile.from_paths(program, [path])
+        coverage = profile.statement_coverage()
+        assert 0 < coverage["Test.fun"] < 1.0
+        assert coverage["Test.main"] == 0.0
+
+    def test_overall_coverage_bounds(self):
+        _program, _run, profile = _profile()
+        assert 0 < profile.overall_coverage() <= 1.0
+
+
+class TestEdgesAndHotMethods:
+    def test_edge_frequency_of_loop_backedge(self):
+        _program, _run, profile = _profile(iterations=20)
+        # main@16 (goto) -> main@4 executes once per iteration after the first.
+        assert profile.edge_frequency(("Test.main", 16), ("Test.main", 4)) == 20
+
+    def test_call_edge_counted(self):
+        _program, _run, profile = _profile(iterations=20)
+        assert profile.edge_frequency(("Test.main", 11), ("Test.fun", 0)) == 20
+
+    def test_hot_methods_ranked(self):
+        _program, _run, profile = _profile(iterations=20)
+        hot = profile.hot_methods(top=2)
+        assert set(hot) == {"Test.main", "Test.fun"}
+        counts = profile.method_instruction_counts()
+        assert counts[hot[0]] >= counts[hot[1]]
+
+    def test_executed_methods(self):
+        _program, _run, profile = _profile()
+        assert profile.executed_methods() == ["Test.fun", "Test.main"]

@@ -1,0 +1,87 @@
+"""Unit tests for sampling profilers and hot-method detection."""
+
+from repro.core import JPortal
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.profiling.hotmethods import jportal_hot_methods
+from repro.profiling.sampling import (
+    JProfilerSampler,
+    XProfSampler,
+    ground_truth_hot_methods,
+)
+from repro.workloads import build_subject
+
+from ..conftest import build_figure2_program, lossless_config
+
+
+def _sampled_run(interval=300):
+    program = build_figure2_program(iterations=120)
+    config = RuntimeConfig(
+        cores=1, sample_interval=interval, jit=JITPolicy(hot_threshold=8)
+    )
+    return run_program(program, config)
+
+
+class TestGroundTruth:
+    def test_excludes_pseudo_methods(self):
+        run = _sampled_run()
+        hot = ground_truth_hot_methods(run)
+        assert all(not name.startswith("<") for name in hot)
+
+    def test_ranked_by_self_cost(self):
+        run = _sampled_run()
+        hot = ground_truth_hot_methods(run, top=2)
+        costs = [run.method_self_cost[name] for name in hot]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestSamplers:
+    def test_xprof_profile_subset_of_samples(self):
+        run = _sampled_run()
+        profile = XProfSampler(keep_fraction=0.7).profile(run)
+        assert 0 < profile.sample_count() <= len(run.samples)
+
+    def test_xprof_keep_fraction_one_keeps_all(self):
+        run = _sampled_run()
+        profile = XProfSampler(keep_fraction=1.0).profile(run)
+        assert profile.sample_count() == len(run.samples)
+
+    def test_jprofiler_stride(self):
+        run = _sampled_run()
+        full = JProfilerSampler(stride=1).profile(run)
+        half = JProfilerSampler(stride=2).profile(run)
+        assert half.sample_count() <= full.sample_count()
+        assert full.sample_count() == len(run.samples)
+
+    def test_hot_methods_from_enough_samples(self):
+        run = _sampled_run(interval=100)
+        profile = JProfilerSampler(stride=1).profile(run)
+        truth = ground_truth_hot_methods(run, top=2)
+        estimated = profile.hot_methods(top=2)
+        # With dense sampling on a 2-method program the top set matches.
+        assert set(estimated) == set(truth)
+
+    def test_deterministic(self):
+        run = _sampled_run()
+        first = XProfSampler(seed=3).profile(run).counts
+        second = XProfSampler(seed=3).profile(run).counts
+        assert first == second
+
+
+class TestJPortalHotMethods:
+    def test_matches_ground_truth_on_lossless_trace(self):
+        subject = build_subject("batik")
+        run = subject.run()
+        result = JPortal(subject.program).analyze_run(run, lossless_config())
+        truth = ground_truth_hot_methods(run, top=3)
+        estimated = jportal_hot_methods(
+            result, top=3, mode_costs={"interp": 10.0, "jit": 1.0}
+        )
+        assert set(estimated) & set(truth)
+
+    def test_unweighted_counts(self):
+        program = build_figure2_program(iterations=30)
+        run = run_program(program, RuntimeConfig(cores=1))
+        result = JPortal(program).analyze_run(run, lossless_config())
+        hot = jportal_hot_methods(result, top=2)
+        assert set(hot) == {"Test.main", "Test.fun"}

@@ -1,0 +1,157 @@
+"""Unit tests for the lossy ring-buffer model."""
+
+from repro.pt.buffer import (
+    BufferResult,
+    RingBuffer,
+    RingBufferConfig,
+    interleave_with_losses,
+)
+from repro.pt.packets import TIPPacket
+
+
+def _burst(count, tsc_step=1, size=9, start_tsc=0):
+    return [
+        TIPPacket(tsc=start_tsc + i * tsc_step, target=0x1000, compressed_size=size)
+        for i in range(count)
+    ]
+
+
+class TestLossless:
+    def test_big_buffer_keeps_everything(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1.0))
+        packets = _burst(1000)
+        result = buffer.apply(packets)
+        assert result.kept == packets
+        assert result.losses == []
+        assert result.bytes_lost == 0
+        assert result.loss_fraction == 0.0
+
+    def test_fast_drain_keeps_everything(self):
+        # 9 bytes per tsc unit generated, 100 bytes/unit drained.
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=32, drain_bandwidth=100.0))
+        result = buffer.apply(_burst(1000))
+        assert result.bytes_lost == 0
+
+    def test_empty_stream(self):
+        buffer = RingBuffer(RingBufferConfig())
+        result = buffer.apply([])
+        assert result.kept == [] and result.losses == []
+        assert result.loss_fraction == 0.0
+
+
+class TestOverflow:
+    def test_slow_drain_loses_data(self):
+        # Generates 9 bytes/unit, drains 1 byte/unit, tiny buffer.
+        buffer = RingBuffer(
+            RingBufferConfig(capacity_bytes=100, drain_bandwidth=1.0)
+        )
+        result = buffer.apply(_burst(1000))
+        assert result.bytes_lost > 0
+        assert result.losses
+        assert result.bytes_in == 9000
+        assert 0 < result.loss_fraction < 1
+
+    def test_losses_are_contiguous_chunks(self):
+        """Hysteresis: overflow drops a chunk, not alternating packets."""
+        buffer = RingBuffer(
+            RingBufferConfig(capacity_bytes=90, drain_bandwidth=0.5, low_watermark=0.5)
+        )
+        result = buffer.apply(_burst(200))
+        # Each loss record should cover several packets.
+        assert result.losses
+        assert all(record.packets_lost >= 2 for record in result.losses)
+
+    def test_loss_records_account_all_lost_bytes(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=90, drain_bandwidth=0.5))
+        result = buffer.apply(_burst(500))
+        assert sum(r.bytes_lost for r in result.losses) == result.bytes_lost
+
+    def test_loss_timestamps_within_stream(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=90, drain_bandwidth=0.5))
+        packets = _burst(500)
+        result = buffer.apply(packets)
+        for record in result.losses:
+            assert packets[0].tsc <= record.start_tsc <= record.end_tsc <= packets[-1].tsc
+
+    def test_smaller_buffer_loses_more(self):
+        """The Table 3 trend: loss grows as the buffer shrinks."""
+        losses = []
+        for capacity in (4000, 2000, 1000, 500):
+            buffer = RingBuffer(
+                RingBufferConfig(capacity_bytes=capacity, drain_bandwidth=2.0)
+            )
+            losses.append(buffer.apply(_burst(5000, tsc_step=1)).loss_fraction)
+        assert losses == sorted(losses)
+
+    def test_quiet_period_lets_buffer_drain(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=100, drain_bandwidth=1.0))
+        burst1 = _burst(11, tsc_step=0)  # 99 bytes at t=0: fills the buffer
+        burst2 = _burst(11, tsc_step=0, start_tsc=1000)  # after a long gap
+        result = buffer.apply(burst1 + burst2)
+        # The second burst fits because the buffer drained in between.
+        assert all(record.start_tsc < 1000 for record in result.losses)
+        kept_late = [p for p in result.kept if p.tsc >= 1000]
+        assert len(kept_late) == 11
+
+
+class TestInterleave:
+    def test_merged_stream_order(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=90, drain_bandwidth=0.5))
+        result = buffer.apply(_burst(300))
+        merged = interleave_with_losses(result)
+        packet_count = sum(1 for tag, _item in merged if tag == "packet")
+        loss_count = sum(1 for tag, _item in merged if tag == "loss")
+        assert packet_count == len(result.kept)
+        assert loss_count == len(result.losses)
+        # Losses appear no later than the first kept packet after them.
+        last_tsc = -1
+        for tag, item in merged:
+            tsc = item.tsc if tag == "packet" else item.start_tsc
+            assert tsc >= last_tsc or tag == "loss"
+            if tag == "packet":
+                last_tsc = item.tsc
+
+    def test_trailing_loss_appended(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=95, drain_bandwidth=0.01))
+        result = buffer.apply(_burst(100))
+        merged = interleave_with_losses(result)
+        assert merged[-1][0] == "loss"
+
+
+class TestPeriodicDrain:
+    """The perf-style periodic reader (used by the Table 3 experiments)."""
+
+    def test_everything_kept_when_bursts_fit(self):
+        buffer = RingBuffer(
+            RingBufferConfig(capacity_bytes=1000, drain_period=100)
+        )
+        # 10 packets of 9 bytes per 100-tsc period: 90 bytes < 1000.
+        result = buffer.apply(_burst(100, tsc_step=10))
+        assert result.bytes_lost == 0
+
+    def test_oversized_bursts_lose_the_tail(self):
+        buffer = RingBuffer(
+            RingBufferConfig(capacity_bytes=50, drain_period=1000)
+        )
+        # 100 packets of 9 bytes arrive within one period: only ~5 fit.
+        result = buffer.apply(_burst(100, tsc_step=1))
+        assert result.bytes_lost > 0
+        assert len(result.kept) <= 6
+
+    def test_loss_scales_with_capacity(self):
+        losses = []
+        for capacity in (900, 450, 225):
+            buffer = RingBuffer(
+                RingBufferConfig(capacity_bytes=capacity, drain_period=500)
+            )
+            losses.append(buffer.apply(_burst(500, tsc_step=1)).loss_fraction)
+        assert losses[0] < losses[1] < losses[2]
+
+    def test_drain_resets_dropping_state(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=45, drain_period=100))
+        # First period overflows; after the wakeup the next burst is kept.
+        first = _burst(20, tsc_step=1)               # t in [0, 20)
+        second = _burst(4, tsc_step=1, start_tsc=150)  # next period
+        result = buffer.apply(first + second)
+        kept_late = [p for p in result.kept if p.tsc >= 150]
+        assert len(kept_late) == 4

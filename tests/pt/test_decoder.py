@@ -1,0 +1,252 @@
+"""Unit tests for the libipt-style packet decoder.
+
+Uses a small hand-built code database (templates + one synthetic compiled
+blob) so each decoding behaviour can be exercised in isolation.
+"""
+
+from repro.jvm.machine import MIKind, MachineInstruction
+from repro.jvm.opcodes import Kind, Op, info
+from repro.jvm.templates import TemplateTable
+from repro.pt.decoder import (
+    DecodeAnomaly,
+    InterpDispatch,
+    InterpReturnStub,
+    JitSpan,
+    PTDecoder,
+    TraceLoss,
+)
+from repro.pt.packets import (
+    AuxLossRecord,
+    FUPPacket,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+)
+
+CODE_BASE = 0x7FA419000000
+
+
+class FakeDatabase:
+    """Template table + a synthetic compiled blob for walker tests.
+
+    Blob layout (addresses relative to CODE_BASE):
+        +0   OTHER     (size 3)
+        +3   COND      (size 6) -> +20
+        +9   OTHER     (size 3)
+        +12  JMP_DIR   (size 5) -> +3      (loop back to the branch)
+        +17  RET       (size 1)
+        +20  CALL_IND  (size 6)
+        +26  RET       (size 1)
+    """
+
+    def __init__(self):
+        self.templates = TemplateTable()
+        instructions = [
+            MachineInstruction(CODE_BASE + 0, 3, MIKind.OTHER),
+            MachineInstruction(CODE_BASE + 3, 6, MIKind.COND_BRANCH, target=CODE_BASE + 20),
+            MachineInstruction(CODE_BASE + 9, 3, MIKind.OTHER),
+            MachineInstruction(CODE_BASE + 12, 5, MIKind.JMP_DIRECT, target=CODE_BASE + 3),
+            MachineInstruction(CODE_BASE + 17, 1, MIKind.RET),
+            MachineInstruction(CODE_BASE + 20, 6, MIKind.CALL_INDIRECT),
+            MachineInstruction(CODE_BASE + 26, 1, MIKind.RET),
+        ]
+        self.by_address = {mi.address: mi for mi in instructions}
+
+    def template_op_at(self, ip):
+        return self.templates.op_at(ip)
+
+    @staticmethod
+    def op_is_conditional(op):
+        return info(op).kind is Kind.COND
+
+    def is_return_stub(self, ip):
+        return self.templates.is_return_stub(ip)
+
+    def in_code_cache(self, ip):
+        return CODE_BASE <= ip < CODE_BASE + 0x1000
+
+    def native_instruction_at(self, ip, tsc=None):
+        return self.by_address.get(ip)
+
+
+def _decode(packets_and_losses):
+    decoder = PTDecoder(FakeDatabase())
+    return decoder, decoder.decode(packets_and_losses)
+
+
+def _tip(db, target, tsc=0):
+    return ("packet", TIPPacket(tsc=tsc, target=target))
+
+
+class TestInterpDecoding:
+    def test_dispatch_resolves_opcode(self):
+        db = FakeDatabase()
+        stream = [_tip(db, db.templates.entry(Op.ILOAD_0))]
+        _dec, items = _decode(stream)
+        assert len(items) == 1
+        assert isinstance(items[0], InterpDispatch)
+        assert items[0].op is Op.ILOAD_0
+
+    def test_conditional_waits_for_tnt(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, db.templates.entry(Op.IFEQ)),
+            ("packet", TNTPacket(tsc=1, bits=(True,))),
+        ]
+        _dec, items = _decode(stream)
+        assert isinstance(items[0], InterpDispatch)
+        assert items[0].op is Op.IFEQ
+        assert items[0].taken is True
+
+    def test_conditional_without_tnt_is_unknown(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, db.templates.entry(Op.IFEQ)),
+            _tip(db, db.templates.entry(Op.NOP), tsc=1),
+        ]
+        decoder, items = _decode(stream)
+        dispatches = [i for i in items if isinstance(i, InterpDispatch)]
+        assert dispatches[0].op is Op.IFEQ
+        assert dispatches[0].taken is None
+        assert decoder.stats.anomalies >= 1
+
+    def test_return_stub_recognised(self):
+        db = FakeDatabase()
+        stream = [_tip(db, db.templates.return_stub_entry)]
+        _dec, items = _decode(stream)
+        assert isinstance(items[0], InterpReturnStub)
+
+    def test_unknown_tip_is_anomaly(self):
+        stream = [("packet", TIPPacket(tsc=0, target=0x1234))]
+        decoder, items = _decode(stream)
+        assert isinstance(items[0], DecodeAnomaly)
+
+    def test_tsc_packets_ignored(self):
+        _dec, items = _decode([("packet", TSCPacket(tsc=0))])
+        assert items == []
+
+
+class TestWalker:
+    def test_walk_follows_fallthrough_and_direct_jumps(self):
+        db = FakeDatabase()
+        # Enter at +0; branch not taken; fall to +9; jmp back to +3;
+        # branch taken -> +20 (indirect call: stop).
+        stream = [
+            _tip(db, CODE_BASE),
+            ("packet", TNTPacket(tsc=1, bits=(False, True))),
+        ]
+        _dec, items = _decode(stream)
+        spans = [i for i in items if isinstance(i, JitSpan)]
+        assert len(spans) == 1
+        offsets = [a - CODE_BASE for a in spans[0].addresses]
+        assert offsets == [0, 3, 9, 12, 3, 20]
+
+    def test_walk_starves_and_resumes_on_tnt(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),  # walks +0, then needs a bit at +3
+            ("packet", TNTPacket(tsc=1, bits=(True,))),  # resumes -> +20
+        ]
+        _dec, items = _decode(stream)
+        span = next(i for i in items if isinstance(i, JitSpan))
+        offsets = [a - CODE_BASE for a in span.addresses]
+        assert offsets == [0, 3, 20]
+
+    def test_walk_stops_at_ret_until_next_tip(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE + 17),  # RET: stop immediately
+            _tip(db, db.templates.return_stub_entry, tsc=1),
+        ]
+        _dec, items = _decode(stream)
+        assert isinstance(items[0], JitSpan)
+        assert [a - CODE_BASE for a in items[0].addresses] == [17]
+        assert isinstance(items[1], InterpReturnStub)
+
+    def test_desynchronised_walk_reports_anomaly(self):
+        db = FakeDatabase()
+        stream = [_tip(db, CODE_BASE + 1)]  # mid-instruction address
+        decoder, items = _decode(stream)
+        assert any(isinstance(i, DecodeAnomaly) for i in items)
+
+    def test_walked_instruction_count_in_stats(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),
+            ("packet", TNTPacket(tsc=1, bits=(True,))),
+        ]
+        decoder, _items = _decode(stream)
+        assert decoder.stats.walked_instructions == 3
+
+
+class TestLossHandling:
+    def test_loss_emits_marker_and_clears_bits(self):
+        db = FakeDatabase()
+        stream = [
+            ("packet", TNTPacket(tsc=0, bits=(True, True))),  # orphan bits
+            ("loss", AuxLossRecord(start_tsc=1, end_tsc=5, bytes_lost=64, packets_lost=3)),
+            _tip(db, db.templates.entry(Op.IFNE), tsc=6),
+            ("packet", TNTPacket(tsc=7, bits=(False,))),
+        ]
+        _dec, items = _decode(stream)
+        losses = [i for i in items if isinstance(i, TraceLoss)]
+        assert len(losses) == 1
+        assert losses[0].bytes_lost == 64
+        # The post-loss conditional must bind the *new* bit, not stale ones.
+        dispatch = next(i for i in items if isinstance(i, InterpDispatch))
+        assert dispatch.taken is False
+
+    def test_loss_abandons_suspended_walk(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),  # suspends awaiting TNT at +3
+            ("loss", AuxLossRecord(start_tsc=1, end_tsc=2, bytes_lost=8, packets_lost=1)),
+            ("packet", TNTPacket(tsc=3, bits=(True,))),  # must NOT resume
+        ]
+        _dec, items = _decode(stream)
+        span = next(i for i in items if isinstance(i, JitSpan))
+        assert [a - CODE_BASE for a in span.addresses] == [0]
+
+    def test_pending_conditional_flushed_with_unknown_outcome(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, db.templates.entry(Op.IFEQ)),
+            ("loss", AuxLossRecord(start_tsc=1, end_tsc=2, bytes_lost=8, packets_lost=1)),
+        ]
+        _dec, items = _decode(stream)
+        dispatch = next(i for i in items if isinstance(i, InterpDispatch))
+        assert dispatch.taken is None
+
+
+class TestAsyncAndPauses:
+    def test_fup_abandons_walk(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),
+            ("packet", FUPPacket(tsc=1, ip=CODE_BASE + 3)),
+            ("packet", TNTPacket(tsc=2, bits=(True,))),
+        ]
+        _dec, items = _decode(stream)
+        span = next(i for i in items if isinstance(i, JitSpan))
+        assert [a - CODE_BASE for a in span.addresses] == [0]
+
+    def test_pge_pgd_do_not_disturb_suspended_walk(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),
+            ("packet", PGDPacket(tsc=1, ip=CODE_BASE + 3)),
+            ("packet", PGEPacket(tsc=5, ip=CODE_BASE + 3)),
+            ("packet", TNTPacket(tsc=6, bits=(True,))),
+        ]
+        _dec, items = _decode(stream)
+        span = next(i for i in items if isinstance(i, JitSpan))
+        assert [a - CODE_BASE for a in span.addresses] == [0, 3, 20]
+
+    def test_end_of_stream_flushes_pending(self):
+        db = FakeDatabase()
+        stream = [_tip(db, db.templates.entry(Op.IFLT))]
+        _dec, items = _decode(stream)
+        assert len(items) == 1
+        assert items[0].taken is None

@@ -1,0 +1,111 @@
+"""Unit tests for the PT packet encoder."""
+
+from repro.jvm.machine import (
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    TipEvent,
+    TntEvent,
+)
+from repro.pt.encoder import EncoderConfig, PTEncoder, encode_core
+from repro.pt.packets import (
+    FUPPacket,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+)
+
+
+def _packets_of(packets, kind):
+    return [p for p in packets if isinstance(p, kind)]
+
+
+class TestTNTPacking:
+    def test_bits_packed_up_to_capacity(self):
+        events = [TntEvent(tsc=i, taken=bool(i % 2)) for i in range(6)]
+        packets = encode_core(events)
+        tnts = _packets_of(packets, TNTPacket)
+        assert len(tnts) == 1
+        assert tnts[0].bits == (False, True, False, True, False, True)
+
+    def test_seventh_bit_opens_new_packet(self):
+        events = [TntEvent(tsc=i, taken=True) for i in range(7)]
+        tnts = _packets_of(encode_core(events), TNTPacket)
+        assert [len(t.bits) for t in tnts] == [6, 1]
+
+    def test_tip_flushes_pending_bits(self):
+        events = [
+            TntEvent(tsc=0, taken=True),
+            TipEvent(tsc=1, target=0x7FA419000000),
+            TntEvent(tsc=2, taken=False),
+        ]
+        packets = encode_core(events)
+        kinds = [type(p).__name__ for p in packets if not isinstance(p, TSCPacket)]
+        assert kinds == ["TNTPacket", "TIPPacket", "TNTPacket"]
+
+    def test_bit_order_preserved(self):
+        pattern = [True, False, False, True, True, False, True, False]
+        events = [TntEvent(tsc=i, taken=bit) for i, bit in enumerate(pattern)]
+        tnts = _packets_of(encode_core(events), TNTPacket)
+        recovered = [bit for packet in tnts for bit in packet.bits]
+        assert recovered == pattern
+
+
+class TestTIPCompression:
+    def test_consecutive_nearby_tips_compress(self):
+        base = 0x7FA419000000
+        events = [TipEvent(tsc=i, target=base + i * 0x40) for i in range(4)]
+        tips = _packets_of(encode_core(events), TIPPacket)
+        assert tips[0].size == 9  # first: nothing to compress against
+        assert all(tip.size == 3 for tip in tips[1:])
+
+    def test_far_jump_costs_full_ip(self):
+        events = [
+            TipEvent(tsc=0, target=0x7FA419000000),
+            TipEvent(tsc=1, target=0x123456789),
+        ]
+        tips = _packets_of(encode_core(events), TIPPacket)
+        assert tips[1].size == 9
+
+
+class TestTSCInsertion:
+    def test_periodic_tsc_packets(self):
+        config = EncoderConfig(tsc_interval=100)
+        events = [TipEvent(tsc=i * 60, target=0x7FA419000000) for i in range(5)]
+        packets = encode_core(events, config)
+        tscs = _packets_of(packets, TSCPacket)
+        # t=0 always, then at >=100 (t=120) and >=220 (t=240)
+        assert len(tscs) == 3
+
+    def test_first_packet_preceded_by_tsc(self):
+        packets = encode_core([TipEvent(tsc=5, target=0x7FA419000000)])
+        assert isinstance(packets[0], TSCPacket)
+
+
+class TestEventMapping:
+    def test_all_event_kinds_encode(self):
+        events = [
+            EnableEvent(tsc=0, ip=1),
+            TipEvent(tsc=1, target=2),
+            TntEvent(tsc=2, taken=True),
+            FupEvent(tsc=3, ip=3),
+            DisableEvent(tsc=4, ip=4),
+        ]
+        packets = encode_core(events)
+        kinds = {type(p) for p in packets}
+        assert {PGEPacket, TIPPacket, TNTPacket, FUPPacket, PGDPacket} <= kinds
+
+    def test_stats_account_bytes_and_packets(self):
+        encoder = PTEncoder()
+        events = [TipEvent(tsc=i, target=0x7FA419000000 + i) for i in range(10)]
+        packets = encoder.encode(events)
+        assert encoder.stats.packets == len(packets)
+        assert encoder.stats.bytes == sum(p.size for p in packets)
+        assert encoder.stats.tips == 10
+
+    def test_trailing_bits_flushed_at_end(self):
+        events = [TntEvent(tsc=0, taken=True)]
+        tnts = _packets_of(encode_core(events), TNTPacket)
+        assert len(tnts) == 1

@@ -1,0 +1,71 @@
+"""Unit tests for PT packet types and IP compression."""
+
+import pytest
+
+from repro.pt.packets import (
+    AuxLossRecord,
+    FUPPacket,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+    compressed_tip_size,
+)
+
+
+class TestSizes:
+    def test_fixed_sizes(self):
+        assert PGEPacket(0, 0x1000).size == 9
+        assert PGDPacket(0, 0x1000).size == 9
+        assert FUPPacket(0, 0x1000).size == 9
+        assert TSCPacket(0).size == 8
+        assert TNTPacket(0, (True,)).size == 1
+        assert TNTPacket(0, (True,) * 6).size == 1
+
+    def test_tip_size_is_compressed_size(self):
+        assert TIPPacket(0, 0x1234, compressed_size=3).size == 3
+        assert TIPPacket(0, 0x1234).size == 9
+
+
+class TestTNTValidation:
+    def test_empty_tnt_rejected(self):
+        with pytest.raises(ValueError):
+            TNTPacket(0, ())
+
+    def test_overlong_tnt_rejected(self):
+        with pytest.raises(ValueError):
+            TNTPacket(0, (True,) * 7)
+
+
+class TestIPCompression:
+    def test_same_upper_48_bits_compresses_to_2_bytes(self):
+        last = 0x7FA419000010
+        target = 0x7FA419001234  # differs only in low 16 bits
+        assert compressed_tip_size(target, last) == 3
+
+    def test_same_upper_32_bits_compresses_to_4_bytes(self):
+        last = 0x7FA419000010
+        target = 0x7FA4FFFF0010
+        assert compressed_tip_size(target, last) == 5
+
+    def test_unrelated_address_needs_full_ip(self):
+        assert compressed_tip_size(0x7FA419000010, 0x123) == 9
+
+    def test_identical_address_is_smallest(self):
+        address = 0x7FA419000010
+        assert compressed_tip_size(address, address) == 3
+
+    def test_monotone_in_shared_prefix(self):
+        last = 0x7FA419000010
+        near = compressed_tip_size(0x7FA419000020, last)
+        mid = compressed_tip_size(0x7FA400000020, last)
+        far = compressed_tip_size(0x123456789A, last)
+        assert near <= mid <= far
+
+
+class TestAuxLossRecord:
+    def test_fields(self):
+        record = AuxLossRecord(start_tsc=10, end_tsc=20, bytes_lost=100, packets_lost=7)
+        assert record.end_tsc >= record.start_tsc
+        assert record.packets_lost == 7

@@ -1,0 +1,170 @@
+"""Unit tests for the perf-style collection session."""
+
+from repro.jvm.machine import (
+    DEFAULT_ADDRESS_SPACE,
+    FupEvent,
+    TipEvent,
+    TntEvent,
+)
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.pt.buffer import RingBufferConfig
+from repro.pt.perf import PTConfig, calibrate_drain_bandwidth, collect, filter_events
+
+from ..conftest import build_figure2_program
+
+
+class TestIPFiltering:
+    def test_out_of_range_events_dropped(self):
+        space = DEFAULT_ADDRESS_SPACE
+        inside = TipEvent(tsc=0, target=space.template_base + 0x10)
+        outside = TipEvent(tsc=1, target=space.runtime_base + 0x10)
+        kept = filter_events([inside, outside], space)
+        assert kept == [inside]
+
+    def test_tnt_events_always_kept(self):
+        space = DEFAULT_ADDRESS_SPACE
+        tnt = TntEvent(tsc=0, taken=True)
+        assert filter_events([tnt], space) == [tnt]
+
+    def test_fup_filtered_by_ip(self):
+        space = DEFAULT_ADDRESS_SPACE
+        inside = FupEvent(tsc=0, ip=space.code_cache_base + 4)
+        outside = FupEvent(tsc=1, ip=0x1234)
+        assert filter_events([inside, outside], space) == [inside]
+
+    def test_code_cache_range_included(self):
+        space = DEFAULT_ADDRESS_SPACE
+        assert space.in_filter_range(space.code_cache_base)
+        assert space.in_filter_range(space.template_base)
+        assert not space.in_filter_range(space.runtime_base)
+
+
+class TestCollect:
+    def _run(self):
+        return run_program(build_figure2_program(40), RuntimeConfig(cores=2))
+
+    def test_one_core_trace_per_core(self):
+        run = self._run()
+        trace = collect(run, PTConfig())
+        assert len(trace.cores) == run.config.cores
+        assert trace.cores[0].core == 0
+
+    def test_byte_accounting(self):
+        run = self._run()
+        trace = collect(
+            run,
+            PTConfig(buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9)),
+        )
+        assert trace.bytes_lost == 0
+        assert trace.bytes_kept == trace.bytes_generated
+        assert trace.bytes_generated == sum(
+            core.bytes_generated for core in trace.cores
+        )
+        assert trace.loss_fraction == 0.0
+
+    def test_lossy_collection_reports_losses(self):
+        run = run_program(build_figure2_program(300), RuntimeConfig(cores=1))
+        trace = collect(
+            run,
+            PTConfig(buffer=RingBufferConfig(capacity_bytes=400, drain_bandwidth=0.05)),
+        )
+        assert trace.bytes_lost > 0
+        assert 0 < trace.loss_fraction < 1
+        assert any(core.losses for core in trace.cores)
+
+    def test_sideband_carried_through(self):
+        run = self._run()
+        trace = collect(run, PTConfig())
+        assert trace.thread_switches == run.thread_switches
+
+
+class TestCalibration:
+    def test_calibrated_bandwidth_hits_target_band(self):
+        run = run_program(build_figure2_program(400), RuntimeConfig(cores=1))
+        bandwidth = calibrate_drain_bandwidth(run, capacity_bytes=1024, target_loss=0.25)
+        trace = collect(
+            run,
+            PTConfig(
+                buffer=RingBufferConfig(capacity_bytes=1024, drain_bandwidth=bandwidth)
+            ),
+        )
+        assert 0.05 < trace.loss_fraction < 0.5
+
+    def test_more_bandwidth_less_loss(self):
+        run = run_program(build_figure2_program(400), RuntimeConfig(cores=1))
+        bandwidth = calibrate_drain_bandwidth(run, capacity_bytes=1024)
+        losses = []
+        for factor in (0.5, 1.0, 4.0):
+            trace = collect(
+                run,
+                PTConfig(
+                    buffer=RingBufferConfig(
+                        capacity_bytes=1024, drain_bandwidth=bandwidth * factor
+                    )
+                ),
+            )
+            losses.append(trace.loss_fraction)
+        assert losses[0] >= losses[1] >= losses[2]
+
+
+class TestRuntimeNoiseFiltering:
+    """Negative control for IP filtering (paper Section 6): GC/runtime
+    branches outside the code cache must be invisible with the filter on,
+    and corrupt decoding when it is off."""
+
+    def _noisy_run(self):
+        from repro.jvm.jit import JITPolicy
+
+        config = RuntimeConfig(
+            cores=1,
+            gc_period_allocations=30,
+            emit_runtime_noise=True,
+            jit=JITPolicy(hot_threshold=10**9),
+        )
+        from repro.jvm.assembler import MethodAssembler
+        from repro.jvm.model import JClass, JProgram
+        from repro.jvm.verifier import verify_program
+
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.const(200).store(0)
+        asm.label("head")
+        asm.load(0).ifle("done")
+        asm.const(1).newarray().pop()
+        asm.iinc(0, -1).goto("head")
+        asm.label("done")
+        asm.const(0).ireturn()
+        program = JProgram("noisy")
+        cls = JClass("T")
+        cls.add_method(asm.build())
+        program.add_class(cls)
+        program.set_entry("T", "main")
+        verify_program(program)
+        return program, run_program(program, config)
+
+    def test_filter_on_reconstructs_exactly(self):
+        from repro.core import JPortal
+
+        program, run = self._noisy_run()
+        assert run.counters["gc_pauses"] > 0
+        result = JPortal(program).analyze_run(
+            run,
+            PTConfig(
+                buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9),
+                ip_filter=True,
+            ),
+        )
+        assert result.anomalies == 0
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
+
+    def test_filter_off_produces_anomalies(self):
+        from repro.core import JPortal
+
+        program, run = self._noisy_run()
+        result = JPortal(program).analyze_run(
+            run,
+            PTConfig(
+                buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9),
+                ip_filter=False,
+            ),
+        )
+        assert result.anomalies > 0

@@ -1,0 +1,133 @@
+"""Tests for binary trace serialisation (incl. hypothesis round-trips)."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JPortal
+from repro.core.metadata import collect_metadata
+from repro.core.multicore import split_by_thread
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.pt.decoder import PTDecoder
+from repro.pt.packets import (
+    AuxLossRecord,
+    FUPPacket,
+    PGDPacket,
+    PGEPacket,
+    TIPPacket,
+    TNTPacket,
+    TSCPacket,
+)
+from repro.pt.perf import collect
+from repro.pt.serialize import (
+    TraceFormatError,
+    dump_bytes,
+    load_bytes,
+    read_stream,
+)
+
+from ..conftest import build_figure2_program, lossless_config, lossy_config
+
+# ------------------------------------------------------------------ strategies
+tscs = st.integers(0, 2**60)
+ips = st.integers(0, 2**62)
+
+packet_strategy = st.one_of(
+    st.builds(PGEPacket, tsc=tscs, ip=ips),
+    st.builds(PGDPacket, tsc=tscs, ip=ips),
+    st.builds(FUPPacket, tsc=tscs, ip=ips),
+    st.builds(TSCPacket, tsc=tscs),
+    st.builds(
+        TNTPacket,
+        tsc=tscs,
+        bits=st.lists(st.booleans(), min_size=1, max_size=6).map(tuple),
+    ),
+    st.builds(
+        TIPPacket,
+        tsc=tscs,
+        target=ips,
+        compressed_size=st.sampled_from([3, 5, 9]),
+    ),
+)
+
+loss_strategy = st.builds(
+    AuxLossRecord,
+    start_tsc=tscs,
+    end_tsc=tscs,
+    bytes_lost=st.integers(0, 2**40),
+    packets_lost=st.integers(0, 2**31 - 1),
+)
+
+item_strategy = st.one_of(
+    packet_strategy.map(lambda p: ("packet", p)),
+    loss_strategy.map(lambda l: ("loss", l)),
+)
+
+
+class TestRoundTrip:
+    @given(st.lists(item_strategy, max_size=80))
+    @settings(max_examples=120)
+    def test_dump_load_identity(self, stream):
+        assert load_bytes(dump_bytes(stream)) == stream
+
+    def test_empty_stream(self):
+        assert load_bytes(dump_bytes([])) == []
+
+    def test_real_trace_roundtrip(self):
+        run = run_program(build_figure2_program(100), RuntimeConfig(cores=1))
+        trace = collect(run, lossy_config())
+        from repro.pt.buffer import interleave_with_losses, BufferResult
+
+        core = trace.cores[0]
+        stream = []
+        loss_iter = iter(core.losses)
+        next_loss = next(loss_iter, None)
+        for packet in core.packets:
+            while next_loss is not None and next_loss.start_tsc <= packet.tsc:
+                stream.append(("loss", next_loss))
+                next_loss = next(loss_iter, None)
+            stream.append(("packet", packet))
+        while next_loss is not None:
+            stream.append(("loss", next_loss))
+            next_loss = next(loss_iter, None)
+        assert load_bytes(dump_bytes(stream)) == stream
+
+    def test_decode_from_serialized_trace(self):
+        """The full offline path works from a deserialised file."""
+        run = run_program(build_figure2_program(60), RuntimeConfig(cores=1))
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        data = dump_bytes(threads[0].stream)
+        restored = load_bytes(data)
+        database = collect_metadata(run)
+        direct = PTDecoder(database).decode(threads[0].stream)
+        reloaded = PTDecoder(database).decode(restored)
+        assert len(direct) == len(reloaded)
+        assert [type(i).__name__ for i in direct] == [
+            type(i).__name__ for i in reloaded
+        ]
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError, match="magic"):
+            read_stream(io.BytesIO(b"XXXX"))
+
+    def test_truncated_payload(self):
+        data = dump_bytes([("packet", TSCPacket(tsc=1))])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_bytes(data[:-2])
+
+    def test_unknown_tag(self):
+        data = b"RPT1" + b"\xff"
+        with pytest.raises(TraceFormatError, match="unknown tag"):
+            load_bytes(data)
+
+    def test_invalid_tnt_count(self):
+        import struct
+
+        data = b"RPT1" + struct.pack("<BQBB", 0x03, 0, 9, 0)
+        with pytest.raises(TraceFormatError, match="TNT count"):
+            load_bytes(data)

@@ -1,0 +1,121 @@
+"""Tests for the nine DaCapo-like subjects."""
+
+import pytest
+
+from repro.jvm.verifier import verify_program
+from repro.workloads import SUBJECT_NAMES, all_subjects, build_subject, default_config
+
+EXPECTED_NAMES = (
+    "avrora",
+    "batik",
+    "fop",
+    "h2",
+    "jython",
+    "luindex",
+    "lusearch",
+    "pmd",
+    "sunflow",
+)
+
+MULTITHREADED = {"h2", "lusearch", "pmd"}
+
+# Scaled-down sizes so the suite stays fast; benchmarks use the defaults.
+SMALL_SIZE = {
+    "avrora": 800,
+    "batik": 40,
+    "fop": 15,
+    "h2": 120,
+    "jython": 400,
+    "luindex": 60,
+    "lusearch": 8,
+    "pmd": 15,
+    "sunflow": 3,
+}
+
+
+def small(name):
+    return build_subject(name, size=SMALL_SIZE[name])
+
+
+class TestRegistry:
+    def test_all_nine_subjects_present(self):
+        assert SUBJECT_NAMES == EXPECTED_NAMES
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(KeyError, match="unknown subject"):
+            build_subject("tomcat")
+
+    def test_all_subjects_builder(self):
+        subjects = all_subjects()
+        assert [s.name for s in subjects] == list(EXPECTED_NAMES)
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+class TestEachSubject:
+    def test_program_verifies(self, name):
+        subject = small(name)
+        verify_program(subject.program)
+
+    def test_threading_matches_paper(self, name):
+        subject = small(name)
+        assert subject.threaded == (name in MULTITHREADED)
+
+    def test_runs_without_uncaught_exceptions(self, name):
+        subject = small(name)
+        result = subject.run()
+        for thread in result.threads:
+            assert thread.finished
+            assert thread.uncaught is None, thread.uncaught
+
+    def test_run_is_deterministic(self, name):
+        subject = small(name)
+        first = subject.run()
+        second = small(name).run()
+        assert [t.result for t in first.threads] == [t.result for t in second.threads]
+        assert first.counters == second.counters
+        assert first.threads[0].truth == second.threads[0].truth
+
+    def test_exercises_both_execution_modes(self, name):
+        result = small(name).run()
+        assert result.counters["steps_interp"] > 0
+        if name != "avrora":  # avrora's dispatch loop stays interpreted
+            assert result.counters["steps_compiled"] > 0
+
+    def test_produces_trace_events(self, name):
+        result = small(name).run()
+        assert result.event_count() > 1000
+
+
+class TestWorkloadCharacter:
+    def test_fop_exercises_exceptions(self):
+        result = small("fop").run()
+        assert result.counters["exceptions"] > 0
+
+    def test_multithreaded_subjects_have_multiple_threads(self):
+        for name in MULTITHREADED:
+            result = small(name).run()
+            assert len(result.threads) >= 3
+
+    def test_pmd_exposes_opaque_call_site(self):
+        subject = build_subject("pmd")
+        assert subject.opaque_call_sites
+        qname, bci = subject.opaque_call_sites[0]
+        assert qname == "Pmd.visit"
+        inst = subject.program.method("Pmd", "visit").code[bci]
+        assert inst.methodref.method_name == "check"
+
+    def test_sizes_scale(self):
+        small = build_subject("batik", size=20).run()
+        large = build_subject("batik", size=60).run()
+        assert large.counters["steps"] > small.counters["steps"]
+
+    def test_sunflow_has_highest_compiled_share(self):
+        """sunflow is the trace-rate outlier, as in the paper."""
+        result = build_subject("sunflow").run()
+        share = result.counters["steps_compiled"] / result.counters["steps"]
+        assert share > 0.6
+
+    def test_default_config_overrides(self):
+        config = default_config(cores=2, quantum=111)
+        assert config.cores == 2
+        assert config.quantum == 111

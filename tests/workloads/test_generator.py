@@ -1,0 +1,82 @@
+"""Tests for the random program generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jvm.runtime import RuntimeConfig, run_program
+from repro.jvm.verifier import verify_program
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self):
+        first = generate_program(42)
+        second = generate_program(42)
+        assert str(first.entry_method()) == str(second.entry_method())
+
+    def test_different_seeds_differ(self):
+        programs = {str(generate_program(seed).entry_method()) for seed in range(8)}
+        assert len(programs) > 1
+
+    def test_method_count_respected(self):
+        config = GeneratorConfig(methods=6)
+        program = generate_program(1, config)
+        # 6 generated + main
+        assert len(program.classes["Gen"].methods) == 7
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_programs_verify(self, seed):
+        verify_program(generate_program(seed))
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=12, deadline=None)
+    def test_generated_programs_terminate(self, seed):
+        program = generate_program(seed)
+        result = run_program(program, RuntimeConfig(cores=1, max_steps=2_000_000))
+        assert result.threads[0].finished
+        assert result.threads[0].uncaught is None
+
+    def test_call_graph_is_acyclic(self):
+        config = GeneratorConfig(methods=8, call_probability=1.0)
+        program = generate_program(9, config)
+        for method in program.methods():
+            for inst in method.code:
+                if inst.methodref is not None:
+                    caller_index = int(method.name[1:]) if method.name != "main" else -1
+                    callee_index = int(inst.methodref.method_name[1:])
+                    assert callee_index > caller_index
+
+
+class TestExceptionArcs:
+    @given(st.integers(0, 300))
+    @settings(max_examples=12, deadline=None)
+    def test_programs_with_throws_verify_and_terminate(self, seed):
+        config = GeneratorConfig(throw_probability=0.4)
+        program = generate_program(seed, config)
+        verify_program(program)
+        result = run_program(program, RuntimeConfig(cores=1, max_steps=2_000_000))
+        assert result.threads[0].finished
+        assert result.threads[0].uncaught is None
+
+    def test_throws_actually_occur(self):
+        config = GeneratorConfig(throw_probability=0.9, max_depth=4)
+        hit = 0
+        for seed in range(40):
+            program = generate_program(seed, config)
+            result = run_program(program, RuntimeConfig(cores=1, max_steps=2_000_000))
+            hit += result.counters["exceptions"]
+        assert hit > 0
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=8, deadline=None)
+    def test_lossless_reconstruction_with_throws(self, seed):
+        from repro.core import JPortal
+        from ..conftest import lossless_config
+
+        config = GeneratorConfig(throw_probability=0.5)
+        program = generate_program(seed, config)
+        run = run_program(program, RuntimeConfig(cores=1, max_steps=2_000_000))
+        result = JPortal(program).analyze_run(run, lossless_config())
+        assert result.flow_of(0).reconstructed_nodes() == run.threads[0].truth
