@@ -51,6 +51,19 @@ def test_table5_trace_sizes_and_times(benchmark):
             )
             result = sr.jportal().analyze_run(sr.run, sr.pt_config(BUFFER_128))
             timings = result.timings
+
+            # Per-thread phase breakdown (the multi-threaded decode
+            # ablation's raw material): aggregates must reconcile with
+            # the per-thread metrics the registry recorded.
+            per_thread = timings.per_thread
+            assert per_thread, "per-thread breakdown missing for %s" % name
+            split_decode = sum(t.decode_seconds for t in per_thread.values())
+            assert abs(split_decode - timings.decode_seconds) < 1e-6
+            assert result.metrics.counter("decode.packets") > 0
+            assert (
+                result.metrics.counter("decode.anomalies") == result.anomalies
+            )
+
             rows.append(
                 (
                     name,
@@ -60,6 +73,8 @@ def test_table5_trace_sizes_and_times(benchmark):
                     timings.decode_seconds + timings.reconstruct_seconds,
                     timings.recovery_seconds,
                     result.loss_fraction,
+                    len(per_thread),
+                    timings.critical_path_seconds,
                 )
             )
         return rows
@@ -67,7 +82,10 @@ def test_table5_trace_sizes_and_times(benchmark):
     rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
     print_table(
         "Table 5: Trace size and decode/recovery time",
-        ("Subject", "BL bytes", "BL time(s)", "PT bytes", "DT(s)", "RT(s)", "loss"),
+        (
+            "Subject", "BL bytes", "BL time(s)", "PT bytes", "DT(s)", "RT(s)",
+            "loss", "threads", "crit(s)",
+        ),
         [
             (
                 name,
@@ -77,14 +95,20 @@ def test_table5_trace_sizes_and_times(benchmark):
                 "%.3f" % decode_seconds,
                 "%.3f" % recovery_seconds,
                 "%.1f%%" % (100 * loss),
+                threads,
+                "%.3f" % critical_path,
             )
             for name, baseline_bytes, baseline_seconds, pt_bytes,
-                decode_seconds, recovery_seconds, loss in rows
+                decode_seconds, recovery_seconds, loss, threads, critical_path
+                in rows
         ],
     )
 
     # --- shape assertions ---------------------------------------------------
-    for name, baseline_bytes, _bs, pt_bytes, decode_seconds, recovery_seconds, loss in rows:
+    for (
+        name, baseline_bytes, _bs, pt_bytes, decode_seconds,
+        recovery_seconds, loss, threads, critical_path,
+    ) in rows:
         # PT encodes a control transfer in ~1-3 bytes vs. 8 for records;
         # interpreted execution adds TIPs, so just require a clear win per
         # recorded transfer and sane totals.
@@ -92,6 +116,11 @@ def test_table5_trace_sizes_and_times(benchmark):
         assert decode_seconds >= 0
         if loss == 0:
             assert recovery_seconds < decode_seconds + 1.0
+        # The critical path (slowest thread's chain) bounds the ideal
+        # parallel wall clock: never more than the serial total, and for
+        # multi-threaded subjects strictly informative.
+        assert threads >= 1
+        assert critical_path <= decode_seconds + recovery_seconds + 1e-6
     # Decode time correlates with trace volume (bigger traces, more time).
     ordered = sorted(rows, key=lambda row: row[3])
     assert ordered[-1][4] >= ordered[0][4]

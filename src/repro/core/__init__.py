@@ -9,10 +9,18 @@ from .abstraction import (
     common_suffix_length,
 )
 from .metadata import CodeDatabase, CodeDump, collect_metadata
+from .metrics import MetricsRegistry
 from .multicore import ThreadTrace, split_by_thread
 from .nfa import DFA, NFA, ProgramNFA, abstract_method_nfa, determinize, method_nfa
 from .observed import ObservedHole, ObservedStep, ObservedTrace
-from .pipeline import JPortal, JPortalResult, PhaseTimings, ThreadFlow
+from .parallel import ParallelPipeline, ideal_makespan
+from .pipeline import (
+    JPortal,
+    JPortalResult,
+    PhaseTimings,
+    ThreadFlow,
+    ThreadPhaseTimings,
+)
 from .reconstruct import (
     MatchStats,
     Projection,
@@ -39,6 +47,9 @@ __all__ = [
     "CodeDatabase",
     "CodeDump",
     "collect_metadata",
+    "MetricsRegistry",
+    "ParallelPipeline",
+    "ideal_makespan",
     "ThreadTrace",
     "split_by_thread",
     "DFA",
@@ -54,6 +65,7 @@ __all__ = [
     "JPortalResult",
     "PhaseTimings",
     "ThreadFlow",
+    "ThreadPhaseTimings",
     "MatchStats",
     "Projection",
     "Projector",

@@ -1,0 +1,153 @@
+"""Lightweight metrics registry for the offline pipeline.
+
+The offline side runs decode -> lift -> project -> recover once per
+thread, possibly on a worker pool (:mod:`repro.core.parallel`), so every
+phase needs to be observable without the phases knowing about each other:
+:class:`MetricsRegistry` is the shared sink.  It records three kinds of
+facts, each keyed by ``(name, tid)`` where ``tid`` is the analysed
+thread (``None`` for process-global facts):
+
+* **counters** -- monotonically increasing counts (packets decoded,
+  anomalies, restarts, holes filled, ...);
+* **timings** -- accumulated wall-clock seconds per phase;
+* **maxima** -- high-water marks (peak projection frontier).
+
+All mutation takes a single lock, so decoder/projector/recovery instances
+running concurrently on different threads of the *host* process can share
+one registry.  Reads with ``tid=None`` aggregate across all threads, so
+``registry.counter("decode.anomalies")`` is the process-wide total while
+``registry.counter("decode.anomalies", tid=3)`` is thread 3's share.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: A metric key: (metric name, analysed thread id or None for global).
+Key = Tuple[str, Optional[int]]
+
+
+class MetricsRegistry:
+    """Thread-safe counters, per-phase timings, and high-water marks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Key, int] = {}
+        self._timings: Dict[Key, float] = {}
+        self._maxima: Dict[Key, float] = {}
+
+    # ---------------------------------------------------------------- writes
+    def incr(self, name: str, value: int = 1, tid: Optional[int] = None) -> None:
+        """Add *value* to the counter *name* for thread *tid*."""
+        key = (name, tid)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def add_time(
+        self, phase: str, seconds: float, tid: Optional[int] = None
+    ) -> None:
+        """Accumulate *seconds* of wall-clock time under *phase*."""
+        key = (phase, tid)
+        with self._lock:
+            self._timings[key] = self._timings.get(key, 0.0) + seconds
+
+    def observe_max(
+        self, name: str, value: float, tid: Optional[int] = None
+    ) -> None:
+        """Record *value* as a high-water mark candidate for *name*."""
+        key = (name, tid)
+        with self._lock:
+            current = self._maxima.get(key)
+            if current is None or value > current:
+                self._maxima[key] = value
+
+    @contextmanager
+    def timer(self, phase: str, tid: Optional[int] = None) -> Iterator[None]:
+        """Time a ``with`` block into ``add_time(phase, ..., tid)``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(phase, time.perf_counter() - started, tid=tid)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other*'s facts into this registry (for pooled workers)."""
+        with other._lock:
+            counters = dict(other._counters)
+            timings = dict(other._timings)
+            maxima = dict(other._maxima)
+        for (name, tid), value in counters.items():
+            self.incr(name, value, tid=tid)
+        for (phase, tid), seconds in timings.items():
+            self.add_time(phase, seconds, tid=tid)
+        for (name, tid), value in maxima.items():
+            self.observe_max(name, value, tid=tid)
+
+    # ----------------------------------------------------------------- reads
+    def counter(self, name: str, tid: Optional[int] = None) -> int:
+        """The counter's value; ``tid=None`` sums across all threads."""
+        with self._lock:
+            if tid is not None:
+                return self._counters.get((name, tid), 0)
+            return sum(
+                value for (key, _t), value in self._counters.items() if key == name
+            )
+
+    def timing(self, phase: str, tid: Optional[int] = None) -> float:
+        """Accumulated seconds; ``tid=None`` sums across all threads."""
+        with self._lock:
+            if tid is not None:
+                return self._timings.get((phase, tid), 0.0)
+            return sum(
+                value for (key, _t), value in self._timings.items() if key == phase
+            )
+
+    def maximum(self, name: str, tid: Optional[int] = None) -> float:
+        """The high-water mark; ``tid=None`` maximises across threads."""
+        with self._lock:
+            if tid is not None:
+                return self._maxima.get((name, tid), 0.0)
+            values = [
+                value for (key, _t), value in self._maxima.items() if key == name
+            ]
+            return max(values) if values else 0.0
+
+    def tids(self) -> List[int]:
+        """All thread ids that recorded any fact, sorted."""
+        with self._lock:
+            seen = {
+                tid
+                for source in (self._counters, self._timings, self._maxima)
+                for (_name, tid) in source
+                if tid is not None
+            }
+        return sorted(seen)
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict]]:
+        """A plain-dict view: ``{kind: {name: {"total", "by_thread"}}}``."""
+        with self._lock:
+            sources = {
+                "counters": dict(self._counters),
+                "timings": dict(self._timings),
+                "maxima": dict(self._maxima),
+            }
+        result: Dict[str, Dict[str, Dict]] = {}
+        for kind, data in sources.items():
+            view: Dict[str, Dict] = {}
+            for (name, tid), value in sorted(
+                data.items(), key=lambda item: (item[0][0], item[0][1] is not None, item[0][1] or 0)
+            ):
+                entry = view.setdefault(name, {"total": 0, "by_thread": {}})
+                if tid is None:
+                    entry["total"] += value
+                else:
+                    entry["by_thread"][tid] = value
+                    if kind == "maxima":
+                        entry["total"] = max(entry["total"], value)
+                    else:
+                        entry["total"] += value
+            result[kind] = view
+        return result

@@ -54,6 +54,13 @@ def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
     for records in switches_by_core.values():
         records.sort(key=lambda record: record.tsc)
 
+    # A core with packets but no switch records has no sideband at all;
+    # attributing to tid 0 would invent a phantom thread whenever tid 0
+    # never ran there.  Fall back to the earliest owner observed anywhere.
+    default_tid = 0
+    if trace.thread_switches:
+        default_tid = min(trace.thread_switches, key=lambda record: record.tsc).tid
+
     # Window items per thread: (tsc, sequence, tag, item).  The running
     # sequence number keeps the original per-core order among items with
     # equal timestamps.
@@ -66,8 +73,9 @@ def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
         def owner_of(tsc: int) -> int:
             position = bisect_right(timestamps, tsc) - 1
             if position < 0:
-                # Before the first switch: attribute to the first owner.
-                return records[0].tid if records else 0
+                # Before the first switch: attribute to this core's first
+                # real owner (never a phantom tid 0).
+                return records[0].tid if records else default_tid
             return records[position].tid
 
         merged: List[Tuple[int, str, object]] = []

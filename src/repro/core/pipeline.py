@@ -40,7 +40,8 @@ from ..pt.perf import PTConfig, PTTrace, collect
 from .interp_decoder import lift_dispatch
 from .jit_decoder import lift_span
 from .metadata import CodeDatabase, collect_metadata
-from .multicore import split_by_thread
+from .metrics import MetricsRegistry
+from .multicore import ThreadTrace, split_by_thread
 from .nfa import Node, ProgramNFA
 from .observed import ObservedHole, ObservedStep, ObservedTrace
 from .reconstruct import MatchStats, Projector
@@ -70,16 +71,48 @@ class ThreadFlow:
 
 
 @dataclass
-class PhaseTimings:
-    """Wall-clock seconds per offline phase (Table 5's DT/RT split)."""
+class ThreadPhaseTimings:
+    """One thread's offline-phase breakdown (timings + key counts)."""
 
+    tid: int
     decode_seconds: float = 0.0
     reconstruct_seconds: float = 0.0
     recovery_seconds: float = 0.0
+    anomalies: int = 0
+    holes: int = 0
+    frontier_peak: int = 0
 
     @property
     def total_seconds(self) -> float:
         return self.decode_seconds + self.reconstruct_seconds + self.recovery_seconds
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per offline phase (Table 5's DT/RT split).
+
+    The three phase fields aggregate (sum) the per-thread work recorded in
+    ``per_thread``; ``wall_seconds`` is the measured end-to-end wall clock
+    of the analysis, which is smaller than ``total_seconds`` when the
+    per-thread chains ran concurrently.
+    """
+
+    decode_seconds: float = 0.0
+    reconstruct_seconds: float = 0.0
+    recovery_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    per_thread: Dict[int, ThreadPhaseTimings] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.decode_seconds + self.reconstruct_seconds + self.recovery_seconds
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """The slowest single thread's chain: the ideal parallel wall clock."""
+        if not self.per_thread:
+            return 0.0
+        return max(timing.total_seconds for timing in self.per_thread.values())
 
 
 @dataclass
@@ -92,6 +125,7 @@ class JPortalResult:
     flows: Dict[int, ThreadFlow]
     timings: PhaseTimings
     anomalies: int = 0
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -134,54 +168,107 @@ class JPortal:
 
     # ------------------------------------------------------------------- API
     def analyze_run(
-        self, run: RunResult, pt_config: Optional[PTConfig] = None
+        self,
+        run: RunResult,
+        pt_config: Optional[PTConfig] = None,
+        max_workers: int = 1,
     ) -> JPortalResult:
         """Collect a PT trace from *run* and analyse it."""
         trace = collect(run, pt_config)
         database = collect_metadata(run)
-        return self.analyze_trace(trace, database)
+        return self.analyze_trace(trace, database, max_workers=max_workers)
 
-    def analyze_trace(self, trace: PTTrace, database: CodeDatabase) -> JPortalResult:
-        """Analyse an already collected trace against exported metadata."""
-        timings = PhaseTimings()
-        started = time.perf_counter()
+    def analyze_trace(
+        self,
+        trace: PTTrace,
+        database: CodeDatabase,
+        max_workers: int = 1,
+    ) -> JPortalResult:
+        """Analyse an already collected trace against exported metadata.
+
+        ``max_workers=1`` (the default) runs the per-thread chains
+        serially; any other value delegates to
+        :class:`repro.core.parallel.ParallelPipeline`, which produces
+        identical flows (threads are analysed independently either way).
+        """
+        if max_workers != 1:
+            from .parallel import ParallelPipeline
+
+            pipeline = ParallelPipeline(self, max_workers=max_workers)
+            return pipeline.analyze_trace(trace, database)
+        metrics = MetricsRegistry()
+        wall_started = time.perf_counter()
         per_thread = split_by_thread(trace)
-        observed: Dict[int, ObservedTrace] = {}
-        total_anomalies = 0
-        for tid, thread_trace in sorted(per_thread.items()):
-            decoder = PTDecoder(database)
-            items = decoder.decode(thread_trace.stream)
-            observed[tid] = self._lift(tid, items, database)
-            total_anomalies += decoder.stats.anomalies
-        timings.decode_seconds = time.perf_counter() - started
+        flows: Dict[int, ThreadFlow] = {}
+        for tid in sorted(per_thread):
+            flows[tid] = self._analyze_thread(tid, per_thread[tid], database, metrics)
+        return self._finish(trace, database, flows, metrics, wall_started)
 
-        started = time.perf_counter()
-        segmented: Dict[int, Tuple[List[List[Optional[Node]]], List[ObservedHole]]] = {}
-        projections: Dict[int, MatchStats] = {}
-        for tid, trace_of_thread in observed.items():
+    # ------------------------------------------------------------- internals
+    def _analyze_thread(
+        self,
+        tid: int,
+        thread_trace: ThreadTrace,
+        database: CodeDatabase,
+        metrics: MetricsRegistry,
+    ) -> ThreadFlow:
+        """One thread's full decode -> lift -> project -> recover chain.
+
+        Self-contained and side-effect-free apart from *metrics* (which is
+        thread-safe), so chains for different tids can run concurrently.
+        """
+        with metrics.timer("decode", tid=tid):
+            decoder = PTDecoder(database, metrics=metrics, tid=tid)
+            items = decoder.decode(thread_trace.stream)
+            observed = self._lift(tid, items, database)
+        with metrics.timer("reconstruct", tid=tid):
             segments: List[List[Optional[Node]]] = []
             stats = MatchStats()
-            for segment_steps in trace_of_thread.segments():
-                projection = self.projector.project(segment_steps)
+            for segment_steps in observed.segments():
+                projection = self.projector.project(
+                    segment_steps, metrics=metrics, tid=tid
+                )
                 segments.append(projection.path)
                 _merge_stats(stats, projection.stats)
-            segmented[tid] = (segments, trace_of_thread.holes())
-            projections[tid] = stats
-        timings.reconstruct_seconds = time.perf_counter() - started
-
-        started = time.perf_counter()
-        flows: Dict[int, ThreadFlow] = {}
-        for tid, (segments, holes) in segmented.items():
-            recovered = self.recovery_engine.recover(segments, holes)
-            flows[tid] = ThreadFlow(
-                tid=tid,
-                observed=observed[tid],
-                segments=segments,
-                flow=recovered,
-                projection=projections[tid],
+        with metrics.timer("recovery", tid=tid):
+            recovered = self.recovery_engine.recover(
+                segments, observed.holes(), metrics=metrics, tid=tid
             )
-        timings.recovery_seconds = time.perf_counter() - started
+        return ThreadFlow(
+            tid=tid,
+            observed=observed,
+            segments=segments,
+            flow=recovered,
+            projection=stats,
+        )
 
+    def _finish(
+        self,
+        trace: PTTrace,
+        database: CodeDatabase,
+        flows: Dict[int, ThreadFlow],
+        metrics: MetricsRegistry,
+        wall_started: float,
+    ) -> JPortalResult:
+        """Assemble the result: per-thread breakdowns and aggregates."""
+        timings = PhaseTimings(wall_seconds=time.perf_counter() - wall_started)
+        total_anomalies = 0
+        for tid in sorted(flows):
+            flow = flows[tid]
+            breakdown = ThreadPhaseTimings(
+                tid=tid,
+                decode_seconds=metrics.timing("decode", tid=tid),
+                reconstruct_seconds=metrics.timing("reconstruct", tid=tid),
+                recovery_seconds=metrics.timing("recovery", tid=tid),
+                anomalies=flow.observed.anomalies,
+                holes=len(flow.observed.holes()),
+                frontier_peak=flow.projection.frontier_peak,
+            )
+            timings.per_thread[tid] = breakdown
+            timings.decode_seconds += breakdown.decode_seconds
+            timings.reconstruct_seconds += breakdown.reconstruct_seconds
+            timings.recovery_seconds += breakdown.recovery_seconds
+            total_anomalies += breakdown.anomalies
         return JPortalResult(
             program=self.program,
             trace=trace,
@@ -189,9 +276,9 @@ class JPortal:
             flows=flows,
             timings=timings,
             anomalies=total_anomalies,
+            metrics=metrics,
         )
 
-    # ------------------------------------------------------------- internals
     def _lift(self, tid: int, items, database: CodeDatabase) -> ObservedTrace:
         """Map decoded native items to the observed bytecode trace."""
         trace = ObservedTrace(tid=tid)

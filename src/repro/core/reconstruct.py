@@ -169,8 +169,14 @@ class Projector:
         return [nfa.node(state) for state in path]
 
     # -------------------------------------------------------------------- API
-    def project(self, steps: Sequence[ObservedStep]) -> Projection:
-        """Project *steps* (one hole-free segment) onto the ICFG."""
+    def project(
+        self, steps: Sequence[ObservedStep], metrics=None, tid: Optional[int] = None
+    ) -> Projection:
+        """Project *steps* (one hole-free segment) onto the ICFG.
+
+        When a :class:`~repro.core.metrics.MetricsRegistry` is supplied,
+        the run's stats are published under ``project.*`` for *tid*.
+        """
         nfa = self.nfa
         count = len(steps)
         path: List[Optional[Node]] = [None] * count
@@ -205,6 +211,16 @@ class Projector:
             if cursor + 1 < count:
                 stats.restarts += 1
             position = cursor + 1
+        if metrics is not None:
+            metrics.incr("project.steps", stats.steps, tid=tid)
+            metrics.incr("project.matched", stats.matched, tid=tid)
+            metrics.incr("project.restarts", stats.restarts, tid=tid)
+            metrics.incr(
+                "project.callback_fallbacks", stats.callback_fallbacks, tid=tid
+            )
+            metrics.observe_max(
+                "project.frontier_peak", stats.frontier_peak, tid=tid
+            )
         return Projection(path=path, stats=stats)
 
     # ------------------------------------------------------------- fallbacks

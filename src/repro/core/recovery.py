@@ -143,11 +143,15 @@ class RecoveryEngine:
         self,
         segments: Sequence[List[Entry]],
         holes: Sequence[ObservedHole],
+        metrics=None,
+        tid: Optional[int] = None,
     ) -> RecoveredFlow:
         """Recover a thread flow of ``len(segments)`` segments separated by
         ``len(holes)`` holes (``holes[i]`` sits after ``segments[i]``).
 
         A trailing hole (fewer segments than holes + 1) is left unfilled.
+        When a :class:`~repro.core.metrics.MetricsRegistry` is supplied,
+        the run's stats are published under ``recover.*`` for *tid*.
         """
         stats = RecoveryStats()
         views = [_SegmentView(list(segment), self._tier_of) for segment in segments]
@@ -163,6 +167,17 @@ class RecoveryEngine:
                 )
                 entries.extend(fill)
         stats.holes = len(holes)
+        if metrics is not None:
+            for name, value in (
+                ("recover.holes", stats.holes),
+                ("recover.filled_from_cs", stats.filled_from_cs),
+                ("recover.filled_fallback", stats.filled_fallback),
+                ("recover.unfilled", stats.unfilled),
+                ("recover.candidates_tested", stats.candidates_tested),
+                ("recover.recovered_instructions", stats.recovered_instructions),
+            ):
+                if value:
+                    metrics.incr(name, value, tid=tid)
         return RecoveredFlow(entries=entries, stats=stats)
 
     # ----------------------------------------------------------- anchor index

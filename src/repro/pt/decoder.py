@@ -105,10 +105,18 @@ class DecodeStats:
 
 
 class PTDecoder:
-    """Decodes one thread's packet stream against a code database."""
+    """Decodes one thread's packet stream against a code database.
 
-    def __init__(self, database):
+    A decoder is single-use: one :meth:`decode` call per instance.  When a
+    :class:`~repro.core.metrics.MetricsRegistry` is supplied, the decode
+    stats are published under ``decode.*`` counters for *tid* when the
+    stream has been consumed.
+    """
+
+    def __init__(self, database, metrics=None, tid: Optional[int] = None):
         self.database = database
+        self.metrics = metrics
+        self.tid = tid
         self.stats = DecodeStats()
         self._items: List[DecodedItem] = []
         self._bits = deque()
@@ -116,6 +124,10 @@ class PTDecoder:
         self._pending_cond: Optional[InterpDispatch] = None
         # Suspended machine walk: (span, next_address) waiting for TNT bits.
         self._walk: Optional[Tuple[JitSpan, int]] = None
+        # Between a loss record and the next TIP the stream has no anchor:
+        # TNT bits arriving there belong to branches whose context was
+        # dropped and must not bind to later conditionals.
+        self._post_loss = False
 
     # -------------------------------------------------------------------- API
     def decode(
@@ -128,6 +140,7 @@ class PTDecoder:
             else:
                 self._on_packet(item)
         self._finish_pending()
+        self._publish_metrics()
         return self._items
 
     # --------------------------------------------------------------- handlers
@@ -135,6 +148,7 @@ class PTDecoder:
         self.stats.losses += 1
         self._abandon("data loss")
         self._bits.clear()
+        self._post_loss = True
         self._items.append(
             TraceLoss(
                 start_tsc=loss.start_tsc,
@@ -149,11 +163,21 @@ class PTDecoder:
             return
         if isinstance(packet, TNTPacket):
             self.stats.tnt_bits += len(packet.bits)
+            if (
+                self._post_loss
+                and self._pending_cond is None
+                and self._walk is None
+            ):
+                # Orphan bits: their branches were dropped with the loss;
+                # buffering them would misbind the next conditional.
+                self._note(packet.tsc, "orphan TNT bits after loss")
+                return
             self._bits.extend(packet.bits)
             self._drain_bits(packet.tsc)
             return
         if isinstance(packet, TIPPacket):
             self.stats.tips += 1
+            self._post_loss = False
             self._on_tip(packet)
             return
         if isinstance(packet, FUPPacket):
@@ -261,3 +285,19 @@ class PTDecoder:
     def _note(self, tsc: int, reason: str) -> None:
         self.stats.anomalies += 1
         self._items.append(DecodeAnomaly(tsc=tsc, reason=reason))
+
+    # ---------------------------------------------------------------- metrics
+    def _publish_metrics(self) -> None:
+        if self.metrics is None:
+            return
+        stats = self.stats
+        for name, value in (
+            ("decode.packets", stats.packets),
+            ("decode.tips", stats.tips),
+            ("decode.tnt_bits", stats.tnt_bits),
+            ("decode.losses", stats.losses),
+            ("decode.anomalies", stats.anomalies),
+            ("decode.walked_instructions", stats.walked_instructions),
+        ):
+            if value:
+                self.metrics.incr(name, value, tid=self.tid)

@@ -68,6 +68,35 @@ class TestSyntheticSplitting:
         threads = split_by_thread(trace)
         assert threads[3].packet_count() == 1
 
+    def test_core_without_sideband_uses_first_owner_anywhere(self):
+        """A core with packets but no switch records must not invent a
+        phantom tid 0: its packets go to the earliest owner observed on
+        any core."""
+        switches = [ThreadSwitchRecord(core=0, tid=7, tsc=50)]
+        trace = _synthetic_trace(switches, [[_tip(60)], [_tip(5), _tip(70)]])
+        threads = split_by_thread(trace)
+        assert set(threads) == {7}
+        assert threads[7].packet_count() == 3
+
+    def test_no_sideband_at_all_defaults_to_tid_zero(self):
+        trace = _synthetic_trace([], [[_tip(1), _tip(2)]])
+        threads = split_by_thread(trace)
+        assert set(threads) == {0}
+        assert threads[0].packet_count() == 2
+
+    def test_sideband_core_choice_uses_earliest_record(self):
+        """The fallback owner is the earliest switch anywhere, not the
+        first core's first record."""
+        switches = [
+            ThreadSwitchRecord(core=0, tid=2, tsc=30),
+            ThreadSwitchRecord(core=2, tid=5, tsc=10),
+        ]
+        # Core 1 has no sideband; tid 5 switched in first (tsc=10).
+        trace = _synthetic_trace(switches, [[_tip(40)], [_tip(4)], [_tip(15)]])
+        threads = split_by_thread(trace)
+        assert threads[5].packet_count() == 2  # core 1 orphan + core 2
+        assert threads[2].packet_count() == 1
+
     def test_jittered_boundary_misassigns(self):
         """A switch record whose timestamp lies (wrongly) after packets of
         the new thread sends those packets to the old thread -- the

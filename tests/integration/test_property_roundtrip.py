@@ -84,6 +84,84 @@ class TestLossyGracefulDegradation:
                     assert right in successors
 
 
+class TestMultiThreadSplitRoundtrip:
+    """encode -> split_by_thread -> decode conservation for seeded random
+    programs running several threads across shared cores."""
+
+    def _multithread_run(self, seed, thread_count, cores=2):
+        program = generate_program(seed)
+        config = RuntimeConfig(
+            cores=cores,
+            jit=JITPolicy(hot_threshold=3),
+            max_steps=2_000_000,
+        )
+        runtime = JVMRuntime(program, config)
+        for index in range(thread_count):
+            runtime.add_thread(name="t%d" % index)
+        return program, runtime.run()
+
+    @given(st.integers(0, 5_000), st.integers(2, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_every_packet_lands_in_exactly_one_stream(self, seed, thread_count):
+        _program, run = self._multithread_run(seed, thread_count)
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        # Conservation by identity: the same packet objects, no duplicates,
+        # none dropped, each in exactly one per-thread stream.
+        original = sorted(
+            id(packet) for core in trace.cores for packet in core.packets
+        )
+        assigned = sorted(
+            id(item)
+            for thread in threads.values()
+            for tag, item in thread.stream
+            if tag == "packet"
+        )
+        assert assigned == original
+        assert sum(t.packet_count() for t in threads.values()) == trace.packet_count()
+
+    @given(st.integers(0, 5_000), st.integers(2, 3))
+    @settings(max_examples=6, deadline=None)
+    def test_loss_records_conserved_and_streams_tsc_ordered(
+        self, seed, thread_count
+    ):
+        _program, run = self._multithread_run(seed, thread_count)
+        trace = collect(run, lossy_config(capacity=700, bandwidth=0.3))
+        threads = split_by_thread(trace)
+        total_losses = sum(len(core.losses) for core in trace.cores)
+        assert sum(t.loss_count() for t in threads.values()) == total_losses
+        for thread in threads.values():
+            timestamps = [
+                item.tsc if tag == "packet" else item.start_tsc
+                for tag, item in thread.stream
+            ]
+            assert timestamps == sorted(timestamps)
+
+    @given(st.integers(0, 5_000), st.integers(2, 3))
+    @settings(max_examples=4, deadline=None)
+    def test_split_streams_decode_cleanly_when_lossless(self, seed, thread_count):
+        """With exact sideband (no jitter), each reassembled stream decodes
+        without anomalies and the walked/dispatched totals across threads
+        conserve the run's executed step counts."""
+        _program, run = self._multithread_run(seed, thread_count)
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        database = collect_metadata(run)
+        from repro.pt.decoder import InterpDispatch
+
+        walked = dispatched = 0
+        for tid in sorted(threads):
+            decoder = PTDecoder(database)
+            items = decoder.decode(threads[tid].stream)
+            assert decoder.stats.anomalies == 0
+            walked += decoder.stats.walked_instructions
+            dispatched += sum(
+                1 for item in items if isinstance(item, InterpDispatch)
+            )
+        assert walked == run.counters["steps_compiled"]
+        assert dispatched == run.counters["steps_interp"]
+
+
 class TestEncoderDecoderRoundtrip:
     @given(st.integers(0, 5_000))
     @settings(max_examples=8, deadline=None)

@@ -220,6 +220,118 @@ class TestLossHandling:
         assert dispatch.taken is None
 
 
+class TestAnomalyPaths:
+    """DecodeAnomaly coverage: orphan post-loss TNT bits, unknown IPs,
+    desynchronised walks -- and their propagation into the metrics
+    registry and pipeline-level anomaly counts."""
+
+    def test_orphan_tnt_after_loss_is_anomaly_and_dropped(self):
+        db = FakeDatabase()
+        stream = [
+            ("loss", AuxLossRecord(start_tsc=0, end_tsc=4, bytes_lost=32, packets_lost=2)),
+            # Bits whose branches were dropped with the loss: orphans.
+            ("packet", TNTPacket(tsc=5, bits=(True, False))),
+            _tip(db, db.templates.entry(Op.IFEQ), tsc=6),
+        ]
+        decoder, items = _decode(stream)
+        anomalies = [i for i in items if isinstance(i, DecodeAnomaly)]
+        assert any("orphan TNT" in a.reason for a in anomalies)
+        # The orphan bits must NOT bind the post-loss conditional.
+        dispatch = next(i for i in items if isinstance(i, InterpDispatch))
+        assert dispatch.taken is None
+        assert decoder.stats.anomalies == len(anomalies)
+
+    def test_tnt_resynchronises_after_first_post_loss_tip(self):
+        db = FakeDatabase()
+        stream = [
+            ("loss", AuxLossRecord(start_tsc=0, end_tsc=4, bytes_lost=32, packets_lost=2)),
+            _tip(db, db.templates.entry(Op.IFEQ), tsc=5),
+            ("packet", TNTPacket(tsc=6, bits=(True,))),
+        ]
+        decoder, items = _decode(stream)
+        dispatch = next(i for i in items if isinstance(i, InterpDispatch))
+        assert dispatch.taken is True
+        assert decoder.stats.anomalies == 0
+
+    def test_anomaly_counters_reach_metrics_registry(self):
+        from repro.core.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        decoder = PTDecoder(FakeDatabase(), metrics=registry, tid=5)
+        decoder.decode(
+            [
+                ("packet", TIPPacket(tsc=0, target=0x1234)),  # unknown IP
+                ("packet", TIPPacket(tsc=1, target=CODE_BASE + 1)),  # desync
+            ]
+        )
+        assert decoder.stats.anomalies == 2
+        assert registry.counter("decode.anomalies", tid=5) == 2
+        assert registry.counter("decode.anomalies") == 2
+        assert registry.counter("decode.anomalies", tid=0) == 0
+        assert registry.counter("decode.tips", tid=5) == 2
+
+    def test_desynchronised_walk_counts_once_per_bad_address(self):
+        db = FakeDatabase()
+        registry_stream = [
+            _tip(db, CODE_BASE + 1),  # mid-instruction: desynchronised
+            _tip(db, CODE_BASE + 2, tsc=1),
+        ]
+        decoder, items = _decode(registry_stream)
+        reasons = [
+            i.reason for i in items if isinstance(i, DecodeAnomaly)
+        ]
+        assert len([r for r in reasons if "desynchronised" in r]) == 2
+
+    def test_pipeline_propagates_anomalies_to_result_and_metrics(self):
+        """An unfiltered collection traces non-code addresses; the decoder
+        flags them and the counts surface on JPortalResult, the per-thread
+        breakdown, and the metrics registry consistently."""
+        from repro.core import JPortal
+        from repro.jvm.assembler import MethodAssembler
+        from repro.jvm.jit import JITPolicy
+        from repro.jvm.model import JClass, JProgram
+        from repro.jvm.runtime import RuntimeConfig, run_program
+        from repro.jvm.verifier import verify_program
+        from repro.pt.buffer import RingBufferConfig
+        from repro.pt.perf import PTConfig
+
+        asm = MethodAssembler("T", "main", arg_count=0, returns_value=True)
+        asm.const(200).store(0)
+        asm.label("head")
+        asm.load(0).ifle("done")
+        asm.const(1).newarray().pop()
+        asm.iinc(0, -1).goto("head")
+        asm.label("done")
+        asm.const(0).ireturn()
+        program = JProgram("noisy")
+        cls = JClass("T")
+        cls.add_method(asm.build())
+        program.add_class(cls)
+        program.set_entry("T", "main")
+        verify_program(program)
+        run = run_program(
+            program,
+            RuntimeConfig(
+                cores=1,
+                gc_period_allocations=30,
+                emit_runtime_noise=True,
+                jit=JITPolicy(hot_threshold=10**9),
+            ),
+        )
+        config = PTConfig(
+            buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9),
+            ip_filter=False,
+        )
+        result = JPortal(program).analyze_run(run, config)
+        assert result.anomalies > 0
+        assert result.metrics.counter("decode.anomalies") == result.anomalies
+        per_thread = sum(
+            breakdown.anomalies
+            for breakdown in result.timings.per_thread.values()
+        )
+        assert per_thread == result.anomalies
+
+
 class TestAsyncAndPauses:
     def test_fup_abandons_walk(self):
         db = FakeDatabase()
