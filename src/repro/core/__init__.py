@@ -8,6 +8,14 @@ from .abstraction import (
     abstract_sequence,
     common_suffix_length,
 )
+from .degradation import (
+    ANOMALY_METRIC_PREFIX,
+    DEFAULT_POLICY,
+    AnomalyKind,
+    DegradationPolicy,
+    anomaly_breakdown,
+    metric_name,
+)
 from .metadata import CodeDatabase, CodeDump, collect_metadata
 from .metrics import MetricsRegistry
 from .multicore import ThreadTrace, split_by_thread
@@ -44,6 +52,12 @@ __all__ = [
     "abstract_ops",
     "abstract_sequence",
     "common_suffix_length",
+    "ANOMALY_METRIC_PREFIX",
+    "DEFAULT_POLICY",
+    "AnomalyKind",
+    "DegradationPolicy",
+    "anomaly_breakdown",
+    "metric_name",
     "CodeDatabase",
     "CodeDump",
     "collect_metadata",

@@ -1,0 +1,71 @@
+"""Pipeline-level graceful degradation surface.
+
+The decoder-level machinery (the :class:`~repro.pt.decoder.AnomalyKind`
+taxonomy, the :class:`~repro.pt.decoder.DegradationPolicy` error budget,
+and the resync protocol) lives in :mod:`repro.pt.decoder`, next to the
+state machine it modifies; this module is the *pipeline's* view of it:
+
+* re-exports of the policy/taxonomy types, so offline-side code imports
+  them from ``repro.core`` without reaching into the PT layer;
+* the metric-naming convention that ties anomaly kinds to
+  :class:`~repro.core.metrics.MetricsRegistry` counters;
+* :func:`anomaly_breakdown`, which folds the per-kind counters published
+  by every stage (decoder, JIT-mode lifter, pipeline chain guard) into
+  the single per-kind dict surfaced on
+  :attr:`~repro.core.pipeline.JPortalResult.anomalies_by_kind`.
+
+Note on layering: the canonical definitions stay in ``repro.pt.decoder``
+because ``repro.core.pipeline`` imports from it at module level -- the
+reverse import (decoder -> core) would cycle through
+``repro.core.__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..pt.decoder import AnomalyKind, DegradationPolicy
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "AnomalyKind",
+    "DegradationPolicy",
+    "DEFAULT_POLICY",
+    "ANOMALY_METRIC_PREFIX",
+    "metric_name",
+    "anomaly_breakdown",
+]
+
+#: The policy used when a pipeline is built without an explicit one.
+DEFAULT_POLICY = DegradationPolicy()
+
+#: Per-kind anomaly counters are published as ``<prefix><kind.value>``.
+ANOMALY_METRIC_PREFIX = "decode.anomaly."
+
+#: Degradation events recorded outside the packet decoder use their own
+#: counters; ``anomaly_breakdown`` folds them into the matching kind.
+_EXTRA_KIND_COUNTERS = {
+    "lift.stale_debug_entries": AnomalyKind.STALE_DEBUG_INFO,
+    "pipeline.thread_chain_failures": AnomalyKind.CHAIN_FAILURE,
+}
+
+
+def metric_name(kind: AnomalyKind) -> str:
+    """Counter name under which *kind* is published."""
+    return ANOMALY_METRIC_PREFIX + kind.value
+
+
+def anomaly_breakdown(
+    metrics: MetricsRegistry, tid: Optional[int] = None
+) -> Dict[str, int]:
+    """Per-kind anomaly counts recorded in *metrics* (all stages).
+
+    Keys are :class:`AnomalyKind` values; ``tid=None`` aggregates across
+    threads.  Kinds with a zero count are omitted.
+    """
+    breakdown = metrics.counters_by_prefix(ANOMALY_METRIC_PREFIX, tid=tid)
+    for counter, kind in _EXTRA_KIND_COUNTERS.items():
+        count = metrics.counter(counter, tid=tid)
+        if count:
+            breakdown[kind.value] = breakdown.get(kind.value, 0) + count
+    return {key: value for key, value in breakdown.items() if value}

@@ -7,12 +7,16 @@ compiler's debug info maps each address that implements a bytecode to its
 entry is the executing location (Section 6, "Dealing with Inlined Code").
 Synthetic instructions (prologues, layout jumps) carry no debug record
 and are skipped, exactly as a real decoder skips PCs without a scope
-descriptor.
+descriptor.  A debug record that no longer *resolves* -- the method name
+does not parse, the program has no such method, the bci runs off the end
+of the bytecode -- is a stale-export symptom (code reclaimed before its
+metadata was flushed): the instruction is skipped and counted under
+``lift.stale_debug_entries`` rather than crashing the lift.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..jvm.model import JProgram
 from ..pt.decoder import JitSpan
@@ -21,10 +25,15 @@ from .observed import ObservedStep
 
 
 def lift_span(
-    span: JitSpan, database: CodeDatabase, program: JProgram
+    span: JitSpan,
+    database: CodeDatabase,
+    program: JProgram,
+    metrics=None,
+    tid: Optional[int] = None,
 ) -> List[ObservedStep]:
     """Map one machine-code span to its observed bytecode steps."""
     steps: List[ObservedStep] = []
+    stale = 0
     for address in span.addresses:
         frames = database.debug_frames_at(address, span.tsc)
         if not frames:
@@ -32,9 +41,12 @@ def lift_span(
         qname, bci = frames[-1]
         if bci < 0:
             continue  # prologue/epilogue marker
-        class_name, method_name = qname.rsplit(".", 1)
-        method = program.method(class_name, method_name)
-        inst = method.code[bci]
+        try:
+            class_name, method_name = qname.rsplit(".", 1)
+            inst = program.method(class_name, method_name).code[bci]
+        except Exception:
+            stale += 1
+            continue
         steps.append(
             ObservedStep(
                 symbol=inst.op,
@@ -44,4 +56,6 @@ def lift_span(
                 tsc=span.tsc,
             )
         )
+    if stale and metrics is not None:
+        metrics.incr("lift.stale_debug_entries", stale, tid=tid)
     return steps

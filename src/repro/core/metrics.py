@@ -96,6 +96,26 @@ class MetricsRegistry:
                 value for (key, _t), value in self._counters.items() if key == name
             )
 
+    def counters_by_prefix(
+        self, prefix: str, tid: Optional[int] = None
+    ) -> Dict[str, int]:
+        """All counters whose name starts with *prefix*, keyed by the
+        suffix after it; ``tid=None`` sums each across all threads.
+
+        The degradation layer uses this to collect the per-kind anomaly
+        counters (``decode.anomaly.<kind>``) without enumerating kinds.
+        """
+        result: Dict[str, int] = {}
+        with self._lock:
+            for (name, key_tid), value in self._counters.items():
+                if not name.startswith(prefix):
+                    continue
+                if tid is not None and key_tid != tid:
+                    continue
+                suffix = name[len(prefix):]
+                result[suffix] = result.get(suffix, 0) + value
+        return result
+
     def timing(self, phase: str, tid: Optional[int] = None) -> float:
         """Accumulated seconds; ``tid=None`` sums across all threads."""
         with self._lock:

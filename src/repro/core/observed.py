@@ -44,11 +44,17 @@ class ObservedStep:
 
 @dataclass
 class ObservedHole:
-    """A data-loss hole between observed steps (the paper's diamond)."""
+    """A data-loss hole between observed steps (the paper's diamond).
+
+    ``synthetic=True`` marks a hole declared by the decoder's error
+    budget (no bytes physically lost; the span was untrustworthy) --
+    recovery treats it exactly like an overflow hole.
+    """
 
     start_tsc: int
     end_tsc: int
     bytes_lost: int = 0
+    synthetic: bool = False
 
     @property
     def duration(self) -> int:

@@ -77,14 +77,17 @@ class ParallelPipeline:
         if workers <= 1 or len(tids) <= 1:
             # Serial path: identical to JPortal.analyze_trace(max_workers=1).
             for tid in tids:
-                flows[tid] = jportal._analyze_thread(
+                flows[tid] = jportal._analyze_thread_safe(
                     tid, per_thread[tid], database, metrics
                 )
         else:
             with self._executor(workers) as pool:
+                # The _safe wrapper degrades a chain failure to an empty
+                # flow on both the serial and pooled paths, keeping the
+                # serial/parallel bit-identity under hostile input.
                 futures = {
                     tid: pool.submit(
-                        jportal._analyze_thread,
+                        jportal._analyze_thread_safe,
                         tid,
                         per_thread[tid],
                         database,

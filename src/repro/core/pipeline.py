@@ -30,6 +30,7 @@ from ..jvm.model import JProgram
 from ..jvm.runtime import RunResult
 from ..pt.decoder import (
     DecodeAnomaly,
+    DegradationPolicy,
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
@@ -37,6 +38,7 @@ from ..pt.decoder import (
     TraceLoss,
 )
 from ..pt.perf import PTConfig, PTTrace, collect
+from .degradation import anomaly_breakdown
 from .interp_decoder import lift_dispatch
 from .jit_decoder import lift_span
 from .metadata import CodeDatabase, collect_metadata
@@ -45,7 +47,7 @@ from .multicore import ThreadTrace, split_by_thread
 from .nfa import Node, ProgramNFA
 from .observed import ObservedHole, ObservedStep, ObservedTrace
 from .reconstruct import MatchStats, Projector
-from .recovery import RecoveredFlow, RecoveryConfig, RecoveryEngine
+from .recovery import RecoveredFlow, RecoveryConfig, RecoveryEngine, RecoveryStats
 
 
 @dataclass
@@ -126,6 +128,11 @@ class JPortalResult:
     timings: PhaseTimings
     anomalies: int = 0
     metrics: Optional[MetricsRegistry] = None
+    #: Per-kind anomaly counts (``AnomalyKind`` values -> count) folded
+    #: from every stage's counters; empty when the run was clean.
+    anomalies_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Holes declared by the decoder's error budget (not physical loss).
+    synthetic_holes: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -150,6 +157,8 @@ class JPortal:
         context_sensitive: ``True`` (default) carries a call stack during
             projection (the PDA alternative of Section 4 "Discussions");
             ``False`` is the paper's plain NFA.
+        degradation: Policy for hostile input (resync protocol + error
+            budget); ``None`` uses the :class:`DegradationPolicy` default.
     """
 
     def __init__(
@@ -158,6 +167,7 @@ class JPortal:
         opaque_call_sites: Tuple = (),
         recovery: Optional[RecoveryConfig] = None,
         context_sensitive: bool = True,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         self.program = program
         self.icfg = ICFG(program, opaque_call_sites)
@@ -165,6 +175,9 @@ class JPortal:
         self.projector = Projector(self.nfa, context_sensitive=context_sensitive)
         self.recovery_config = recovery or RecoveryConfig()
         self.recovery_engine = RecoveryEngine(self.icfg, self.recovery_config)
+        self.degradation_policy = (
+            degradation if degradation is not None else DegradationPolicy()
+        )
 
     # ------------------------------------------------------------------- API
     def analyze_run(
@@ -201,10 +214,37 @@ class JPortal:
         per_thread = split_by_thread(trace)
         flows: Dict[int, ThreadFlow] = {}
         for tid in sorted(per_thread):
-            flows[tid] = self._analyze_thread(tid, per_thread[tid], database, metrics)
+            flows[tid] = self._analyze_thread_safe(
+                tid, per_thread[tid], database, metrics
+            )
         return self._finish(trace, database, flows, metrics, wall_started)
 
     # ------------------------------------------------------------- internals
+    def _analyze_thread_safe(
+        self,
+        tid: int,
+        thread_trace: ThreadTrace,
+        database: CodeDatabase,
+        metrics: MetricsRegistry,
+    ) -> ThreadFlow:
+        """:meth:`_analyze_thread` with the no-crash backstop: a chain
+        failure on one thread degrades to an empty flow (counted under
+        ``pipeline.thread_chain_failures``) instead of killing the whole
+        analysis.  Both the serial loop and the worker pool go through
+        this wrapper, so degraded output is identical either way.
+        """
+        try:
+            return self._analyze_thread(tid, thread_trace, database, metrics)
+        except Exception:
+            metrics.incr("pipeline.thread_chain_failures", tid=tid)
+            return ThreadFlow(
+                tid=tid,
+                observed=ObservedTrace(tid=tid),
+                segments=[],
+                flow=RecoveredFlow(entries=[], stats=RecoveryStats()),
+                projection=MatchStats(),
+            )
+
     def _analyze_thread(
         self,
         tid: int,
@@ -218,9 +258,14 @@ class JPortal:
         thread-safe), so chains for different tids can run concurrently.
         """
         with metrics.timer("decode", tid=tid):
-            decoder = PTDecoder(database, metrics=metrics, tid=tid)
+            decoder = PTDecoder(
+                database,
+                metrics=metrics,
+                tid=tid,
+                policy=self.degradation_policy,
+            )
             items = decoder.decode(thread_trace.stream)
-            observed = self._lift(tid, items, database)
+            observed = self._lift(tid, items, database, metrics)
         with metrics.timer("reconstruct", tid=tid):
             segments: List[List[Optional[Node]]] = []
             stats = MatchStats()
@@ -277,9 +322,17 @@ class JPortal:
             timings=timings,
             anomalies=total_anomalies,
             metrics=metrics,
+            anomalies_by_kind=anomaly_breakdown(metrics),
+            synthetic_holes=metrics.counter("decode.synthetic_holes"),
         )
 
-    def _lift(self, tid: int, items, database: CodeDatabase) -> ObservedTrace:
+    def _lift(
+        self,
+        tid: int,
+        items,
+        database: CodeDatabase,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> ObservedTrace:
         """Map decoded native items to the observed bytecode trace."""
         trace = ObservedTrace(tid=tid)
         out = trace.items
@@ -287,13 +340,16 @@ class JPortal:
             if isinstance(item, InterpDispatch):
                 out.append(lift_dispatch(item))
             elif isinstance(item, JitSpan):
-                out.extend(lift_span(item, database, self.program))
+                out.extend(
+                    lift_span(item, database, self.program, metrics=metrics, tid=tid)
+                )
             elif isinstance(item, TraceLoss):
                 out.append(
                     ObservedHole(
                         start_tsc=item.start_tsc,
                         end_tsc=item.end_tsc,
                         bytes_lost=item.bytes_lost,
+                        synthetic=item.synthetic,
                     )
                 )
             elif isinstance(item, InterpReturnStub):

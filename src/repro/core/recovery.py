@@ -64,6 +64,9 @@ class RecoveryConfig:
 @dataclass
 class RecoveryStats:
     holes: int = 0
+    #: Holes declared by the decoder's error budget rather than a ring
+    #: overflow; filled through the same CS/fallback machinery.
+    synthetic_holes: int = 0
     filled_from_cs: int = 0
     filled_fallback: int = 0
     unfilled: int = 0
@@ -167,9 +170,13 @@ class RecoveryEngine:
                 )
                 entries.extend(fill)
         stats.holes = len(holes)
+        stats.synthetic_holes = sum(
+            1 for hole in holes if getattr(hole, "synthetic", False)
+        )
         if metrics is not None:
             for name, value in (
                 ("recover.holes", stats.holes),
+                ("recover.synthetic_holes", stats.synthetic_holes),
                 ("recover.filled_from_cs", stats.filled_from_cs),
                 ("recover.filled_fallback", stats.filled_fallback),
                 ("recover.unfilled", stats.unfilled),

@@ -2,8 +2,10 @@
 
 from .buffer import BufferResult, RingBuffer, RingBufferConfig, interleave_with_losses
 from .decoder import (
+    AnomalyKind,
     DecodeAnomaly,
     DecodeStats,
+    DegradationPolicy,
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
@@ -11,6 +13,7 @@ from .decoder import (
     TraceLoss,
 )
 from .encoder import EncoderConfig, EncoderStats, PTEncoder, encode_core
+from .faults import FaultInjector, FaultKind, InjectedFault, STREAM_FAULT_KINDS
 from .packets import (
     AuxLossRecord,
     FUPPacket,
@@ -29,8 +32,14 @@ __all__ = [
     "RingBuffer",
     "RingBufferConfig",
     "interleave_with_losses",
+    "AnomalyKind",
     "DecodeAnomaly",
     "DecodeStats",
+    "DegradationPolicy",
+    "FaultInjector",
+    "FaultKind",
+    "InjectedFault",
+    "STREAM_FAULT_KINDS",
     "InterpDispatch",
     "InterpReturnStub",
     "JitSpan",

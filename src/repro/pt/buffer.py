@@ -107,6 +107,10 @@ class RingBuffer:
                 while packet.tsc >= next_drain:
                     fill = 0.0  # reader wakeup: the whole ring is copied out
                     dropping = False
+                    # The wakeup ends any overflow in progress: trace
+                    # collected after it lands in a fresh ring, so a loss
+                    # span never extends across a drain boundary.
+                    close_loss()
                     next_drain += period
             elif last_tsc is not None and packet.tsc > last_tsc:
                 fill = max(
@@ -147,7 +151,12 @@ def interleave_with_losses(
     loss_iter = iter(result.losses)
     next_loss = next(loss_iter, None)
     for packet in result.kept:
-        while next_loss is not None and next_loss.start_tsc <= packet.tsc:
+        # Tie ordering: a loss whose span *starts* at this packet's TSC
+        # began at-or-after the packet was kept (within one tick, kept
+        # packets precede the drops), so the packet is emitted first and
+        # the loss follows -- the decoder must not clear TNT state for a
+        # loss that actually happened after the packet.
+        while next_loss is not None and next_loss.start_tsc < packet.tsc:
             merged.append(("loss", next_loss))
             next_loss = next(loss_iter, None)
         merged.append(("packet", packet))

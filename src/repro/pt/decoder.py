@@ -13,16 +13,30 @@ compiled-code lookup), the decoder produces the native-level flow:
   one TNT bit per ``jcc``, and stops at indirect branches awaiting the
   next TIP, exactly like libipt;
 * :class:`TraceLoss` -- a buffer-overflow hole (segmentation point);
-* :class:`DecodeAnomaly` -- diagnostics (orphan TNT bits after a loss,
-  unknown IPs, desynchronised walks).
+  ``synthetic=True`` marks holes *declared by the decoder itself* when a
+  segment exceeds its :class:`DegradationPolicy` anomaly budget;
+* :class:`DecodeAnomaly` -- diagnostics, each tagged with a structured
+  :class:`AnomalyKind` reason code (orphan TNT bits after a loss, unknown
+  IPs, desynchronised walks, conditionals flushed without their bit, ...).
+
+Robustness contract: :meth:`PTDecoder.decode` never raises on a malformed
+stream.  Corruption degrades into anomalies, discarded TNT backlog, and
+(under a :class:`DegradationPolicy` budget) synthetic holes that hand the
+damaged span to the recovery engine -- mirroring how production trace
+stacks keep lifting while the input degrades.  On a desynchronisation the
+decoder *resyncs*: it scans forward to the next structurally-valid TIP
+anchor (a template, return-stub, or code-cache target) instead of
+aborting the walk, discarding TNT bits whose branch context is unknown.
 
 The code database must provide::
 
-    template_op_at(ip)        -> Op or None (which template contains ip)
-    op_is_conditional(op)     -> bool
-    is_return_stub(ip)        -> bool
-    in_code_cache(ip)         -> bool
-    native_instruction_at(ip) -> MachineInstruction or None
+    template_op_at(ip)             -> Op or None (which template holds ip)
+    op_is_conditional(op)          -> bool
+    is_return_stub(ip)             -> bool
+    in_code_cache(ip)              -> bool
+    native_instruction_at(ip, tsc) -> MachineInstruction or None
+        (tsc selects the code-cache epoch when reclaimed addresses
+        were reused; pass None for "latest")
 
 which :class:`repro.core.metadata.CodeDatabase` implements from the
 exported metadata only (never from runtime-private state).
@@ -32,7 +46,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..jvm.machine import MIKind
 from .packets import (
@@ -48,6 +63,68 @@ from .packets import (
 
 #: Safety bound on machine instructions walked without consuming a packet.
 MAX_WALK = 2_000_000
+
+
+class AnomalyKind(str, Enum):
+    """Structured reason codes for :class:`DecodeAnomaly` (and the
+    degradation layer built on top of them).
+
+    Each kind is counted per thread in the metrics registry under
+    ``decode.anomaly.<value>`` and aggregated onto
+    :attr:`repro.core.pipeline.JPortalResult.anomalies_by_kind`.
+    """
+
+    #: TNT bits arriving between a loss and the next TIP: their branches
+    #: were dropped with the loss, so the bits bind to nothing.
+    ORPHAN_TNT = "orphan_tnt"
+    #: A conditional dispatch whose TNT bit never arrived (flushed by a
+    #: TIP, FUP, loss, synthetic hole, or end of stream).
+    CONDITIONAL_WITHOUT_TNT = "conditional_without_tnt"
+    #: A suspended compiled-code walk displaced by a TIP.
+    WALK_ABANDONED = "walk_abandoned"
+    #: A compiled-code walk reached an address with no exported
+    #: instruction (stale metadata, mid-instruction target).
+    WALK_DESYNC = "walk_desync"
+    #: A walk exceeded :data:`MAX_WALK` instructions without input.
+    WALK_BUDGET = "walk_budget"
+    #: A TIP whose target maps to no template, stub, or compiled code.
+    TIP_UNMAPPED = "tip_unmapped"
+    #: A TNT packet discarded while resynchronising after a desync.
+    TNT_DISCARDED_DESYNC = "tnt_discarded_desync"
+    #: A debug-info record that no longer resolves (pre-GC export race);
+    #: recorded by the JIT-mode lifter, not the packet decoder.
+    STALE_DEBUG_INFO = "stale_debug_info"
+    #: A stream entry that is not a recognised packet or loss record.
+    MALFORMED_ITEM = "malformed_item"
+    #: An unexpected internal failure converted into degradation instead
+    #: of a raised exception (the no-crash contract's backstop).
+    DECODER_ERROR = "decoder_error"
+    #: A whole per-thread analysis chain that failed and was replaced by
+    #: an empty flow (recorded by the pipeline, not the packet decoder).
+    CHAIN_FAILURE = "chain_failure"
+    #: Catch-all for anomalies predating the taxonomy.
+    UNSPECIFIED = "unspecified"
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Error budget and resync behaviour for hostile input.
+
+    Attributes:
+        resync: On a desynchronisation (TIP into unmapped space, walk
+            reaching unknown code), scan forward to the next
+            structurally-valid TIP anchor, discarding TNT packets whose
+            branch context is unknown.  ``False`` restores the legacy
+            lenient behaviour (bits stay buffered and may misbind).
+        max_anomalies_per_segment: After this many anomalies inside one
+            hole-free segment the decoder declares a *synthetic hole*
+            (a ``TraceLoss`` with ``synthetic=True``): the damaged span
+            is handed to the recovery engine rather than trusted.
+            ``None`` disables the budget.
+    """
+
+    resync: bool = True
+    max_anomalies_per_segment: Optional[int] = 64
 
 
 @dataclass
@@ -76,11 +153,16 @@ class JitSpan:
 
 @dataclass
 class TraceLoss:
-    """A hole: data between ``start_tsc`` and ``end_tsc`` was dropped."""
+    """A hole: data between ``start_tsc`` and ``end_tsc`` was dropped.
+
+    ``synthetic=True`` marks a hole declared by the decoder's error
+    budget (no bytes were physically lost; the span was untrustworthy).
+    """
 
     start_tsc: int
     end_tsc: int
     bytes_lost: int
+    synthetic: bool = False
 
 
 @dataclass
@@ -89,6 +171,7 @@ class DecodeAnomaly:
 
     tsc: int
     reason: str
+    kind: AnomalyKind = AnomalyKind.UNSPECIFIED
 
 
 DecodedItem = object
@@ -102,6 +185,26 @@ class DecodeStats:
     losses: int = 0
     anomalies: int = 0
     walked_instructions: int = 0
+    # --- degradation accounting -----------------------------------------
+    #: Synthetic holes declared by the error budget.
+    synthetic_holes: int = 0
+    #: Walks abandoned before completion (by TIP, FUP, loss, or budget).
+    walks_abandoned: int = 0
+    #: Per-kind anomaly counts (sums to ``anomalies``).
+    by_kind: Dict[AnomalyKind, int] = field(default_factory=dict)
+    # --- TNT bit conservation (consumed+orphaned+discarded+dropped+unused
+    #     always equals tnt_bits; the reconciliation property test pins
+    #     this invariant) -------------------------------------------------
+    #: Bits bound to a conditional dispatch or a walked ``jcc``.
+    tnt_consumed: int = 0
+    #: Bits in packets rejected as post-loss orphans.
+    tnt_orphaned: int = 0
+    #: Bits in packets discarded while desynchronised (resync scan).
+    tnt_discarded: int = 0
+    #: Buffered bits cleared by a loss or synthetic hole.
+    tnt_dropped_on_loss: int = 0
+    #: Bits still buffered when the stream ended.
+    tnt_unused: int = 0
 
 
 class PTDecoder:
@@ -110,13 +213,22 @@ class PTDecoder:
     A decoder is single-use: one :meth:`decode` call per instance.  When a
     :class:`~repro.core.metrics.MetricsRegistry` is supplied, the decode
     stats are published under ``decode.*`` counters for *tid* when the
-    stream has been consumed.
+    stream has been consumed.  *policy* tunes the degradation behaviour
+    (resync + error budget); the default :class:`DegradationPolicy` is
+    used when ``None``.
     """
 
-    def __init__(self, database, metrics=None, tid: Optional[int] = None):
+    def __init__(
+        self,
+        database,
+        metrics=None,
+        tid: Optional[int] = None,
+        policy: Optional[DegradationPolicy] = None,
+    ):
         self.database = database
         self.metrics = metrics
         self.tid = tid
+        self.policy = policy if policy is not None else DegradationPolicy()
         self.stats = DecodeStats()
         self._items: List[DecodedItem] = []
         self._bits = deque()
@@ -128,27 +240,63 @@ class PTDecoder:
         # TNT bits arriving there belong to branches whose context was
         # dropped and must not bind to later conditionals.
         self._post_loss = False
+        # Resync state: set when the stream desynchronises (unmapped TIP,
+        # walk into unknown code); cleared by the next structurally-valid
+        # TIP anchor.  While set, TNT packets are discarded.
+        self._desync = False
+        # Error-budget state for the current hole-free segment.
+        self._segment_anomalies = 0
+        self._segment_anomaly_start: Optional[int] = None
 
     # -------------------------------------------------------------------- API
     def decode(
         self, stream: Sequence[Tuple[str, object]]
     ) -> List[DecodedItem]:
-        """Decode a merged ``("packet"|"loss", item)`` stream (one thread)."""
-        for tag, item in stream:
-            if tag == "loss":
-                self._on_loss(item)
-            else:
-                self._on_packet(item)
+        """Decode a merged ``("packet"|"loss", item)`` stream (one thread).
+
+        Never raises on malformed input: unrecognised or corrupt entries
+        degrade into :class:`DecodeAnomaly` items (and, under the error
+        budget, synthetic holes).
+        """
+        for entry in stream:
+            tsc = 0
+            try:
+                tag, item = entry
+                tsc = getattr(item, "tsc", None)
+                if tsc is None:
+                    tsc = getattr(item, "start_tsc", 0) or 0
+                if tag == "loss":
+                    self._on_loss(item)
+                elif tag == "packet":
+                    self._on_packet(item)
+                else:
+                    self._note(
+                        tsc,
+                        AnomalyKind.MALFORMED_ITEM,
+                        "unrecognised stream tag %r" % (tag,),
+                    )
+            except Exception as exc:  # no-crash contract: degrade instead
+                self._note(
+                    tsc,
+                    AnomalyKind.DECODER_ERROR,
+                    "decoder error: %r" % (exc,),
+                )
+            self._maybe_declare_synthetic_hole(tsc)
         self._finish_pending()
+        self.stats.tnt_unused += len(self._bits)
         self._publish_metrics()
         return self._items
 
     # --------------------------------------------------------------- handlers
     def _on_loss(self, loss: AuxLossRecord) -> None:
         self.stats.losses += 1
-        self._abandon("data loss")
+        self._abandon("data loss", loss.start_tsc)
+        self.stats.tnt_dropped_on_loss += len(self._bits)
         self._bits.clear()
         self._post_loss = True
+        self._desync = False  # the hole itself is the new segmentation point
+        self._segment_anomalies = 0
+        self._segment_anomaly_start = None
         self._items.append(
             TraceLoss(
                 start_tsc=loss.start_tsc,
@@ -163,6 +311,16 @@ class PTDecoder:
             return
         if isinstance(packet, TNTPacket):
             self.stats.tnt_bits += len(packet.bits)
+            if self._desync:
+                # Resync scan: these bits belong to branches in unknown
+                # code; buffering them would misbind later conditionals.
+                self.stats.tnt_discarded += len(packet.bits)
+                self._note(
+                    packet.tsc,
+                    AnomalyKind.TNT_DISCARDED_DESYNC,
+                    "TNT bits discarded while resynchronising",
+                )
+                return
             if (
                 self._post_loss
                 and self._pending_cond is None
@@ -170,26 +328,34 @@ class PTDecoder:
             ):
                 # Orphan bits: their branches were dropped with the loss;
                 # buffering them would misbind the next conditional.
-                self._note(packet.tsc, "orphan TNT bits after loss")
+                self.stats.tnt_orphaned += len(packet.bits)
+                self._note(
+                    packet.tsc,
+                    AnomalyKind.ORPHAN_TNT,
+                    "orphan TNT bits after loss",
+                )
                 return
             self._bits.extend(packet.bits)
             self._drain_bits(packet.tsc)
             return
         if isinstance(packet, TIPPacket):
             self.stats.tips += 1
-            self._post_loss = False
             self._on_tip(packet)
             return
         if isinstance(packet, FUPPacket):
             # Asynchronous event: the current flow is interrupted; control
             # resumes at the next TIP.
-            self._abandon("fup")
+            self._abandon("fup", packet.tsc)
             return
         if isinstance(packet, (PGEPacket, PGDPacket)):
             # Benign tracing pauses (e.g. GC) do not move control; the
             # suspended walk stays valid.
             return
-        raise TypeError("unknown packet %r" % (packet,))  # pragma: no cover
+        self._note(
+            getattr(packet, "tsc", 0) or 0,
+            AnomalyKind.MALFORMED_ITEM,
+            "unknown packet %r" % (packet,),
+        )
 
     def _on_tip(self, packet: TIPPacket) -> None:
         target = packet.target
@@ -197,22 +363,34 @@ class PTDecoder:
         # awaits TNTs, means the stream is inconsistent (post-loss).
         if self._pending_cond is not None:
             # The bit never arrived (lost): emit with unknown outcome.
-            self._note(packet.tsc, "conditional without TNT bit")
+            self._note(
+                packet.tsc,
+                AnomalyKind.CONDITIONAL_WITHOUT_TNT,
+                "conditional without TNT bit",
+            )
             self._items.append(self._pending_cond)
             self._pending_cond = None
         if self._walk is not None:
-            self._note(packet.tsc, "walk abandoned by TIP")
+            self._note(
+                packet.tsc,
+                AnomalyKind.WALK_ABANDONED,
+                "walk abandoned by TIP",
+            )
+            self.stats.walks_abandoned += 1
             self._walk = None
         database = self.database
         if database.is_return_stub(target):
+            self._anchor()
             self._items.append(InterpReturnStub(tsc=packet.tsc))
             return
         op = database.template_op_at(target)
         if op is not None:
+            self._anchor()
             dispatch = InterpDispatch(tsc=packet.tsc, op=op)
             if database.op_is_conditional(op):
                 if self._bits:
                     dispatch.taken = self._bits.popleft()
+                    self.stats.tnt_consumed += 1
                     self._items.append(dispatch)
                 else:
                     self._pending_cond = dispatch
@@ -220,11 +398,34 @@ class PTDecoder:
                 self._items.append(dispatch)
             return
         if database.in_code_cache(target):
+            self._anchor()
             span = JitSpan(tsc=packet.tsc)
             self._items.append(span)
             self._run_walk(span, target, packet.tsc)
             return
-        self._note(packet.tsc, "TIP to unknown address 0x%x" % target)
+        # Structurally invalid target: the stream is desynchronised.  Do
+        # not treat this TIP as an anchor; under the resync protocol the
+        # decoder scans forward to the next valid one.
+        self._note(
+            packet.tsc,
+            AnomalyKind.TIP_UNMAPPED,
+            "TIP to unknown address 0x%x" % target,
+        )
+        if self.policy.resync:
+            self._enter_desync()
+        else:
+            self._post_loss = False  # legacy behaviour: any TIP anchors
+
+    def _anchor(self) -> None:
+        """A structurally-valid TIP re-anchors the stream."""
+        self._post_loss = False
+        self._desync = False
+
+    def _enter_desync(self) -> None:
+        """Start the resync scan: discard context-less TNT backlog."""
+        self._desync = True
+        self.stats.tnt_discarded += len(self._bits)
+        self._bits.clear()
 
     # ------------------------------------------------------------------- walk
     def _run_walk(self, span: JitSpan, address: int, tsc: int) -> None:
@@ -233,11 +434,17 @@ class PTDecoder:
         walked = 0
         while True:
             if walked > MAX_WALK:
-                self._note(tsc, "walk budget exceeded")
+                self._note(tsc, AnomalyKind.WALK_BUDGET, "walk budget exceeded")
                 return
             mi = database.native_instruction_at(address, tsc)
             if mi is None:
-                self._note(tsc, "walk desynchronised at 0x%x" % address)
+                self._note(
+                    tsc,
+                    AnomalyKind.WALK_DESYNC,
+                    "walk desynchronised at 0x%x" % address,
+                )
+                if self.policy.resync:
+                    self._enter_desync()
                 return
             span.addresses.append(address)
             self.stats.walked_instructions += 1
@@ -256,6 +463,7 @@ class PTDecoder:
                     self._walk = (span, address)
                     return
                 taken = self._bits.popleft()
+                self.stats.tnt_consumed += 1
                 address = mi.target if taken else mi.end
             else:
                 # Indirect branch / return: the next TIP carries the target.
@@ -264,6 +472,7 @@ class PTDecoder:
     def _drain_bits(self, tsc: int) -> None:
         if self._pending_cond is not None and self._bits:
             self._pending_cond.taken = self._bits.popleft()
+            self.stats.tnt_consumed += 1
             self._items.append(self._pending_cond)
             self._pending_cond = None
         if self._walk is not None and self._bits:
@@ -272,19 +481,55 @@ class PTDecoder:
             self._run_walk(span, address, tsc)
 
     # ---------------------------------------------------------------- cleanup
-    def _abandon(self, why: str) -> None:
+    def _abandon(self, why: str, tsc: Optional[int] = None) -> None:
         if self._pending_cond is not None:
-            # Emit with unknown outcome rather than dropping the dispatch.
+            # Emit with unknown outcome rather than dropping the dispatch
+            # -- and record the anomaly, exactly like the TIP flush path,
+            # so ``decode.anomalies`` counts every unknown outcome.
+            self._note(
+                self._pending_cond.tsc if tsc is None else tsc,
+                AnomalyKind.CONDITIONAL_WITHOUT_TNT,
+                "conditional without TNT bit (%s)" % why,
+            )
             self._items.append(self._pending_cond)
             self._pending_cond = None
-        self._walk = None
+        if self._walk is not None:
+            self.stats.walks_abandoned += 1
+            self._walk = None
 
     def _finish_pending(self) -> None:
         self._abandon("end of stream")
 
-    def _note(self, tsc: int, reason: str) -> None:
+    def _note(self, tsc: int, kind: AnomalyKind, reason: str) -> None:
         self.stats.anomalies += 1
-        self._items.append(DecodeAnomaly(tsc=tsc, reason=reason))
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
+        if self._segment_anomaly_start is None:
+            self._segment_anomaly_start = tsc
+        self._segment_anomalies += 1
+        self._items.append(DecodeAnomaly(tsc=tsc, reason=reason, kind=kind))
+
+    def _maybe_declare_synthetic_hole(self, tsc: int) -> None:
+        """Error budget: too many anomalies in one segment means the span
+        cannot be trusted; declare a synthetic hole and hand it to the
+        recovery engine (which treats it like a buffer-overflow hole)."""
+        limit = self.policy.max_anomalies_per_segment
+        if limit is None or self._segment_anomalies < limit:
+            return
+        start = self._segment_anomaly_start
+        start = tsc if start is None else start
+        self._segment_anomalies = 0
+        self._segment_anomaly_start = None
+        self.stats.synthetic_holes += 1
+        self._abandon("error budget", tsc)
+        self.stats.tnt_dropped_on_loss += len(self._bits)
+        self._bits.clear()
+        self._post_loss = True
+        self._desync = False
+        self._items.append(
+            TraceLoss(
+                start_tsc=start, end_tsc=tsc, bytes_lost=0, synthetic=True
+            )
+        )
 
     # ---------------------------------------------------------------- metrics
     def _publish_metrics(self) -> None:
@@ -298,6 +543,18 @@ class PTDecoder:
             ("decode.losses", stats.losses),
             ("decode.anomalies", stats.anomalies),
             ("decode.walked_instructions", stats.walked_instructions),
+            ("decode.synthetic_holes", stats.synthetic_holes),
+            ("decode.walks_abandoned", stats.walks_abandoned),
+            ("decode.tnt_consumed", stats.tnt_consumed),
+            ("decode.tnt_orphaned", stats.tnt_orphaned),
+            ("decode.tnt_discarded", stats.tnt_discarded),
+            ("decode.tnt_dropped_on_loss", stats.tnt_dropped_on_loss),
+            ("decode.tnt_unused", stats.tnt_unused),
         ):
             if value:
                 self.metrics.incr(name, value, tid=self.tid)
+        for kind, count in stats.by_kind.items():
+            if count:
+                self.metrics.incr(
+                    "decode.anomaly.%s" % kind.value, count, tid=self.tid
+                )

@@ -1,0 +1,344 @@
+"""Seeded fault injection for packet/loss streams and code metadata.
+
+The decode pipeline's robustness contract (``PTDecoder.decode`` never
+raises; corruption degrades into anomalies and holes) is only credible if
+it is exercised against failure shapes *other* than the one our own
+:class:`~repro.pt.buffer.RingBuffer` produces.  Hardware trace encoders
+are validated the same way -- against injected error patterns -- and this
+module provides the software equivalent: a seeded :class:`FaultInjector`
+that mutates a collected trace (or a single merged packet/loss stream)
+with realistic malformations:
+
+* truncation at arbitrary packet boundaries and *inside* a TNT byte;
+* dropped, duplicated, and overlapping ``perf_record_aux`` loss records;
+* TIP targets corrupted into unmapped address space;
+* TNT packets split or merged (merging drops overflow bits -- a short
+  TNT byte holds at most six);
+* reordering within one TSC tick (losing the packet-first tie order);
+* invalidated debug-info entries, simulating the pre-GC export race
+  where compiled code is reclaimed before its metadata is flushed.
+
+Every mutation is reported as an :class:`InjectedFault`, so fuzz tests
+can assert kind coverage.  All randomness flows from the seed passed to
+:class:`FaultInjector` -- a given seed always produces the same
+corruption, which keeps fuzz failures reproducible.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from .packets import AuxLossRecord, TIPPacket, TNTPacket
+
+#: Base of an address range no component ever maps (far below the
+#: template area and the code cache); corrupted TIP targets land here.
+UNMAPPED_BASE = 0x0BAD00000000
+
+TaggedStream = List[Tuple[str, object]]
+
+
+class FaultKind(str, Enum):
+    """The malformation vocabulary (see the module docstring)."""
+
+    #: Cut the stream at a packet boundary (truncated export).
+    TRUNCATE_STREAM = "truncate_stream"
+    #: Cut *inside* a TNT packet: a bit-prefix survives, the rest is lost.
+    TRUNCATE_MID_TNT = "truncate_mid_tnt"
+    #: Split one TNT packet into two carrying the same bits.
+    SPLIT_TNT = "split_tnt"
+    #: Merge two adjacent TNT packets; bits beyond six are dropped.
+    MERGE_TNT = "merge_tnt"
+    #: Remove a loss record (the hole stays, its sideband marker is gone).
+    DROP_LOSS = "drop_loss"
+    #: Emit a loss record twice.
+    DUPLICATE_LOSS = "duplicate_loss"
+    #: Extend a loss span past packets that were actually kept.
+    OVERLAP_LOSS = "overlap_loss"
+    #: Rewrite a TIP target into unmapped address space.
+    CORRUPT_TIP = "corrupt_tip"
+    #: Shuffle a run of equal-TSC stream entries.
+    REORDER_TIE = "reorder_tie"
+    #: Invalidate debug-info entries (database-level, not stream-level).
+    STALE_DEBUG = "stale_debug"
+
+
+#: Kinds that mutate a packet/loss stream (everything except the
+#: metadata-level fault, which :meth:`FaultInjector.corrupt_database`
+#: applies to a code database instead).
+STREAM_FAULT_KINDS: Tuple[FaultKind, ...] = tuple(
+    kind for kind in FaultKind if kind is not FaultKind.STALE_DEBUG
+)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One applied mutation (``index`` is -1 for database faults)."""
+
+    kind: FaultKind
+    index: int
+    detail: str
+
+
+class FaultInjector:
+    """Deterministic, seeded mutator for traces and code databases."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    # ----------------------------------------------------------- stream level
+    def mutate_stream(
+        self,
+        stream: Sequence[Tuple[str, object]],
+        kinds: Optional[Sequence[FaultKind]] = None,
+        faults: int = 1,
+    ) -> Tuple[TaggedStream, List[InjectedFault]]:
+        """Apply *faults* mutations drawn from *kinds* to a merged
+        ``("packet"|"loss", item)`` stream; returns the mutated stream and
+        the faults actually applied (a kind whose precondition fails --
+        e.g. no TNT packet to split -- is skipped, not an error)."""
+        mutated: TaggedStream = list(stream)
+        applied: List[InjectedFault] = []
+        pool = [
+            k for k in (kinds or STREAM_FAULT_KINDS)
+            if k is not FaultKind.STALE_DEBUG
+        ]
+        for _ in range(faults):
+            if not pool or not mutated:
+                break
+            kind = self.rng.choice(pool)
+            fault = self._apply(mutated, kind)
+            if fault is not None:
+                applied.append(fault)
+        return mutated, applied
+
+    def _apply(
+        self, stream: TaggedStream, kind: FaultKind
+    ) -> Optional[InjectedFault]:
+        handler = getattr(self, "_fault_%s" % kind.value)
+        return handler(stream)
+
+    def _indices(self, stream: TaggedStream, predicate) -> List[int]:
+        return [i for i, entry in enumerate(stream) if predicate(entry)]
+
+    def _fault_truncate_stream(self, stream) -> Optional[InjectedFault]:
+        if len(stream) < 2:
+            return None
+        cut = self.rng.randrange(1, len(stream))
+        del stream[cut:]
+        return InjectedFault(
+            FaultKind.TRUNCATE_STREAM, cut, "cut at entry %d" % cut
+        )
+
+    def _fault_truncate_mid_tnt(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(
+            stream, lambda e: e[0] == "packet" and isinstance(e[1], TNTPacket)
+        )
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        packet: TNTPacket = stream[index][1]
+        if len(packet.bits) > 1:
+            keep = self.rng.randrange(1, len(packet.bits))
+            stream[index] = (
+                "packet", TNTPacket(tsc=packet.tsc, bits=packet.bits[:keep])
+            )
+            detail = "kept %d of %d bits" % (keep, len(packet.bits))
+        else:
+            # A 1-bit packet has no proper prefix: the whole byte is lost.
+            del stream[index]
+            detail = "single-bit TNT removed"
+        return InjectedFault(FaultKind.TRUNCATE_MID_TNT, index, detail)
+
+    def _fault_split_tnt(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(
+            stream,
+            lambda e: e[0] == "packet"
+            and isinstance(e[1], TNTPacket)
+            and len(e[1].bits) >= 2,
+        )
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        packet: TNTPacket = stream[index][1]
+        at = self.rng.randrange(1, len(packet.bits))
+        stream[index : index + 1] = [
+            ("packet", TNTPacket(tsc=packet.tsc, bits=packet.bits[:at])),
+            ("packet", TNTPacket(tsc=packet.tsc, bits=packet.bits[at:])),
+        ]
+        return InjectedFault(
+            FaultKind.SPLIT_TNT, index, "split %d bits at %d" % (len(packet.bits), at)
+        )
+
+    def _fault_merge_tnt(self, stream) -> Optional[InjectedFault]:
+        candidates = [
+            i
+            for i in range(len(stream) - 1)
+            if stream[i][0] == "packet"
+            and isinstance(stream[i][1], TNTPacket)
+            and stream[i + 1][0] == "packet"
+            and isinstance(stream[i + 1][1], TNTPacket)
+        ]
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        first: TNTPacket = stream[index][1]
+        second: TNTPacket = stream[index + 1][1]
+        bits = (first.bits + second.bits)[:6]  # overflow bits are LOST
+        dropped = len(first.bits) + len(second.bits) - len(bits)
+        stream[index : index + 2] = [
+            ("packet", TNTPacket(tsc=first.tsc, bits=bits))
+        ]
+        return InjectedFault(
+            FaultKind.MERGE_TNT, index, "merged; %d bits dropped" % dropped
+        )
+
+    def _fault_drop_loss(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(stream, lambda e: e[0] == "loss")
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        del stream[index]
+        return InjectedFault(FaultKind.DROP_LOSS, index, "loss record removed")
+
+    def _fault_duplicate_loss(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(stream, lambda e: e[0] == "loss")
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        stream.insert(index + 1, stream[index])
+        return InjectedFault(
+            FaultKind.DUPLICATE_LOSS, index, "loss record duplicated"
+        )
+
+    def _fault_overlap_loss(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(stream, lambda e: e[0] == "loss")
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        loss: AuxLossRecord = stream[index][1]
+        # Stretch the span past the next few kept packets.
+        horizon = loss.end_tsc
+        seen = 0
+        for tag, item in stream[index + 1 :]:
+            if tag == "packet":
+                horizon = max(horizon, item.tsc)
+                seen += 1
+                if seen >= self.rng.randrange(1, 5):
+                    break
+        stream[index] = (
+            "loss", replace(loss, end_tsc=horizon + self.rng.randrange(0, 3))
+        )
+        return InjectedFault(
+            FaultKind.OVERLAP_LOSS,
+            index,
+            "span stretched to %d" % stream[index][1].end_tsc,
+        )
+
+    def _fault_corrupt_tip(self, stream) -> Optional[InjectedFault]:
+        candidates = self._indices(
+            stream, lambda e: e[0] == "packet" and isinstance(e[1], TIPPacket)
+        )
+        if not candidates:
+            return None
+        index = self.rng.choice(candidates)
+        packet: TIPPacket = stream[index][1]
+        bogus = UNMAPPED_BASE | self.rng.getrandbits(24)
+        stream[index] = ("packet", replace(packet, target=bogus))
+        return InjectedFault(
+            FaultKind.CORRUPT_TIP, index, "target -> 0x%x" % bogus
+        )
+
+    def _fault_reorder_tie(self, stream) -> Optional[InjectedFault]:
+        def tsc_of(entry):
+            tag, item = entry
+            return item.start_tsc if tag == "loss" else item.tsc
+
+        runs = []
+        start = 0
+        for i in range(1, len(stream) + 1):
+            if i == len(stream) or tsc_of(stream[i]) != tsc_of(stream[start]):
+                if i - start >= 2:
+                    runs.append((start, i))
+                start = i
+        if not runs:
+            return None
+        lo, hi = self.rng.choice(runs)
+        run = stream[lo:hi]
+        self.rng.shuffle(run)
+        stream[lo:hi] = run
+        return InjectedFault(
+            FaultKind.REORDER_TIE, lo, "shuffled %d-entry tie run" % (hi - lo)
+        )
+
+    # ------------------------------------------------------------ trace level
+    def mutate_trace(
+        self,
+        trace,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        faults_per_core: int = 2,
+    ):
+        """Deep-copy a :class:`~repro.pt.perf.PTTrace` and corrupt each
+        core's packets/losses.  Returns ``(mutated_trace, faults)``."""
+        mutated = copy.deepcopy(trace)
+        applied: List[InjectedFault] = []
+        for core in mutated.cores:
+            stream = _merge_core(core.packets, core.losses)
+            stream, faults = self.mutate_stream(stream, kinds, faults_per_core)
+            applied.extend(faults)
+            core.packets = [item for tag, item in stream if tag == "packet"]
+            core.losses = [item for tag, item in stream if tag == "loss"]
+        return mutated, applied
+
+    # --------------------------------------------------------- metadata level
+    def corrupt_database(self, database, entries: int = 4):
+        """Deep-copy a code database and invalidate debug info in it,
+        simulating the pre-GC export race: records vanish, frames point at
+        methods that no longer resolve, bytecode indices run off the end.
+        Returns ``(corrupt_database, faults)``."""
+        mutated = copy.deepcopy(database)
+        applied: List[InjectedFault] = []
+        dumps = [d for d in mutated.code_dumps if d.debug]
+        for _ in range(entries):
+            if not dumps:
+                break
+            dump = self.rng.choice(dumps)
+            addresses = sorted(dump.debug)
+            if not addresses:
+                continue
+            address = self.rng.choice(addresses)
+            mode = self.rng.randrange(4)
+            if mode == 0:
+                del dump.debug[address]
+                detail = "debug entry at 0x%x deleted" % address
+            elif mode == 1:
+                dump.debug[address] = (("lost", -1),)  # qname without a dot
+                detail = "debug entry at 0x%x mangled (bogus qname)" % address
+            elif mode == 2:
+                dump.debug[address] = (("no.such.Klass.method", 0),)
+                detail = "debug entry at 0x%x points at unknown method" % address
+            else:
+                frames = dump.debug[address]
+                qname, _bci = frames[-1]
+                dump.debug[address] = frames[:-1] + ((qname, 10_000_000),)
+                detail = "debug entry at 0x%x bci out of range" % address
+            applied.append(InjectedFault(FaultKind.STALE_DEBUG, -1, detail))
+        return mutated, applied
+
+
+def _merge_core(packets, losses) -> TaggedStream:
+    """Merge one core's packets and losses into a tagged stream with the
+    canonical tie order (packets first within a TSC tick)."""
+    merged: TaggedStream = [("packet", p) for p in packets]
+    merged.extend(("loss", l) for l in losses)
+    merged.sort(
+        key=lambda entry: (
+            entry[1].start_tsc if entry[0] == "loss" else entry[1].tsc,
+            entry[0] == "loss",
+        )
+    )
+    return merged

@@ -105,9 +105,18 @@ class _MethodGenerator:
         join = self._label("sjoin")
         asm.load(0).const(arms + 1).irem()
         asm.tableswitch({key: labels[key] for key in range(arms)}, default)
-        for label in labels:
+        for key, label in enumerate(labels):
             asm.label(label)
             self._straight()
+            # Interpreted tableswitch produces no TNT bit, and template
+            # dispatch reveals only opcodes -- two arms whose random
+            # bodies happen to coincide would be indistinguishable in a
+            # lossless trace, breaking the generator's exact-
+            # reconstruction guarantee.  A per-arm run of NOPs (an opcode
+            # _straight never emits) keeps every arm's opcode sequence
+            # unique.
+            for _ in range(key + 1):
+                asm.nop()
             asm.goto(join)
         asm.label(default)
         self._straight()

@@ -186,3 +186,28 @@ class TestCallbackFallback:
         projection = projector.project(_steps(sequence))
         assert projection.stats.callback_fallbacks == 1
         assert projection.path[2] == ("Test.fun", 0)
+
+
+class TestUnknownOutcome:
+    """``taken=None`` (a conditional whose TNT bit was lost) must stay
+    nondeterministic -- both arms explored -- never collapse to one arm."""
+
+    def test_nfa_step_with_none_keeps_both_arms(self):
+        program = build_figure2_program()
+        nfa = ProgramNFA(ICFG(program))
+        ifeq_state = nfa.state_of[("Test.fun", 1)]  # the IFEQ at bci 1
+        both = set(nfa.step(ifeq_state, None))
+        taken_only = set(nfa.step(ifeq_state, True))
+        not_taken_only = set(nfa.step(ifeq_state, False))
+        assert taken_only | not_taken_only == both
+        assert taken_only != both and not_taken_only != both
+
+    def test_projection_recovers_despite_unknown_bit(self):
+        # The same observed sequence as FUN_FALSE_ARM but with the IFEQ
+        # outcome unknown: the remaining opcodes disambiguate the path,
+        # so projection still finds the unique concrete route.
+        blurred = [(op, None) for op, _taken in FUN_FALSE_ARM]
+        program = build_figure2_program()
+        projector = Projector(ProgramNFA(ICFG(program)))
+        projection = projector.project(_steps(blurred))
+        assert projection.path == FUN_FALSE_ARM_NODES

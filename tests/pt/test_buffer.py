@@ -6,7 +6,7 @@ from repro.pt.buffer import (
     RingBufferConfig,
     interleave_with_losses,
 )
-from repro.pt.packets import TIPPacket
+from repro.pt.packets import AuxLossRecord, TIPPacket
 
 
 def _burst(count, tsc_step=1, size=9, start_tsc=0):
@@ -155,3 +155,75 @@ class TestPeriodicDrain:
         result = buffer.apply(first + second)
         kept_late = [p for p in result.kept if p.tsc >= 150]
         assert len(kept_late) == 4
+
+    def test_loss_span_closes_at_drain_wakeup(self):
+        """A loss straddling a wakeup must be two records, not one merged
+        span: the ring is empty after the wakeup, so the overflow there is
+        a distinct event."""
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=5, drain_period=100))
+        # 9-byte packets never fit a 5-byte ring: every packet drops, in
+        # both the first period (t<100) and the second (t>=100).
+        packets = _burst(10, tsc_step=20)  # t = 0..180, wakeup at t=100
+        result = buffer.apply(packets)
+        assert len(result.losses) == 2
+        first, second = result.losses
+        assert first.end_tsc < 100 <= second.start_tsc
+
+    def test_one_loss_record_per_straddled_period(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=5, drain_period=50))
+        result = buffer.apply(_burst(20, tsc_step=10))  # t = 0..190, 4 periods
+        assert len(result.losses) == 4
+        assert sum(r.bytes_lost for r in result.losses) == result.bytes_lost
+        assert sum(r.packets_lost for r in result.losses) == 20
+
+
+class TestDegenerateConfigs:
+    def test_oversized_packet_does_not_wedge_dropping(self):
+        """A packet bigger than the whole ring is dropped, but the buffer
+        must recover: fill never grew, so hysteresis releases immediately
+        and subsequent fitting packets are kept."""
+        buffer = RingBuffer(
+            RingBufferConfig(capacity_bytes=45, drain_bandwidth=1.0)
+        )
+        giant = TIPPacket(tsc=0, target=0x1000, compressed_size=100)
+        tail = _burst(4, tsc_step=10, start_tsc=10)
+        result = buffer.apply([giant] + tail)
+        assert result.bytes_lost == 100
+        assert result.kept == tail
+
+    def test_oversized_packet_periodic_mode(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=45, drain_period=100))
+        giant = TIPPacket(tsc=0, target=0x1000, compressed_size=100)
+        tail = _burst(4, tsc_step=1, start_tsc=1)
+        result = buffer.apply([giant] + tail)
+        assert result.kept == tail
+
+    def test_zero_capacity_drops_everything(self):
+        buffer = RingBuffer(RingBufferConfig(capacity_bytes=0, drain_bandwidth=1.0))
+        packets = _burst(10)
+        result = buffer.apply(packets)
+        assert result.kept == []
+        assert result.bytes_lost == result.bytes_in == 90
+        assert len(result.losses) == 1
+        assert result.losses[0].packets_lost == 10
+        assert result.loss_fraction == 1.0
+
+
+class TestInterleaveTieOrdering:
+    def test_packet_precedes_loss_at_equal_tsc(self):
+        """Within one TSC tick kept packets precede the drops, so a loss
+        starting at a kept packet's TSC is emitted after that packet."""
+        packet = TIPPacket(tsc=5, target=0x1000, compressed_size=9)
+        loss = AuxLossRecord(start_tsc=5, end_tsc=7, bytes_lost=18, packets_lost=2)
+        merged = interleave_with_losses(
+            BufferResult(kept=[packet], losses=[loss], bytes_in=27, bytes_lost=18)
+        )
+        assert merged == [("packet", packet), ("loss", loss)]
+
+    def test_loss_strictly_before_packet_still_precedes(self):
+        packet = TIPPacket(tsc=6, target=0x1000, compressed_size=9)
+        loss = AuxLossRecord(start_tsc=5, end_tsc=5, bytes_lost=9, packets_lost=1)
+        merged = interleave_with_losses(
+            BufferResult(kept=[packet], losses=[loss], bytes_in=18, bytes_lost=9)
+        )
+        assert merged == [("loss", loss), ("packet", packet)]

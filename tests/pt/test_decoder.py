@@ -8,7 +8,9 @@ from repro.jvm.machine import MIKind, MachineInstruction
 from repro.jvm.opcodes import Kind, Op, info
 from repro.jvm.templates import TemplateTable
 from repro.pt.decoder import (
+    AnomalyKind,
     DecodeAnomaly,
+    DegradationPolicy,
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
@@ -357,8 +359,162 @@ class TestAsyncAndPauses:
         assert [a - CODE_BASE for a in span.addresses] == [0, 3, 20]
 
     def test_end_of_stream_flushes_pending(self):
+        # A conditional whose bit never arrives is emitted with unknown
+        # outcome AND recorded as an anomaly (same as the TIP flush path).
         db = FakeDatabase()
         stream = [_tip(db, db.templates.entry(Op.IFLT))]
-        _dec, items = _decode(stream)
-        assert len(items) == 1
-        assert items[0].taken is None
+        dec, items = _decode(stream)
+        anomalies = [i for i in items if isinstance(i, DecodeAnomaly)]
+        dispatches = [i for i in items if isinstance(i, InterpDispatch)]
+        assert len(dispatches) == 1
+        assert dispatches[0].taken is None
+        assert len(anomalies) == 1
+        assert anomalies[0].kind is AnomalyKind.CONDITIONAL_WITHOUT_TNT
+        assert "end of stream" in anomalies[0].reason
+        assert dec.stats.anomalies == 1
+
+
+class TestDegradation:
+    """Resync protocol, error budget, and the no-crash contract."""
+
+    def _decode_with(self, stream, policy=None):
+        decoder = PTDecoder(FakeDatabase(), policy=policy)
+        return decoder, decoder.decode(stream)
+
+    def test_resync_discards_tnt_until_valid_anchor(self):
+        db = FakeDatabase()
+        stream = [
+            ("packet", TIPPacket(tsc=0, target=0x1234)),  # unmapped: desync
+            ("packet", TNTPacket(tsc=1, bits=(True, False))),
+            ("packet", TNTPacket(tsc=2, bits=(True,))),
+            _tip(db, db.templates.entry(Op.NOP), tsc=3),  # valid anchor
+        ]
+        decoder, items = self._decode_with(stream)
+        kinds = [i.kind for i in items if isinstance(i, DecodeAnomaly)]
+        assert kinds == [
+            AnomalyKind.TIP_UNMAPPED,
+            AnomalyKind.TNT_DISCARDED_DESYNC,
+            AnomalyKind.TNT_DISCARDED_DESYNC,
+        ]
+        assert decoder.stats.tnt_discarded == 3
+        dispatches = [i for i in items if isinstance(i, InterpDispatch)]
+        assert len(dispatches) == 1 and dispatches[0].op is Op.NOP
+
+    def test_resync_rejects_second_invalid_tip(self):
+        db = FakeDatabase()
+        stream = [
+            ("packet", TIPPacket(tsc=0, target=0x1234)),
+            ("packet", TIPPacket(tsc=1, target=0x5678)),  # still invalid
+            _tip(db, db.templates.entry(Op.NOP), tsc=2),
+        ]
+        decoder, items = self._decode_with(stream)
+        unmapped = [
+            i for i in items
+            if isinstance(i, DecodeAnomaly) and i.kind is AnomalyKind.TIP_UNMAPPED
+        ]
+        assert len(unmapped) == 2
+        assert any(isinstance(i, InterpDispatch) for i in items)
+
+    def test_legacy_mode_buffers_tnt_across_bad_tip(self):
+        # resync=False preserves the lenient pre-policy behaviour: bits
+        # arriving after an unmapped TIP stay buffered and bind the next
+        # conditional.
+        db = FakeDatabase()
+        stream = [
+            ("packet", TIPPacket(tsc=0, target=0x1234)),
+            ("packet", TNTPacket(tsc=1, bits=(True,))),
+            _tip(db, db.templates.entry(Op.IFEQ), tsc=2),
+        ]
+        decoder, items = self._decode_with(
+            stream, policy=DegradationPolicy(resync=False)
+        )
+        dispatch = next(i for i in items if isinstance(i, InterpDispatch))
+        assert dispatch.taken is True
+        assert decoder.stats.tnt_discarded == 0
+
+    def test_walk_desync_enters_resync(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE + 1),  # mid-instruction: walk desyncs
+            ("packet", TNTPacket(tsc=1, bits=(False,))),
+            _tip(db, db.templates.entry(Op.NOP), tsc=2),
+        ]
+        decoder, items = self._decode_with(stream)
+        kinds = [i.kind for i in items if isinstance(i, DecodeAnomaly)]
+        assert AnomalyKind.WALK_DESYNC in kinds
+        assert AnomalyKind.TNT_DISCARDED_DESYNC in kinds
+        assert any(isinstance(i, InterpDispatch) for i in items)
+
+    def test_error_budget_declares_synthetic_hole(self):
+        policy = DegradationPolicy(max_anomalies_per_segment=3)
+        stream = [
+            ("packet", TIPPacket(tsc=t, target=0x1000 + t)) for t in range(3)
+        ]
+        decoder, items = self._decode_with(stream, policy=policy)
+        holes = [i for i in items if isinstance(i, TraceLoss)]
+        assert len(holes) == 1
+        assert holes[0].synthetic is True
+        assert holes[0].start_tsc == 0 and holes[0].end_tsc == 2
+        assert holes[0].bytes_lost == 0
+        assert decoder.stats.synthetic_holes == 1
+        # A synthetic hole is not a (physical) loss.
+        assert decoder.stats.losses == 0
+
+    def test_budget_resets_each_segment(self):
+        policy = DegradationPolicy(max_anomalies_per_segment=2)
+        stream = [
+            ("packet", TIPPacket(tsc=0, target=0x1000)),
+            ("loss", AuxLossRecord(start_tsc=1, end_tsc=2, bytes_lost=9, packets_lost=1)),
+            ("packet", TIPPacket(tsc=3, target=0x1000)),
+        ]
+        decoder, items = self._decode_with(stream, policy=policy)
+        # One anomaly per segment: the budget of 2 is never reached.
+        assert decoder.stats.synthetic_holes == 0
+
+    def test_budget_disabled_with_none(self):
+        policy = DegradationPolicy(max_anomalies_per_segment=None)
+        stream = [
+            ("packet", TIPPacket(tsc=t, target=0x1000 + t)) for t in range(200)
+        ]
+        decoder, _items = self._decode_with(stream, policy=policy)
+        assert decoder.stats.synthetic_holes == 0
+
+    def test_garbage_stream_never_raises(self):
+        stream = [
+            ("packet", "not a packet"),
+            ("loss", None),
+            ("wat", TSCPacket(tsc=0)),
+            ("packet", 17),
+        ]
+        decoder, items = self._decode_with(stream)
+        kinds = {i.kind for i in items if isinstance(i, DecodeAnomaly)}
+        assert AnomalyKind.DECODER_ERROR in kinds or AnomalyKind.MALFORMED_ITEM in kinds
+        assert decoder.stats.anomalies == len(items)
+
+    def test_by_kind_sums_to_anomalies(self):
+        db = FakeDatabase()
+        stream = [
+            ("packet", TIPPacket(tsc=0, target=0x1234)),
+            ("packet", TNTPacket(tsc=1, bits=(True,))),
+            _tip(db, db.templates.entry(Op.IFLT), tsc=2),
+        ]
+        decoder, _items = self._decode_with(stream)
+        assert sum(decoder.stats.by_kind.values()) == decoder.stats.anomalies
+
+    def test_per_kind_metrics_published(self):
+        from repro.core.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        decoder = PTDecoder(FakeDatabase(), metrics=metrics, tid=7)
+        decoder.decode([("packet", TIPPacket(tsc=0, target=0x1234))])
+        assert metrics.counter("decode.anomaly.tip_unmapped", tid=7) == 1
+        assert metrics.counter("decode.anomalies", tid=7) == 1
+
+    def test_fup_abandon_counts_walk_not_anomaly_item(self):
+        db = FakeDatabase()
+        stream = [
+            _tip(db, CODE_BASE),  # suspends at the branch awaiting a bit
+            ("packet", FUPPacket(tsc=1, ip=CODE_BASE + 3)),
+        ]
+        decoder, items = self._decode_with(stream)
+        assert decoder.stats.walks_abandoned == 1
