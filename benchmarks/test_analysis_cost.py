@@ -1,0 +1,93 @@
+"""Static analysis cost: the decodability checks stay off the decode path.
+
+The paper's offline phases (Table 5) are decode + reconstruction +
+recovery; our static decodability analysis (observability, ambiguity,
+metadata lint -- see DESIGN.md §3d) runs once per program *before* any
+trace is read, so its cost must be (a) reported separately from the
+decode-side timings and (b) amortised: repeated runs against the same
+``JPortal`` reuse the report instead of re-analysing.
+
+Shape claims:
+  * every subject's static analysis completes and is fully decodable;
+  * ``analysis_seconds`` is surfaced per run but excluded from
+    ``total_seconds`` (the Table 5 columns stay pure);
+  * the per-run analysis cost after the first run is only the database
+    lint (small), not the full static pass.
+"""
+
+from conftest import print_table, subject_run
+
+from repro.workloads import SUBJECT_NAMES
+
+
+def test_analysis_cost_breakdown(benchmark):
+    def evaluate():
+        rows = []
+        for name in SUBJECT_NAMES:
+            sr = subject_run(name)
+            jportal = sr.jportal()
+            report = jportal.analysis_report
+
+            first = jportal.analyze_run(sr.run, sr.pt_config())
+            second = jportal.analyze_run(sr.run, sr.pt_config())
+
+            # Per-run analysis time = static pass (amortised, constant)
+            # + database lint (the only per-run component).
+            lint_first = first.metrics.timings_by_prefix("analysis")
+            assert lint_first, "analysis timer missing for %s" % name
+            per_run_lint = sum(lint_first.values())
+
+            rows.append(
+                (
+                    name,
+                    len(report.checks),
+                    report.decodable(),
+                    report.summary()["edges_silent"],
+                    report.static_seconds,
+                    per_run_lint,
+                    first.timings.analysis_seconds,
+                    second.timings.analysis_seconds,
+                    first.timings.total_seconds,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    print_table(
+        "Static decodability analysis cost (off the decode path)",
+        (
+            "Subject", "methods", "decodable", "silent",
+            "static(s)", "lint(s)", "run1(s)", "run2(s)", "decode total(s)",
+        ),
+        [
+            (
+                name,
+                methods,
+                decodable,
+                silent,
+                "%.4f" % static_seconds,
+                "%.4f" % lint_seconds,
+                "%.4f" % first_seconds,
+                "%.4f" % second_seconds,
+                "%.4f" % total_seconds,
+            )
+            for name, methods, decodable, silent, static_seconds,
+                lint_seconds, first_seconds, second_seconds, total_seconds
+                in rows
+        ],
+    )
+
+    for (
+        name, methods, decodable, _silent, static_seconds,
+        lint_seconds, first_seconds, second_seconds, _total,
+    ) in rows:
+        assert methods > 0 and decodable, name
+        assert static_seconds > 0.0, name
+        # Each run reports the (shared) static cost plus its own lint.
+        assert first_seconds >= static_seconds, name
+        assert second_seconds >= static_seconds, name
+        # The per-run component is just the database lint, so run 2 does
+        # not pay the static pass again: both runs report the same
+        # amortised static share.
+        assert lint_seconds >= 0.0, name
+        assert abs(first_seconds - second_seconds) < static_seconds + 0.5, name

@@ -1,0 +1,75 @@
+"""Static decodability analysis: what can a PT trace tell us, statically?
+
+The decoder pipeline (``repro.core``) answers "what did this trace
+mean".  This package answers, *before any trace exists*, three prior
+questions:
+
+* **observability** -- which ICFG edges the hardware reports at all
+  (TNT bit, TIP payload) and which are silent;
+* **ambiguity** -- whether distinct paths through a method project to
+  identical packet sequences (definite ambiguity with concrete witness
+  paths, plus the transient subset-construction measure);
+* **well-formedness** -- whether the exported metadata (template ranges,
+  JIT code dumps, debug images) is internally consistent and resolvable
+  against the program.
+
+Run it from the command line over the bundled subjects::
+
+    PYTHONPATH=src python -m repro.analysis avrora
+    PYTHONPATH=src python -m repro.analysis --all --fail-on-error
+"""
+
+from .ambiguity import (
+    AmbiguityWitness,
+    MethodCheck,
+    check,
+    check_program,
+    dispatch_collisions,
+    program_resolver,
+    projection_nfa,
+)
+from .dominators import (
+    VIRTUAL_EXIT,
+    DominatorTree,
+    PostDominatorTree,
+    infer_node_coverage,
+)
+from .lint import (
+    LintFinding,
+    LintReport,
+    Severity,
+    lint_database,
+    lint_program,
+    lint_templates,
+    unreachable_blocks,
+    unreachable_nodes,
+)
+from .observability import EdgeObservability, ObservabilityMap
+from .report import AnalysisReport, MethodVerdict, analyze_program
+
+__all__ = [
+    "AmbiguityWitness",
+    "AnalysisReport",
+    "DominatorTree",
+    "EdgeObservability",
+    "LintFinding",
+    "LintReport",
+    "MethodCheck",
+    "MethodVerdict",
+    "ObservabilityMap",
+    "PostDominatorTree",
+    "Severity",
+    "VIRTUAL_EXIT",
+    "analyze_program",
+    "check",
+    "check_program",
+    "dispatch_collisions",
+    "infer_node_coverage",
+    "lint_database",
+    "lint_program",
+    "lint_templates",
+    "program_resolver",
+    "projection_nfa",
+    "unreachable_blocks",
+    "unreachable_nodes",
+]

@@ -1,0 +1,107 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.analysis avrora
+    PYTHONPATH=src python -m repro.analysis --all --fail-on-error
+    PYTHONPATH=src python -m repro.analysis --generated 2416
+    PYTHONPATH=src python -m repro.analysis pmd --static-only
+
+Without ``--static-only`` each subject is also *run* once so the
+exported code database (JIT dumps, debug images) goes through the
+metadata lints; with it, only the program-level analysis runs.
+``--fail-on-error`` exits non-zero when any subject has an ERROR lint
+finding or a definitely-ambiguous method -- that is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..jvm.templates import TemplateTable
+from .report import AnalysisReport, analyze_program
+
+
+def _analyze_subject(name: str, static_only: bool) -> AnalysisReport:
+    from ..core.metadata import collect_metadata
+    from ..workloads import build_subject, default_config
+
+    subject = build_subject(name)
+    database = None
+    template_table = TemplateTable()
+    if not static_only:
+        run = subject.run(default_config())
+        database = collect_metadata(run)
+        template_table = run.template_table
+    return analyze_program(
+        subject.program,
+        opaque_call_sites=subject.opaque_call_sites,
+        template_table=template_table,
+        database=database,
+    )
+
+
+def _analyze_generated(seed: int) -> AnalysisReport:
+    from ..workloads.generator import generate_program
+
+    program = generate_program(seed)
+    return analyze_program(program, template_table=TemplateTable())
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static decodability analysis over a subject program.",
+    )
+    parser.add_argument("subject", nargs="*", help="subject name(s), e.g. avrora")
+    parser.add_argument(
+        "--all", action="store_true", help="analyse all bundled subjects"
+    )
+    parser.add_argument(
+        "--generated",
+        type=int,
+        metavar="SEED",
+        help="analyse a generated workload with this seed instead",
+    )
+    parser.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip running the subject (no database/metadata lint)",
+    )
+    parser.add_argument(
+        "--fail-on-error",
+        action="store_true",
+        help="exit 1 on any ERROR finding or ambiguous method",
+    )
+    args = parser.parse_args(argv)
+
+    targets: List[str] = list(args.subject)
+    if args.all:
+        from ..workloads import SUBJECT_NAMES
+
+        targets = list(SUBJECT_NAMES)
+    if not targets and args.generated is None:
+        parser.error("give a subject name, --all, or --generated SEED")
+
+    failed = False
+    if args.generated is not None:
+        report = _analyze_generated(args.generated)
+        print("=== generated seed %d ===" % args.generated)
+        print(report.render())
+        failed = failed or report.has_errors
+    for name in targets:
+        report = _analyze_subject(name, args.static_only)
+        print("=== %s ===" % name)
+        print(report.render())
+        print()
+        failed = failed or report.has_errors
+    if args.fail_on_error and failed:
+        print("FAIL: errors or ambiguous methods found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

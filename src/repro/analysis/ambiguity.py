@@ -1,0 +1,358 @@
+"""Static decodability analysis: can a lossless trace name the path?
+
+The paper's precision results (Theorem 4.4, Lemma 5.4) presuppose that
+the PT-visible *projection* of a method distinguishes its paths: each
+executed instruction contributes its template-dispatch TIP (the opcode,
+not the bci) and each conditional contributes a TNT bit.  That projection
+is not always injective.  Generator seed 2416 found the counterexample
+empirically in PR 3: two ``tableswitch`` arms with identical opcode
+sequences rejoining at the same join block -- the interpreted switch
+emits no TNT, so the two paths produce byte-identical traces and no
+decoder, however clever, can tell them apart.
+
+This module detects that class *statically*.  Per method it builds the
+**packet-projection NFA** (states = bcis plus an exit sink; an edge
+consumes its source instruction's observable label) and decides:
+
+* **definite ambiguity** -- two distinct paths with identical label
+  sequences that diverge and later *rejoin* (the same state, hence the
+  same continuation forever after).  Detected on the self-product
+  automaton: a pair ``(p, q)`` with ``p != q`` reachable from a diagonal
+  seed by label-matched steps, stepping back onto the diagonal.  The
+  parent chain yields a concrete two-path witness.  This is the
+  information-theoretically unrecoverable class; a method containing one
+  is *not decodable*.
+* **transient ambiguity** -- states where the subset construction
+  (:func:`repro.core.nfa.determinize`, the Figure 5 pipeline) holds more
+  than one NFA state: the trace is momentarily ambiguous but later
+  symbols disambiguate.  Reported as a count, not a failure.
+
+Call instructions need care: within one method a call "falls through",
+but the trace observes the callee's template TIPs in between, so a call
+edge's label embeds the callee's *observable prefix* (bounded recursive
+expansion; virtual sites contribute one labelled edge per possible
+callee).  Two switch arms calling different callees are therefore
+distinguishable exactly when the callees' opening opcode sequences
+differ -- which is what the trace can actually see.  Truncating the
+prefix at the bound only ever *merges* labels, so the analysis errs
+toward reporting ambiguity, never toward certifying a genuinely
+ambiguous method as decodable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..jvm.instructions import MethodRef
+from ..jvm.model import JMethod, JProgram, ProgramError
+from ..jvm.opcodes import Kind, Op
+from ..core.nfa import NFA, determinize
+
+#: Maximum observable symbols embedded in one call-edge label.
+MAX_CALL_PREFIX = 12
+#: Maximum nested-call expansion depth while computing a prefix.
+MAX_CALL_DEPTH = 3
+
+#: ``resolver(methodref, virtual) -> [JMethod, ...]`` -- the possible
+#: callees of a call instruction; an empty list means "unknown".
+Resolver = Callable[[MethodRef, bool], List[JMethod]]
+
+
+def program_resolver(program: JProgram) -> Resolver:
+    """A :data:`Resolver` over a whole program's static dispatch."""
+
+    def resolve(ref: MethodRef, virtual: bool) -> List[JMethod]:
+        try:
+            return program.possible_targets(ref, virtual)
+        except ProgramError:
+            return []
+
+    return resolve
+
+
+@dataclass(frozen=True)
+class AmbiguityWitness:
+    """Two distinct same-projection paths through one method.
+
+    ``path_a`` and ``path_b`` are bci sequences of equal length; both
+    start at ``path_a[0] == path_b[0]`` (the divergence state), end at
+    the common rejoin state, and consume the same ``labels`` -- so a
+    trace of either is byte-identical to a trace of the other.  A bci
+    equal to the method's code length denotes the exit sink.
+    """
+
+    qname: str
+    path_a: Tuple[int, ...]
+    path_b: Tuple[int, ...]
+    labels: Tuple[object, ...]
+
+    def __str__(self):
+        return "%s: %s vs %s under %d identical labels" % (
+            self.qname,
+            list(self.path_a),
+            list(self.path_b),
+            len(self.labels),
+        )
+
+
+@dataclass(frozen=True)
+class MethodCheck:
+    """Decodability verdict for one method."""
+
+    qname: str
+    decodable: bool
+    witness: Optional[AmbiguityWitness]
+    nfa_states: int
+    dfa_states: int
+    #: DFA states holding >1 NFA state: transient (recoverable) ambiguity.
+    ambiguous_dfa_states: int
+
+
+# ------------------------------------------------------- projection NFA
+def _observable_prefix(
+    method: JMethod,
+    resolver: Optional[Resolver],
+    length: int = MAX_CALL_PREFIX,
+    depth: int = MAX_CALL_DEPTH,
+) -> Tuple[object, ...]:
+    """The opcode sequence a trace is guaranteed to open with in *method*.
+
+    Straight-line walk from bci 0; stops at the first branching point
+    (conditional, switch, return, throw -- included, then cut) and at
+    calls it cannot expand (unknown or non-unique callee).  Truncation is
+    conservative: shorter prefixes merge more labels.
+    """
+    symbols: List[object] = []
+    bci = 0
+    count = len(method.code)
+    while bci < count and len(symbols) < length:
+        inst = method.code[bci]
+        symbols.append(inst.symbol())
+        kind = inst.kind
+        if kind in (Kind.COND, Kind.SWITCH, Kind.RETURN, Kind.THROW):
+            break
+        if kind is Kind.CALL:
+            targets = resolver(inst.methodref, inst.op is Op.INVOKEVIRTUAL) if resolver else []
+            if depth <= 0 or len(targets) != 1:
+                break
+            nested = _observable_prefix(
+                targets[0], resolver, length - len(symbols), depth - 1
+            )
+            symbols.extend(nested)
+            break  # what follows the nested return is not modelled
+        if kind is Kind.GOTO:
+            bci = inst.target
+            continue
+        bci += 1
+    return tuple(symbols)
+
+
+def _call_labels(
+    inst, method: JMethod, resolver: Optional[Resolver]
+) -> List[object]:
+    """One label per possible callee of a call instruction.
+
+    Each label embeds the callee's observable prefix; an unresolvable
+    call gets the single marker label ``(op, None)`` so *all* unknown
+    callees collide (conservative).
+    """
+    targets = resolver(inst.methodref, inst.op is Op.INVOKEVIRTUAL) if resolver else []
+    if not targets:
+        return [(inst.symbol(), None)]
+    labels = []
+    for callee in targets:
+        labels.append((inst.symbol(), _observable_prefix(callee, resolver)))
+    return labels
+
+
+def projection_nfa(
+    method: JMethod, resolver: Optional[Resolver] = None
+) -> NFA:
+    """The packet-projection NFA of one method (states = bcis + sink).
+
+    An edge consumes the *source* instruction's observable label:
+    ``(symbol, taken)`` for conditionals (the TNT bit is observed),
+    ``(symbol, callee_prefix)`` for calls (the callee's template TIPs are
+    observed before control falls through), ``(symbol, None)`` otherwise
+    -- notably for switches, whose interpreted dispatch emits no TNT, so
+    every arm shares one label.  ``athrow`` transfers to its innermost
+    covering handler when one exists, else to the sink.
+    """
+    count = len(method.code)
+    nfa = NFA(state_count=count + 1)
+    sink = count
+    nfa.starts = frozenset({0})
+    nfa.accepts = frozenset(range(count + 1))
+    for inst in method.code:
+        kind = inst.kind
+        if kind is Kind.COND:
+            if inst.bci + 1 < count:
+                nfa.add(inst.bci, (inst.symbol(), False), inst.bci + 1)
+            nfa.add(inst.bci, (inst.symbol(), True), inst.target)
+        elif kind is Kind.RETURN:
+            nfa.add(inst.bci, (inst.symbol(), None), sink)
+        elif kind is Kind.THROW:
+            handler = method.handler_for(inst.bci)
+            target = handler.handler if handler is not None else sink
+            nfa.add(inst.bci, (inst.symbol(), None), target)
+        elif kind is Kind.CALL:
+            target = inst.bci + 1 if inst.bci + 1 < count else sink
+            for label in _call_labels(inst, method, resolver):
+                nfa.add(inst.bci, label, target)
+        else:
+            for target in inst.successors_within(count):
+                nfa.add(inst.bci, (inst.symbol(), None), target)
+    return nfa
+
+
+# ------------------------------------------------------- product search
+def _find_diamond(
+    nfa: NFA, qname: str
+) -> Optional[AmbiguityWitness]:
+    """Search the self-product automaton for a diverge/rejoin witness.
+
+    BFS over ordered pairs ``(p, q)``, ``p != q``, seeded by states with
+    two same-label out-edges to distinct targets; a label-matched step
+    from a pair onto a single common target closes the diamond.  Parent
+    pointers reconstruct the two concrete paths.
+    """
+    transitions = nfa.transitions
+    # pair -> (parent_pair | None, seed_state | None, label)
+    parent: Dict[Tuple[int, int], Tuple[Optional[Tuple[int, int]], Optional[int], object]] = {}
+    queue: deque = deque()
+    for state in sorted(transitions):
+        by_label: Dict[object, List[int]] = {}
+        for label, dst in transitions[state]:
+            targets = by_label.setdefault(label, [])
+            if dst not in targets:
+                targets.append(dst)
+        for label in sorted(by_label, key=repr):
+            targets = by_label[label]
+            for left in targets:
+                for right in targets:
+                    if left == right:
+                        continue
+                    pair = (left, right)
+                    if pair not in parent:
+                        parent[pair] = (None, state, label)
+                        queue.append(pair)
+    while queue:
+        pair = queue.popleft()
+        p, q = pair
+        q_moves: Dict[object, List[int]] = {}
+        for label, dst in transitions.get(q, ()):
+            targets = q_moves.setdefault(label, [])
+            if dst not in targets:
+                targets.append(dst)
+        for label, p_dst in transitions.get(p, ()):
+            for q_dst in q_moves.get(label, ()):
+                if p_dst == q_dst:
+                    return _witness(parent, pair, label, p_dst, qname)
+                nxt = (p_dst, q_dst)
+                if nxt not in parent:
+                    parent[nxt] = (pair, None, label)
+                    queue.append(nxt)
+    return None
+
+
+def _witness(
+    parent: Dict,
+    pair: Tuple[int, int],
+    join_label: object,
+    join_state: int,
+    qname: str,
+) -> AmbiguityWitness:
+    a_rev = [join_state, pair[0]]
+    b_rev = [join_state, pair[1]]
+    labels_rev = [join_label]
+    current = pair
+    while True:
+        prev, seed_state, label = parent[current]
+        labels_rev.append(label)
+        if prev is None:
+            a_rev.append(seed_state)
+            b_rev.append(seed_state)
+            break
+        a_rev.append(prev[0])
+        b_rev.append(prev[1])
+        current = prev
+    return AmbiguityWitness(
+        qname=qname,
+        path_a=tuple(reversed(a_rev)),
+        path_b=tuple(reversed(b_rev)),
+        labels=tuple(reversed(labels_rev)),
+    )
+
+
+# ------------------------------------------------------------------- API
+def check(method: JMethod, resolver: Optional[Resolver] = None) -> MethodCheck:
+    """Decide whether *method*'s paths are decodable from a lossless trace.
+
+    Runs the product search for definite ambiguity and the Figure 5
+    subset construction (reused from :mod:`repro.core.nfa`) for the
+    transient-ambiguity measure.
+    """
+    nfa = projection_nfa(method, resolver)
+    witness = _find_diamond(nfa, method.qualified_name)
+    dfa = determinize(nfa)
+    ambiguous = sum(1 for state in dfa.transitions if len(state) > 1)
+    return MethodCheck(
+        qname=method.qualified_name,
+        decodable=witness is None,
+        witness=witness,
+        nfa_states=nfa.state_count,
+        dfa_states=dfa.state_count(),
+        ambiguous_dfa_states=ambiguous,
+    )
+
+
+def check_program(
+    program: JProgram, resolver: Optional[Resolver] = None
+) -> Dict[str, MethodCheck]:
+    """:func:`check` every method; resolver defaults to static dispatch."""
+    resolver = resolver or program_resolver(program)
+    return {
+        method.qualified_name: check(method, resolver)
+        for method in program.methods()
+    }
+
+
+def dispatch_collisions(
+    program: JProgram, resolver: Optional[Resolver] = None
+) -> List[Tuple[str, int, str, str]]:
+    """Virtual call sites whose possible callees look alike.
+
+    Returns ``(caller_qname, bci, callee_a, callee_b)`` for each call
+    site where two distinct possible callees share an observable prefix
+    up to the expansion bound -- the reflective/virtual epsilon-merge
+    class: the trace may not reveal *which* method ran.  Reported as
+    findings (not verdict failures) because deeper context often
+    disambiguates beyond the bound.
+    """
+    resolver = resolver or program_resolver(program)
+    collisions: List[Tuple[str, int, str, str]] = []
+    for method in program.methods():
+        for inst in method.code:
+            if inst.kind is not Kind.CALL:
+                continue
+            targets = resolver(inst.methodref, inst.op is Op.INVOKEVIRTUAL)
+            if len(targets) < 2:
+                continue
+            seen: Dict[Tuple[object, ...], str] = {}
+            for callee in targets:
+                prefix = _observable_prefix(callee, resolver)
+                other = seen.get(prefix)
+                if other is not None and other != callee.qualified_name:
+                    collisions.append(
+                        (
+                            method.qualified_name,
+                            inst.bci,
+                            other,
+                            callee.qualified_name,
+                        )
+                    )
+                else:
+                    seen[prefix] = callee.qualified_name
+    return collisions

@@ -1,0 +1,218 @@
+"""Dominator and post-dominator trees over basic-block CFGs.
+
+Coverage clients of a control-flow tracer do not need the full
+reconstructed path to mark nodes covered: observing one edge proves the
+execution of both endpoints *and* of everything that dominates them
+(every path from entry to a block passes through its dominators).  This
+module supplies the trees -- the iterative algorithm of Cooper, Harvey
+and Kennedy over a reverse-postorder numbering -- plus the inference
+helper, so edge-level observations (which is all TNT/TIP gives for free)
+lift to node coverage without running the projector.
+
+Post-dominators use the same engine on the reversed graph with a virtual
+exit joining every return/throw block (and any block with no successors),
+so methods with several exits still have a rooted tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..jvm.cfg import CFG
+
+#: The virtual exit block id used by the post-dominator tree.
+VIRTUAL_EXIT = -1
+
+
+def _iterative_idoms(
+    order: List[int], preds: Dict[int, List[int]], entry: int
+) -> Dict[int, int]:
+    """Cooper-Harvey-Kennedy: iterate idom intersection to a fixpoint.
+
+    *order* is a reverse postorder over the reachable nodes (entry
+    first); unreachable nodes must already be excluded.
+    """
+    position = {node: index for index, node in enumerate(order)}
+    idom: Dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in order:
+            if node == entry:
+                continue
+            new_idom: Optional[int] = None
+            for pred in preds.get(node, ()):
+                if pred not in idom:
+                    continue  # not yet processed / unreachable
+                new_idom = pred if new_idom is None else intersect(new_idom, pred)
+            if new_idom is not None and idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    return idom
+
+
+class DominatorTree:
+    """Immediate dominators of a method's reachable basic blocks.
+
+    Unreachable blocks have no entry in the tree: nothing dominates them
+    and they dominate nothing (matching the brute-force definition
+    restricted to reachable nodes).
+    """
+
+    def __init__(self, cfg: CFG, include_exception_edges: bool = True):
+        self.cfg = cfg
+        self.entry = 0
+        order = cfg.reverse_postorder(include_exception_edges)
+        # reverse_postorder appends unreachable blocks at the end; drop
+        # everything not actually reachable from the entry.
+        reachable = self._reachable(cfg, include_exception_edges)
+        self.order = [block for block in order if block in reachable]
+        preds = {
+            block: [
+                pred
+                for pred in cfg.predecessor_ids(block, include_exception_edges)
+                if pred in reachable
+            ]
+            for block in self.order
+        }
+        self.idom = _iterative_idoms(self.order, preds, self.entry)
+
+    @staticmethod
+    def _reachable(cfg: CFG, include_exception_edges: bool) -> Set[int]:
+        seen = {0}
+        work = [0]
+        while work:
+            current = work.pop()
+            for succ in cfg.successor_ids(current, include_exception_edges):
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    # ---------------------------------------------------------------- queries
+    def immediate_dominator(self, block: int) -> Optional[int]:
+        """The idom of *block* (``None`` for the entry and unreachables)."""
+        if block == self.entry:
+            return None
+        return self.idom.get(block)
+
+    def dominators(self, block: int) -> List[int]:
+        """All dominators of *block*, from itself up to the entry."""
+        if block not in self.idom:
+            return []
+        chain = [block]
+        while block != self.entry:
+            block = self.idom[block]
+            chain.append(block)
+        return chain
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Whether every entry-to-*b* path passes through *a*."""
+        if b not in self.idom:
+            return False
+        while True:
+            if b == a:
+                return True
+            if b == self.entry:
+                return False
+            b = self.idom[b]
+
+
+class PostDominatorTree:
+    """Immediate post-dominators, rooted at a virtual exit.
+
+    The virtual exit (:data:`VIRTUAL_EXIT`) post-dominates everything;
+    blocks that cannot reach any exit (e.g. provably infinite loops with
+    no throw) are absent from the tree.
+    """
+
+    def __init__(self, cfg: CFG, include_exception_edges: bool = True):
+        self.cfg = cfg
+        exits = [
+            block.block_id
+            for block in cfg.blocks
+            if not cfg.successor_ids(block.block_id, include_exception_edges)
+        ]
+        # Reversed graph: edges flipped, virtual exit -> every exit block.
+        succs: Dict[int, List[int]] = {VIRTUAL_EXIT: list(exits)}
+        for block in cfg.blocks:
+            for succ in cfg.successor_ids(block.block_id, include_exception_edges):
+                succs.setdefault(succ, []).append(block.block_id)
+        # Predecessors in the reversed graph are the original successors.
+        preds: Dict[int, List[int]] = {}
+        for block in cfg.blocks:
+            preds[block.block_id] = list(
+                cfg.successor_ids(block.block_id, include_exception_edges)
+            )
+            if block.block_id in exits:
+                preds[block.block_id].append(VIRTUAL_EXIT)
+        # Reverse postorder on the reversed graph from the virtual exit.
+        order = self._reverse_postorder(succs, VIRTUAL_EXIT)
+        reachable = set(order)
+        trimmed = {
+            node: [pred for pred in preds.get(node, ()) if pred in reachable]
+            for node in order
+        }
+        self.idom = _iterative_idoms(order, trimmed, VIRTUAL_EXIT)
+
+    @staticmethod
+    def _reverse_postorder(succs: Dict[int, List[int]], entry: int) -> List[int]:
+        visited = {entry}
+        postorder: List[int] = []
+        stack: List[Tuple[int, Iterable[int]]] = [(entry, iter(succs.get(entry, ())))]
+        while stack:
+            node, successor_iter = stack[-1]
+            advanced = False
+            for succ in successor_iter:
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, iter(succs.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                postorder.append(node)
+                stack.pop()
+        return list(reversed(postorder))
+
+    # ---------------------------------------------------------------- queries
+    def immediate_post_dominator(self, block: int) -> Optional[int]:
+        if block == VIRTUAL_EXIT:
+            return None
+        return self.idom.get(block)
+
+    def post_dominates(self, a: int, b: int) -> bool:
+        """Whether every *b*-to-exit path passes through *a*."""
+        if b not in self.idom:
+            return False
+        while True:
+            if b == a:
+                return True
+            if b == VIRTUAL_EXIT:
+                return False
+            b = self.idom[b]
+
+
+def infer_node_coverage(
+    cfg: CFG,
+    tree: DominatorTree,
+    observed_blocks: Iterable[int],
+) -> Set[int]:
+    """Blocks provably executed given the directly observed ones.
+
+    A block's execution implies the execution of all its dominators, so
+    the answer is the observed set closed under the dominator relation --
+    no projector run required.
+    """
+    covered: Set[int] = set()
+    for block in observed_blocks:
+        covered.update(tree.dominators(block))
+    return covered

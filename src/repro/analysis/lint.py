@@ -1,0 +1,402 @@
+"""Well-formedness lint over exported metadata and program structure.
+
+The decode pipeline degrades gracefully on bad metadata (PR 3's
+hardening), but degradation at decode time is the *last* line of defence:
+most corruption is visible statically, before a single packet is read.
+This pass checks the artefacts the offline side consumes:
+
+* **template table** -- unknown mnemonics, empty or inverted ranges,
+  overlapping ranges (two opcodes claiming the same dispatch address
+  would silently misdecode every interpreted step);
+* **JIT code dumps** -- inverted address ranges, concurrently-live dumps
+  overlapping in the code cache, debug records outside their dump,
+  truncated debug images (an exported record count that no longer
+  matches), and unresolvable debug entries: frames whose method name
+  does not parse, names no method in the program, or carries a bytecode
+  index out of range;
+* **program structure** -- verifier cross-check, unreachable basic
+  blocks (dead code cannot be traced, and a projection landing there is
+  a bug), and ICFG call/return consistency: every non-opaque call edge
+  should be answered by return edges back to its return site.
+
+Severity is three-valued: ``ERROR`` findings mean decoding *will* be
+wrong or impossible for some input; ``WARNING`` means a likely export or
+construction defect worth a look; ``INFO`` is context (opaque sites,
+callees that never return).  CI fails on ERROR.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..jvm.cfg import CFG
+from ..jvm.icfg import ICFG, IEdgeKind
+from ..jvm.model import JProgram, ProgramError
+from ..jvm.opcodes import MNEMONICS, Kind
+from ..jvm.verifier import VerificationError, verify_program
+
+Node = Tuple[str, int]
+
+
+class Severity(enum.IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnostic."""
+
+    check: str
+    severity: Severity
+    message: str
+    qname: Optional[str] = None
+    address: Optional[int] = None
+
+    def __str__(self):
+        where = ""
+        if self.qname:
+            where += " [%s]" % self.qname
+        if self.address is not None:
+            where += " @0x%x" % self.address
+        return "%s %s:%s %s" % (
+            self.severity.name,
+            self.check,
+            where,
+            self.message,
+        )
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def warnings(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def by_check(self) -> Dict[str, List[LintFinding]]:
+        grouped: Dict[str, List[LintFinding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.check, []).append(finding)
+        return grouped
+
+    def extend(self, findings: List[LintFinding]) -> "LintReport":
+        self.findings.extend(findings)
+        return self
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __str__(self):
+        if not self.findings:
+            return "lint: clean"
+        return "\n".join(str(f) for f in self.findings)
+
+
+# -------------------------------------------------------------- templates
+def lint_templates(
+    template_metadata: Dict[str, Tuple[Tuple[int, int], ...]]
+) -> List[LintFinding]:
+    """Validate an exported template-range table (Figure 2(c) metadata)."""
+    findings: List[LintFinding] = []
+    intervals: List[Tuple[int, int, str]] = []
+    for mnemonic, ranges in template_metadata.items():
+        if mnemonic != "<return-stub>" and mnemonic not in MNEMONICS:
+            findings.append(
+                LintFinding(
+                    check="template-unknown-mnemonic",
+                    severity=Severity.ERROR,
+                    message="exported range for unknown mnemonic %r" % mnemonic,
+                )
+            )
+        for start, end in ranges:
+            if end <= start:
+                findings.append(
+                    LintFinding(
+                        check="template-empty-range",
+                        severity=Severity.ERROR,
+                        message="%s has empty/inverted range [0x%x, 0x%x)"
+                        % (mnemonic, start, end),
+                        address=start,
+                    )
+                )
+            intervals.append((start, end, mnemonic))
+    intervals.sort()
+    for (start_a, end_a, name_a), (start_b, end_b, name_b) in zip(
+        intervals, intervals[1:]
+    ):
+        if start_b < end_a:
+            findings.append(
+                LintFinding(
+                    check="template-overlap",
+                    severity=Severity.ERROR,
+                    message="%s [0x%x, 0x%x) overlaps %s [0x%x, 0x%x)"
+                    % (name_a, start_a, end_a, name_b, start_b, end_b),
+                    address=start_b,
+                )
+            )
+    exported = set(template_metadata) - {"<return-stub>"}
+    for mnemonic in sorted(set(MNEMONICS) - exported):
+        findings.append(
+            LintFinding(
+                check="template-missing-op",
+                severity=Severity.WARNING,
+                message="no template range exported for %s" % mnemonic,
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------- database
+def _resolve_frame(
+    program: Optional[JProgram], qname: str, bci: int
+) -> Optional[str]:
+    """Why a debug frame does not resolve, or ``None`` if it does."""
+    if "." not in qname:
+        return "frame method name %r does not parse" % qname
+    if program is None:
+        return None
+    class_name, method_name = qname.rsplit(".", 1)
+    try:
+        method = program.method(class_name, method_name)
+    except ProgramError:
+        return "frame names unknown method %s" % qname
+    if not 0 <= bci < len(method.code):
+        return "frame bci %d out of range for %s (len %d)" % (
+            bci,
+            qname,
+            len(method.code),
+        )
+    return None
+
+
+def lint_database(database, program: Optional[JProgram] = None) -> List[LintFinding]:
+    """Validate an exported code database against the (optional) program.
+
+    *database* is a :class:`repro.core.metadata.CodeDatabase`; passing
+    the program enables full debug-frame resolution checks.
+    """
+    findings: List[LintFinding] = []
+    findings.extend(lint_templates(database.template_metadata))
+    live: List[Tuple[int, int, int, float, str]] = []
+    for dump in database.code_dumps:
+        if dump.limit <= dump.entry:
+            findings.append(
+                LintFinding(
+                    check="dump-empty-range",
+                    severity=Severity.ERROR,
+                    message="dump has empty/inverted range [0x%x, 0x%x)"
+                    % (dump.entry, dump.limit),
+                    qname=dump.qname,
+                    address=dump.entry,
+                )
+            )
+        if (
+            dump.declared_debug_count is not None
+            and dump.declared_debug_count != len(dump.debug)
+        ):
+            findings.append(
+                LintFinding(
+                    check="debug-count-mismatch",
+                    severity=Severity.ERROR,
+                    message="debug image truncated: %d records declared, %d present"
+                    % (dump.declared_debug_count, len(dump.debug)),
+                    qname=dump.qname,
+                    address=dump.entry,
+                )
+            )
+        unload = dump.unload_tsc if dump.unload_tsc is not None else float("inf")
+        live.append((dump.entry, dump.limit, dump.load_tsc, unload, dump.qname))
+        for address in sorted(dump.debug):
+            if not dump.entry <= address < dump.limit:
+                findings.append(
+                    LintFinding(
+                        check="debug-outside-dump",
+                        severity=Severity.ERROR,
+                        message="debug record at 0x%x outside [0x%x, 0x%x)"
+                        % (address, dump.entry, dump.limit),
+                        qname=dump.qname,
+                        address=address,
+                    )
+                )
+            for frame_qname, frame_bci in dump.debug[address]:
+                reason = _resolve_frame(program, frame_qname, frame_bci)
+                if reason is not None:
+                    findings.append(
+                        LintFinding(
+                            check="debug-unresolvable",
+                            severity=Severity.ERROR,
+                            message=reason,
+                            qname=dump.qname,
+                            address=address,
+                        )
+                    )
+    # PC overlap between concurrently-live dumps (address reuse across GC
+    # reclamation is fine; the lifetimes must not intersect).
+    live.sort()
+    for index, (start_a, end_a, load_a, unload_a, name_a) in enumerate(live):
+        for start_b, end_b, load_b, unload_b, name_b in live[index + 1 :]:
+            if start_b >= end_a:
+                break
+            if load_a < unload_b and load_b < unload_a:
+                findings.append(
+                    LintFinding(
+                        check="dump-pc-overlap",
+                        severity=Severity.ERROR,
+                        message="live dumps %s and %s overlap at 0x%x"
+                        % (name_a, name_b, start_b),
+                        qname=name_a,
+                        address=start_b,
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------- program
+def unreachable_blocks(program: JProgram) -> Dict[str, List[int]]:
+    """Per-method ids of basic blocks unreachable from the entry block."""
+    result: Dict[str, List[int]] = {}
+    for method in program.methods():
+        cfg = CFG(method)
+        seen = {0}
+        work = [0]
+        while work:
+            current = work.pop()
+            for succ in cfg.successor_ids(current):
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        dead = [block.block_id for block in cfg.blocks if block.block_id not in seen]
+        if dead:
+            result[method.qualified_name] = dead
+    return result
+
+
+def unreachable_nodes(program: JProgram) -> Set[Node]:
+    """Instruction-level ``(qname, bci)`` nodes inside unreachable blocks."""
+    nodes: Set[Node] = set()
+    dead_blocks = unreachable_blocks(program)
+    for method in program.methods():
+        qname = method.qualified_name
+        if qname not in dead_blocks:
+            continue
+        cfg = CFG(method)
+        for block_id in dead_blocks[qname]:
+            for bci in cfg.blocks[block_id].bcis():
+                nodes.add((qname, bci))
+    return nodes
+
+
+def lint_program(
+    program: JProgram, icfg: Optional[ICFG] = None
+) -> List[LintFinding]:
+    """Structural lint: verifier, dead code, call/return consistency."""
+    findings: List[LintFinding] = []
+    try:
+        verify_program(program)
+    except VerificationError as error:
+        findings.append(
+            LintFinding(
+                check="verifier",
+                severity=Severity.ERROR,
+                message=str(error),
+            )
+        )
+    for qname, blocks in sorted(unreachable_blocks(program).items()):
+        method = None
+        cfg = CFG(program.method(*qname.rsplit(".", 1)))
+        for block_id in blocks:
+            block = cfg.blocks[block_id]
+            findings.append(
+                LintFinding(
+                    check="unreachable-block",
+                    severity=Severity.WARNING,
+                    message="block B%d [%d..%d) unreachable from entry"
+                    % (block_id, block.start, block.end),
+                    qname=qname,
+                )
+            )
+    icfg = icfg or ICFG(program)
+    findings.extend(_lint_call_return(icfg))
+    for site in sorted(icfg.opaque_call_sites):
+        findings.append(
+            LintFinding(
+                check="opaque-call-site",
+                severity=Severity.INFO,
+                message="call at bci %d has no static callees "
+                "(reconstruction uses the callback search)" % site[1],
+                qname=site[0],
+            )
+        )
+    return findings
+
+
+def _lint_call_return(icfg: ICFG) -> List[LintFinding]:
+    """Every call edge should be answered by a return edge (or a reason)."""
+    findings: List[LintFinding] = []
+    for node in icfg.nodes():
+        call_edges = [
+            edge for edge in icfg.out_edges(node) if edge.kind is IEdgeKind.CALL
+        ]
+        if not call_edges:
+            continue
+        caller_qname, call_bci = node
+        caller = icfg.method(caller_qname)
+        return_site = call_bci + 1
+        if return_site >= len(caller.code):
+            findings.append(
+                LintFinding(
+                    check="call-without-return-site",
+                    severity=Severity.WARNING,
+                    message="call at bci %d is the last instruction; "
+                    "returns cannot land in this method" % call_bci,
+                    qname=caller_qname,
+                )
+            )
+            continue
+        for edge in call_edges:
+            callee_qname = edge.dst[0]
+            callee = icfg.method(callee_qname)
+            returns = [
+                inst for inst in callee.code if inst.kind is Kind.RETURN
+            ]
+            if not returns:
+                findings.append(
+                    LintFinding(
+                        check="callee-never-returns",
+                        severity=Severity.INFO,
+                        message="callee %s has no return instruction"
+                        % callee_qname,
+                        qname=caller_qname,
+                    )
+                )
+                continue
+            answered = any(
+                back.dst == (caller_qname, return_site)
+                for inst in returns
+                for back in icfg.out_edges((callee_qname, inst.bci))
+                if back.kind is IEdgeKind.RETURN
+            )
+            if not answered:
+                findings.append(
+                    LintFinding(
+                        check="call-missing-return-edge",
+                        severity=Severity.ERROR,
+                        message="call edge to %s has no return edge back to "
+                        "bci %d" % (callee_qname, return_site),
+                        qname=caller_qname,
+                    )
+                )
+    return findings

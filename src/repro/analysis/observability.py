@@ -1,0 +1,139 @@
+"""Per-edge observability classification of the ICFG.
+
+What PT reveals about an ICFG edge depends on how its *source* instruction
+is dispatched (see DESIGN.md and the paper's Section 3):
+
+* a **conditional** emits a TNT bit, so both of its arms are directly
+  observed -- ``TNT_OBSERVED``;
+* any other transfer is witnessed only *indirectly*, by the template TIP
+  of the **target** instruction: the edge is ``TIP_OBSERVED`` when that
+  TIP discriminates it from every sibling edge of the same source, i.e.
+  no other successor starts with the same observable opcode (template
+  range);
+* when two or more successors of one source share the target opcode the
+  dispatch TIP cannot tell them apart -- those edges are ``SILENT``.
+  Classic producers: identical-first-opcode switch arms (interpreted
+  switches emit no TNT), virtual call edges whose possible callees open
+  with the same opcode, and return edges to return sites that happen to
+  begin identically.
+
+The classification is purely static (opcode metadata plus, optionally,
+the exported template table) and is consumed in two places: the recovery
+engine scores hole anchors by how observable their out-edges are
+(:meth:`ObservabilityMap.node_score`), and the ambiguity checker reports
+silent regions alongside its path-level verdicts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from ..jvm.icfg import ICFG, IEdge, IEdgeKind
+from ..jvm.opcodes import Kind
+
+Node = Tuple[str, int]
+
+
+class EdgeObservability(enum.Enum):
+    """How a PT trace witnesses one ICFG edge."""
+
+    TNT_OBSERVED = "tnt"  # conditional arm: a TNT bit names it directly
+    TIP_OBSERVED = "tip"  # the target's dispatch TIP discriminates it
+    SILENT = "silent"  # indistinguishable from a sibling edge
+
+
+class ObservabilityMap:
+    """Static per-edge observability verdicts for a whole ICFG.
+
+    Verdicts are keyed by the stable :class:`~repro.jvm.icfg.IEdge` id.
+    When a template table is supplied, two target opcodes count as
+    distinguishable only if their template address ranges are disjoint
+    (:meth:`~repro.jvm.templates.TemplateTable.distinguishes`); without
+    one, distinct opcodes are assumed to dispatch through distinct
+    templates (true for our layout, and for HotSpot's).
+    """
+
+    def __init__(self, icfg: ICFG, template_table=None):
+        self._classes: Dict[int, EdgeObservability] = {}
+        self._node_scores: Dict[Node, float] = {}
+        self._silent_edges: List[IEdge] = []
+        for node in icfg.nodes():
+            out = icfg.out_edges(node)
+            if not out:
+                continue
+            source_kind = icfg.instruction(node).kind
+            if source_kind is Kind.COND:
+                for edge in out:
+                    self._classes[edge.edge_id] = EdgeObservability.TNT_OBSERVED
+                continue
+            tokens = [
+                self._token(icfg.instruction(edge.dst).symbol(), template_table)
+                for edge in out
+            ]
+            for edge, token in zip(out, tokens):
+                if tokens.count(token) > 1:
+                    self._classes[edge.edge_id] = EdgeObservability.SILENT
+                    self._silent_edges.append(edge)
+                else:
+                    self._classes[edge.edge_id] = EdgeObservability.TIP_OBSERVED
+        # Anchor-quality scores: the fraction of a node's out-edges that
+        # are observed at all (an empty out-set is trivially observable).
+        for node in icfg.nodes():
+            out = icfg.out_edges(node)
+            if not out:
+                self._node_scores[node] = 1.0
+                continue
+            observed = sum(
+                1
+                for edge in out
+                if self._classes[edge.edge_id] is not EdgeObservability.SILENT
+            )
+            self._node_scores[node] = observed / len(out)
+
+    @staticmethod
+    def _token(symbol, template_table):
+        """The equivalence token the dispatch TIP reveals for *symbol*."""
+        if template_table is not None:
+            ranges = template_table.ranges_of(symbol)
+            if ranges is not None:
+                return ranges
+        return symbol
+
+    # ---------------------------------------------------------------- queries
+    def of(self, edge: IEdge) -> EdgeObservability:
+        return self._classes[edge.edge_id]
+
+    def of_id(self, edge_id: int) -> EdgeObservability:
+        return self._classes[edge_id]
+
+    def node_score(self, node: Node) -> float:
+        """Fraction of *node*'s out-edges a trace can discriminate.
+
+        1.0 means every outgoing transfer is pinned by a TNT bit or a
+        unique dispatch TIP; lower values mean a trace through this node
+        may be ambiguous about where it went next -- a weak recovery
+        anchor.
+        """
+        return self._node_scores.get(node, 1.0)
+
+    def silent_edges(self) -> List[IEdge]:
+        """All SILENT edges, in edge-id order."""
+        return list(self._silent_edges)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts per observability class (taxonomy totals)."""
+        counts = {kind.value: 0 for kind in EdgeObservability}
+        for verdict in self._classes.values():
+            counts[verdict.value] += 1
+        return counts
+
+    def silent_by_method(self) -> Dict[str, int]:
+        """SILENT edge count per source method."""
+        counts: Dict[str, int] = {}
+        for edge in self._silent_edges:
+            counts[edge.src[0]] = counts.get(edge.src[0], 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._classes)

@@ -1,0 +1,191 @@
+"""Aggregate static-analysis report: one object per analysed program.
+
+:func:`analyze_program` is the front door of the package.  It runs the
+observability classification, the per-method decodability check, the
+dispatch-collision scan, and the structural lints, and returns a single
+:class:`AnalysisReport` that the pipeline attaches to every
+``JPortalResult`` and the CLI renders.  Database lints (which need the
+per-run exported metadata) are merged in later via
+:meth:`AnalysisReport.with_database_findings` so the static part can be
+computed once per program and reused across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..jvm.icfg import ICFG
+from ..jvm.model import JProgram
+
+from .ambiguity import MethodCheck, check_program, dispatch_collisions
+from .lint import LintFinding, LintReport, lint_database, lint_program, unreachable_blocks
+from .observability import ObservabilityMap
+
+Node = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class MethodVerdict:
+    """The per-method slice of the report, for display."""
+
+    qname: str
+    decodable: bool
+    ambiguous_dfa_states: int
+    silent_edges: int
+
+    def __str__(self):
+        state = "decodable" if self.decodable else "AMBIGUOUS"
+        extra = []
+        if self.ambiguous_dfa_states:
+            extra.append("%d transient" % self.ambiguous_dfa_states)
+        if self.silent_edges:
+            extra.append("%d silent edges" % self.silent_edges)
+        suffix = (" (%s)" % ", ".join(extra)) if extra else ""
+        return "%-40s %s%s" % (self.qname, state, suffix)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the static pass learned about one program."""
+
+    checks: Dict[str, MethodCheck]
+    observability: ObservabilityMap
+    lint: LintReport
+    unreachable: Dict[str, List[int]]
+    collisions: List[Tuple[str, int, str, str]]
+    static_seconds: float
+
+    # ------------------------------------------------------------ verdicts
+    def decodable(self) -> bool:
+        """Whether every method passed the definite-ambiguity check."""
+        return all(check.decodable for check in self.checks.values())
+
+    def ambiguous_methods(self) -> List[str]:
+        return sorted(
+            qname for qname, check in self.checks.items() if not check.decodable
+        )
+
+    def is_ambiguous(self, qname: str) -> bool:
+        check = self.checks.get(qname)
+        return check is not None and not check.decodable
+
+    def method_verdicts(self) -> List[MethodVerdict]:
+        silent = self.observability.silent_by_method()
+        return [
+            MethodVerdict(
+                qname=qname,
+                decodable=check.decodable,
+                ambiguous_dfa_states=check.ambiguous_dfa_states,
+                silent_edges=silent.get(qname, 0),
+            )
+            for qname, check in sorted(self.checks.items())
+        ]
+
+    @property
+    def has_errors(self) -> bool:
+        return self.lint.has_errors or not self.decodable()
+
+    def with_database_findings(
+        self, findings: Iterable[LintFinding]
+    ) -> "AnalysisReport":
+        """A new report with per-run database lints merged in."""
+        merged = LintReport(findings=list(self.lint.findings))
+        merged.extend(list(findings))
+        return replace(self, lint=merged)
+
+    # ------------------------------------------------------------- display
+    def summary(self) -> Dict[str, object]:
+        counts = self.observability.summary()
+        return {
+            "methods": len(self.checks),
+            "decodable": self.decodable(),
+            "ambiguous_methods": self.ambiguous_methods(),
+            "transient_dfa_states": sum(
+                check.ambiguous_dfa_states for check in self.checks.values()
+            ),
+            "edges_tnt": counts.get("tnt", 0),
+            "edges_tip": counts.get("tip", 0),
+            "edges_silent": counts.get("silent", 0),
+            "dispatch_collisions": len(self.collisions),
+            "unreachable_blocks": sum(len(v) for v in self.unreachable.values()),
+            "lint_errors": len(self.lint.errors()),
+            "lint_warnings": len(self.lint.warnings()),
+            "static_seconds": self.static_seconds,
+        }
+
+    def render(self) -> str:
+        lines = ["static decodability analysis"]
+        lines.append("  methods analysed: %d" % len(self.checks))
+        counts = self.observability.summary()
+        lines.append(
+            "  edge observability: %d tnt / %d tip / %d silent"
+            % (counts.get("tnt", 0), counts.get("tip", 0), counts.get("silent", 0))
+        )
+        if self.decodable():
+            lines.append("  verdict: fully decodable")
+        else:
+            lines.append(
+                "  verdict: AMBIGUOUS (%s)" % ", ".join(self.ambiguous_methods())
+            )
+            for qname in self.ambiguous_methods():
+                witness = self.checks[qname].witness
+                if witness is not None:
+                    lines.append("    witness: %s" % witness)
+        transient = sum(c.ambiguous_dfa_states for c in self.checks.values())
+        if transient:
+            lines.append("  transient ambiguity: %d DFA states" % transient)
+        for caller, bci, callee_a, callee_b in self.collisions:
+            lines.append(
+                "  dispatch collision: %s@%d -> {%s, %s} share a prefix"
+                % (caller, bci, callee_a, callee_b)
+            )
+        for qname, blocks in sorted(self.unreachable.items()):
+            lines.append("  unreachable: %s blocks %s" % (qname, blocks))
+        errors = self.lint.errors()
+        warnings = self.lint.warnings()
+        lines.append(
+            "  lint: %d errors, %d warnings, %d findings total"
+            % (len(errors), len(warnings), len(self.lint))
+        )
+        for finding in errors:
+            lines.append("    %s" % finding)
+        lines.append("  static analysis time: %.3fs" % self.static_seconds)
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def analyze_program(
+    program: JProgram,
+    icfg: Optional[ICFG] = None,
+    opaque_call_sites: Iterable[Node] = (),
+    template_table=None,
+    database=None,
+) -> AnalysisReport:
+    """Run the full static pass over *program*.
+
+    *icfg* is reused if the caller already built one (the pipeline has);
+    *template_table* refines observability with real range tokens;
+    *database* additionally lints the exported metadata in the same pass.
+    """
+    started = time.perf_counter()
+    if icfg is None:
+        icfg = ICFG(program, opaque_call_sites=opaque_call_sites)
+    observability = ObservabilityMap(icfg, template_table=template_table)
+    checks = check_program(program)
+    collisions = dispatch_collisions(program)
+    lint = LintReport()
+    lint.extend(lint_program(program, icfg))
+    if database is not None:
+        lint.extend(lint_database(database, program))
+    return AnalysisReport(
+        checks=checks,
+        observability=observability,
+        lint=lint,
+        unreachable=unreachable_blocks(program),
+        collisions=collisions,
+        static_seconds=time.perf_counter() - started,
+    )

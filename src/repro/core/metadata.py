@@ -43,6 +43,9 @@ class CodeDump:
     debug: Dict[int, Tuple[Tuple[str, int], ...]]
     load_tsc: int
     unload_tsc: Optional[int]
+    #: Number of debug records at export time; an integrity field the
+    #: lint pass checks against ``len(debug)`` to catch truncation.
+    declared_debug_count: Optional[int] = None
 
     def alive_at(self, tsc: Optional[int]) -> bool:
         if tsc is None:
@@ -66,6 +69,7 @@ def collect_metadata(run: RunResult) -> "CodeDatabase":
                 debug=dict(code.debug),
                 load_tsc=code.load_tsc,
                 unload_tsc=code.unload_tsc,
+                declared_debug_count=len(code.debug),
             )
         )
     return CodeDatabase(template_metadata, dumps, run.address_space)
@@ -86,6 +90,7 @@ class CodeDatabase:
     ):
         self.address_space = address_space
         self.code_dumps = list(code_dumps)
+        self.template_metadata = dict(template_metadata)
         # Template interval index: mnemonic ranges -> Op.
         self._template_intervals: List[Tuple[int, int, Optional[Op]]] = []
         self._return_stub: Tuple[int, int] = (0, 0)

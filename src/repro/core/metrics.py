@@ -116,6 +116,26 @@ class MetricsRegistry:
                 result[suffix] = result.get(suffix, 0) + value
         return result
 
+    def timings_by_prefix(
+        self, prefix: str, tid: Optional[int] = None
+    ) -> Dict[str, float]:
+        """All timings whose phase starts with *prefix*, keyed by the
+        suffix after it; ``tid=None`` sums each across all threads.
+
+        The analysis-cost benchmark uses this to pick up every
+        ``analysis``-family phase in one call.
+        """
+        result: Dict[str, float] = {}
+        with self._lock:
+            for (name, key_tid), value in self._timings.items():
+                if not name.startswith(prefix):
+                    continue
+                if tid is not None and key_tid != tid:
+                    continue
+                suffix = name[len(prefix):]
+                result[suffix] = result.get(suffix, 0.0) + value
+        return result
+
     def timing(self, phase: str, tid: Optional[int] = None) -> float:
         """Accumulated seconds; ``tid=None`` sums across all threads."""
         with self._lock:

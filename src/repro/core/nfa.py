@@ -43,22 +43,27 @@ class ProgramNFA:
         self.op_of: List[Op] = [icfg.instruction(node).op for node in self.nodes]
         self.kind_of: List[Kind] = [info(op).kind for op in self.op_of]
         self.tier_of: List[int] = [tier(op) for op in self.op_of]
-        # Full successor relation (ints), with the ICFG edge kind kept in
-        # parallel (the context-sensitive projector needs to know whether a
-        # transition is a call, return, or throw).
+        # Full successor relation (ints), with the ICFG edge kind and the
+        # stable :class:`repro.jvm.icfg.IEdge` id kept in parallel (the
+        # context-sensitive projector needs the kind; the observability
+        # classifier keys its per-edge verdicts by the id).
         self.successors: List[List[int]] = []
         self.successor_kinds: List[List["IEdgeKind"]] = []
+        self.successor_edge_ids: List[List[int]] = []
         # For conditionals: (fallthrough_state, taken_state).
         self.cond_arms: List[Optional[Tuple[Optional[int], Optional[int]]]] = []
         for state, node in enumerate(self.nodes):
             succ = []
             kinds = []
-            for dst, kind in icfg.successors(node):
-                if dst in self.state_of:
-                    succ.append(self.state_of[dst])
-                    kinds.append(kind)
+            edge_ids = []
+            for edge in icfg.out_edges(node):
+                if edge.dst in self.state_of:
+                    succ.append(self.state_of[edge.dst])
+                    kinds.append(edge.kind)
+                    edge_ids.append(edge.edge_id)
             self.successors.append(succ)
             self.successor_kinds.append(kinds)
+            self.successor_edge_ids.append(edge_ids)
             if self.kind_of[state] is Kind.COND:
                 inst = icfg.instruction(node)
                 qname = node[0]

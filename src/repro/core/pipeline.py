@@ -103,6 +103,11 @@ class PhaseTimings:
     reconstruct_seconds: float = 0.0
     recovery_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Static analysis + per-run metadata lint.  Deliberately *not* part
+    #: of ``total_seconds``: the static share is paid once per program
+    #: (amortised across runs), and Table 5's DT/RT split has no such
+    #: column -- it is reported separately instead.
+    analysis_seconds: float = 0.0
     per_thread: Dict[int, ThreadPhaseTimings] = field(default_factory=dict)
 
     @property
@@ -133,6 +138,9 @@ class JPortalResult:
     anomalies_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Holes declared by the decoder's error budget (not physical loss).
     synthetic_holes: int = 0
+    #: Static decodability analysis (observability + ambiguity verdicts)
+    #: with this run's database lint findings merged in.
+    analysis_report: Optional[object] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -172,9 +180,26 @@ class JPortal:
         self.program = program
         self.icfg = ICFG(program, opaque_call_sites)
         self.nfa = ProgramNFA(self.icfg)
-        self.projector = Projector(self.nfa, context_sensitive=context_sensitive)
+        # Static decodability analysis, once per program (amortised over
+        # every run this profiler analyses).  Imported lazily: the
+        # analysis package builds on repro.core.nfa, so a module-level
+        # import here would be circular.
+        from ..analysis.report import analyze_program
+
+        self.analysis_report = analyze_program(
+            program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+        )
+        self.projector = Projector(
+            self.nfa,
+            context_sensitive=context_sensitive,
+            analysis=self.analysis_report,
+        )
         self.recovery_config = recovery or RecoveryConfig()
-        self.recovery_engine = RecoveryEngine(self.icfg, self.recovery_config)
+        self.recovery_engine = RecoveryEngine(
+            self.icfg,
+            self.recovery_config,
+            observability=self.analysis_report.observability,
+        )
         self.degradation_policy = (
             degradation if degradation is not None else DegradationPolicy()
         )
@@ -296,7 +321,16 @@ class JPortal:
         wall_started: float,
     ) -> JPortalResult:
         """Assemble the result: per-thread breakdowns and aggregates."""
+        from ..analysis.lint import lint_database
+
+        with metrics.timer("analysis"):
+            analysis_report = self.analysis_report.with_database_findings(
+                lint_database(database, self.program)
+            )
         timings = PhaseTimings(wall_seconds=time.perf_counter() - wall_started)
+        timings.analysis_seconds = (
+            metrics.timing("analysis") + self.analysis_report.static_seconds
+        )
         total_anomalies = 0
         for tid in sorted(flows):
             flow = flows[tid]
@@ -324,6 +358,7 @@ class JPortal:
             metrics=metrics,
             anomalies_by_kind=anomaly_breakdown(metrics),
             synthetic_holes=metrics.counter("decode.synthetic_holes"),
+            analysis_report=analysis_report,
         )
 
     def _lift(
@@ -364,4 +399,5 @@ def _merge_stats(into: MatchStats, other: MatchStats) -> None:
     into.matched += other.matched
     into.restarts += other.restarts
     into.callback_fallbacks += other.callback_fallbacks
+    into.ambiguous_steps += other.ambiguous_steps
     into.frontier_peak = max(into.frontier_peak, other.frontier_peak)

@@ -48,6 +48,17 @@ class MatchStats:
     restarts: int = 0
     callback_fallbacks: int = 0
     frontier_peak: int = 0
+    #: Matched steps attributed to methods the static analysis flagged as
+    #: definitely ambiguous: the assignment is *a* consistent path, but
+    #: another path with the identical projection exists.
+    ambiguous_steps: int = 0
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of matched steps free of static path ambiguity."""
+        if self.matched == 0:
+            return 1.0
+        return 1.0 - self.ambiguous_steps / self.matched
 
 
 @dataclass
@@ -91,9 +102,20 @@ class Projector:
     matching call was observed in the same segment.
     """
 
-    def __init__(self, nfa: ProgramNFA, context_sensitive: bool = True):
+    def __init__(
+        self, nfa: ProgramNFA, context_sensitive: bool = True, analysis=None
+    ):
         self.nfa = nfa
         self.context_sensitive = context_sensitive
+        # Static decodability verdicts (repro.analysis.AnalysisReport).
+        # Methods proven ambiguous make poor symbol-only restart points:
+        # their starts are pruned when unambiguous alternatives exist, and
+        # steps matched inside them are tallied so the result can carry a
+        # confidence figure.
+        self.analysis = analysis
+        self._ambiguous_methods = (
+            frozenset(analysis.ambiguous_methods()) if analysis is not None else frozenset()
+        )
 
     # ------------------------------------------------------------------ steps
     def _advance(
@@ -184,6 +206,21 @@ class Projector:
         position = 0
         while position < count:
             starts = _candidate_starts(nfa, steps[position])
+            if (
+                self._ambiguous_methods
+                and steps[position].location is None
+                and len(starts) > 1
+            ):
+                # Symbol-only restart: prefer starts in statically
+                # decodable methods (keep the ambiguous ones only when
+                # nothing else matches the symbol).
+                pruned = [
+                    state
+                    for state in starts
+                    if nfa.nodes[state][0] not in self._ambiguous_methods
+                ]
+                if pruned:
+                    starts = pruned
             if not starts:
                 position += 1
                 stats.restarts += 1
@@ -208,6 +245,12 @@ class Projector:
             for offset, node in enumerate(matched_path):
                 path[position + offset] = node
             stats.matched += len(matched_path)
+            if self._ambiguous_methods:
+                stats.ambiguous_steps += sum(
+                    1
+                    for node in matched_path
+                    if node[0] in self._ambiguous_methods
+                )
             if cursor + 1 < count:
                 stats.restarts += 1
             position = cursor + 1
@@ -218,6 +261,7 @@ class Projector:
             metrics.incr(
                 "project.callback_fallbacks", stats.callback_fallbacks, tid=tid
             )
+            metrics.incr("project.ambiguous_steps", stats.ambiguous_steps, tid=tid)
             metrics.observe_max(
                 "project.frontier_peak", stats.frontier_peak, tid=tid
             )

@@ -59,6 +59,11 @@ class RecoveryConfig:
     # and the per-tier suffix comparison depth.
     max_candidates: int = 200
     max_suffix_compare: int = 2_048
+    # An anchor whose nodes have mostly SILENT out-edges (static
+    # observability score below this floor) is a weak match key: identical
+    # anchor windows may cover different true paths.  0.0 disables the
+    # filter (default: behave exactly as before analysis existed).
+    min_anchor_quality: float = 0.0
 
 
 @dataclass
@@ -75,6 +80,15 @@ class RecoveryStats:
     tier1_pruned: int = 0
     tier2_pruned: int = 0
     recovered_instructions: int = 0
+    anchors_scored: int = 0
+    anchor_quality_sum: float = 0.0
+    low_quality_anchors: int = 0
+
+    @property
+    def mean_anchor_quality(self) -> float:
+        if self.anchors_scored == 0:
+            return 1.0
+        return self.anchor_quality_sum / self.anchors_scored
 
 
 @dataclass
@@ -131,12 +145,26 @@ class _Candidate:
 class RecoveryEngine:
     """Fills the holes of a segmented, reconstructed thread flow."""
 
-    def __init__(self, icfg: ICFG, config: Optional[RecoveryConfig] = None):
+    def __init__(
+        self,
+        icfg: ICFG,
+        config: Optional[RecoveryConfig] = None,
+        observability=None,
+    ):
         self.icfg = icfg
         self.config = config or RecoveryConfig()
+        # Optional repro.analysis ObservabilityMap: scores each anchor by
+        # how much of its nodes' out-flow a trace can actually pin down.
+        self.observability = observability
         self._tiers: Dict[Node, int] = {
             node: tier(icfg.instruction(node).op) for node in icfg.nodes()
         }
+
+    def _anchor_quality(self, anchor: Tuple[Node, ...]) -> float:
+        if self.observability is None or not anchor:
+            return 1.0
+        scores = [self.observability.node_score(node) for node in anchor]
+        return sum(scores) / len(scores)
 
     def _tier_of(self, entry: Node) -> int:
         return self._tiers.get(entry, 3)
@@ -182,6 +210,7 @@ class RecoveryEngine:
                 ("recover.unfilled", stats.unfilled),
                 ("recover.candidates_tested", stats.candidates_tested),
                 ("recover.recovered_instructions", stats.recovered_instructions),
+                ("recover.low_quality_anchors", stats.low_quality_anchors),
             ):
                 if value:
                     metrics.incr(name, value, tid=tid)
@@ -226,6 +255,12 @@ class RecoveryEngine:
             return self._fallback(is_view, next_view, stats)
         anchor = tuple(is_entries[-x:])
         if None in anchor:
+            return self._fallback(is_view, next_view, stats)
+        quality = self._anchor_quality(anchor)
+        stats.anchors_scored += 1
+        stats.anchor_quality_sum += quality
+        if quality < self.config.min_anchor_quality:
+            stats.low_quality_anchors += 1
             return self._fallback(is_view, next_view, stats)
         occurrences = [
             (segment, end)

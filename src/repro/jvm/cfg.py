@@ -178,6 +178,24 @@ class CFG:
                 order.append(block.block_id)
         return order
 
+    def successor_ids(
+        self, block_id: int, include_exception_edges: bool = True
+    ) -> List[int]:
+        """Distinct successor block ids, in edge order."""
+        return self._succ_ids(block_id, include_exception_edges)
+
+    def predecessor_ids(
+        self, block_id: int, include_exception_edges: bool = True
+    ) -> List[int]:
+        """Distinct predecessor block ids, in edge order."""
+        result = []
+        for edge in self.blocks[block_id].predecessors:
+            if not include_exception_edges and edge.kind is EdgeKind.EXCEPTION:
+                continue
+            if edge.src not in result:
+                result.append(edge.src)
+        return result
+
     def _succ_ids(self, block_id: int, include_exception_edges: bool) -> List[int]:
         result = []
         for edge in self.blocks[block_id].successors:

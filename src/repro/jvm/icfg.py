@@ -25,6 +25,7 @@ reconstruction layer supplies the callback-search fallback.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .model import JMethod, JProgram
@@ -40,6 +41,34 @@ class IEdgeKind(enum.Enum):
     CALL = "call"  # call site -> callee entry
     RETURN = "return"  # return instruction -> return site
     THROW = "throw"  # athrow -> handler entry (possibly in a caller)
+
+
+@dataclass(frozen=True)
+class IEdge:
+    """One ICFG edge with a stable identity.
+
+    ``edge_id`` is assigned in construction order, which is deterministic
+    for a given program (methods and instructions are visited in a fixed
+    order), so the id is a stable handle across consumers: the NFA keeps
+    it alongside each transition, the observability classifier keys its
+    per-edge verdicts by it, and reports can reference an edge without
+    re-deriving ``(src, dst, kind)`` triples ad hoc.
+    """
+
+    edge_id: int
+    src: Node
+    dst: Node
+    kind: IEdgeKind
+
+    def __str__(self):
+        return "#%d %s:%d -%s-> %s:%d" % (
+            self.edge_id,
+            self.src[0],
+            self.src[1],
+            self.kind.value,
+            self.dst[0],
+            self.dst[1],
+        )
 
 
 class ICFG:
@@ -58,6 +87,11 @@ class ICFG:
         self._successors: Dict[Node, List[Tuple[Node, IEdgeKind]]] = {}
         self._predecessors: Dict[Node, List[Tuple[Node, IEdgeKind]]] = {}
         self._callers: Dict[str, List[Node]] = {}  # callee qname -> call-site nodes
+        # Stable edge records (ids in construction order); _successors /
+        # _predecessors above are the tuple views kept for cheap iteration.
+        self._edges: List[IEdge] = []
+        self._out: Dict[Node, List[IEdge]] = {}
+        self._in: Dict[Node, List[IEdge]] = {}
         self._build()
 
     # --------------------------------------------------------------- building
@@ -110,6 +144,10 @@ class ICFG:
         if entry not in successors:
             successors.append(entry)
             self._predecessors.setdefault(dst, []).append((src, kind))
+            edge = IEdge(edge_id=len(self._edges), src=src, dst=dst, kind=kind)
+            self._edges.append(edge)
+            self._out.setdefault(src, []).append(edge)
+            self._in.setdefault(dst, []).append(edge)
 
     def _throw_targets(
         self, method: JMethod, bci: int, _visiting: Optional[Set[str]] = None
@@ -157,6 +195,22 @@ class ICFG:
 
     def predecessors(self, node: Node) -> List[Tuple[Node, IEdgeKind]]:
         return self._predecessors.get(node, [])
+
+    def out_edges(self, node: Node) -> List[IEdge]:
+        """Outgoing :class:`IEdge` records of *node* (stable edge ids)."""
+        return self._out.get(node, [])
+
+    def in_edges(self, node: Node) -> List[IEdge]:
+        """Incoming :class:`IEdge` records of *node*."""
+        return self._in.get(node, [])
+
+    def edges(self) -> List[IEdge]:
+        """All edges in edge-id order."""
+        return self._edges
+
+    def edge(self, edge_id: int) -> IEdge:
+        """The edge with the given stable id."""
+        return self._edges[edge_id]
 
     def entry_node(self, method: JMethod) -> Node:
         return (method.qualified_name, 0)

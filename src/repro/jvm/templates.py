@@ -105,6 +105,33 @@ class TemplateTable:
         start, end = self.return_stub
         return start <= address < end
 
+    def ranges_of(self, op: Op) -> Optional[Tuple[Tuple[int, int], ...]]:
+        """Like :meth:`ranges` but ``None`` for an unknown opcode.
+
+        The observability classifier uses this as the equivalence token a
+        dispatch TIP reveals: two opcodes are told apart exactly when
+        their range tuples differ.
+        """
+        return self._ranges.get(op)
+
+    def distinguishes(self, op_a: Op, op_b: Op) -> bool:
+        """Whether a dispatch TIP can tell *op_a* from *op_b* apart.
+
+        True iff their template address ranges are disjoint -- which the
+        layout above guarantees for distinct opcodes, but the classifier
+        asks rather than assumes so a metadata-level aliasing bug would
+        surface as SILENT edges instead of silent misdecoding.
+        """
+        if op_a == op_b:
+            return False
+        ranges_a = self._ranges.get(op_a, ())
+        ranges_b = self._ranges.get(op_b, ())
+        for start_a, end_a in ranges_a:
+            for start_b, end_b in ranges_b:
+                if start_a < end_b and start_b < end_a:
+                    return False
+        return True
+
     def metadata(self) -> Dict[str, Tuple[Tuple[int, int], ...]]:
         """Exportable metadata: mnemonic -> sub-ranges (Figure 2(c))."""
         exported = {info(op).mnemonic: ranges for op, ranges in self._ranges.items()}

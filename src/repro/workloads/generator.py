@@ -108,15 +108,6 @@ class _MethodGenerator:
         for key, label in enumerate(labels):
             asm.label(label)
             self._straight()
-            # Interpreted tableswitch produces no TNT bit, and template
-            # dispatch reveals only opcodes -- two arms whose random
-            # bodies happen to coincide would be indistinguishable in a
-            # lossless trace, breaking the generator's exact-
-            # reconstruction guarantee.  A per-arm run of NOPs (an opcode
-            # _straight never emits) keeps every arm's opcode sequence
-            # unique.
-            for _ in range(key + 1):
-                asm.nop()
             asm.goto(join)
         asm.label(default)
         self._straight()
@@ -173,15 +164,57 @@ class _MethodGenerator:
         return self.asm.build()
 
 
+#: Attempts per method before giving up on a decodable body.  Empirically
+#: almost every body is decodable on the first try (ambiguity needs two
+#: switch arms with identical random opcode sequences), so a deep retry
+#: budget is a safety net, not a hot path.
+MAX_REGENERATION_ATTEMPTS = 200
+
+
+def _method_seed(seed: int, index: int, attempt: int) -> int:
+    """Derived sub-seed: deterministic per (program seed, method, attempt)."""
+    return (seed * 1_000_003 + index * 7_919 + attempt * 104_729) & 0x7FFFFFFF
+
+
 def generate_program(
     seed: int, config: Optional[GeneratorConfig] = None
 ) -> JProgram:
-    """Generate one verified random program with entry ``Gen.main``."""
+    """Generate one verified, *statically decodable* program.
+
+    Earlier revisions padded switch arms with NOP runs so no two arms
+    could share an opcode sequence.  Instead of distorting the workload,
+    each method body is now checked with the static ambiguity analyzer
+    (:mod:`repro.analysis.ambiguity`) as it is built, and regenerated
+    from a derived sub-seed until the projection NFA has no diamond.
+    Methods are built from the highest index down so every possible
+    callee already exists when its callers are checked (the call graph
+    only points towards higher indices).
+    """
+    from ..analysis.ambiguity import check
+
     config = config or GeneratorConfig()
-    rng = random.Random(seed)
+    methods = {}
+
+    def resolve(ref, virtual):
+        target = methods.get(ref.method_name)
+        return [target] if target is not None and ref.class_name == "Gen" else []
+
+    for index in reversed(range(config.methods)):
+        for attempt in range(MAX_REGENERATION_ATTEMPTS):
+            rng = random.Random(_method_seed(seed, index, attempt))
+            candidate = _MethodGenerator(rng, config, index).build()
+            if check(candidate, resolve).decodable:
+                methods[candidate.name] = candidate
+                break
+        else:
+            raise RuntimeError(
+                "no decodable body for Gen.m%d within %d attempts (seed %d)"
+                % (index, MAX_REGENERATION_ATTEMPTS, seed)
+            )
+
     cls = JClass("Gen")
     for index in range(config.methods):
-        cls.add_method(_MethodGenerator(rng, config, index).build())
+        cls.add_method(methods["m%d" % index])
     error_class = JClass("GenError")
     main = MethodAssembler("Gen", "main", arg_count=0, returns_value=True)
     main.const(seed % 8191 + 1)

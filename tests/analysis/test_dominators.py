@@ -1,0 +1,186 @@
+"""Property tests for the dominator / post-dominator trees.
+
+The iterative Cooper-Harvey-Kennedy result is checked against the
+brute-force definition on CFGs of generated programs: *a* dominates *b*
+iff deleting *a* disconnects *b* from the entry (and dually for
+post-dominators and the exits).  The generator sweep covers >= 200 seeds.
+"""
+
+import pytest
+
+from repro.analysis import (
+    VIRTUAL_EXIT,
+    DominatorTree,
+    PostDominatorTree,
+    infer_node_coverage,
+)
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.cfg import CFG
+from repro.workloads.generator import GeneratorConfig, generate_program
+
+
+def _reachable_from(cfg, source, removed=None):
+    seen = {source}
+    work = [source]
+    while work:
+        current = work.pop()
+        for succ in cfg.successor_ids(current):
+            if succ == removed or succ in seen:
+                continue
+            seen.add(succ)
+            work.append(succ)
+    return seen
+
+
+def _brute_dominates(cfg, a, b):
+    """a dom b: every entry-to-b path passes through a."""
+    if a == b:
+        return True
+    if a == 0:
+        return True
+    reachable = _reachable_from(cfg, 0, removed=a)
+    return b not in reachable
+
+
+def _brute_post_dominates(cfg, a, b, exits):
+    """a pdom b: every b-to-exit path passes through a."""
+    if a == b:
+        return True
+    # Can b reach any exit while avoiding a?
+    seen = {b}
+    work = [b]
+    while work:
+        current = work.pop()
+        if current in exits:
+            return False
+        for succ in cfg.successor_ids(current):
+            if succ == a or succ in seen:
+                continue
+            seen.add(succ)
+            work.append(succ)
+    return True
+
+
+def _check_method(method):
+    cfg = CFG(method)
+    tree = DominatorTree(cfg)
+    reachable = _reachable_from(cfg, 0)
+    blocks = [block.block_id for block in cfg.blocks]
+    for a in blocks:
+        for b in blocks:
+            if b not in reachable:
+                assert not tree.dominates(a, b)
+                continue
+            if a not in reachable:
+                assert not tree.dominates(a, b)
+                continue
+            expected = _brute_dominates(cfg, a, b)
+            assert tree.dominates(a, b) == expected, (
+                "%s: dom(%d, %d) = %s, brute force says %s"
+                % (method.qualified_name, a, b, tree.dominates(a, b), expected)
+            )
+    ptree = PostDominatorTree(cfg)
+    exits = {
+        block.block_id for block in cfg.blocks if not cfg.successor_ids(block.block_id)
+    }
+    for a in blocks:
+        for b in blocks:
+            if b not in ptree.idom or a not in ptree.idom:
+                continue
+            expected = _brute_post_dominates(cfg, a, b, exits)
+            assert ptree.post_dominates(a, b) == expected, (
+                "%s: pdom(%d, %d) = %s, brute force says %s"
+                % (
+                    method.qualified_name,
+                    a,
+                    b,
+                    ptree.post_dominates(a, b),
+                    expected,
+                )
+            )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("chunk", range(8))
+    def test_generated_cfgs_match_brute_force(self, chunk):
+        """25 seeds per chunk x 8 chunks = 200 seeds, every method."""
+        config = GeneratorConfig(
+            methods=3, switch_probability=0.3, throw_probability=0.2
+        )
+        for seed in range(chunk * 25, (chunk + 1) * 25):
+            program = generate_program(seed, config)
+            for method in program.methods():
+                _check_method(method)
+
+
+class TestStructure:
+    def _diamond(self):
+        asm = MethodAssembler("T", "d", arg_count=1, returns_value=True)
+        asm.load(0).ifeq("right")
+        asm.iinc(0, 1)
+        asm.goto("join")
+        asm.label("right")
+        asm.iinc(0, 2)
+        asm.label("join")
+        asm.load(0).ireturn()
+        return CFG(asm.build())
+
+    def test_diamond_idoms(self):
+        cfg = self._diamond()
+        tree = DominatorTree(cfg)
+        join = cfg.block_of(cfg.method.code[-1].bci).block_id
+        left, right = sorted(
+            block
+            for block in (edge.dst for edge in cfg.entry.successors)
+        )
+        # Both arms are idominated by the entry; the join too (neither
+        # arm dominates it).
+        assert tree.immediate_dominator(left) == 0
+        assert tree.immediate_dominator(right) == 0
+        assert tree.immediate_dominator(join) == 0
+
+    def test_diamond_post_idoms(self):
+        cfg = self._diamond()
+        ptree = PostDominatorTree(cfg)
+        join = cfg.block_of(cfg.method.code[-1].bci).block_id
+        for edge in cfg.entry.successors:
+            assert ptree.immediate_post_dominator(edge.dst) == join
+        assert ptree.post_dominates(join, 0)
+        assert ptree.immediate_post_dominator(join) == VIRTUAL_EXIT
+
+    def test_entry_dominates_everything_reachable(self):
+        cfg = self._diamond()
+        tree = DominatorTree(cfg)
+        for block in cfg.blocks:
+            assert tree.dominates(0, block.block_id)
+
+
+class TestCoverageInference:
+    def test_observed_blocks_lift_to_dominators(self):
+        asm = MethodAssembler("T", "d", arg_count=1, returns_value=True)
+        asm.load(0).ifeq("right")
+        asm.iinc(0, 1)
+        asm.goto("join")
+        asm.label("right")
+        asm.iinc(0, 2)
+        asm.label("join")
+        asm.load(0).ireturn()
+        cfg = CFG(asm.build())
+        tree = DominatorTree(cfg)
+        join = cfg.block_of(cfg.method.code[-1].bci).block_id
+        covered = infer_node_coverage(cfg, tree, {join})
+        # Observing the join proves the entry ran, but neither arm.
+        assert 0 in covered and join in covered
+        arms = {edge.dst for edge in cfg.entry.successors}
+        assert not arms & covered
+
+    def test_empty_observation_covers_nothing(self):
+        cfg = self._simple()
+        tree = DominatorTree(cfg)
+        assert infer_node_coverage(cfg, tree, set()) == set()
+
+    @staticmethod
+    def _simple():
+        asm = MethodAssembler("T", "s", arg_count=1, returns_value=True)
+        asm.load(0).ireturn()
+        return CFG(asm.build())

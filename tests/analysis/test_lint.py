@@ -1,0 +1,156 @@
+"""Tests for the metadata / program well-formedness lints."""
+
+import copy
+
+from repro.analysis import (
+    Severity,
+    lint_database,
+    lint_program,
+    lint_templates,
+    unreachable_blocks,
+    unreachable_nodes,
+)
+from repro.core.metadata import collect_metadata
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.model import JClass, JProgram
+from repro.workloads import build_subject, default_config
+
+
+def _fixture():
+    subject = build_subject("avrora")
+    run = subject.run(default_config())
+    return subject.program, collect_metadata(run)
+
+
+class TestTemplates:
+    def test_real_table_is_clean(self):
+        _program, database = _fixture()
+        assert lint_templates(database.template_metadata) == []
+
+    def test_unknown_mnemonic_is_error(self):
+        findings = lint_templates({"frobnicate": ((0x100, 0x160),)})
+        assert any(
+            f.check == "template-unknown-mnemonic" and f.severity is Severity.ERROR
+            for f in findings
+        )
+
+    def test_empty_range_is_error(self):
+        findings = lint_templates({"nop": ((0x200, 0x200),)})
+        assert any(f.check == "template-empty-range" for f in findings)
+
+    def test_overlapping_ranges_are_error(self):
+        findings = lint_templates(
+            {"nop": ((0x100, 0x180),), "iadd": ((0x150, 0x1B0),)}
+        )
+        assert any(f.check == "template-overlap" for f in findings)
+
+    def test_missing_opcode_is_warning_only(self):
+        findings = lint_templates({"nop": ((0x100, 0x160),)})
+        assert all(
+            f.severity is not Severity.ERROR
+            for f in findings
+            if f.check == "template-missing-op"
+        )
+
+
+class TestDatabase:
+    def test_clean_database_has_no_errors(self):
+        program, database = _fixture()
+        errors = [
+            f
+            for f in lint_database(database, program)
+            if f.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_deleted_debug_record_detected_by_count(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        dump = next(d for d in mutated.code_dumps if d.debug)
+        del dump.debug[sorted(dump.debug)[0]]
+        findings = lint_database(mutated, program)
+        assert any(f.check == "debug-count-mismatch" for f in findings)
+
+    def test_bogus_qname_detected(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        dump = next(d for d in mutated.code_dumps if d.debug)
+        dump.debug[sorted(dump.debug)[0]] = (("lost", -1),)
+        findings = lint_database(mutated, program)
+        assert any(f.check == "debug-unresolvable" for f in findings)
+
+    def test_unknown_method_detected(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        dump = next(d for d in mutated.code_dumps if d.debug)
+        dump.debug[sorted(dump.debug)[0]] = (("no.such.Klass.method", 0),)
+        findings = lint_database(mutated, program)
+        assert any(f.check == "debug-unresolvable" for f in findings)
+
+    def test_out_of_range_bci_detected(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        dump = next(d for d in mutated.code_dumps if d.debug)
+        address = sorted(dump.debug)[0]
+        frames = dump.debug[address]
+        qname, _bci = frames[-1]
+        dump.debug[address] = frames[:-1] + ((qname, 10_000_000),)
+        findings = lint_database(mutated, program)
+        assert any(
+            f.check == "debug-unresolvable" and f.address == address
+            for f in findings
+        )
+
+    def test_inverted_dump_range_detected(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        dump = mutated.code_dumps[0]
+        dump.limit = dump.entry
+        findings = lint_database(mutated, program)
+        assert any(f.check == "dump-empty-range" for f in findings)
+
+    def test_concurrently_live_overlapping_dumps_detected(self):
+        program, database = _fixture()
+        mutated = copy.deepcopy(database)
+        if len(mutated.code_dumps) < 2:
+            return  # nothing to overlap in this fixture
+        a, b = mutated.code_dumps[0], mutated.code_dumps[1]
+        b.entry = a.entry
+        b.limit = a.limit
+        a.unload_tsc = None
+        b.unload_tsc = None
+        findings = lint_database(mutated, program)
+        assert any(f.check == "dump-pc-overlap" for f in findings)
+
+
+class TestProgram:
+    def test_subject_programs_are_clean(self):
+        program, _database = _fixture()
+        errors = [
+            f for f in lint_program(program) if f.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_unreachable_block_is_warned(self):
+        asm = MethodAssembler("T", "dead", arg_count=1, returns_value=True)
+        asm.load(0).ireturn()
+        asm.label("island")
+        asm.iinc(0, 1)
+        asm.goto("island")
+        method = asm.build()
+        cls = JClass("T")
+        cls.add_method(method)
+        program = JProgram("dead-test")
+        program.add_class(cls)
+        program.set_entry("T", "dead")
+        assert "T.dead" in unreachable_blocks(program)
+        nodes = unreachable_nodes(program)
+        assert all(qname == "T.dead" for qname, _bci in nodes)
+        findings = lint_program(program)
+        assert any(f.check == "unreachable-block" for f in findings)
+
+    def test_call_edges_have_return_edges(self):
+        program, _database = _fixture()
+        assert not any(
+            f.check == "call-missing-return-edge" for f in lint_program(program)
+        )

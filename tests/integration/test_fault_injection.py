@@ -216,6 +216,63 @@ class TestStatsReconciliation:
             assert decoder.stats.losses == losses
 
 
+class TestLintFlagsCorruption:
+    """ISSUE 4 satellite: every database-corruption fault the injector can
+    apply is flagged by the static metadata lint *before* any decode."""
+
+    @staticmethod
+    def _expected_flagged(fault, findings, database):
+        """One fault is covered by an unresolvable finding at its address
+        or by the containing dump's debug-count-mismatch (deletions, and
+        mutations later shadowed by a deletion at the same address)."""
+        address = int(fault.detail.split("0x", 1)[1].split(" ", 1)[0], 16)
+        if any(
+            f.check == "debug-unresolvable" and f.address == address
+            for f in findings
+        ):
+            return True
+        owners = [
+            dump.qname
+            for dump in database.code_dumps
+            if dump.entry <= address < dump.limit
+        ]
+        return any(
+            f.check == "debug-count-mismatch" and f.qname in owners
+            for f in findings
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_every_corruption_flagged_before_decode(self, fixture, seed):
+        from repro.analysis import lint_database
+
+        injector = FaultInjector(2_000_000 + seed)
+        database, faults = injector.corrupt_database(
+            fixture["database"], entries=8
+        )
+        assert faults, "seed=%d applied nothing" % seed
+        findings = lint_database(database, fixture["program"])
+        for fault in faults:
+            assert self._expected_flagged(fault, findings, database), (
+                "seed=%d fault %r not flagged" % (seed, fault.detail)
+            )
+
+    def test_clean_database_not_flagged(self, fixture):
+        from repro.analysis import Severity, lint_database
+
+        findings = lint_database(fixture["database"], fixture["program"])
+        assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+    def test_pipeline_report_carries_the_findings(self, fixture):
+        injector = FaultInjector(99)
+        database, faults = injector.corrupt_database(
+            fixture["database"], entries=8
+        )
+        assert faults
+        result = fixture["jportal"].analyze_trace(fixture["trace"], database)
+        assert result.analysis_report is not None
+        assert result.analysis_report.lint.has_errors
+
+
 class TestFaultSmoke:
     """Fast fixed-seed subset for CI (see the fault-smoke job)."""
 

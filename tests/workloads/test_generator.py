@@ -49,6 +49,45 @@ class TestGeneration:
                     assert callee_index > caller_index
 
 
+class TestDecodability:
+    """The analyzer gate replaced PR 3's NOP padding: every shipped
+    program must be statically decodable, with no NOPs distorting it."""
+
+    @given(st.integers(0, 600))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_programs_statically_decodable(self, seed):
+        from repro.analysis import check_program
+
+        checks = check_program(generate_program(seed))
+        assert all(c.decodable for c in checks.values())
+
+    def test_switch_heavy_programs_decodable(self):
+        from repro.analysis import check_program
+
+        config = GeneratorConfig(methods=5, switch_probability=0.6, max_depth=3)
+        for seed in range(30):
+            checks = check_program(generate_program(seed, config))
+            bad = [q for q, c in checks.items() if not c.decodable]
+            assert bad == [], "seed=%d: %r" % (seed, bad)
+
+    def test_no_nop_padding_emitted(self):
+        from repro.jvm.opcodes import Op
+
+        config = GeneratorConfig(methods=5, switch_probability=0.9)
+        for seed in range(10):
+            program = generate_program(seed, config)
+            for method in program.methods():
+                assert all(inst.op is not Op.NOP for inst in method.code)
+
+    def test_regeneration_is_deterministic(self):
+        config = GeneratorConfig(methods=5, switch_probability=0.9)
+        first = generate_program(7, config)
+        second = generate_program(7, config)
+        for method in first.methods():
+            twin = second.method("Gen", method.name)
+            assert [str(i) for i in method.code] == [str(i) for i in twin.code]
+
+
 class TestExceptionArcs:
     @given(st.integers(0, 300))
     @settings(max_examples=12, deadline=None)
