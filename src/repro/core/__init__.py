@@ -10,6 +10,7 @@ from .abstraction import (
 )
 from .degradation import (
     ANOMALY_METRIC_PREFIX,
+    ARCHIVE_METRIC_PREFIX,
     DEFAULT_POLICY,
     AnomalyKind,
     DegradationPolicy,
@@ -53,6 +54,7 @@ __all__ = [
     "abstract_sequence",
     "common_suffix_length",
     "ANOMALY_METRIC_PREFIX",
+    "ARCHIVE_METRIC_PREFIX",
     "DEFAULT_POLICY",
     "AnomalyKind",
     "DegradationPolicy",

@@ -32,6 +32,7 @@ __all__ = [
     "DegradationPolicy",
     "DEFAULT_POLICY",
     "ANOMALY_METRIC_PREFIX",
+    "ARCHIVE_METRIC_PREFIX",
     "metric_name",
     "anomaly_breakdown",
 ]
@@ -41,6 +42,11 @@ DEFAULT_POLICY = DegradationPolicy()
 
 #: Per-kind anomaly counters are published as ``<prefix><kind.value>``.
 ANOMALY_METRIC_PREFIX = "decode.anomaly."
+
+#: Disk-level salvage events (:mod:`repro.pt.archive`) are published
+#: under their own prefix so archive damage is distinguishable from
+#: in-stream decode damage, then folded into the same breakdown.
+ARCHIVE_METRIC_PREFIX = "archive.anomaly."
 
 #: Degradation events recorded outside the packet decoder use their own
 #: counters; ``anomaly_breakdown`` folds them into the matching kind.
@@ -64,6 +70,10 @@ def anomaly_breakdown(
     threads.  Kinds with a zero count are omitted.
     """
     breakdown = metrics.counters_by_prefix(ANOMALY_METRIC_PREFIX, tid=tid)
+    for key, value in metrics.counters_by_prefix(
+        ARCHIVE_METRIC_PREFIX, tid=tid
+    ).items():
+        breakdown[key] = breakdown.get(key, 0) + value
     for counter, kind in _EXTRA_KIND_COUNTERS.items():
         count = metrics.counter(counter, tid=tid)
         if count:

@@ -54,6 +54,14 @@ class CodeDump:
             return False
         return self.unload_tsc is None or tsc < self.unload_tsc
 
+    @property
+    def identity(self) -> Tuple[str, int, int]:
+        """Stable key for one exported blob: a method recompiled (or its
+        address reused after GC) gets a new ``load_tsc``, so the triple
+        distinguishes every export event.  The archive layer dedups the
+        metadata snapshot against the incremental journal with it."""
+        return (self.qname, self.entry, self.load_tsc)
+
 
 def collect_metadata(run: RunResult) -> "CodeDatabase":
     """Export the machine-code metadata of a finished run."""
@@ -168,6 +176,24 @@ class CodeDatabase:
                 return dump.debug.get(ip)
         dump, _mi = candidates[-1]
         return dump.debug.get(ip)
+
+    def with_dumps(self, extra_dumps: List[CodeDump]) -> "CodeDatabase":
+        """A new database with *extra_dumps* merged in (deduplicated by
+        :attr:`CodeDump.identity`, ordered by load time).
+
+        This is how an archive's metadata snapshot and its incremental
+        ``CodeDump`` journal combine: the snapshot carries everything
+        exported before it was taken, the journal carries the dumps the
+        online side appended afterwards (before GC could reclaim them),
+        and replayed journal entries collapse onto the snapshot copy.
+        """
+        merged: Dict[Tuple[str, int, int], CodeDump] = {
+            dump.identity: dump for dump in self.code_dumps
+        }
+        for dump in extra_dumps:
+            merged.setdefault(dump.identity, dump)
+        dumps = sorted(merged.values(), key=lambda d: (d.load_tsc, d.entry))
+        return CodeDatabase(self.template_metadata, dumps, self.address_space)
 
     def compiled_method_count(self) -> int:
         return len({dump.qname for dump in self.code_dumps})

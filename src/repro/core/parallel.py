@@ -63,6 +63,17 @@ class ParallelPipeline:
         database = collect_metadata(run)
         return self.analyze_trace(trace, database)
 
+    def analyze_archive(
+        self, path, database: Optional[CodeDatabase] = None, snapshot_path=None
+    ) -> JPortalResult:
+        """Salvage-read an on-disk archive and analyse it on the pool."""
+        return self.jportal.analyze_archive(
+            path,
+            database=database,
+            max_workers=self.max_workers,
+            snapshot_path=snapshot_path,
+        )
+
     def analyze_trace(
         self, trace: PTTrace, database: CodeDatabase
     ) -> JPortalResult:

@@ -141,6 +141,10 @@ class JPortalResult:
     #: Static decodability analysis (observability + ambiguity verdicts)
     #: with this run's database lint findings merged in.
     analysis_report: Optional[object] = None
+    #: Disk-level salvage report (:class:`repro.pt.archive.SalvageStats`)
+    #: when the trace came from :meth:`JPortal.analyze_archive`; ``None``
+    #: for in-memory analyses.
+    salvage: Optional[object] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -244,7 +248,61 @@ class JPortal:
             )
         return self._finish(trace, database, flows, metrics, wall_started)
 
+    def analyze_archive(
+        self,
+        path,
+        database: Optional[CodeDatabase] = None,
+        max_workers: int = 1,
+        snapshot_path=None,
+    ) -> JPortalResult:
+        """Salvage-read a durable ``RPT2`` (or legacy ``RPT1``) archive
+        from disk and analyse whatever survived.
+
+        Disk damage never raises (unless the policy sets
+        ``archive_strict``): corrupt segments become synthetic loss
+        records handed to hole recovery, and every salvage event is
+        folded into ``anomalies_by_kind`` (``archive.anomaly.*``
+        counters) alongside the decode-level anomalies.  The full
+        :class:`~repro.pt.archive.SalvageStats` lands on
+        ``result.salvage``.
+
+        *database* overrides the archive's metadata snapshot + journal
+        (e.g. when the sidecar is lost but metadata was exported through
+        another channel).
+        """
+        from ..pt.archive import read_archive
+
+        contents = read_archive(
+            path,
+            snapshot_path=snapshot_path,
+            strict=self.degradation_policy.archive_strict,
+        )
+        salvaged_db = database if database is not None else contents.database_or_empty()
+        trace = contents.to_trace()
+        result = self.analyze_trace(trace, salvaged_db, max_workers=max_workers)
+        self._attach_salvage(result, contents.stats)
+        return result
+
     # ------------------------------------------------------------- internals
+    @staticmethod
+    def _attach_salvage(result: JPortalResult, stats) -> None:
+        """Publish salvage stats onto the result's metric surface."""
+        from .degradation import ARCHIVE_METRIC_PREFIX
+
+        metrics = result.metrics
+        if metrics is not None:
+            for kind, count in stats.by_kind().items():
+                metrics.incr(ARCHIVE_METRIC_PREFIX + kind, count)
+            metrics.incr("archive.segments_salvaged", stats.segments_salvaged)
+            metrics.incr("archive.segments_dropped", stats.segments_dropped)
+            metrics.incr("archive.bytes_salvaged", stats.bytes_salvaged)
+            metrics.incr(
+                "archive.metadata_snapshots_missing",
+                stats.metadata_snapshots_missing,
+            )
+            result.anomalies_by_kind = anomaly_breakdown(metrics)
+        result.salvage = stats
+
     def _analyze_thread_safe(
         self,
         tid: int,

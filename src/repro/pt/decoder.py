@@ -102,6 +102,24 @@ class AnomalyKind(str, Enum):
     #: A whole per-thread analysis chain that failed and was replaced by
     #: an empty flow (recorded by the pipeline, not the packet decoder).
     CHAIN_FAILURE = "chain_failure"
+    # ---- archive-level kinds (recorded by the RPT2 salvage reader in
+    # :mod:`repro.pt.archive`, not the packet decoder; published under
+    # ``archive.anomaly.<value>`` and folded into ``anomalies_by_kind``).
+    #: A segment whose payload CRC32 did not match its header (bit rot).
+    SEGMENT_CRC_MISMATCH = "segment_crc_mismatch"
+    #: A segment cut short or never committed (torn write / truncation).
+    SEGMENT_TORN = "segment_torn"
+    #: A gap in the record sequence numbering (segments lost wholesale).
+    SEGMENT_GAP = "segment_gap"
+    #: A record whose sequence number was already consumed (replayed dump).
+    SEGMENT_DUPLICATE = "segment_duplicate"
+    #: The archive ends without its seal record (crash or truncation at a
+    #: record boundary -- everything present is still salvageable).
+    ARCHIVE_UNSEALED = "archive_unsealed"
+    #: Bytes that frame no parseable record (garbage, damaged headers).
+    ARCHIVE_MALFORMED = "archive_malformed"
+    #: The metadata snapshot sidecar is missing or unreadable.
+    METADATA_SNAPSHOT_MISSING = "metadata_snapshot_missing"
     #: Catch-all for anomalies predating the taxonomy.
     UNSPECIFIED = "unspecified"
 
@@ -121,10 +139,16 @@ class DegradationPolicy:
             (a ``TraceLoss`` with ``synthetic=True``): the damaged span
             is handed to the recovery engine rather than trusted.
             ``None`` disables the budget.
+        archive_strict: When reading an on-disk archive
+            (:func:`repro.pt.archive.read_archive`), raise on the first
+            salvage event instead of degrading.  The default mirrors the
+            decode contract: damage becomes loss records and anomaly
+            counters, never an exception.
     """
 
     resync: bool = True
     max_anomalies_per_segment: Optional[int] = 64
+    archive_strict: bool = False
 
 
 @dataclass

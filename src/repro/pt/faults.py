@@ -64,13 +64,42 @@ class FaultKind(str, Enum):
     REORDER_TIE = "reorder_tie"
     #: Invalidate debug-info entries (database-level, not stream-level).
     STALE_DEBUG = "stale_debug"
+    # ---- archive (disk) level: byte mutations of an ``RPT2`` file
+    # applied by :meth:`FaultInjector.corrupt_archive` /
+    # :meth:`FaultInjector.corrupt_snapshot`, not a packet stream.
+    #: Cut the archive file at an arbitrary byte (crash mid-dump).
+    TRUNCATE_ARCHIVE = "truncate_archive"
+    #: Flip one bit anywhere in the file (media rot, transfer damage).
+    BIT_FLIP = "bit_flip"
+    #: Remove one whole committed segment record (lost dump window).
+    DROP_SEGMENT = "drop_segment"
+    #: Replay one committed segment record (retransmitted dump window).
+    DUPLICATE_SEGMENT = "duplicate_segment"
+    #: Remove or corrupt the metadata snapshot sidecar (stale export).
+    STALE_SNAPSHOT = "stale_snapshot"
 
+
+#: Kinds applied at the archive-byte level by ``corrupt_archive``
+#: (``STALE_SNAPSHOT`` is file-level: see ``corrupt_snapshot``).
+ARCHIVE_FAULT_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.TRUNCATE_ARCHIVE,
+    FaultKind.BIT_FLIP,
+    FaultKind.DROP_SEGMENT,
+    FaultKind.DUPLICATE_SEGMENT,
+)
+
+#: Every disk-durability fault, including the sidecar one.
+DISK_FAULT_KINDS: Tuple[FaultKind, ...] = ARCHIVE_FAULT_KINDS + (
+    FaultKind.STALE_SNAPSHOT,
+)
 
 #: Kinds that mutate a packet/loss stream (everything except the
 #: metadata-level fault, which :meth:`FaultInjector.corrupt_database`
-#: applies to a code database instead).
+#: applies to a code database instead, and the archive-byte-level
+#: faults, which mutate serialised files).
 STREAM_FAULT_KINDS: Tuple[FaultKind, ...] = tuple(
-    kind for kind in FaultKind if kind is not FaultKind.STALE_DEBUG
+    kind for kind in FaultKind
+    if kind is not FaultKind.STALE_DEBUG and kind not in DISK_FAULT_KINDS
 )
 
 
@@ -104,8 +133,7 @@ class FaultInjector:
         mutated: TaggedStream = list(stream)
         applied: List[InjectedFault] = []
         pool = [
-            k for k in (kinds or STREAM_FAULT_KINDS)
-            if k is not FaultKind.STALE_DEBUG
+            k for k in (kinds or STREAM_FAULT_KINDS) if k in STREAM_FAULT_KINDS
         ]
         for _ in range(faults):
             if not pool or not mutated:
@@ -293,6 +321,110 @@ class FaultInjector:
             core.packets = [item for tag, item in stream if tag == "packet"]
             core.losses = [item for tag, item in stream if tag == "loss"]
         return mutated, applied
+
+    # ---------------------------------------------------------- archive level
+    def corrupt_archive(
+        self,
+        data: bytes,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        faults: int = 1,
+    ) -> Tuple[bytes, List[InjectedFault]]:
+        """Apply *faults* disk-level mutations to serialised ``RPT2``
+        archive bytes; returns the mutated bytes and the faults applied.
+
+        Like :meth:`mutate_stream`, a kind whose precondition fails (no
+        committed segment left to drop, nothing left to truncate) is
+        skipped rather than an error, so fuzz loops stay total.  The
+        salvage contract under test: for every mutation produced here,
+        :func:`repro.pt.archive.read_archive` completes and reports the
+        damage in its salvage stats.
+        """
+        from .archive import REC_SEGMENT, scan_record_spans
+
+        mutated = bytearray(data)
+        applied: List[InjectedFault] = []
+        pool = [
+            k for k in (kinds or ARCHIVE_FAULT_KINDS) if k in ARCHIVE_FAULT_KINDS
+        ]
+        for _ in range(faults):
+            if not pool or not mutated:
+                break
+            kind = self.rng.choice(pool)
+            if kind is FaultKind.TRUNCATE_ARCHIVE:
+                if len(mutated) < 6:
+                    continue
+                cut = self.rng.randrange(5, len(mutated))
+                del mutated[cut:]
+                applied.append(
+                    InjectedFault(kind, cut, "file cut at byte %d" % cut)
+                )
+            elif kind is FaultKind.BIT_FLIP:
+                position = self.rng.randrange(len(mutated))
+                bit = self.rng.randrange(8)
+                mutated[position] ^= 1 << bit
+                applied.append(
+                    InjectedFault(
+                        kind, position, "bit %d flipped at byte %d" % (bit, position)
+                    )
+                )
+            else:  # drop / duplicate a committed segment record
+                spans = [
+                    span for span in scan_record_spans(bytes(mutated))
+                    if span.rtype == REC_SEGMENT
+                ]
+                if not spans:
+                    continue
+                span = self.rng.choice(spans)
+                if kind is FaultKind.DROP_SEGMENT:
+                    del mutated[span.start:span.end]
+                    applied.append(
+                        InjectedFault(
+                            kind, span.start,
+                            "segment seq %d removed (%d bytes)"
+                            % (span.seq, span.end - span.start),
+                        )
+                    )
+                else:
+                    mutated[span.end:span.end] = mutated[span.start:span.end]
+                    applied.append(
+                        InjectedFault(
+                            kind, span.end,
+                            "segment seq %d replayed" % span.seq,
+                        )
+                    )
+        return bytes(mutated), applied
+
+    def corrupt_snapshot(self, snapshot_path) -> Optional[InjectedFault]:
+        """Make the metadata snapshot sidecar stale: delete it, truncate
+        it mid-payload, or rot one byte -- the pre-GC export race at the
+        file level.  Returns the fault, or ``None`` if no sidecar exists.
+        """
+        import os
+
+        path = str(snapshot_path)
+        if not os.path.exists(path):
+            return None
+        mode = self.rng.randrange(3)
+        if mode == 0:
+            os.unlink(path)
+            detail = "snapshot deleted"
+        else:
+            with open(path, "rb") as source:
+                blob = bytearray(source.read())
+            if mode == 1 and len(blob) > 1:
+                blob = blob[:self.rng.randrange(1, len(blob))]
+                detail = "snapshot truncated to %d bytes" % len(blob)
+            elif blob:
+                position = self.rng.randrange(len(blob))
+                blob[position] ^= 1 << self.rng.randrange(8)
+                detail = "snapshot byte %d rotted" % position
+            else:
+                os.unlink(path)
+                detail = "empty snapshot deleted"
+            if os.path.exists(path):
+                with open(path, "wb") as sink:
+                    sink.write(bytes(blob))
+        return InjectedFault(FaultKind.STALE_SNAPSHOT, -1, detail)
 
     # --------------------------------------------------------- metadata level
     def corrupt_database(self, database, entries: int = 4):

@@ -35,6 +35,11 @@ class PTConfig:
     buffer: RingBufferConfig = field(default_factory=RingBufferConfig)
     encoder: EncoderConfig = field(default_factory=EncoderConfig)
     ip_filter: bool = True
+    #: Packets per ``RPT2`` archive segment when exporting with
+    #: :func:`collect_to_archive` -- the "periodically dumps trace packets
+    #: to files" knob (Section 3): smaller segments mean finer-grained
+    #: crash-loss, larger ones less framing overhead.
+    archive_segment_packets: int = 256
 
 
 @dataclass
@@ -217,3 +222,31 @@ def collect(run: RunResult, config: PTConfig = None) -> PTTrace:
     return PTTrace(
         cores=cores, thread_switches=list(run.thread_switches), config=config
     )
+
+
+def collect_to_archive(run: RunResult, path, config: PTConfig = None, snapshot_path=None):
+    """Collect a trace and persist it as a durable ``RPT2`` archive.
+
+    The online component's periodic-dump loop in one call: collect the
+    per-core packet streams, export the code metadata, and stream both
+    into the segmented crash-safe archive at *path* (metadata snapshot at
+    *snapshot_path*, default ``<path>.meta``).  Returns
+    ``(trace, database, report)``.
+    """
+    # Lazy imports: repro.core.pipeline imports this module at module
+    # level, so reaching back into repro.core here must happen at call
+    # time to avoid an import cycle.
+    from ..core.metadata import collect_metadata
+    from .archive import write_archive
+
+    config = config or PTConfig()
+    trace = collect(run, config)
+    database = collect_metadata(run)
+    report = write_archive(
+        trace,
+        database,
+        path,
+        segment_packets=config.archive_segment_packets,
+        snapshot_path=snapshot_path,
+    )
+    return trace, database, report

@@ -24,14 +24,31 @@ byte  meaning
 
 The logical ``compressed_size`` is stored so byte accounting survives the
 round trip (the file stores full IPs for simplicity; real PT would store
-the compressed form -- the *semantics* is identical).
+the compressed form -- the *semantics* is identical).  Valid values are
+the ones :func:`repro.pt.packets.compressed_tip_size` can produce (one
+header byte plus 2, 4, or 8 target bytes); anything else is rejected on
+both read and write, because a bogus size silently corrupts every
+downstream byte account (loss fractions, buffer occupancy, Table 2).
+
+Two reading surfaces:
+
+* :func:`read_stream` -- parse a whole ``RPT1`` stream into a list;
+* :func:`iter_stream` / :func:`iter_body` -- generators that yield one
+  entry at a time, so multi-GB files never need the full packet list
+  resident.  The archive layer (:mod:`repro.pt.archive`) parses each
+  segment payload with :func:`iter_body`.
+
+Every :class:`TraceFormatError` carries the file offset of the failure
+(``offset`` attribute, also in the message) and the offset at which the
+failing entry started (``entry_offset``) -- the salvage reader uses the
+latter to keep everything before the damage.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, List, Tuple
+from typing import BinaryIO, Iterable, Iterator, List, Tuple
 
 from .packets import (
     AuxLossRecord,
@@ -54,9 +71,77 @@ _TAG_LOSS = 0x07
 
 _MAGIC = b"RPT1"
 
+#: Encoded TIP sizes IP compression can produce: header + 2, 4, or 8.
+VALID_TIP_SIZES = (3, 5, 9)
+
 
 class TraceFormatError(Exception):
-    """Raised on malformed trace files."""
+    """Raised on malformed trace files.
+
+    Attributes:
+        offset: Byte offset at which the problem was detected.
+        entry_offset: Byte offset at which the failing entry started
+            (everything before it parsed cleanly -- the salvage point).
+    """
+
+    def __init__(self, message: str, offset: int = 0, entry_offset: int = 0):
+        super().__init__(message)
+        self.offset = offset
+        self.entry_offset = entry_offset
+
+
+def write_entry(entry: Tuple[str, object], sink: BinaryIO) -> int:
+    """Serialise one ``("packet"|"loss", item)`` entry; returns bytes."""
+    tag, item = entry
+    if tag == "loss":
+        record: AuxLossRecord = item
+        return sink.write(
+            struct.pack(
+                "<BQQQI",
+                _TAG_LOSS,
+                record.start_tsc,
+                record.end_tsc,
+                record.bytes_lost,
+                record.packets_lost,
+            )
+        )
+    packet: Packet = item
+    if isinstance(packet, PGEPacket):
+        return sink.write(struct.pack("<BQQ", _TAG_PGE, packet.tsc, packet.ip))
+    if isinstance(packet, PGDPacket):
+        return sink.write(struct.pack("<BQQ", _TAG_PGD, packet.tsc, packet.ip))
+    if isinstance(packet, TNTPacket):
+        bits = 0
+        for position, bit in enumerate(packet.bits):
+            if bit:
+                bits |= 1 << position
+        return sink.write(
+            struct.pack("<BQBB", _TAG_TNT, packet.tsc, len(packet.bits), bits)
+        )
+    if isinstance(packet, TIPPacket):
+        if packet.compressed_size not in VALID_TIP_SIZES:
+            raise TraceFormatError(
+                "refusing to write invalid TIP compressed_size %d"
+                % packet.compressed_size
+            )
+        return sink.write(
+            struct.pack(
+                "<BQBQ", _TAG_TIP, packet.tsc, packet.compressed_size, packet.target
+            )
+        )
+    if isinstance(packet, FUPPacket):
+        return sink.write(struct.pack("<BQQ", _TAG_FUP, packet.tsc, packet.ip))
+    if isinstance(packet, TSCPacket):
+        return sink.write(struct.pack("<BQ", _TAG_TSC, packet.tsc))
+    raise TypeError("unknown packet %r" % (packet,))
+
+
+def write_body(stream: Iterable[Tuple[str, object]], sink: BinaryIO) -> int:
+    """Serialise entries without the magic (archive segment payloads)."""
+    written = 0
+    for entry in stream:
+        written += write_entry(entry, sink)
+    return written
 
 
 def write_stream(
@@ -64,105 +149,105 @@ def write_stream(
 ) -> int:
     """Serialise a merged packet/loss stream; returns bytes written."""
     written = sink.write(_MAGIC)
-    for tag, item in stream:
-        if tag == "loss":
-            record: AuxLossRecord = item
-            written += sink.write(
-                struct.pack(
-                    "<BQQQI",
-                    _TAG_LOSS,
-                    record.start_tsc,
-                    record.end_tsc,
-                    record.bytes_lost,
-                    record.packets_lost,
+    return written + write_body(stream, sink)
+
+
+def iter_body(
+    source: BinaryIO, base_offset: int = 0
+) -> Iterator[Tuple[str, object]]:
+    """Yield ``("packet"|"loss", item)`` entries from a magic-less body.
+
+    *base_offset* is added to every reported offset, so errors from an
+    archive segment payload point at the position in the archive file
+    rather than within the payload buffer.
+    """
+    offset = base_offset
+
+    while True:
+        entry_offset = offset
+        tag_byte = source.read(1)
+        if not tag_byte:
+            return
+        offset += 1
+
+        def need(count: int) -> bytes:
+            nonlocal offset
+            data = source.read(count)
+            offset += len(data)
+            if len(data) != count:
+                raise TraceFormatError(
+                    "truncated trace file at offset %d (entry at %d)"
+                    % (offset, entry_offset),
+                    offset=offset,
+                    entry_offset=entry_offset,
                 )
-            )
-            continue
-        packet: Packet = item
-        if isinstance(packet, PGEPacket):
-            written += sink.write(struct.pack("<BQQ", _TAG_PGE, packet.tsc, packet.ip))
-        elif isinstance(packet, PGDPacket):
-            written += sink.write(struct.pack("<BQQ", _TAG_PGD, packet.tsc, packet.ip))
-        elif isinstance(packet, TNTPacket):
-            bits = 0
-            for position, bit in enumerate(packet.bits):
-                if bit:
-                    bits |= 1 << position
-            written += sink.write(
-                struct.pack("<BQBB", _TAG_TNT, packet.tsc, len(packet.bits), bits)
-            )
-        elif isinstance(packet, TIPPacket):
-            written += sink.write(
-                struct.pack(
-                    "<BQBQ", _TAG_TIP, packet.tsc, packet.compressed_size, packet.target
+            return data
+
+        tag = tag_byte[0]
+        if tag == _TAG_PGE:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            yield ("packet", PGEPacket(tsc=tsc, ip=ip))
+        elif tag == _TAG_PGD:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            yield ("packet", PGDPacket(tsc=tsc, ip=ip))
+        elif tag == _TAG_TNT:
+            tsc, count, bitfield = struct.unpack("<QBB", need(10))
+            if not 1 <= count <= 6:
+                raise TraceFormatError(
+                    "invalid TNT count %d at offset %d" % (count, entry_offset),
+                    offset=entry_offset,
+                    entry_offset=entry_offset,
                 )
+            bits = tuple(bool(bitfield & (1 << i)) for i in range(count))
+            yield ("packet", TNTPacket(tsc=tsc, bits=bits))
+        elif tag == _TAG_TIP:
+            tsc, size, target = struct.unpack("<QBQ", need(17))
+            if size not in VALID_TIP_SIZES:
+                raise TraceFormatError(
+                    "invalid TIP compressed_size %d at offset %d"
+                    % (size, entry_offset),
+                    offset=entry_offset,
+                    entry_offset=entry_offset,
+                )
+            yield ("packet", TIPPacket(tsc=tsc, target=target, compressed_size=size))
+        elif tag == _TAG_FUP:
+            tsc, ip = struct.unpack("<QQ", need(16))
+            yield ("packet", FUPPacket(tsc=tsc, ip=ip))
+        elif tag == _TAG_TSC:
+            (tsc,) = struct.unpack("<Q", need(8))
+            yield ("packet", TSCPacket(tsc=tsc))
+        elif tag == _TAG_LOSS:
+            start, end, lost, packets = struct.unpack("<QQQI", need(28))
+            yield (
+                "loss",
+                AuxLossRecord(
+                    start_tsc=start,
+                    end_tsc=end,
+                    bytes_lost=lost,
+                    packets_lost=packets,
+                ),
             )
-        elif isinstance(packet, FUPPacket):
-            written += sink.write(struct.pack("<BQQ", _TAG_FUP, packet.tsc, packet.ip))
-        elif isinstance(packet, TSCPacket):
-            written += sink.write(struct.pack("<BQ", _TAG_TSC, packet.tsc))
-        else:  # pragma: no cover - exhaustive
-            raise TypeError("unknown packet %r" % (packet,))
-    return written
+        else:
+            raise TraceFormatError(
+                "unknown tag 0x%02x at offset %d" % (tag, entry_offset),
+                offset=entry_offset,
+                entry_offset=entry_offset,
+            )
+
+
+def iter_stream(source: BinaryIO) -> Iterator[Tuple[str, object]]:
+    """Stream entries from a serialised ``RPT1`` file one at a time."""
+    magic = source.read(4)
+    if magic != _MAGIC:
+        raise TraceFormatError(
+            "bad magic %r at offset 0" % magic, offset=0, entry_offset=0
+        )
+    yield from iter_body(source, base_offset=4)
 
 
 def read_stream(source: BinaryIO) -> List[Tuple[str, object]]:
     """Parse a serialised stream back into ``("packet"|"loss", item)``."""
-    magic = source.read(4)
-    if magic != _MAGIC:
-        raise TraceFormatError("bad magic %r" % magic)
-    stream: List[Tuple[str, object]] = []
-
-    def need(count: int) -> bytes:
-        data = source.read(count)
-        if len(data) != count:
-            raise TraceFormatError("truncated trace file")
-        return data
-
-    while True:
-        tag_byte = source.read(1)
-        if not tag_byte:
-            break
-        tag = tag_byte[0]
-        if tag == _TAG_PGE:
-            tsc, ip = struct.unpack("<QQ", need(16))
-            stream.append(("packet", PGEPacket(tsc=tsc, ip=ip)))
-        elif tag == _TAG_PGD:
-            tsc, ip = struct.unpack("<QQ", need(16))
-            stream.append(("packet", PGDPacket(tsc=tsc, ip=ip)))
-        elif tag == _TAG_TNT:
-            tsc, count, bitfield = struct.unpack("<QBB", need(10))
-            if not 1 <= count <= 6:
-                raise TraceFormatError("invalid TNT count %d" % count)
-            bits = tuple(bool(bitfield & (1 << i)) for i in range(count))
-            stream.append(("packet", TNTPacket(tsc=tsc, bits=bits)))
-        elif tag == _TAG_TIP:
-            tsc, size, target = struct.unpack("<QBQ", need(17))
-            stream.append(
-                ("packet", TIPPacket(tsc=tsc, target=target, compressed_size=size))
-            )
-        elif tag == _TAG_FUP:
-            tsc, ip = struct.unpack("<QQ", need(16))
-            stream.append(("packet", FUPPacket(tsc=tsc, ip=ip)))
-        elif tag == _TAG_TSC:
-            (tsc,) = struct.unpack("<Q", need(8))
-            stream.append(("packet", TSCPacket(tsc=tsc)))
-        elif tag == _TAG_LOSS:
-            start, end, lost, packets = struct.unpack("<QQQI", need(28))
-            stream.append(
-                (
-                    "loss",
-                    AuxLossRecord(
-                        start_tsc=start,
-                        end_tsc=end,
-                        bytes_lost=lost,
-                        packets_lost=packets,
-                    ),
-                )
-            )
-        else:
-            raise TraceFormatError("unknown tag 0x%02x" % tag)
-    return stream
+    return list(iter_stream(source))
 
 
 def dump_bytes(stream: Iterable[Tuple[str, object]]) -> bytes:

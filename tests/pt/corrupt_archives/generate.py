@@ -1,0 +1,176 @@
+"""Regenerate the golden corpus of corrupted archives.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/pt/corrupt_archives/generate.py
+
+Everything is deterministic (seeded run, fixed cut points chosen
+relative to scanned record spans), so regeneration after a format change
+produces a reviewable diff.  ``manifest.json`` records, per file, which
+salvage kinds a reader must report and which snapshot sidecar (if any)
+belongs to it; ``test_corrupt_corpus.py`` drives the salvage contract
+from that manifest.
+"""
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: The corpus workload: keep in sync with ``test_corrupt_corpus.py``.
+ITERATIONS = 80
+CORES = 2
+SEGMENT_PACKETS = 48
+
+
+def build_corpus():
+    from conftest import build_figure2_program, lossy_config
+    from repro.jvm.runtime import RuntimeConfig, run_program
+    from repro.pt.archive import (
+        REC_SEGMENT,
+        RECORD_OVERHEAD,
+        merge_core_stream,
+        scan_record_spans,
+        write_archive,
+    )
+    from repro.pt.perf import collect
+    from repro.pt.serialize import dump_bytes
+    from repro.core.metadata import collect_metadata
+
+    program = build_figure2_program(ITERATIONS)
+    run = run_program(program, RuntimeConfig(cores=CORES))
+    trace = collect(run, lossy_config())
+    database = collect_metadata(run)
+
+    clean_path = os.path.join(HERE, "clean.rpt2")
+    write_archive(
+        trace, database, clean_path, segment_packets=SEGMENT_PACKETS
+    )
+    clean = open(clean_path, "rb").read()
+    spans = scan_record_spans(clean)
+    segments = [span for span in spans if span.rtype == REC_SEGMENT]
+    meta = "clean.rpt2.meta"
+
+    manifest = {}
+
+    def emit(name, payload, kinds, snapshot=meta, note=""):
+        with open(os.path.join(HERE, name), "wb") as sink:
+            sink.write(payload)
+        manifest[name] = {
+            "expected_kinds": sorted(kinds),
+            "snapshot": snapshot,
+            "note": note,
+        }
+
+    emit("clean.rpt2", clean, [], note="undamaged reference archive")
+
+    victim = segments[len(segments) // 2]
+    emit(
+        "truncated_tail.rpt2",
+        clean[: victim.start + RECORD_OVERHEAD + 7],
+        ["segment_torn", "archive_unsealed"],
+        note="file cut mid-payload of a middle segment",
+    )
+    emit(
+        "truncated_boundary.rpt2",
+        clean[: segments[-1].end],
+        ["archive_unsealed"],
+        note="file cut exactly at a record boundary (only the seal is gone)",
+    )
+
+    header_rot = bytearray(clean)
+    header_rot[segments[1].start + 3] ^= 0x40  # inside the record header
+    emit(
+        "bitflip_header.rpt2",
+        bytes(header_rot),
+        ["archive_malformed", "segment_gap"],
+        note="bit flipped in a segment header (header CRC rejects it)",
+    )
+
+    payload_rot = bytearray(clean)
+    payload_rot[segments[1].start + RECORD_OVERHEAD] ^= 0x01
+    emit(
+        "bitflip_payload.rpt2",
+        bytes(payload_rot),
+        ["segment_crc_mismatch"],
+        note="bit flipped in a segment payload (payload CRC rejects it)",
+    )
+
+    victim = segments[0]
+    emit(
+        "dropped_segment.rpt2",
+        clean[: victim.start] + clean[victim.end :],
+        ["segment_gap"],
+        note="one committed segment record excised",
+    )
+
+    victim = segments[2]
+    emit(
+        "duplicated_segment.rpt2",
+        clean[: victim.end] + clean[victim.start : victim.end] + clean[victim.end :],
+        ["segment_duplicate"],
+        note="one committed segment record replayed",
+    )
+
+    emit(
+        "missing_snapshot.rpt2",
+        clean,
+        ["metadata_snapshot_missing"],
+        snapshot=None,
+        note="intact archive whose metadata sidecar is gone",
+    )
+    emit(
+        "garbage_tail.rpt2",
+        clean + b"\x00\x11\x22\x33" * 16,
+        [],
+        note="junk appended after the seal; dropped without an event",
+    )
+    emit(
+        "bad_magic.rpt2",
+        b"XXXX" + clean[4:],
+        ["archive_malformed"],
+        note="unrecognised magic; records still salvage via sync scan",
+    )
+    emit(
+        "empty.rpt2",
+        b"",
+        ["archive_malformed", "archive_unsealed"],
+        snapshot=None,
+        note="zero-byte file",
+    )
+    emit(
+        "zeros.rpt2",
+        b"\x00" * 256,
+        ["archive_malformed", "archive_unsealed"],
+        snapshot=None,
+        note="all-zero file",
+    )
+
+    core0 = trace.cores[0]
+    legacy = dump_bytes(merge_core_stream(core0.packets, core0.losses))
+    emit(
+        "legacy.rpt1",
+        legacy,
+        [],
+        snapshot=None,
+        note="flat RPT1 stream (pre-archive format)",
+    )
+    emit(
+        "legacy_truncated.rpt1",
+        legacy[: len(legacy) * 2 // 3],
+        ["archive_malformed"],
+        snapshot=None,
+        note="RPT1 stream cut mid-entry; prefix salvages",
+    )
+
+    with open(os.path.join(HERE, "manifest.json"), "w") as sink:
+        json.dump(manifest, sink, indent=2, sort_keys=True)
+        sink.write("\n")
+    return manifest
+
+
+if __name__ == "__main__":
+    manifest = build_corpus()
+    print("wrote %d corpus files to %s" % (len(manifest) + 2, HERE))
+    sys.exit(0)

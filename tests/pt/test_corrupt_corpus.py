@@ -1,0 +1,104 @@
+"""Golden-corpus salvage tests.
+
+``corrupt_archives/`` holds a committed set of damaged archive files
+(regenerable with ``corrupt_archives/generate.py``) plus a manifest of
+the salvage kinds each one must surface.  Unlike the seeded fuzz suite,
+these bytes never change, so a decoder regression that quietly starts
+raising -- or stops *reporting* -- on a known damage shape fails loudly
+and reproducibly.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.core import JPortal
+from repro.pt.archive import read_archive
+
+from ..conftest import build_figure2_program
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corrupt_archives")
+
+with open(os.path.join(CORPUS, "manifest.json")) as _source:
+    MANIFEST = json.load(_source)
+
+#: Must match the workload constants in ``corrupt_archives/generate.py``.
+ITERATIONS = 80
+
+
+@pytest.fixture(scope="module")
+def jportal():
+    return JPortal(build_figure2_program(ITERATIONS))
+
+
+def snapshot_arg(entry):
+    name = entry.get("snapshot")
+    return os.path.join(CORPUS, name) if name else None
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_salvage_never_raises_and_reports(name):
+    """Contract part 1: hostile bytes -> stats, never an exception."""
+    entry = MANIFEST[name]
+    path = os.path.join(CORPUS, name)
+    contents = read_archive(path, snapshot_path=snapshot_arg(entry))
+    stats = contents.stats
+    kinds = set(stats.by_kind())
+    missing = set(entry["expected_kinds"]) - kinds
+    assert not missing, "%s: expected kinds %s absent (got %s)" % (
+        name, sorted(missing), sorted(kinds),
+    )
+    accounted = (
+        stats.bytes_salvaged + stats.bytes_dropped + stats.bytes_converted_to_loss
+    )
+    assert accounted == stats.file_size == os.path.getsize(path), name
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST))
+def test_full_analysis_completes(name, jportal):
+    """Contract part 2: the whole pipeline runs on every corpus file and
+    the injected damage lands in ``anomalies_by_kind``."""
+    entry = MANIFEST[name]
+    path = os.path.join(CORPUS, name)
+    result = jportal.analyze_archive(path, snapshot_path=snapshot_arg(entry))
+    assert result.salvage is not None
+    for kind in entry["expected_kinds"]:
+        assert result.anomalies_by_kind.get(kind, 0) >= 1, (name, kind)
+
+
+def test_clean_reference_is_clean():
+    contents = read_archive(
+        os.path.join(CORPUS, "clean.rpt2"),
+        snapshot_path=os.path.join(CORPUS, "clean.rpt2.meta"),
+    )
+    assert contents.stats.clean
+    assert contents.stats.sealed
+    assert contents.database is not None
+
+
+def test_corpus_files_all_manifested():
+    """Every binary in the corpus directory is covered by the manifest."""
+    binaries = {
+        name for name in os.listdir(CORPUS)
+        if name.endswith((".rpt1", ".rpt2"))
+    }
+    assert binaries == set(MANIFEST)
+
+
+def test_damaged_files_still_yield_segments():
+    """Single-fault files keep all undamaged segments decodable: the
+    salvaged stream of each is within one segment of the clean one."""
+    clean = read_archive(
+        os.path.join(CORPUS, "clean.rpt2"),
+        snapshot_path=os.path.join(CORPUS, "clean.rpt2.meta"),
+    )
+    clean_total = clean.stats.segments_salvaged
+    for name in ("bitflip_payload.rpt2", "dropped_segment.rpt2",
+                 "duplicated_segment.rpt2", "bitflip_header.rpt2"):
+        stats = read_archive(
+            os.path.join(CORPUS, name),
+            snapshot_path=snapshot_arg(MANIFEST[name]),
+        ).stats
+        assert stats.segments_salvaged >= clean_total - 1, name

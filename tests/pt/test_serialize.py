@@ -22,8 +22,10 @@ from repro.pt.packets import (
 )
 from repro.pt.perf import collect
 from repro.pt.serialize import (
+    VALID_TIP_SIZES,
     TraceFormatError,
     dump_bytes,
+    iter_stream,
     load_bytes,
     read_stream,
 )
@@ -131,3 +133,96 @@ class TestFormatErrors:
         data = b"RPT1" + struct.pack("<BQBB", 0x03, 0, 9, 0)
         with pytest.raises(TraceFormatError, match="TNT count"):
             load_bytes(data)
+
+    def test_invalid_tip_size_on_read(self):
+        import struct
+
+        data = b"RPT1" + struct.pack("<BQBQ", 0x04, 0, 7, 0x1000)
+        with pytest.raises(TraceFormatError, match="TIP compressed_size"):
+            load_bytes(data)
+
+    def test_invalid_tip_size_on_write(self):
+        bogus = TIPPacket(tsc=0, target=0x1000, compressed_size=11)
+        with pytest.raises(TraceFormatError, match="TIP compressed_size"):
+            dump_bytes([("packet", bogus)])
+
+    @given(st.sampled_from(VALID_TIP_SIZES))
+    def test_valid_tip_sizes_roundtrip(self, size):
+        stream = [("packet", TIPPacket(tsc=5, target=0x2000, compressed_size=size))]
+        assert load_bytes(dump_bytes(stream)) == stream
+
+
+class TestErrorOffsets:
+    """Every TraceFormatError carries the byte offset of the failure."""
+
+    def test_truncation_offsets(self):
+        stream = [("packet", TSCPacket(tsc=1)), ("packet", PGEPacket(tsc=2, ip=3))]
+        data = dump_bytes(stream)
+        with pytest.raises(TraceFormatError) as exc:
+            load_bytes(data[:-2])
+        # First entry is 4 (magic) + 9 bytes; the PGE entry starts at 13.
+        assert exc.value.entry_offset == 13
+        assert exc.value.offset == len(data) - 2
+        assert "offset" in str(exc.value)
+
+    def test_bad_magic_offset(self):
+        with pytest.raises(TraceFormatError) as exc:
+            read_stream(io.BytesIO(b"XXXX"))
+        assert exc.value.offset == 0
+
+    def test_unknown_tag_offset(self):
+        data = dump_bytes([("packet", TSCPacket(tsc=1))]) + b"\xff"
+        with pytest.raises(TraceFormatError) as exc:
+            load_bytes(data)
+        assert exc.value.offset == 13
+        assert exc.value.entry_offset == 13
+
+    @given(st.lists(item_strategy, min_size=1, max_size=30), st.data())
+    @settings(max_examples=60)
+    def test_salvage_point_is_valid(self, stream, data_source):
+        """``entry_offset`` always points at a clean-prefix boundary:
+        re-reading everything before it yields a prefix of the stream."""
+        data = dump_bytes(stream)
+        cut = data_source.draw(st.integers(5, len(data) - 1), label="cut")
+        try:
+            load_bytes(data[:cut])
+        except TraceFormatError as error:
+            prefix = data[:error.entry_offset]
+            entries = list(
+                iter_stream(io.BytesIO(prefix))
+            ) if len(prefix) >= 4 else []
+            assert entries == stream[: len(entries)]
+
+
+class TestIterStream:
+    def test_iter_matches_read(self):
+        run = run_program(build_figure2_program(60), RuntimeConfig(cores=1))
+        trace = collect(run, lossy_config())
+        threads = split_by_thread(trace)
+        data = dump_bytes(threads[0].stream)
+        assert list(iter_stream(io.BytesIO(data))) == read_stream(io.BytesIO(data))
+
+    def test_iter_is_lazy(self):
+        """A format error surfaces only when iteration reaches it."""
+        data = dump_bytes(
+            [("packet", TSCPacket(tsc=1)), ("packet", TSCPacket(tsc=2))]
+        )
+        iterator = iter_stream(io.BytesIO(data + b"\xff"))
+        assert next(iterator) == ("packet", TSCPacket(tsc=1))
+        assert next(iterator) == ("packet", TSCPacket(tsc=2))
+        with pytest.raises(TraceFormatError, match="unknown tag"):
+            next(iterator)
+
+    def test_decoder_accepts_generator(self):
+        """The decode pipeline consumes the stream exactly once, so the
+        streaming reader plugs in without materialising the list."""
+        run = run_program(build_figure2_program(60), RuntimeConfig(cores=1))
+        trace = collect(run, lossless_config())
+        threads = split_by_thread(trace)
+        database = collect_metadata(run)
+        data = dump_bytes(threads[0].stream)
+        direct = PTDecoder(database).decode(threads[0].stream)
+        streamed = PTDecoder(database).decode(iter_stream(io.BytesIO(data)))
+        assert [type(i).__name__ for i in direct] == [
+            type(i).__name__ for i in streamed
+        ]
