@@ -1,0 +1,254 @@
+"""Machine-readable performance trajectory (``python -m repro.bench``).
+
+The pytest benchmarks under ``benchmarks/`` assert *shapes*; this module
+records *numbers*.  One invocation runs the Table 5 decode/recovery
+measurement (every DaCapo-style subject, the same ``BUFFER_128``
+calibration the pytest suite uses) plus the archive-overhead benchmark,
+and merges the result -- tagged with a host/timestamp run id and the
+decode engine -- into a ``BENCH_<date>.json`` file.  Committing that
+file per PR gives the repo a perf trajectory that survives host changes
+(every entry names its host) and makes regressions diffable.
+
+The committed baseline pair for the array-core PR:
+
+* ``pre``  -- ``--engine object``: the original per-item decode core;
+* ``post`` -- ``--engine array``: the fused columnar core.
+
+CI's ``perf-smoke`` job reruns a reduced subject matrix and calls
+:func:`check_regression` against the committed ``post`` entry, failing
+on a >20% decode-throughput drop (see ``--check-against``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core import JPortal
+from ..core.metadata import collect_metadata
+from ..core.recovery import RecoveryConfig
+from ..pt.buffer import RingBufferConfig
+from ..pt.encoder import PTEncoder
+from ..pt.perf import PTConfig, calibrate_drain_period, collect
+from ..workloads import SUBJECT_NAMES, build_subject, default_config
+
+#: The "128 MB" equivalent in scaled bytes (same as benchmarks/conftest).
+BUFFER_128 = 2048
+
+#: Reduced matrix for the CI perf-smoke job: the biggest interpreter-heavy
+#: subject, the most multi-threaded one, and the highest-throughput one.
+SMOKE_SUBJECTS = ("avrora", "h2", "luindex")
+
+
+# --------------------------------------------------------------------- runs
+def run_id() -> Dict[str, str]:
+    """Host/timestamp identity stamped onto every bench entry."""
+    identity = {
+        "host": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    try:
+        identity["commit"] = (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, timeout=10,
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+            ).stdout.strip()
+            or "unknown"
+        )
+    except Exception:
+        identity["commit"] = "unknown"
+    return identity
+
+
+def _subject_setup(name: str):
+    subject = build_subject(name)
+    run = subject.run(default_config())
+    drain_period = calibrate_drain_period(run, BUFFER_128)
+    config = PTConfig(
+        buffer=RingBufferConfig(
+            capacity_bytes=BUFFER_128, drain_period=drain_period
+        )
+    )
+    return subject, run, config
+
+
+def run_table5(
+    engine: str = "array",
+    subjects: Optional[Iterable[str]] = None,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """The Table 5 measurement: per-subject phase timings + totals."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for name in subjects or SUBJECT_NAMES:
+        subject, run, config = _subject_setup(name)
+        pt_bytes = sum(
+            sum(p.size for p in PTEncoder().encode(events))
+            for events in run.core_events
+        )
+        jportal = JPortal(
+            subject.program,
+            recovery=RecoveryConfig(
+                cost_per_instruction=run.config.compiled_step_cost
+            ),
+            engine=engine,
+            cache_dir=cache_dir,
+        )
+        trace = collect(run, config)
+        database = collect_metadata(run)
+        result = jportal.analyze_trace(trace, database)
+        timings = result.timings
+        rows[name] = {
+            "pt_bytes": pt_bytes,
+            "decode_s": timings.decode_seconds,
+            "reconstruct_s": timings.reconstruct_seconds,
+            "recovery_s": timings.recovery_seconds,
+            "analysis_s": timings.analysis_seconds,
+            "wall_s": timings.wall_seconds,
+            "entries": result.total_entries(),
+            "anomalies": result.anomalies,
+            "loss_fraction": result.loss_fraction,
+            "threads": len(timings.per_thread),
+        }
+    return {"rows": rows, "totals": _totals(rows)}
+
+
+def _totals(rows: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    total = lambda key: sum(row[key] for row in rows.values())  # noqa: E731
+    pt_bytes = total("pt_bytes")
+    decode = total("decode_s")
+    dt = decode + total("reconstruct_s")
+    return {
+        "pt_bytes": pt_bytes,
+        "decode_s": decode,
+        "reconstruct_s": total("reconstruct_s"),
+        "recovery_s": total("recovery_s"),
+        "decode_throughput_kbs": (pt_bytes / decode / 1024.0) if decode else 0.0,
+        "dt_throughput_kbs": (pt_bytes / dt / 1024.0) if dt else 0.0,
+    }
+
+
+def run_archive_overhead(subject_name: str = "sunflow") -> Dict[str, object]:
+    """The archive-overhead measurement: framing cost + IO throughput."""
+    import tempfile
+
+    from ..pt.archive import merge_core_stream, read_archive, write_archive
+    from ..pt.serialize import dump_bytes
+
+    subject, run, _config = _subject_setup(subject_name)
+    lossless = PTConfig(
+        buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9)
+    )
+    trace = collect(run, lossless)
+    database = collect_metadata(run)
+    flat_bytes = sum(
+        len(dump_bytes(merge_core_stream(core.packets, core.losses)))
+        for core in trace.cores
+    )
+    results: Dict[str, object] = {"subject": subject_name, "flat_bytes": flat_bytes}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.rpt2")
+        started = time.perf_counter()
+        write_archive(trace, database, path, segment_packets=256)
+        write_seconds = time.perf_counter() - started
+        archive_bytes = os.path.getsize(path)
+        started = time.perf_counter()
+        read_archive(path)
+        read_seconds = time.perf_counter() - started
+    results.update(
+        archive_bytes=archive_bytes,
+        framing_overhead=archive_bytes / flat_bytes - 1.0 if flat_bytes else 0.0,
+        write_s=write_seconds,
+        read_s=read_seconds,
+        write_throughput_kbs=archive_bytes / write_seconds / 1024.0,
+        read_throughput_kbs=archive_bytes / read_seconds / 1024.0,
+    )
+    return results
+
+
+# ------------------------------------------------------------------ storage
+def merge_into(path: str, label: str, entry: Dict[str, object]) -> Dict[str, object]:
+    """Merge one labelled run into the bench file (atomic rewrite)."""
+    document: Dict[str, object] = {"format": "repro-bench-v1", "runs": {}}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            pass  # unreadable trajectory: start fresh rather than crash
+        document.setdefault("runs", {})
+    document["runs"][label] = entry
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(temp_path, path)
+    return document
+
+
+# ---------------------------------------------------------------- CI gate
+def check_regression(
+    current: Dict[str, object],
+    committed_path: str,
+    against: str = "post",
+    tolerance: float = 0.20,
+    subjects: Optional[Iterable[str]] = None,
+) -> Tuple[bool, List[str]]:
+    """Compare *current* Table 5 numbers against a committed baseline run.
+
+    The gate is the **aggregate** decode throughput over the common
+    subjects (total bytes / total decode seconds): byte counts are
+    deterministic, so a reduced CI matrix stays comparable with the full
+    committed run, and aggregating over subjects averages out the
+    per-subject timer noise that dominates sub-100ms decodes.
+    Per-subject ratios are reported informationally.  Returns
+    ``(ok, messages)``; an aggregate drop beyond *tolerance*
+    (fractional) flips ``ok``.  Host differences are real differences
+    here -- the committed baseline names its host, and the perf-smoke
+    job is expected to run on comparable runners.
+    """
+    messages: List[str] = []
+    try:
+        with open(committed_path, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+        baseline = committed["runs"][against]["table5"]["rows"]
+    except (OSError, ValueError, KeyError) as error:
+        return False, ["cannot read baseline %r: %s" % (committed_path, error)]
+    current_rows = current["table5"]["rows"]
+    names = [
+        name
+        for name in (subjects or current_rows)
+        if name in current_rows and name in baseline
+    ]
+    if not names:
+        return False, ["no common subjects between current run and baseline"]
+    for name in names:
+        base_row, cur_row = baseline[name], current_rows[name]
+        base_tp = base_row["pt_bytes"] / base_row["decode_s"]
+        cur_tp = cur_row["pt_bytes"] / cur_row["decode_s"]
+        messages.append(
+            "%-10s decode throughput %7.1f KB/s vs baseline %7.1f KB/s (%.2fx)"
+            % (name, cur_tp / 1024.0, base_tp / 1024.0, cur_tp / base_tp)
+        )
+    base_total = sum(baseline[n]["pt_bytes"] for n in names) / sum(
+        baseline[n]["decode_s"] for n in names
+    )
+    cur_total = sum(current_rows[n]["pt_bytes"] for n in names) / sum(
+        current_rows[n]["decode_s"] for n in names
+    )
+    ratio = cur_total / base_total if base_total else 1.0
+    verdict = "aggregate   decode throughput %7.1f KB/s vs baseline %7.1f KB/s (%.2fx)" % (
+        cur_total / 1024.0, base_total / 1024.0, ratio
+    )
+    ok = ratio >= 1.0 - tolerance
+    if not ok:
+        verdict += "  REGRESSION (>%d%%)" % round(tolerance * 100)
+    messages.append(verdict)
+    return ok, messages

@@ -1,0 +1,134 @@
+"""CLI for the perf trajectory: ``python -m repro.bench [options]``.
+
+Default invocation runs the full Table 5 matrix plus the archive
+overhead benchmark on the array engine and merges the entry into
+``BENCH_<today>.json`` under the label ``post``.  The committed baseline
+pair is produced with::
+
+    python -m repro.bench --engine object --label pre
+    python -m repro.bench --engine array  --label post
+
+and CI's perf-smoke gate with::
+
+    python -m repro.bench --subjects avrora,h2,luindex --skip-archive \\
+        --label ci-smoke --out /tmp/bench_ci.json \\
+        --check-against BENCH_<date>.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    SMOKE_SUBJECTS,
+    check_regression,
+    merge_into,
+    run_archive_overhead,
+    run_id,
+    run_table5,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--engine", choices=("array", "object"), default="array",
+        help="decode core to benchmark (default: array)",
+    )
+    parser.add_argument(
+        "--label", default="post",
+        help="run label inside the bench file (default: post)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="bench file path (default: BENCH_<today>.json)",
+    )
+    parser.add_argument(
+        "--subjects", default=None,
+        help="comma-separated subject subset (default: all); "
+             "'smoke' selects the CI matrix %s" % (SMOKE_SUBJECTS,),
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent analysis cache directory (default: off)",
+    )
+    parser.add_argument(
+        "--skip-archive", action="store_true",
+        help="skip the archive-overhead benchmark",
+    )
+    parser.add_argument(
+        "--check-against", default=None, metavar="BENCH_JSON",
+        help="compare decode throughput against this committed bench file "
+             "and exit 1 on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--check-run", default="post",
+        help="label inside --check-against to compare to (default: post)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="fractional regression tolerance for --check-against "
+             "(default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    subjects = None
+    if args.subjects == "smoke":
+        subjects = SMOKE_SUBJECTS
+    elif args.subjects:
+        subjects = tuple(name.strip() for name in args.subjects.split(","))
+
+    out = args.out or ("BENCH_%s.json" % time.strftime("%Y-%m-%d"))
+
+    entry = dict(run_id())
+    entry["engine"] = args.engine
+    print("bench: engine=%s subjects=%s" % (args.engine, subjects or "all"))
+    entry["table5"] = run_table5(
+        engine=args.engine, subjects=subjects, cache_dir=args.cache_dir
+    )
+    totals = entry["table5"]["totals"]
+    print(
+        "bench: decode %.3fs over %d bytes -> %.1f KB/s (decode), %.1f KB/s (DT)"
+        % (
+            totals["decode_s"],
+            totals["pt_bytes"],
+            totals["decode_throughput_kbs"],
+            totals["dt_throughput_kbs"],
+        )
+    )
+    if not args.skip_archive:
+        entry["archive"] = run_archive_overhead()
+        print(
+            "bench: archive framing %.1f%% / write %.1f KB/s / read %.1f KB/s"
+            % (
+                100.0 * entry["archive"]["framing_overhead"],
+                entry["archive"]["write_throughput_kbs"],
+                entry["archive"]["read_throughput_kbs"],
+            )
+        )
+    merge_into(out, args.label, entry)
+    print("bench: wrote %r run to %s" % (args.label, out))
+
+    if args.check_against:
+        ok, messages = check_regression(
+            entry,
+            args.check_against,
+            against=args.check_run,
+            tolerance=args.tolerance,
+            subjects=subjects,
+        )
+        for message in messages:
+            print("bench:", message)
+        if not ok:
+            print("bench: FAIL decode throughput regression")
+            return 1
+        print("bench: OK within %.0f%% of baseline" % (args.tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

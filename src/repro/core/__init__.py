@@ -11,21 +11,24 @@ from .abstraction import (
 from .degradation import (
     ANOMALY_METRIC_PREFIX,
     ARCHIVE_METRIC_PREFIX,
+    CACHE_METRIC_PREFIX,
     DEFAULT_POLICY,
     AnomalyKind,
     DegradationPolicy,
     anomaly_breakdown,
     metric_name,
 )
+from .dfacache import AnalysisCache, analysis_cache_key
 from .metadata import CodeDatabase, CodeDump, collect_metadata
 from .metrics import MetricsRegistry
 from .multicore import ThreadTrace, split_by_thread
 from .nfa import DFA, NFA, ProgramNFA, abstract_method_nfa, determinize, method_nfa
-from .observed import ObservedHole, ObservedStep, ObservedTrace
+from .observed import ObservedColumns, ObservedHole, ObservedStep, ObservedTrace
 from .parallel import ParallelPipeline, ideal_makespan
 from .pipeline import (
     JPortal,
     JPortalResult,
+    ParallelismReport,
     PhaseTimings,
     ThreadFlow,
     ThreadPhaseTimings,
@@ -55,11 +58,14 @@ __all__ = [
     "common_suffix_length",
     "ANOMALY_METRIC_PREFIX",
     "ARCHIVE_METRIC_PREFIX",
+    "CACHE_METRIC_PREFIX",
     "DEFAULT_POLICY",
     "AnomalyKind",
     "DegradationPolicy",
     "anomaly_breakdown",
     "metric_name",
+    "AnalysisCache",
+    "analysis_cache_key",
     "CodeDatabase",
     "CodeDump",
     "collect_metadata",
@@ -74,11 +80,13 @@ __all__ = [
     "abstract_method_nfa",
     "determinize",
     "method_nfa",
+    "ObservedColumns",
     "ObservedHole",
     "ObservedStep",
     "ObservedTrace",
     "JPortal",
     "JPortalResult",
+    "ParallelismReport",
     "PhaseTimings",
     "ThreadFlow",
     "ThreadPhaseTimings",

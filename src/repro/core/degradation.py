@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..pt.decoder import AnomalyKind, DegradationPolicy
+from .dfacache import CACHE_METRIC_PREFIX
 from .metrics import MetricsRegistry
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "DEFAULT_POLICY",
     "ANOMALY_METRIC_PREFIX",
     "ARCHIVE_METRIC_PREFIX",
+    "CACHE_METRIC_PREFIX",
     "metric_name",
     "anomaly_breakdown",
 ]
@@ -70,10 +72,9 @@ def anomaly_breakdown(
     threads.  Kinds with a zero count are omitted.
     """
     breakdown = metrics.counters_by_prefix(ANOMALY_METRIC_PREFIX, tid=tid)
-    for key, value in metrics.counters_by_prefix(
-        ARCHIVE_METRIC_PREFIX, tid=tid
-    ).items():
-        breakdown[key] = breakdown.get(key, 0) + value
+    for prefix in (ARCHIVE_METRIC_PREFIX, CACHE_METRIC_PREFIX):
+        for key, value in metrics.counters_by_prefix(prefix, tid=tid).items():
+            breakdown[key] = breakdown.get(key, 0) + value
     for counter, kind in _EXTRA_KIND_COUNTERS.items():
         count = metrics.counter(counter, tid=tid)
         if count:

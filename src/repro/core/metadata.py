@@ -22,9 +22,67 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..jvm.machine import AddressSpace, MachineInstruction
+from ..jvm.machine import AddressSpace, MachineInstruction, MIKind
 from ..jvm.opcodes import Kind, MNEMONICS, Op, info
 from ..jvm.runtime import RunResult
+from ..pt.decoder import (
+    BLOCK_CHAIN,
+    BLOCK_COND,
+    BLOCK_END,
+    BLOCK_EPOCH,
+    BLOCK_UNKNOWN,
+    TARGET_CODE,
+    TARGET_STUB,
+    TARGET_TEMPLATE,
+    TARGET_UNKNOWN,
+)
+
+#: Straight-line cap on one cached walk block (loop/runaway guard: a
+#: direct-jump cycle inside compiled code must still terminate the block
+#: builder; the decoder chains blocks, so the cap only bounds cache
+#: granularity, never the walk itself).
+MAX_BLOCK = 512
+
+
+@dataclass(frozen=True)
+class WalkBlock:
+    """One cached straight-line run through compiled code.
+
+    ``addresses`` are the executed instruction addresses of the run, in
+    order.  ``kind`` says how it ends:
+
+    * ``COND`` -- the last address is a conditional branch: consume one
+      TNT bit, continue at ``taken_ip`` (taken) or ``fall_ip`` (not);
+    * ``END`` -- the last address is an indirect branch/return: the walk
+      stops and awaits the next TIP;
+    * ``CHAIN`` -- the run was cut short (block cap, or the next address
+      is epoch-dependent): continue walking at ``next_ip``;
+    * ``UNKNOWN`` -- ``next_ip`` maps to no exported instruction: the
+      walk desynchronises there (``addresses`` may be empty);
+    * ``EPOCH`` -- the *starting* address has multiple exported
+      candidates (code-cache reuse across GC epochs): nothing can be
+      cached; the decoder steps it per-instruction with the real ``tsc``.
+
+    Blocks are built only across addresses with exactly one exported
+    candidate instruction, so one block is valid for every timestamp --
+    epoch-dependent (reused) addresses force a ``CHAIN`` cut and are
+    stepped per-instruction by the decoder with the real ``tsc``.
+    """
+
+    # The end-kind codes are the pt-layer contract (repro.pt.decoder
+    # defines them; the pt layer cannot import this module).
+    COND = BLOCK_COND
+    END = BLOCK_END
+    CHAIN = BLOCK_CHAIN
+    UNKNOWN = BLOCK_UNKNOWN
+    EPOCH = BLOCK_EPOCH
+
+    bid: int
+    addresses: Tuple[int, ...]
+    kind: int
+    taken_ip: int = -1
+    fall_ip: int = -1
+    next_ip: int = -1
 
 
 @dataclass
@@ -119,6 +177,13 @@ class CodeDatabase:
         for dump in self._dumps_sorted:
             for mi in dump.instructions:
                 self._mi_index.setdefault(mi.address, []).append((dump, mi))
+        # Batch-decoder caches (filled lazily; see the array decode core
+        # section of DESIGN.md).  Both are monotone memo tables over
+        # immutable inputs, so concurrent fills from pooled worker threads
+        # are benign (worst case: the same entry computed twice).
+        self._target_class: Dict[int, Tuple[int, Optional[Op]]] = {}
+        self._blocks: Dict[int, WalkBlock] = {}
+        self._block_count = 0
 
     # -------------------------------------------------- decoder protocol
     def template_op_at(self, ip: int) -> Optional[Op]:
@@ -153,6 +218,88 @@ class CodeDatabase:
             if dump.alive_at(tsc):
                 return mi
         return candidates[-1][1]
+
+    def classify_target(self, ip: int) -> Tuple[int, Optional[Op]]:
+        """Memoized TIP-target classification: ``(class, template_op)``.
+
+        The class codes and the *query order* (return stub, then template,
+        then code cache, then unmapped) replicate the object decoder's
+        ``_on_tip`` exactly, so both cores route every TIP identically.
+        The mapping is a pure function of the immutable metadata, hence
+        safe to memoize for the lifetime of the database.
+        """
+        hit = self._target_class.get(ip)
+        if hit is None:
+            if self.is_return_stub(ip):
+                hit = (TARGET_STUB, None)
+            else:
+                op = self.template_op_at(ip)
+                if op is not None:
+                    hit = (TARGET_TEMPLATE, op)
+                elif self.in_code_cache(ip):
+                    hit = (TARGET_CODE, None)
+                else:
+                    hit = (TARGET_UNKNOWN, None)
+            self._target_class[ip] = hit
+        return hit
+
+    def walk_block(self, address: int) -> WalkBlock:
+        """The cached straight-line :class:`WalkBlock` starting at *address*.
+
+        The batch decoder drains compiled-code walks block-at-a-time
+        through this cache instead of one ``native_instruction_at`` call
+        per instruction -- the same basic-block caching real PT decoders
+        use.  Addresses with more than one exported candidate (code-cache
+        reuse across GC epochs) are never folded into a block: they
+        surface as an ``EPOCH`` block so the decoder can resolve them
+        per-instruction with the real timestamp.
+        """
+        block = self._blocks.get(address)
+        if block is None:
+            block = self._build_block(address)
+            self._blocks[address] = block
+        return block
+
+    def _build_block(self, start: int) -> WalkBlock:
+        addresses: List[int] = []
+        address = start
+        mi_index = self._mi_index
+        bid = self._block_count
+        self._block_count += 1
+        while True:
+            candidates = mi_index.get(address)
+            if not candidates:
+                return WalkBlock(
+                    bid, tuple(addresses), WalkBlock.UNKNOWN, next_ip=address
+                )
+            if len(candidates) != 1:
+                if not addresses:
+                    return WalkBlock(bid, (), WalkBlock.EPOCH, next_ip=address)
+                return WalkBlock(
+                    bid, tuple(addresses), WalkBlock.CHAIN, next_ip=address
+                )
+            mi = candidates[0][1]
+            kind = mi.kind
+            addresses.append(address)
+            if kind is MIKind.OTHER:
+                address = mi.end
+            elif kind is MIKind.JMP_DIRECT or kind is MIKind.CALL_DIRECT:
+                address = mi.target
+            elif kind is MIKind.COND_BRANCH:
+                return WalkBlock(
+                    bid,
+                    tuple(addresses),
+                    WalkBlock.COND,
+                    taken_ip=mi.target,
+                    fall_ip=mi.end,
+                )
+            else:
+                # Indirect branch / return: awaits the next TIP.
+                return WalkBlock(bid, tuple(addresses), WalkBlock.END)
+            if len(addresses) >= MAX_BLOCK:
+                return WalkBlock(
+                    bid, tuple(addresses), WalkBlock.CHAIN, next_ip=address
+                )
 
     # ------------------------------------------------ debug-info queries
     def dump_at(self, ip: int, tsc: Optional[int] = None) -> Optional[CodeDump]:

@@ -75,15 +75,46 @@ class MetricsRegistry:
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other*'s facts into this registry (for pooled workers)."""
-        with other._lock:
-            counters = dict(other._counters)
-            timings = dict(other._timings)
-            maxima = dict(other._maxima)
-        for (name, tid), value in counters.items():
+        self.absorb(other.export())
+
+    # ------------------------------------------------------ process transport
+    def export(self) -> Dict[str, List[Tuple[str, Optional[int], float]]]:
+        """A picklable flat view of every recorded fact.
+
+        The registry itself holds a ``threading.Lock`` and therefore
+        cannot cross a process boundary; process-pool workers
+        (:mod:`repro.core.parallel`, ``backend="process"``) record into a
+        worker-local registry and ship ``export()`` back with each
+        result, which the parent folds in via :meth:`absorb`.
+        """
+        with self._lock:
+            return {
+                "counters": [
+                    (name, tid, value)
+                    for (name, tid), value in self._counters.items()
+                ],
+                "timings": [
+                    (name, tid, value)
+                    for (name, tid), value in self._timings.items()
+                ],
+                "maxima": [
+                    (name, tid, value)
+                    for (name, tid), value in self._maxima.items()
+                ],
+            }
+
+    def absorb(self, data: Dict[str, List[Tuple[str, Optional[int], float]]]) -> None:
+        """Fold an :meth:`export` payload into this registry.
+
+        Counters and timings add; maxima take the high-water mark -- the
+        same semantics as :meth:`merge`, so serial, thread-pool, and
+        process-pool runs aggregate identically.
+        """
+        for name, tid, value in data.get("counters", ()):
             self.incr(name, value, tid=tid)
-        for (phase, tid), seconds in timings.items():
-            self.add_time(phase, seconds, tid=tid)
-        for (name, tid), value in maxima.items():
+        for name, tid, value in data.get("timings", ()):
+            self.add_time(name, value, tid=tid)
+        for name, tid, value in data.get("maxima", ()):
             self.observe_max(name, value, tid=tid)
 
     # ----------------------------------------------------------------- reads

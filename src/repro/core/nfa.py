@@ -22,13 +22,39 @@ abstraction-guided matcher uses on the full program.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from ..jvm.icfg import ICFG
+from ..jvm.icfg import ICFG, IEdgeKind
 from ..jvm.opcodes import Kind, Op, info, tier
 
 Node = Tuple[str, int]
+
+#: Integer codes for :class:`~repro.jvm.icfg.IEdgeKind` in the adjacency
+#: columns (``array('b')`` cells cannot hold enum members).  The order is
+#: part of the array layout contract -- see DESIGN.md, "Array decode core".
+EDGE_INTRA, EDGE_CALL, EDGE_RETURN, EDGE_THROW = 0, 1, 2, 3
+
+_EDGE_CODE = {
+    IEdgeKind.INTRA: EDGE_INTRA,
+    IEdgeKind.CALL: EDGE_CALL,
+    IEdgeKind.RETURN: EDGE_RETURN,
+    IEdgeKind.THROW: EDGE_THROW,
+}
+
+#: Inverse of :data:`_EDGE_CODE`, index == code.
+EDGE_KINDS = (IEdgeKind.INTRA, IEdgeKind.CALL, IEdgeKind.RETURN, IEdgeKind.THROW)
+
+#: TNT-outcome codes for the transition memo key (``None``/``False``/``True``).
+TAKEN_NONE, TAKEN_FALSE, TAKEN_TRUE = 0, 1, 2
+
+
+def taken_code(taken: Optional[bool]) -> int:
+    """Map a TNT outcome to its :data:`TAKEN_NONE`-family code."""
+    if taken is None:
+        return TAKEN_NONE
+    return TAKEN_TRUE if taken else TAKEN_FALSE
 
 
 class ProgramNFA:
@@ -84,6 +110,61 @@ class ProgramNFA:
             if node[1] == 0:
                 self.entry_states_by_op.setdefault(self.op_of[state], []).append(state)
         self._control_closure: Optional[List[Tuple[int, ...]]] = None
+        self._build_columns()
+
+    def _build_columns(self) -> None:
+        """Flatten the successor relation into integer adjacency columns.
+
+        Layout (CSR): state ``q``'s successors occupy positions
+        ``succ_off[q]:succ_off[q+1]`` of the parallel columns
+        ``succ_state`` (destination state), ``succ_kind`` (edge-kind code,
+        see :data:`EDGE_KINDS`) and ``succ_edge`` (stable ICFG edge id).
+        ``cond_fall``/``cond_taken`` carry the two arms of conditional
+        states (-1 when absent / not a conditional), ``return_site``
+        the ``call_bci + 1`` state pushed on calls (-1 when absent), and
+        ``op_code`` the opcode ordinal of each state's instruction.  The
+        columns are plain ``array`` objects so a later numpy or
+        C-extension backend can adopt the same layout without any API
+        change; the object-level ``successors``/``cond_arms`` views built
+        above stay authoritative for the legacy matchers.
+        """
+        count = len(self.nodes)
+        self.succ_off = array("q", [0] * (count + 1))
+        succ_state = array("q")
+        succ_kind = array("b")
+        succ_edge = array("q")
+        for state in range(count):
+            for dst, kind, edge_id in zip(
+                self.successors[state],
+                self.successor_kinds[state],
+                self.successor_edge_ids[state],
+            ):
+                succ_state.append(dst)
+                succ_kind.append(_EDGE_CODE[kind])
+                succ_edge.append(edge_id)
+            self.succ_off[state + 1] = len(succ_state)
+        self.succ_state = succ_state
+        self.succ_kind = succ_kind
+        self.succ_edge = succ_edge
+        self.cond_fall = array("q", [-1] * count)
+        self.cond_taken = array("q", [-1] * count)
+        for state, arms in enumerate(self.cond_arms):
+            if arms is not None:
+                fall, taken = arms
+                self.cond_fall[state] = -1 if fall is None else fall
+                self.cond_taken[state] = -1 if taken is None else taken
+        self.return_site = array("q", [-1] * count)
+        for state in range(count):
+            site = self.return_site_of_call(state)
+            if site is not None:
+                self.return_site[state] = site
+        self.op_code = array("q", [int(op) for op in self.op_of])
+        # Transition memo for the columnar projector: (state, taken_code,
+        # op_code) -> tuple of (succ, kind_code), in adjacency order --
+        # exactly what :meth:`step_edges` would yield, pre-filtered by the
+        # wanted symbol.  Filled lazily by the projector; sharing it on
+        # the NFA lets every Projector over this program reuse entries.
+        self.transition_memo: Dict[Tuple[int, int, int], Tuple[Tuple[int, int], ...]] = {}
 
     # ---------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -124,6 +205,46 @@ class ProgramNFA:
         """The state of ``call_bci + 1`` in the caller (pushed on calls)."""
         qname, bci = self.nodes[call_state]
         return self.state_of.get((qname, bci + 1))
+
+    def transitions(
+        self, state: int, tcode: int, opcode: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Memoized integer form of :meth:`step_edges` + symbol filter.
+
+        Returns ``(succ_state, edge_kind_code)`` pairs, in adjacency
+        order, for successors of *state* whose instruction's opcode
+        ordinal is *opcode*, after pruning conditionals by *tcode* (a
+        :data:`TAKEN_NONE`/:data:`TAKEN_FALSE`/:data:`TAKEN_TRUE` code
+        for the TNT outcome of *state*'s instruction).  This is the
+        columnar projector's inner loop: the memo turns the per-step
+        edge scan into one dict hit per (state, outcome, symbol) triple.
+        """
+        key = (state, tcode, opcode)
+        hit = self.transition_memo.get(key)
+        if hit is None:
+            hit = self._compute_transitions(state, tcode, opcode)
+            self.transition_memo[key] = hit
+        return hit
+
+    def _compute_transitions(
+        self, state: int, tcode: int, opcode: int
+    ) -> Tuple[Tuple[int, int], ...]:
+        if tcode != TAKEN_NONE and self.cond_arms[state] is not None:
+            arm = (
+                self.cond_taken[state]
+                if tcode == TAKEN_TRUE
+                else self.cond_fall[state]
+            )
+            if arm < 0 or self.op_code[arm] != opcode:
+                return ()
+            return ((arm, EDGE_INTRA),)
+        lo, hi = self.succ_off[state], self.succ_off[state + 1]
+        dsts, kinds, codes = self.succ_state, self.succ_kind, self.op_code
+        return tuple(
+            (dsts[i], kinds[i])
+            for i in range(lo, hi)
+            if codes[dsts[i]] == opcode
+        )
 
     def is_control(self, state: int) -> bool:
         return self.tier_of[state] <= 2

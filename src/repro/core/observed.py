@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple, Union
 from ..jvm.opcodes import Op
 
 
-@dataclass
+@dataclass(slots=True)
 class ObservedStep:
     """One observed executed bytecode instruction.
 
@@ -42,7 +42,7 @@ class ObservedStep:
     tsc: int
 
 
-@dataclass
+@dataclass(slots=True)
 class ObservedHole:
     """A data-loss hole between observed steps (the paper's diamond).
 
@@ -62,6 +62,173 @@ class ObservedHole:
 
 
 ObservedItem = Union[ObservedStep, ObservedHole]
+
+
+class ObservedColumns:
+    """Columnar observed trace: the array decode core's native output.
+
+    The decode->project hot path never needs one object per observed
+    step; it needs the step *columns*.  ``symbols``/``takens``/
+    ``locations``/``sources``/``tscs`` are parallel lists (position ``i``
+    across all five is step ``i``), holes are kept out-of-band as
+    ``(position, hole)`` pairs where ``position`` is the number of steps
+    emitted before the hole, and anomalies are a count (matching what
+    :class:`ObservedTrace` retains after lifting).
+
+    The class is duck-type compatible with :class:`ObservedTrace` --
+    ``tid``, ``anomalies``, ``items``, :meth:`steps`, :meth:`holes`,
+    :meth:`segments` all work -- so everything downstream of the pipeline
+    (benchmarks, profiling clients, tests) reads it unchanged.  ``items``
+    materialises real :class:`ObservedStep` objects lazily, exactly once:
+    the object view is a compatibility layer, paid for only when asked
+    for, never inside the timed decode phase.
+    """
+
+    __slots__ = (
+        "tid",
+        "symbols",
+        "takens",
+        "locations",
+        "sources",
+        "tscs",
+        "hole_positions",
+        "_holes",
+        "anomalies",
+        "_items",
+    )
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.symbols: List[Op] = []
+        self.takens: List[Optional[bool]] = []
+        self.locations: List[Optional[Tuple[str, int]]] = []
+        self.sources: List[str] = []
+        self.tscs: List[int] = []
+        self.hole_positions: List[int] = []
+        self._holes: List[ObservedHole] = []
+        self.anomalies = 0
+        self._items: Optional[List[ObservedItem]] = None
+
+    # ------------------------------------------------------------- emission
+    def add_hole(
+        self, start_tsc: int, end_tsc: int, bytes_lost: int, synthetic: bool
+    ) -> None:
+        """Record a hole after the steps emitted so far (decoder callback)."""
+        self.hole_positions.append(len(self.symbols))
+        self._holes.append(
+            ObservedHole(
+                start_tsc=start_tsc,
+                end_tsc=end_tsc,
+                bytes_lost=bytes_lost,
+                synthetic=synthetic,
+            )
+        )
+        self._items = None
+
+    def step_count(self) -> int:
+        return len(self.symbols)
+
+    def segment_ranges(self) -> List[Tuple[int, int]]:
+        """Maximal hole-free ``[lo, hi)`` column ranges (empties dropped),
+        mirroring :meth:`ObservedTrace.segments`."""
+        result: List[Tuple[int, int]] = []
+        previous = 0
+        for position in self.hole_positions:
+            if position > previous:
+                result.append((previous, position))
+            previous = position
+        count = len(self.symbols)
+        if count > previous:
+            result.append((previous, count))
+        return result
+
+    # ------------------------------------------- ObservedTrace compatibility
+    @property
+    def items(self) -> List[ObservedItem]:
+        cached = self._items
+        if cached is None:
+            cached = []
+            hole_at = 0
+            positions = self.hole_positions
+            holes = self._holes
+            hole_count = len(holes)
+            for index in range(len(self.symbols)):
+                while hole_at < hole_count and positions[hole_at] <= index:
+                    cached.append(holes[hole_at])
+                    hole_at += 1
+                cached.append(
+                    ObservedStep(
+                        self.symbols[index],
+                        self.takens[index],
+                        self.locations[index],
+                        self.sources[index],
+                        self.tscs[index],
+                    )
+                )
+            while hole_at < hole_count:
+                cached.append(holes[hole_at])
+                hole_at += 1
+            self._items = cached
+        return cached
+
+    def steps(self) -> List[ObservedStep]:
+        return [item for item in self.items if isinstance(item, ObservedStep)]
+
+    def holes(self) -> List[ObservedHole]:
+        return list(self._holes)
+
+    def segments(self) -> List[List[ObservedStep]]:
+        items = self.items
+        result: List[List[ObservedStep]] = []
+        current: List[ObservedStep] = []
+        for item in items:
+            if isinstance(item, ObservedStep):
+                current.append(item)
+            else:
+                if current:
+                    result.append(current)
+                current = []
+        if current:
+            result.append(current)
+        return result
+
+    def to_trace(self) -> ObservedTrace:
+        """An eager :class:`ObservedTrace` copy (equivalence tests)."""
+        return ObservedTrace(
+            tid=self.tid, items=list(self.items), anomalies=self.anomalies
+        )
+
+    def __eq__(self, other) -> bool:
+        """Value equality over the observed content (mirrors the
+        dataclass equality of :class:`ObservedTrace`, which the
+        serial/parallel bit-identity tests compare through).
+
+        Also compares equal to an :class:`ObservedTrace` with the same
+        content: Python tries ``ObservedTrace.__eq__`` first (returns
+        ``NotImplemented`` across classes) and then reflects here, so
+        cross-engine flow comparisons (object core vs array core) work
+        with plain ``==``."""
+        if isinstance(other, ObservedTrace):
+            return (
+                self.tid == other.tid
+                and self.anomalies == other.anomalies
+                and self.items == other.items
+            )
+        if not isinstance(other, ObservedColumns):
+            return NotImplemented
+        return (
+            self.tid == other.tid
+            and self.anomalies == other.anomalies
+            and self.symbols == other.symbols
+            and self.takens == other.takens
+            and self.locations == other.locations
+            and self.sources == other.sources
+            and self.tscs == other.tscs
+            and self.hole_positions == other.hole_positions
+            and self._holes == other._holes
+        )
+
+    __hash__ = None  # mutable container, like the dataclass traces
 
 
 @dataclass

@@ -22,7 +22,8 @@ and the collected trace itself (sizes, loss).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..jvm.icfg import ICFG
@@ -34,10 +35,12 @@ from ..pt.decoder import (
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
+    PTBatchDecoder,
     PTDecoder,
     TraceLoss,
 )
 from ..pt.perf import PTConfig, PTTrace, collect
+from .batchflow import JitLifter
 from .degradation import anomaly_breakdown
 from .interp_decoder import lift_dispatch
 from .jit_decoder import lift_span
@@ -45,7 +48,7 @@ from .metadata import CodeDatabase, collect_metadata
 from .metrics import MetricsRegistry
 from .multicore import ThreadTrace, split_by_thread
 from .nfa import Node, ProgramNFA
-from .observed import ObservedHole, ObservedStep, ObservedTrace
+from .observed import ObservedColumns, ObservedHole, ObservedStep, ObservedTrace
 from .reconstruct import MatchStats, Projector
 from .recovery import RecoveredFlow, RecoveryConfig, RecoveryEngine, RecoveryStats
 
@@ -123,6 +126,39 @@ class PhaseTimings:
 
 
 @dataclass
+class ParallelismReport:
+    """How well a pooled run's wall clock tracked its ideal schedule.
+
+    ``actual_speedup`` is what the chosen backend delivered
+    (sum-of-chain-seconds over measured wall clock); ``ideal_speedup`` is
+    what *workers* truly concurrent workers could have delivered (same
+    numerator over the LPT makespan of the measured chain durations).
+    A thread-pool run on CPU-bound chains shows ``actual_speedup`` near
+    1.0 under the GIL while ``ideal_speedup`` reports the headroom; the
+    process backend is the one expected to close that gap.
+    """
+
+    backend: str
+    workers: int
+    chain_seconds: float
+    wall_seconds: float
+    ideal_makespan_seconds: float
+    critical_path_seconds: float
+
+    @property
+    def actual_speedup(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.chain_seconds / self.wall_seconds
+
+    @property
+    def ideal_speedup(self) -> float:
+        if self.ideal_makespan_seconds <= 0.0:
+            return 1.0
+        return self.chain_seconds / self.ideal_makespan_seconds
+
+
+@dataclass
 class JPortalResult:
     """Output of one analysis."""
 
@@ -145,6 +181,10 @@ class JPortalResult:
     #: when the trace came from :meth:`JPortal.analyze_archive`; ``None``
     #: for in-memory analyses.
     salvage: Optional[object] = None
+    #: Actual-vs-ideal speedup for the backend that ran the per-thread
+    #: chains (:class:`ParallelismReport`); ``None`` for plain serial
+    #: runs that never went through :class:`~repro.core.parallel.ParallelPipeline`.
+    parallelism: Optional[ParallelismReport] = None
 
     @property
     def loss_fraction(self) -> float:
@@ -171,6 +211,20 @@ class JPortal:
             ``False`` is the paper's plain NFA.
         degradation: Policy for hostile input (resync protocol + error
             budget); ``None`` uses the :class:`DegradationPolicy` default.
+        engine: ``"array"`` (default) decodes through the fused columnar
+            core (:class:`~repro.pt.decoder.PTBatchDecoder` +
+            :meth:`~repro.core.reconstruct.Projector.project_arrays`);
+            ``"object"`` takes the original per-item path.  Both produce
+            bit-identical results (the equivalence suite pins this); the
+            object core remains the regression oracle.
+        cache_dir: Directory for the persistent static-analysis cache
+            (:mod:`repro.core.dfacache`).  When set, a repeated build
+            for the same program loads the determinized per-method DFA
+            verdicts and analysis report from disk instead of re-running
+            subset construction; cache damage silently degrades to a
+            cold build and surfaces as ``cache.anomaly.*`` counters on
+            every result this profiler produces.  ``None`` (default)
+            disables persistence.
     """
 
     def __init__(
@@ -180,18 +234,20 @@ class JPortal:
         recovery: Optional[RecoveryConfig] = None,
         context_sensitive: bool = True,
         degradation: Optional[DegradationPolicy] = None,
+        engine: str = "array",
+        cache_dir: Optional[str] = None,
     ):
+        if engine not in ("array", "object"):
+            raise ValueError(
+                "engine must be 'array' or 'object', got %r" % (engine,)
+            )
+        self.engine = engine
         self.program = program
+        self.cache_dir = cache_dir
         self.icfg = ICFG(program, opaque_call_sites)
         self.nfa = ProgramNFA(self.icfg)
-        # Static decodability analysis, once per program (amortised over
-        # every run this profiler analyses).  Imported lazily: the
-        # analysis package builds on repro.core.nfa, so a module-level
-        # import here would be circular.
-        from ..analysis.report import analyze_program
-
-        self.analysis_report = analyze_program(
-            program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+        self.analysis_report, self._cache_events = self._static_analysis(
+            program, opaque_call_sites, cache_dir
         )
         self.projector = Projector(
             self.nfa,
@@ -207,6 +263,11 @@ class JPortal:
         self.degradation_policy = (
             degradation if degradation is not None else DegradationPolicy()
         )
+        # Per-database JitLifter cache (block lift templates are a pure
+        # function of (program, database); shared across thread chains).
+        self._lifters: "weakref.WeakKeyDictionary[CodeDatabase, JitLifter]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     # ------------------------------------------------------------------- API
     def analyze_run(
@@ -214,29 +275,36 @@ class JPortal:
         run: RunResult,
         pt_config: Optional[PTConfig] = None,
         max_workers: int = 1,
+        backend: str = "thread",
     ) -> JPortalResult:
         """Collect a PT trace from *run* and analyse it."""
         trace = collect(run, pt_config)
         database = collect_metadata(run)
-        return self.analyze_trace(trace, database, max_workers=max_workers)
+        return self.analyze_trace(
+            trace, database, max_workers=max_workers, backend=backend
+        )
 
     def analyze_trace(
         self,
         trace: PTTrace,
         database: CodeDatabase,
         max_workers: int = 1,
+        backend: str = "thread",
     ) -> JPortalResult:
         """Analyse an already collected trace against exported metadata.
 
         ``max_workers=1`` (the default) runs the per-thread chains
         serially; any other value delegates to
-        :class:`repro.core.parallel.ParallelPipeline`, which produces
+        :class:`repro.core.parallel.ParallelPipeline` on the given
+        *backend* (``"thread"`` or ``"process"``), which produces
         identical flows (threads are analysed independently either way).
         """
         if max_workers != 1:
             from .parallel import ParallelPipeline
 
-            pipeline = ParallelPipeline(self, max_workers=max_workers)
+            pipeline = ParallelPipeline(
+                self, max_workers=max_workers, backend=backend
+            )
             return pipeline.analyze_trace(trace, database)
         metrics = MetricsRegistry()
         wall_started = time.perf_counter()
@@ -253,6 +321,7 @@ class JPortal:
         path,
         database: Optional[CodeDatabase] = None,
         max_workers: int = 1,
+        backend: str = "thread",
         snapshot_path=None,
     ) -> JPortalResult:
         """Salvage-read a durable ``RPT2`` (or legacy ``RPT1``) archive
@@ -279,11 +348,51 @@ class JPortal:
         )
         salvaged_db = database if database is not None else contents.database_or_empty()
         trace = contents.to_trace()
-        result = self.analyze_trace(trace, salvaged_db, max_workers=max_workers)
+        result = self.analyze_trace(
+            trace, salvaged_db, max_workers=max_workers, backend=backend
+        )
         self._attach_salvage(result, contents.stats)
         return result
 
     # ------------------------------------------------------------- internals
+    def _static_analysis(self, program, opaque_call_sites, cache_dir):
+        """The static decodability analysis, once per program (amortised
+        over every run this profiler analyses) -- loaded from the
+        persistent cache when *cache_dir* is set and holds a valid entry
+        for this program, rebuilt (and stored) otherwise.
+
+        The analysis package builds on ``repro.core.nfa``, so its import
+        stays local to avoid a cycle.  Returns ``(report, cache_events)``
+        where the events dict carries the ``cache.*`` counters this
+        build produced (empty when caching is off).
+        """
+        from ..analysis.report import analyze_program
+
+        if cache_dir is None:
+            report = analyze_program(
+                program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+            )
+            return report, {}
+        from .dfacache import AnalysisCache, analysis_cache_key
+
+        cache = AnalysisCache(cache_dir)
+        key = analysis_cache_key(program, opaque_call_sites)
+        started = time.perf_counter()
+        report = cache.load(key)
+        if report is not None:
+            # static_seconds reflects what *this* build paid -- the disk
+            # load, not the original subset construction -- so warm runs
+            # report ~zero analysis time.
+            report = replace(
+                report, static_seconds=time.perf_counter() - started
+            )
+        else:
+            report = analyze_program(
+                program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+            )
+            cache.store(key, report)
+        return report, cache.events
+
     @staticmethod
     def _attach_salvage(result: JPortalResult, stats) -> None:
         """Publish salvage stats onto the result's metric surface."""
@@ -339,7 +448,45 @@ class JPortal:
 
         Self-contained and side-effect-free apart from *metrics* (which is
         thread-safe), so chains for different tids can run concurrently.
+        The ``engine`` choice picks the columnar or the object core; both
+        emit identical observed content, projections, and metrics.
         """
+        if self.engine == "array":
+            with metrics.timer("decode", tid=tid):
+                decoder = PTBatchDecoder(
+                    database,
+                    self._lifter_for(database),
+                    metrics=metrics,
+                    tid=tid,
+                    policy=self.degradation_policy,
+                )
+                observed = decoder.decode_into(
+                    thread_trace.stream, ObservedColumns(tid)
+                )
+            with metrics.timer("reconstruct", tid=tid):
+                segments: List[List[Optional[Node]]] = []
+                stats = MatchStats()
+                symbols = observed.symbols
+                takens = observed.takens
+                locations = observed.locations
+                for lo, hi in observed.segment_ranges():
+                    projection = self.projector.project_arrays(
+                        symbols, takens, locations, lo, hi,
+                        metrics=metrics, tid=tid,
+                    )
+                    segments.append(projection.path)
+                    _merge_stats(stats, projection.stats)
+            with metrics.timer("recovery", tid=tid):
+                recovered = self.recovery_engine.recover(
+                    segments, observed.holes(), metrics=metrics, tid=tid
+                )
+            return ThreadFlow(
+                tid=tid,
+                observed=observed,
+                segments=segments,
+                flow=recovered,
+                projection=stats,
+            )
         with metrics.timer("decode", tid=tid):
             decoder = PTDecoder(
                 database,
@@ -381,10 +528,20 @@ class JPortal:
         """Assemble the result: per-thread breakdowns and aggregates."""
         from ..analysis.lint import lint_database
 
+        # Every result carries the cache counters of the build that
+        # produced its analyser (hits/misses/anomalies), so cache damage
+        # is visible on the same surface as decode/archive damage.
+        for name, count in self._cache_events.items():
+            metrics.incr(name, count)
         with metrics.timer("analysis"):
             analysis_report = self.analysis_report.with_database_findings(
                 lint_database(database, self.program)
             )
+        # Publish the static (subset-construction) share as its own
+        # phase: `timings_by_prefix("analysis")` then shows ~zero
+        # `.static` on a warm-cache build, which is how the cache's
+        # "skips determinization" contract is verified.
+        metrics.add_time("analysis.static", self.analysis_report.static_seconds)
         timings = PhaseTimings(wall_seconds=time.perf_counter() - wall_started)
         timings.analysis_seconds = (
             metrics.timing("analysis") + self.analysis_report.static_seconds
@@ -418,6 +575,13 @@ class JPortal:
             synthetic_holes=metrics.counter("decode.synthetic_holes"),
             analysis_report=analysis_report,
         )
+
+    def _lifter_for(self, database: CodeDatabase) -> JitLifter:
+        lifter = self._lifters.get(database)
+        if lifter is None:
+            lifter = JitLifter(database, self.program)
+            self._lifters[database] = lifter
+        return lifter
 
     def _lift(
         self,

@@ -31,7 +31,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..jvm.icfg import IEdgeKind
 from ..jvm.opcodes import Kind, Op, tier
-from .nfa import Node, ProgramNFA
+from .nfa import (
+    EDGE_CALL,
+    EDGE_RETURN,
+    EDGE_THROW,
+    Node,
+    ProgramNFA,
+    TAKEN_FALSE,
+    TAKEN_NONE,
+    TAKEN_TRUE,
+)
 from .observed import ObservedStep
 
 #: Beam cap on the subset-simulation frontier (safety valve; reached only
@@ -266,6 +275,191 @@ class Projector:
                 "project.frontier_peak", stats.frontier_peak, tid=tid
             )
         return Projection(path=path, stats=stats)
+
+    # ---------------------------------------------------------- array engine
+    def project_arrays(
+        self,
+        symbols: Sequence[Op],
+        takens: Sequence[Optional[bool]],
+        locations: Sequence[Optional[Node]],
+        lo: int,
+        hi: int,
+        metrics=None,
+        tid: Optional[int] = None,
+    ) -> Projection:
+        """Columnar port of :meth:`project` over one segment's columns.
+
+        ``symbols[lo:hi]``/``takens[lo:hi]``/``locations[lo:hi]`` are the
+        segment's parallel columns (see
+        :class:`~repro.core.observed.ObservedColumns`).  The walk is the
+        same subset simulation as :meth:`project` -- same frontier
+        ordering, same pruning, same ``MAX_FRONTIER`` truncation point --
+        but drives the :meth:`ProgramNFA.transitions` integer tables and
+        transition memo instead of per-step object traversal, so its
+        output is bit-identical to the object engine's (the equivalence
+        suite pins this) at a fraction of the per-step cost.
+        """
+        nfa = self.nfa
+        state_of = nfa.state_of
+        count = hi - lo
+        path: List[Optional[Node]] = [None] * count
+        stats = MatchStats(steps=count)
+        ambiguous = self._ambiguous_methods
+        nodes = nfa.nodes
+        position = lo
+        while position < hi:
+            location = locations[position]
+            if location is not None:
+                state = state_of.get(location)
+                starts = [state] if state is not None else []
+            else:
+                starts = nfa.initial_states(symbols[position])
+                if ambiguous and len(starts) > 1:
+                    pruned = [
+                        state
+                        for state in starts
+                        if nodes[state][0] not in ambiguous
+                    ]
+                    if pruned:
+                        starts = pruned
+            if not starts:
+                position += 1
+                stats.restarts += 1
+                continue
+            frontiers: List[Dict[Key, Optional[Key]]] = [
+                {(state, ()): None for state in starts}
+            ]
+            cursor = position
+            while cursor + 1 < hi:
+                frontier = frontiers[-1]
+                nxt = self._advance_arrays(
+                    frontier,
+                    takens[cursor],
+                    symbols[cursor + 1],
+                    locations[cursor + 1],
+                )
+                if not nxt:
+                    nxt = self._callback_fallback_arrays(
+                        frontier,
+                        symbols[cursor + 1],
+                        locations[cursor + 1],
+                        stats,
+                    )
+                if not nxt:
+                    break
+                if len(nxt) > stats.frontier_peak:
+                    stats.frontier_peak = len(nxt)
+                frontiers.append(nxt)
+                cursor += 1
+            matched_path = self._extract(frontiers, nfa)
+            base = position - lo
+            for offset, node in enumerate(matched_path):
+                path[base + offset] = node
+            stats.matched += len(matched_path)
+            if ambiguous:
+                stats.ambiguous_steps += sum(
+                    1 for node in matched_path if node[0] in ambiguous
+                )
+            if cursor + 1 < hi:
+                stats.restarts += 1
+            position = cursor + 1
+        if metrics is not None:
+            metrics.incr("project.steps", stats.steps, tid=tid)
+            metrics.incr("project.matched", stats.matched, tid=tid)
+            metrics.incr("project.restarts", stats.restarts, tid=tid)
+            metrics.incr(
+                "project.callback_fallbacks", stats.callback_fallbacks, tid=tid
+            )
+            metrics.incr("project.ambiguous_steps", stats.ambiguous_steps, tid=tid)
+            metrics.observe_max(
+                "project.frontier_peak", stats.frontier_peak, tid=tid
+            )
+        return Projection(path=path, stats=stats)
+
+    def _advance_arrays(
+        self,
+        frontier: Dict[Key, Optional[Key]],
+        prev_taken: Optional[bool],
+        wanted_op: Op,
+        location: Optional[Node],
+    ) -> Dict[Key, Optional[Key]]:
+        """Integer-table port of :meth:`_advance` (one simulation step)."""
+        nfa = self.nfa
+        tcode = (
+            TAKEN_NONE
+            if prev_taken is None
+            else (TAKEN_TRUE if prev_taken else TAKEN_FALSE)
+        )
+        anchor = None
+        if location is not None:
+            anchor = nfa.state_of.get(location)
+        nxt: Dict[Key, Optional[Key]] = {}
+        sensitive = self.context_sensitive
+        transitions = nfa.transitions
+        return_site = nfa.return_site
+        for key in frontier:
+            state, stack = key
+            for succ, kcode in transitions(state, tcode, wanted_op):
+                if anchor is not None and succ != anchor:
+                    continue
+                if not sensitive:
+                    new_stack: Tuple[int, ...] = ()
+                elif kcode == EDGE_CALL:
+                    site = return_site[state]
+                    new_stack = stack if site < 0 else stack + (site,)
+                    if len(new_stack) > MAX_STACK:
+                        new_stack = new_stack[1:]
+                elif kcode == EDGE_RETURN:
+                    if stack:
+                        if succ != stack[-1]:
+                            continue  # infeasible interprocedural path
+                        new_stack = stack[:-1]
+                    else:
+                        new_stack = stack  # unknown context: NFA behaviour
+                elif kcode == EDGE_THROW:
+                    new_stack = self._unwind(stack, succ)
+                else:
+                    new_stack = stack
+                new_key = (succ, new_stack)
+                if new_key not in nxt:
+                    nxt[new_key] = key
+                    if len(nxt) >= MAX_FRONTIER:
+                        return nxt
+        return nxt
+
+    def _callback_fallback_arrays(
+        self,
+        frontier: Dict[Key, Optional[Key]],
+        symbol: Op,
+        location: Optional[Node],
+        stats: MatchStats,
+    ) -> Dict[Key, Optional[Key]]:
+        """Columnar port of :meth:`_callback_fallback`."""
+        nfa = self.nfa
+        kind_of = nfa.kind_of
+        call_keys = [key for key in frontier if kind_of[key[0]] is Kind.CALL]
+        if not call_keys:
+            return {}
+        entries = nfa.entry_states_by_op.get(symbol, [])
+        if not entries:
+            return {}
+        anchor = None
+        if location is not None:
+            anchor = nfa.state_of.get(location)
+        nxt: Dict[Key, Optional[Key]] = {}
+        parent = call_keys[0]
+        parent_state, parent_stack = parent
+        new_stack: Tuple[int, ...] = ()
+        if self.context_sensitive:
+            site = nfa.return_site[parent_state]
+            new_stack = parent_stack if site < 0 else parent_stack + (site,)
+        for entry in entries:
+            if anchor is not None and entry != anchor:
+                continue
+            nxt[(entry, new_stack)] = parent
+        if nxt:
+            stats.callback_fallbacks += 1
+        return nxt
 
     # ------------------------------------------------------------- fallbacks
     def _callback_fallback(

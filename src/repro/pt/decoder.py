@@ -64,6 +64,18 @@ from .packets import (
 #: Safety bound on machine instructions walked without consuming a packet.
 MAX_WALK = 2_000_000
 
+#: TIP-target classes and walk-block end kinds: the integer contract
+#: between this layer and :class:`repro.core.metadata.CodeDatabase`'s
+#: ``classify_target``/``walk_block`` caches.  Defined here (and imported
+#: by the core layer) because ``repro.pt`` must never import
+#: ``repro.core``.
+TARGET_UNKNOWN, TARGET_STUB, TARGET_TEMPLATE, TARGET_CODE = 0, 1, 2, 3
+BLOCK_COND, BLOCK_END, BLOCK_CHAIN, BLOCK_UNKNOWN, BLOCK_EPOCH = 0, 1, 2, 3, 4
+
+#: Sentinel a batch lifter's ``lift_one`` returns for a stale debug
+#: record (resolves to no live bytecode; counted, never raised).
+LIFT_STALE = object()
+
 
 class AnomalyKind(str, Enum):
     """Structured reason codes for :class:`DecodeAnomaly` (and the
@@ -582,3 +594,562 @@ class PTDecoder:
                 self.metrics.incr(
                     "decode.anomaly.%s" % kind.value, count, tid=self.tid
                 )
+
+
+class PTBatchDecoder:
+    """Array-core decoder: packets straight to observed *columns*.
+
+    Functionally identical to :class:`PTDecoder` followed by the per-item
+    lifters -- same anomaly taxonomy, same :class:`DegradationPolicy`
+    semantics, same :class:`DecodeStats` (including the TNT conservation
+    invariant), and the same observed steps/holes in the same order (the
+    equivalence suite pins this bit-for-bit) -- but organised for
+    throughput:
+
+    * no intermediate ``InterpDispatch``/``JitSpan``/``ObservedStep``
+      objects: decode and lift are fused, writing directly into the
+      parallel columns of an :class:`repro.core.observed.ObservedColumns`
+      sink (duck-typed: ``symbols``/``takens``/``locations``/``sources``/
+      ``tscs`` lists plus ``add_hole`` and an ``anomalies`` counter);
+    * TNT payloads are kept as one flat bit-run (list + cursor) instead
+      of a deque popped one object at a time;
+    * compiled-code walks drain block-at-a-time through the database's
+      ``walk_block`` cache (straight-line runs end at a conditional,
+      an indirect branch, or an epoch-dependent address), with the
+      per-block lift templates supplied by *lifter* (duck-typed:
+      ``block_template(block)`` and ``lift_one(address, tsc)``, see
+      :class:`repro.core.batchflow.JitLifter`); epoch-dependent
+      addresses and walks near the :data:`MAX_WALK` budget fall back to
+      per-instruction stepping so the degradation semantics stay exact;
+    * TIP targets classify through the database's memoized
+      ``classify_target`` (:data:`TARGET_STUB`-family codes) instead of
+      three range lookups per dispatch.
+
+    Like :class:`PTDecoder`, an instance is single-use and never raises
+    on malformed input.
+    """
+
+    def __init__(
+        self,
+        database,
+        lifter,
+        metrics=None,
+        tid: Optional[int] = None,
+        policy: Optional[DegradationPolicy] = None,
+    ):
+        self.database = database
+        self.lifter = lifter
+        self.metrics = metrics
+        self.tid = tid
+        self.policy = policy if policy is not None else DegradationPolicy()
+        self.stats = DecodeStats()
+        # TNT bit-run: a flat list consumed through a cursor (compacted on
+        # refill), never one deque hop per bit.
+        self._bits: List[bool] = []
+        self._cur = 0
+        # Pending interpreted conditional: (dispatch_tsc, op).
+        self._pending: Optional[Tuple[int, object]] = None
+        # Suspended machine walk: (span_start_tsc, next_address).
+        self._walk: Optional[Tuple[int, int]] = None
+        self._post_loss = False
+        self._desync = False
+        self._segment_anomalies = 0
+        self._segment_anomaly_start: Optional[int] = None
+        # Stale debug records encountered while lifting (published once).
+        self._stale = 0
+        # op -> is-conditional memo (one protocol call per distinct op).
+        self._cond_op: Dict[object, bool] = {}
+        self._columns = None
+
+    # -------------------------------------------------------------------- API
+    def decode_into(self, stream: Sequence[Tuple[str, object]], columns):
+        """Decode a merged ``("packet"|"loss", item)`` stream into *columns*.
+
+        Never raises on malformed input; same contract and entry-by-entry
+        degradation behaviour as :meth:`PTDecoder.decode`.
+        """
+        self._columns = columns
+        stats = self.stats
+        limit = self.policy.max_anomalies_per_segment
+        budgeted = limit is not None
+        # Hot-loop locals: the TIP fast path below handles the (dominant)
+        # clean-stream dispatches without a method call or re-lookup; any
+        # pending state or unusual target falls through to the full
+        # handlers, which replicate the object decoder exactly.
+        classify = self.database.classify_target
+        tip_memo: Dict[int, Tuple[int, object]] = {}
+        cond_memo = self._cond_op
+        op_is_conditional = self.database.op_is_conditional
+        symbols_append = columns.symbols.append
+        takens_append = columns.takens.append
+        locations_append = columns.locations.append
+        sources_append = columns.sources.append
+        tscs_append = columns.tscs.append
+        for entry in stream:
+            tsc = 0
+            try:
+                tag, item = entry
+                if tag == "packet":
+                    stats.packets += 1
+                    cls = item.__class__
+                    if cls is TIPPacket:
+                        tsc = item.tsc
+                        stats.tips += 1
+                        if self._pending is None and self._walk is None:
+                            target = item.target
+                            hit = tip_memo.get(target)
+                            if hit is None:
+                                hit = tip_memo[target] = classify(target)
+                            code = hit[0]
+                            if code == TARGET_TEMPLATE:
+                                op = hit[1]
+                                self._post_loss = False
+                                self._desync = False
+                                cond = cond_memo.get(op)
+                                if cond is None:
+                                    cond = cond_memo[op] = op_is_conditional(op)
+                                if cond:
+                                    if self._cur < len(self._bits):
+                                        taken = self._bits[self._cur]
+                                        self._cur += 1
+                                        stats.tnt_consumed += 1
+                                    else:
+                                        self._pending = (tsc, op)
+                                        continue
+                                else:
+                                    taken = None
+                                symbols_append(op)
+                                takens_append(taken)
+                                locations_append(None)
+                                sources_append("interp")
+                                tscs_append(tsc)
+                            elif code == TARGET_STUB:
+                                self._post_loss = False
+                                self._desync = False
+                            elif code == TARGET_CODE:
+                                self._post_loss = False
+                                self._desync = False
+                                self._run_walk(target, tsc, tsc)
+                            else:
+                                self._tip_unmapped(target, tsc)
+                        else:
+                            self._on_tip(item.target, tsc)
+                    elif cls is TNTPacket:
+                        tsc = item.tsc
+                        self._on_tnt(item.bits, tsc)
+                    elif cls is TSCPacket or cls is PGEPacket or cls is PGDPacket:
+                        tsc = item.tsc
+                    elif cls is FUPPacket:
+                        tsc = item.tsc
+                        self._abandon("fup", tsc)
+                    else:
+                        tsc = getattr(item, "tsc", None)
+                        if tsc is None:
+                            tsc = getattr(item, "start_tsc", 0) or 0
+                        self._on_packet_slow(item, tsc)
+                elif tag == "loss":
+                    tsc = getattr(item, "tsc", None)
+                    if tsc is None:
+                        tsc = getattr(item, "start_tsc", 0) or 0
+                    self._on_loss(item)
+                else:
+                    tsc = getattr(item, "tsc", None)
+                    if tsc is None:
+                        tsc = getattr(item, "start_tsc", 0) or 0
+                    self._note(
+                        tsc,
+                        AnomalyKind.MALFORMED_ITEM,
+                        "unrecognised stream tag %r" % (tag,),
+                    )
+            except Exception as exc:  # no-crash contract: degrade instead
+                self._note(
+                    tsc,
+                    AnomalyKind.DECODER_ERROR,
+                    "decoder error: %r" % (exc,),
+                )
+            if budgeted and self._segment_anomalies >= limit:
+                self._declare_synthetic_hole(tsc)
+        self._abandon("end of stream")
+        stats.tnt_unused += len(self._bits) - self._cur
+        self._publish_metrics()
+        return columns
+
+    # --------------------------------------------------------------- handlers
+    def _on_packet_slow(self, packet, tsc: int) -> None:
+        """Non-exact-class packets (subclasses, injected fakes): replicate
+        the object decoder's isinstance dispatch order."""
+        if isinstance(packet, TSCPacket):
+            return
+        if isinstance(packet, TNTPacket):
+            self._on_tnt(packet.bits, tsc)
+            return
+        if isinstance(packet, TIPPacket):
+            self.stats.tips += 1
+            self._on_tip(packet.target, tsc)
+            return
+        if isinstance(packet, FUPPacket):
+            self._abandon("fup", tsc)
+            return
+        if isinstance(packet, (PGEPacket, PGDPacket)):
+            return
+        self._note(
+            tsc, AnomalyKind.MALFORMED_ITEM, "unknown packet %r" % (packet,)
+        )
+
+    def _on_tnt(self, tnt_bits, tsc: int) -> None:
+        stats = self.stats
+        count = len(tnt_bits)
+        stats.tnt_bits += count
+        if self._desync:
+            stats.tnt_discarded += count
+            self._note(
+                tsc,
+                AnomalyKind.TNT_DISCARDED_DESYNC,
+                "TNT bits discarded while resynchronising",
+            )
+            return
+        if (
+            self._post_loss
+            and self._pending is None
+            and self._walk is None
+        ):
+            stats.tnt_orphaned += count
+            self._note(
+                tsc, AnomalyKind.ORPHAN_TNT, "orphan TNT bits after loss"
+            )
+            return
+        bits = self._bits
+        if self._cur:
+            del bits[: self._cur]
+            self._cur = 0
+        bits.extend(tnt_bits)
+        if self._pending is not None and self._cur < len(bits):
+            taken = bits[self._cur]
+            self._cur += 1
+            stats.tnt_consumed += 1
+            ptsc, op = self._pending
+            self._pending = None
+            cols = self._columns
+            cols.symbols.append(op)
+            cols.takens.append(taken)
+            cols.locations.append(None)
+            cols.sources.append("interp")
+            cols.tscs.append(ptsc)
+        if self._walk is not None and self._cur < len(bits):
+            span_tsc, address = self._walk
+            self._walk = None
+            self._run_walk(address, span_tsc, tsc)
+
+    def _on_tip(self, target: int, tsc: int) -> None:
+        if self._pending is not None:
+            self._note(
+                tsc,
+                AnomalyKind.CONDITIONAL_WITHOUT_TNT,
+                "conditional without TNT bit",
+            )
+            self._emit_pending()
+        if self._walk is not None:
+            self._note(
+                tsc, AnomalyKind.WALK_ABANDONED, "walk abandoned by TIP"
+            )
+            self.stats.walks_abandoned += 1
+            self._walk = None
+        code, op = self.database.classify_target(target)
+        if code == TARGET_TEMPLATE:
+            self._post_loss = False
+            self._desync = False
+            cond = self._cond_op.get(op)
+            if cond is None:
+                cond = self.database.op_is_conditional(op)
+                self._cond_op[op] = cond
+            if cond and self._cur >= len(self._bits):
+                self._pending = (tsc, op)
+                return
+            if cond:
+                taken = self._bits[self._cur]
+                self._cur += 1
+                self.stats.tnt_consumed += 1
+            else:
+                taken = None
+            cols = self._columns
+            cols.symbols.append(op)
+            cols.takens.append(taken)
+            cols.locations.append(None)
+            cols.sources.append("interp")
+            cols.tscs.append(tsc)
+            return
+        if code == TARGET_STUB:
+            # Return into the interpreter: re-anchors, lifts to nothing.
+            self._post_loss = False
+            self._desync = False
+            return
+        if code == TARGET_CODE:
+            self._post_loss = False
+            self._desync = False
+            self._run_walk(target, tsc, tsc)
+            return
+        self._tip_unmapped(target, tsc)
+
+    def _tip_unmapped(self, target: int, tsc: int) -> None:
+        """Structurally invalid TIP target: note + resync protocol."""
+        self._note(
+            tsc,
+            AnomalyKind.TIP_UNMAPPED,
+            "TIP to unknown address 0x%x" % target,
+        )
+        if self.policy.resync:
+            self._enter_desync()
+        else:
+            self._post_loss = False  # legacy behaviour: any TIP anchors
+
+    def _enter_desync(self) -> None:
+        self._desync = True
+        self.stats.tnt_discarded += len(self._bits) - self._cur
+        self._bits.clear()
+        self._cur = 0
+
+    def _on_loss(self, loss: AuxLossRecord) -> None:
+        stats = self.stats
+        stats.losses += 1
+        self._abandon("data loss", loss.start_tsc)
+        stats.tnt_dropped_on_loss += len(self._bits) - self._cur
+        self._bits.clear()
+        self._cur = 0
+        self._post_loss = True
+        self._desync = False  # the hole itself is the new segmentation point
+        self._segment_anomalies = 0
+        self._segment_anomaly_start = None
+        self._columns.add_hole(
+            loss.start_tsc, loss.end_tsc, loss.bytes_lost, False
+        )
+
+    # ------------------------------------------------------------------- walk
+    def _run_walk(self, address: int, span_tsc: int, tsc: int) -> None:
+        """Walk compiled code from *address*, emitting lifted steps.
+
+        *span_tsc* is the walk's start timestamp: like the object
+        pipeline, lifted steps carry (and debug info resolves against)
+        the span's creation time even across TNT-starvation resumes,
+        while *tsc* (the current packet's time) drives epoch selection
+        and anomaly records.
+        """
+        database = self.database
+        walk_block = database.walk_block
+        lifter = self.lifter
+        template_of = lifter.block_template
+        resync = self.policy.resync
+        cols = self._columns
+        symbols = cols.symbols
+        takens = cols.takens
+        locations = cols.locations
+        sources = cols.sources
+        tscs = cols.tscs
+        bits = self._bits
+        avail = len(bits)
+        cur = self._cur
+        walked = 0
+        consumed = 0
+        stale = 0
+        try:
+            while True:
+                if walked > MAX_WALK:
+                    self._note(
+                        tsc, AnomalyKind.WALK_BUDGET, "walk budget exceeded"
+                    )
+                    return
+                block = walk_block(address)
+                kind = block.kind
+                count = len(block.addresses)
+                if kind == BLOCK_EPOCH or walked + count > MAX_WALK:
+                    # Per-instruction stepping: epoch-dependent address
+                    # (needs the real tsc) or near the walk budget (needs
+                    # the exact per-instruction boundary semantics).
+                    mi = database.native_instruction_at(address, tsc)
+                    if mi is None:
+                        self._note(
+                            tsc,
+                            AnomalyKind.WALK_DESYNC,
+                            "walk desynchronised at 0x%x" % address,
+                        )
+                        if resync:
+                            self._cur = cur
+                            self._enter_desync()
+                            cur = self._cur
+                        return
+                    mikind = mi.kind
+                    if mikind is MIKind.COND_BRANCH and cur >= avail:
+                        # Starve: suspend until more TNT bits arrive.  The
+                        # branch address is re-visited on resume.
+                        self._walk = (span_tsc, address)
+                        return
+                    step = lifter.lift_one(address, span_tsc)
+                    if step is not None:
+                        if step is LIFT_STALE:
+                            stale += 1
+                        else:
+                            symbols.append(step[0])
+                            takens.append(None)
+                            locations.append(step[1])
+                            sources.append("jit")
+                            tscs.append(span_tsc)
+                    walked += 1
+                    if mikind is MIKind.OTHER:
+                        address = mi.end
+                    elif (
+                        mikind is MIKind.JMP_DIRECT
+                        or mikind is MIKind.CALL_DIRECT
+                    ):
+                        address = mi.target
+                    elif mikind is MIKind.COND_BRANCH:
+                        taken = bits[cur]
+                        cur += 1
+                        consumed += 1
+                        address = mi.target if taken else mi.end
+                    else:
+                        # Indirect branch / return: awaits the next TIP.
+                        return
+                    continue
+                if kind == BLOCK_COND:
+                    if cur >= avail:
+                        # Starve mid-block: emit everything before the
+                        # conditional, suspend at the conditional itself.
+                        template = template_of(block)
+                        body = template.body_count
+                        if body:
+                            symbols += template.body_ops
+                            takens += template.body_nones
+                            locations += template.body_locs
+                            sources += template.body_jits
+                            tscs += (span_tsc,) * body
+                        stale += template.body_stale
+                        walked += count - 1
+                        self._walk = (span_tsc, block.addresses[-1])
+                        return
+                    template = template_of(block)
+                    if template.count:
+                        symbols += template.ops
+                        takens += template.nones
+                        locations += template.locs
+                        sources += template.jits
+                        tscs += (span_tsc,) * template.count
+                    stale += template.stale
+                    walked += count
+                    taken = bits[cur]
+                    cur += 1
+                    consumed += 1
+                    address = block.taken_ip if taken else block.fall_ip
+                    continue
+                # END / CHAIN / UNKNOWN: the whole block executes first.
+                template = template_of(block)
+                if template.count:
+                    symbols += template.ops
+                    takens += template.nones
+                    locations += template.locs
+                    sources += template.jits
+                    tscs += (span_tsc,) * template.count
+                stale += template.stale
+                walked += count
+                if kind == BLOCK_END:
+                    return
+                if kind == BLOCK_CHAIN:
+                    address = block.next_ip
+                    continue
+                # BLOCK_UNKNOWN: the walk desynchronises at next_ip.
+                self._note(
+                    tsc,
+                    AnomalyKind.WALK_DESYNC,
+                    "walk desynchronised at 0x%x" % block.next_ip,
+                )
+                if resync:
+                    self._cur = cur
+                    self._enter_desync()
+                    cur = self._cur
+                return
+        finally:
+            self._cur = cur
+            stats = self.stats
+            stats.walked_instructions += walked
+            stats.tnt_consumed += consumed
+            if stale:
+                self._stale += stale
+
+    # ---------------------------------------------------------------- cleanup
+    def _emit_pending(self) -> None:
+        """Emit the pending conditional with unknown outcome."""
+        ptsc, op = self._pending
+        self._pending = None
+        cols = self._columns
+        cols.symbols.append(op)
+        cols.takens.append(None)
+        cols.locations.append(None)
+        cols.sources.append("interp")
+        cols.tscs.append(ptsc)
+
+    def _abandon(self, why: str, tsc: Optional[int] = None) -> None:
+        if self._pending is not None:
+            self._note(
+                self._pending[0] if tsc is None else tsc,
+                AnomalyKind.CONDITIONAL_WITHOUT_TNT,
+                "conditional without TNT bit (%s)" % why,
+            )
+            self._emit_pending()
+        if self._walk is not None:
+            self.stats.walks_abandoned += 1
+            self._walk = None
+
+    def _note(self, tsc: int, kind: AnomalyKind, reason: str) -> None:
+        stats = self.stats
+        stats.anomalies += 1
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        if self._segment_anomaly_start is None:
+            self._segment_anomaly_start = tsc
+        self._segment_anomalies += 1
+        self._columns.anomalies += 1
+
+    def _declare_synthetic_hole(self, tsc: int) -> None:
+        """The error budget tripped: declare a synthetic hole (same state
+        transitions as :meth:`PTDecoder._maybe_declare_synthetic_hole`)."""
+        start = self._segment_anomaly_start
+        start = tsc if start is None else start
+        self._segment_anomalies = 0
+        self._segment_anomaly_start = None
+        self.stats.synthetic_holes += 1
+        self._abandon("error budget", tsc)
+        self.stats.tnt_dropped_on_loss += len(self._bits) - self._cur
+        self._bits.clear()
+        self._cur = 0
+        self._post_loss = True
+        self._desync = False
+        self._columns.add_hole(start, tsc, 0, True)
+
+    # ---------------------------------------------------------------- metrics
+    def _publish_metrics(self) -> None:
+        if self.metrics is None:
+            return
+        stats = self.stats
+        for name, value in (
+            ("decode.packets", stats.packets),
+            ("decode.tips", stats.tips),
+            ("decode.tnt_bits", stats.tnt_bits),
+            ("decode.losses", stats.losses),
+            ("decode.anomalies", stats.anomalies),
+            ("decode.walked_instructions", stats.walked_instructions),
+            ("decode.synthetic_holes", stats.synthetic_holes),
+            ("decode.walks_abandoned", stats.walks_abandoned),
+            ("decode.tnt_consumed", stats.tnt_consumed),
+            ("decode.tnt_orphaned", stats.tnt_orphaned),
+            ("decode.tnt_discarded", stats.tnt_discarded),
+            ("decode.tnt_dropped_on_loss", stats.tnt_dropped_on_loss),
+            ("decode.tnt_unused", stats.tnt_unused),
+        ):
+            if value:
+                self.metrics.incr(name, value, tid=self.tid)
+        for kind, count in stats.by_kind.items():
+            if count:
+                self.metrics.incr(
+                    "decode.anomaly.%s" % kind.value, count, tid=self.tid
+                )
+        if self._stale:
+            self.metrics.incr(
+                "lift.stale_debug_entries", self._stale, tid=self.tid
+            )

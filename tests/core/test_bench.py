@@ -1,0 +1,106 @@
+"""The perf-trajectory tooling (``repro.bench``): storage + CI gate.
+
+The subject-running halves (:func:`repro.bench.run_table5`,
+:func:`repro.bench.run_archive_overhead`) are exercised by the real
+``python -m repro.bench`` invocations that produce the committed
+``BENCH_*.json``; these tests pin the parts CI correctness depends on --
+the merge format and the regression gate's aggregate-throughput math --
+on synthetic numbers, without running any subject.
+"""
+
+import json
+
+from repro.bench import check_regression, merge_into, run_id
+
+
+def _entry(rows):
+    return {"table5": {"rows": rows}}
+
+
+def _baseline_file(tmp_path, rows, label="post"):
+    path = str(tmp_path / "BENCH_test.json")
+    merge_into(path, label, _entry(rows))
+    return path
+
+
+BASE_ROWS = {
+    "a": {"pt_bytes": 1000, "decode_s": 1.0},
+    "b": {"pt_bytes": 3000, "decode_s": 1.0},
+}
+
+
+class TestMerge:
+    def test_labels_accumulate(self, tmp_path):
+        path = _baseline_file(tmp_path, BASE_ROWS, label="pre")
+        merge_into(path, "post", _entry(BASE_ROWS))
+        document = json.load(open(path))
+        assert sorted(document["runs"]) == ["post", "pre"]
+        assert document["format"] == "repro-bench-v1"
+
+    def test_relabel_overwrites(self, tmp_path):
+        path = _baseline_file(tmp_path, BASE_ROWS)
+        merge_into(path, "post", _entry({"a": {"pt_bytes": 7, "decode_s": 1.0}}))
+        document = json.load(open(path))
+        assert document["runs"]["post"]["table5"]["rows"]["a"]["pt_bytes"] == 7
+
+    def test_unreadable_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        open(path, "w").write("{not json")
+        merge_into(path, "post", _entry(BASE_ROWS))
+        assert json.load(open(path))["runs"]["post"]
+
+
+class TestRegressionGate:
+    def test_clean_run_passes(self, tmp_path):
+        path = _baseline_file(tmp_path, BASE_ROWS)
+        ok, messages = check_regression(_entry(BASE_ROWS), path)
+        assert ok
+        assert any("aggregate" in message for message in messages)
+
+    def test_aggregate_drop_beyond_tolerance_fails(self, tmp_path):
+        path = _baseline_file(tmp_path, BASE_ROWS)
+        slower = {
+            name: {"pt_bytes": row["pt_bytes"], "decode_s": row["decode_s"] * 2}
+            for name, row in BASE_ROWS.items()
+        }
+        ok, messages = check_regression(_entry(slower), path)
+        assert not ok
+        assert "REGRESSION" in messages[-1]
+
+    def test_single_subject_noise_does_not_fail_aggregate(self, tmp_path):
+        """One small subject slowing down is absorbed when the bulk of
+        the bytes decode at baseline speed (the point of aggregating)."""
+        path = _baseline_file(tmp_path, BASE_ROWS)
+        noisy = {
+            "a": {"pt_bytes": 1000, "decode_s": 1.5},  # -33% alone
+            "b": {"pt_bytes": 3000, "decode_s": 1.0},
+        }
+        ok, _messages = check_regression(_entry(noisy), path)
+        assert ok
+
+    def test_subject_subset_is_comparable(self, tmp_path):
+        path = _baseline_file(tmp_path, BASE_ROWS)
+        ok, messages = check_regression(
+            _entry({"a": BASE_ROWS["a"]}), path, subjects=("a",)
+        )
+        assert ok
+        assert len(messages) == 2  # one subject + the aggregate line
+
+    def test_missing_baseline_fails_without_raising(self, tmp_path):
+        ok, messages = check_regression(
+            _entry(BASE_ROWS), str(tmp_path / "absent.json")
+        )
+        assert not ok and messages
+
+    def test_no_common_subjects_fails(self, tmp_path):
+        path = _baseline_file(tmp_path, {"z": {"pt_bytes": 1, "decode_s": 1.0}})
+        ok, _messages = check_regression(_entry(BASE_ROWS), path)
+        assert not ok
+
+
+class TestRunId:
+    def test_carries_host_and_timestamp(self):
+        identity = run_id()
+        assert identity["host"]
+        assert identity["timestamp"]
+        assert "python" in identity and "commit" in identity

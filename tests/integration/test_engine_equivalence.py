@@ -1,0 +1,165 @@
+"""Engine/backend equivalence suite: the array core is bit-identical.
+
+The regression oracle for the array decode core (fused
+:class:`~repro.pt.decoder.PTBatchDecoder` + columnar projection) is the
+original object-per-item core, kept as ``engine="object"``.  This suite
+pins the contract the ISSUE names: identical ``JPortalResult`` flows and
+anomaly stats across (object core x array core) x (serial x thread-pool
+x process-pool), on golden traces and on >= 200 fuzzed seeds.
+
+Coverage layout (the full 3x2 matrix per fuzz seed would spawn ~400
+process pools, so identity is established transitively instead):
+
+* golden traces (lossless + calibrated-lossy) run the **full** engine x
+  backend matrix directly;
+* >= 200 fuzz seeds (stream mutations + periodic database corruption)
+  compare the two engines on the serial path -- the serial output *is*
+  the backend contract, because
+* a directed backend-identity block proves serial == thread == process
+  for each engine separately on fuzzed traces, which composes with the
+  serial cross-engine check to cover the whole matrix.
+
+Cross-engine flow comparison works with plain ``==``:
+:class:`~repro.core.observed.ObservedColumns` compares equal to an
+:class:`~repro.core.observed.ObservedTrace` with the same content.
+"""
+
+import pytest
+
+from repro.core import JPortal, ParallelPipeline
+from repro.core.metadata import collect_metadata
+from repro.jvm.jit import JITPolicy
+from repro.jvm.runtime import JVMRuntime, RuntimeConfig
+from repro.pt.faults import FaultInjector
+from repro.pt.perf import collect
+
+from ..conftest import build_figure2_program, lossless_config, lossy_config
+
+#: Fuzz breadth required by the ISSUE ("-" is the serial cross-engine leg).
+FUZZ_SEEDS = 200
+
+ENGINES = ("object", "array")
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    """One deterministic 3-thread run plus both engines' analysers."""
+    program = build_figure2_program(iterations=40)
+    config = RuntimeConfig(cores=2, quantum=50, jit=JITPolicy(hot_threshold=8))
+    runtime = JVMRuntime(program, config)
+    runtime.add_thread(name="main")
+    for _ in range(2):
+        runtime.add_thread("Test", "main", ())
+    run = runtime.run()
+    return {
+        "program": program,
+        "run": run,
+        "lossless": collect(run, lossless_config()),
+        "lossy": collect(run, lossy_config(capacity=600, bandwidth=0.1)),
+        "database": collect_metadata(run),
+        "jportals": {
+            engine: JPortal(program, engine=engine) for engine in ENGINES
+        },
+    }
+
+
+def _analyze(jportal, trace, database, backend):
+    if backend == "serial":
+        return jportal.analyze_trace(trace, database)
+    return ParallelPipeline(
+        jportal, max_workers=3, backend=backend
+    ).analyze_trace(trace, database)
+
+
+def _assert_identical(result, baseline, note):
+    __tracebackhide__ = True
+    assert result.flows == baseline.flows, note
+    assert result.anomalies == baseline.anomalies, note
+    assert result.anomalies_by_kind == baseline.anomalies_by_kind, note
+    assert result.synthetic_holes == baseline.synthetic_holes, note
+    for tid, flow in baseline.flows.items():
+        other = result.flows[tid]
+        assert other.flow.stats == flow.flow.stats, note
+        assert other.projection == flow.projection, note
+
+
+class TestGoldenMatrix:
+    """Full engine x backend matrix on the golden traces."""
+
+    @pytest.mark.parametrize("trace_name", ("lossless", "lossy"))
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_to_object_serial(
+        self, fixture, trace_name, engine, backend
+    ):
+        trace = fixture[trace_name]
+        database = fixture["database"]
+        baseline = fixture["jportals"]["object"].analyze_trace(trace, database)
+        result = _analyze(
+            fixture["jportals"][engine], trace, database, backend
+        )
+        _assert_identical(
+            result, baseline, "%s %s/%s" % (trace_name, engine, backend)
+        )
+
+
+class TestFuzzedCrossEngine:
+    """>= 200 fuzz seeds: object core == array core on the serial path."""
+
+    def test_two_hundred_seeds_bit_identical(self, fixture):
+        database_base = fixture["database"]
+        jportals = fixture["jportals"]
+        for seed in range(FUZZ_SEEDS):
+            injector = FaultInjector(3_000_000 + seed)
+            trace, faults = injector.mutate_trace(
+                fixture["lossy"], faults_per_core=1 + seed % 3
+            )
+            database = database_base
+            if seed % 5 == 0:
+                database, db_faults = injector.corrupt_database(database)
+                faults = faults + db_faults
+            note = "seed=%d faults=%r" % (seed, [f.kind for f in faults])
+            baseline = jportals["object"].analyze_trace(trace, database)
+            result = jportals["array"].analyze_trace(trace, database)
+            _assert_identical(result, baseline, note)
+
+
+class TestFuzzedBackendIdentity:
+    """Each engine's pooled output equals its own serial output on
+    fuzzed traces -- composes with the serial cross-engine fuzz above to
+    cover the full (engine x backend) matrix transitively."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_backends_match_serial(self, fixture, engine, backend):
+        jportal = fixture["jportals"][engine]
+        for seed in (0, 7):
+            injector = FaultInjector(4_000_000 + seed)
+            trace, _faults = injector.mutate_trace(
+                fixture["lossy"], faults_per_core=2
+            )
+            serial = jportal.analyze_trace(trace, fixture["database"])
+            pooled = _analyze(jportal, trace, fixture["database"], backend)
+            _assert_identical(
+                pooled, serial, "seed=%d %s/%s" % (seed, engine, backend)
+            )
+
+
+class TestObservedCompatibility:
+    """The columnar observed trace is a drop-in for the object one."""
+
+    def test_columns_equal_trace_view(self, fixture):
+        result = fixture["jportals"]["array"].analyze_trace(
+            fixture["lossy"], fixture["database"]
+        )
+        for flow in result.flows.values():
+            columns = flow.observed
+            trace_view = columns.to_trace()
+            assert columns == trace_view
+            assert trace_view == columns
+            assert columns.steps() == trace_view.steps()
+            assert columns.holes() == trace_view.holes()
+            assert [len(s) for s in columns.segments()] == [
+                len(s) for s in trace_view.segments()
+            ]
