@@ -173,6 +173,77 @@ def run_archive_overhead(subject_name: str = "sunflow") -> Dict[str, object]:
     return results
 
 
+def run_stream_lag(subject_name: str = "luindex") -> Dict[str, object]:
+    """The streaming-lag measurement: delta latency and segment lag of
+    the incremental decoder following a live writer, plus the cost of
+    the sealed-tail ``finalize`` relative to a one-shot batch decode."""
+    import tempfile
+
+    from ..pt.archive import (
+        ArchiveWriter,
+        iter_archive_events,
+        write_archive_event,
+    )
+    from ..stream import StreamDecoder
+
+    subject, run, _config = _subject_setup(subject_name)
+    lossless = PTConfig(
+        buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9)
+    )
+    trace = collect(run, lossless)
+    database = collect_metadata(run)
+    jportal = JPortal(
+        subject.program,
+        recovery=RecoveryConfig(
+            cost_per_instruction=run.config.compiled_step_cost
+        ),
+        engine="array",
+    )
+    latencies: List[float] = []
+    max_lag = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.rpt2")
+        writer = ArchiveWriter(path)
+        writer.snapshot_metadata(database, include_dumps=False)
+        tenant = StreamDecoder(jportal, path, name="bench")
+        events = list(iter_archive_events(trace, database, 256))
+        started = time.perf_counter()
+        for index, event in enumerate(events):
+            write_archive_event(writer, event)
+            if index % 4 == 3:
+                delta = tenant.poll()
+                latencies.append(delta.latency_seconds)
+                max_lag = max(max_lag, delta.lag_segments)
+        writer.close()
+        delta = tenant.poll()
+        latencies.append(delta.latency_seconds)
+        max_lag = max(max_lag, delta.lag_segments)
+        stream_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        result = tenant.finalize()
+        finalize_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        batch = jportal.analyze_archive(path)
+        batch_seconds = time.perf_counter() - started
+        if result.total_entries() != batch.total_entries():
+            raise AssertionError(
+                "stream/batch divergence: %d != %d"
+                % (result.total_entries(), batch.total_entries())
+            )
+    return {
+        "subject": subject_name,
+        "records": len(events) + 1,
+        "entries": result.total_entries(),
+        "replayed": tenant.replayed,
+        "poll_latency_mean_s": sum(latencies) / len(latencies),
+        "poll_latency_max_s": max(latencies),
+        "max_lag_segments": max_lag,
+        "stream_wall_s": stream_wall,
+        "finalize_s": finalize_seconds,
+        "batch_s": batch_seconds,
+    }
+
+
 # ------------------------------------------------------------------ storage
 def merge_into(path: str, label: str, entry: Dict[str, object]) -> Dict[str, object]:
     """Merge one labelled run into the bench file (atomic rewrite)."""

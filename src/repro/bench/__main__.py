@@ -27,6 +27,7 @@ from . import (
     merge_into,
     run_archive_overhead,
     run_id,
+    run_stream_lag,
     run_table5,
 )
 
@@ -59,6 +60,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-archive", action="store_true",
         help="skip the archive-overhead benchmark",
+    )
+    parser.add_argument(
+        "--skip-stream", action="store_true",
+        help="skip the streaming-lag benchmark",
     )
     parser.add_argument(
         "--check-against", default=None, metavar="BENCH_JSON",
@@ -108,6 +113,19 @@ def main(argv=None) -> int:
                 100.0 * entry["archive"]["framing_overhead"],
                 entry["archive"]["write_throughput_kbs"],
                 entry["archive"]["read_throughput_kbs"],
+            )
+        )
+    if not args.skip_stream:
+        entry["stream"] = run_stream_lag()
+        print(
+            "bench: stream poll %.2fms mean / %.2fms max, lag <= %d segments,"
+            " finalize %.3fs (batch %.3fs)"
+            % (
+                1e3 * entry["stream"]["poll_latency_mean_s"],
+                1e3 * entry["stream"]["poll_latency_max_s"],
+                entry["stream"]["max_lag_segments"],
+                entry["stream"]["finalize_s"],
+                entry["stream"]["batch_s"],
             )
         )
     merge_into(out, args.label, entry)

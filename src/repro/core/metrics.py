@@ -10,7 +10,10 @@ thread (``None`` for process-global facts):
 * **counters** -- monotonically increasing counts (packets decoded,
   anomalies, restarts, holes filled, ...);
 * **timings** -- accumulated wall-clock seconds per phase;
-* **maxima** -- high-water marks (peak projection frontier).
+* **maxima** -- high-water marks (peak projection frontier);
+* **gauges** -- last-written instantaneous values (streaming lag,
+  queue depth): unlike counters they overwrite rather than add, so a
+  gauge read reports the *current* state, not history.
 
 All mutation takes a single lock, so decoder/projector/recovery instances
 running concurrently on different threads of the *host* process can share
@@ -38,6 +41,7 @@ class MetricsRegistry:
         self._counters: Dict[Key, int] = {}
         self._timings: Dict[Key, float] = {}
         self._maxima: Dict[Key, float] = {}
+        self._gauges: Dict[Key, float] = {}
 
     # ---------------------------------------------------------------- writes
     def incr(self, name: str, value: int = 1, tid: Optional[int] = None) -> None:
@@ -63,6 +67,13 @@ class MetricsRegistry:
             current = self._maxima.get(key)
             if current is None or value > current:
                 self._maxima[key] = value
+
+    def set_gauge(
+        self, name: str, value: float, tid: Optional[int] = None
+    ) -> None:
+        """Set the instantaneous gauge *name* for *tid* (overwrites)."""
+        with self._lock:
+            self._gauges[(name, tid)] = value
 
     @contextmanager
     def timer(self, phase: str, tid: Optional[int] = None) -> Iterator[None]:
@@ -101,6 +112,10 @@ class MetricsRegistry:
                     (name, tid, value)
                     for (name, tid), value in self._maxima.items()
                 ],
+                "gauges": [
+                    (name, tid, value)
+                    for (name, tid), value in self._gauges.items()
+                ],
             }
 
     def absorb(self, data: Dict[str, List[Tuple[str, Optional[int], float]]]) -> None:
@@ -116,6 +131,8 @@ class MetricsRegistry:
             self.add_time(name, value, tid=tid)
         for name, tid, value in data.get("maxima", ()):
             self.observe_max(name, value, tid=tid)
+        for name, tid, value in data.get("gauges", ()):
+            self.set_gauge(name, value, tid=tid)
 
     # ----------------------------------------------------------------- reads
     def counter(self, name: str, tid: Optional[int] = None) -> int:
@@ -186,12 +203,24 @@ class MetricsRegistry:
             ]
             return max(values) if values else 0.0
 
+    def gauge(self, name: str, tid: Optional[int] = None) -> float:
+        """The gauge's current value; ``tid=None`` sums across threads
+        (per-tenant lag gauges aggregate to total backlog)."""
+        with self._lock:
+            if tid is not None:
+                return self._gauges.get((name, tid), 0.0)
+            return sum(
+                value for (key, _t), value in self._gauges.items() if key == name
+            )
+
     def tids(self) -> List[int]:
         """All thread ids that recorded any fact, sorted."""
         with self._lock:
             seen = {
                 tid
-                for source in (self._counters, self._timings, self._maxima)
+                for source in (
+                    self._counters, self._timings, self._maxima, self._gauges
+                )
                 for (_name, tid) in source
                 if tid is not None
             }
@@ -204,6 +233,7 @@ class MetricsRegistry:
                 "counters": dict(self._counters),
                 "timings": dict(self._timings),
                 "maxima": dict(self._maxima),
+                "gauges": dict(self._gauges),
             }
         result: Dict[str, Dict[str, Dict]] = {}
         for kind, data in sources.items():

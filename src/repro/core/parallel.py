@@ -246,9 +246,21 @@ class ParallelPipeline:
         return min(workers, max(thread_count, 1))
 
     def _executor(self, workers: int) -> Executor:
-        return ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="jportal-decode"
-        )
+        return make_executor(workers)
+
+
+def make_executor(
+    workers: int, thread_name_prefix: str = "jportal-decode"
+) -> Executor:
+    """The shared thread-pool constructor for in-host fan-out.
+
+    Both the per-thread analysis pool above and the streaming
+    supervisor's tenant-poll shards (:mod:`repro.stream`) draw workers
+    from pools built here, so sizing and naming stay in one place.
+    """
+    return ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix=thread_name_prefix
+    )
 
 
 def ideal_makespan(durations: Iterable[float], workers: int) -> float:

@@ -428,14 +428,19 @@ class JPortal:
         try:
             return self._analyze_thread(tid, thread_trace, database, metrics)
         except Exception:
-            metrics.incr("pipeline.thread_chain_failures", tid=tid)
-            return ThreadFlow(
-                tid=tid,
-                observed=ObservedTrace(tid=tid),
-                segments=[],
-                flow=RecoveredFlow(entries=[], stats=RecoveryStats()),
-                projection=MatchStats(),
-            )
+            return self._degraded_flow(tid, metrics)
+
+    @staticmethod
+    def _degraded_flow(tid: int, metrics: MetricsRegistry) -> ThreadFlow:
+        """The empty flow a failed per-thread chain degrades to."""
+        metrics.incr("pipeline.thread_chain_failures", tid=tid)
+        return ThreadFlow(
+            tid=tid,
+            observed=ObservedTrace(tid=tid),
+            segments=[],
+            flow=RecoveredFlow(entries=[], stats=RecoveryStats()),
+            projection=MatchStats(),
+        )
 
     def _analyze_thread(
         self,
@@ -463,30 +468,7 @@ class JPortal:
                 observed = decoder.decode_into(
                     thread_trace.stream, ObservedColumns(tid)
                 )
-            with metrics.timer("reconstruct", tid=tid):
-                segments: List[List[Optional[Node]]] = []
-                stats = MatchStats()
-                symbols = observed.symbols
-                takens = observed.takens
-                locations = observed.locations
-                for lo, hi in observed.segment_ranges():
-                    projection = self.projector.project_arrays(
-                        symbols, takens, locations, lo, hi,
-                        metrics=metrics, tid=tid,
-                    )
-                    segments.append(projection.path)
-                    _merge_stats(stats, projection.stats)
-            with metrics.timer("recovery", tid=tid):
-                recovered = self.recovery_engine.recover(
-                    segments, observed.holes(), metrics=metrics, tid=tid
-                )
-            return ThreadFlow(
-                tid=tid,
-                observed=observed,
-                segments=segments,
-                flow=recovered,
-                projection=stats,
-            )
+            return self._project_and_recover(observed, metrics, tid)
         with metrics.timer("decode", tid=tid):
             decoder = PTDecoder(
                 database,
@@ -511,6 +493,44 @@ class JPortal:
             )
         return ThreadFlow(
             tid=tid,
+            observed=observed,
+            segments=segments,
+            flow=recovered,
+            projection=stats,
+        )
+
+    def _project_and_recover(
+        self,
+        observed: ObservedColumns,
+        metrics: MetricsRegistry,
+        tid: int,
+    ) -> ThreadFlow:
+        """Project + recover fully-decoded columns into a ThreadFlow.
+
+        The back half of the array-engine :meth:`_analyze_thread`, split
+        out so the streaming service -- which fills the columns
+        incrementally with its own decoder lifecycle -- finalises
+        through exactly the batch code path.
+        """
+        with metrics.timer("reconstruct", tid=tid):
+            segments: List[List[Optional[Node]]] = []
+            stats = MatchStats()
+            symbols = observed.symbols
+            takens = observed.takens
+            locations = observed.locations
+            for lo, hi in observed.segment_ranges():
+                projection = self.projector.project_arrays(
+                    symbols, takens, locations, lo, hi,
+                    metrics=metrics, tid=tid,
+                )
+                segments.append(projection.path)
+                _merge_stats(stats, projection.stats)
+        with metrics.timer("recovery", tid=tid):
+            recovered = self.recovery_engine.recover(
+                segments, observed.holes(), metrics=metrics, tid=tid
+            )
+        return ThreadFlow(
+            tid=observed.tid,
             observed=observed,
             segments=segments,
             flow=recovered,

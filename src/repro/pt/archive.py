@@ -56,12 +56,22 @@ range, which the decode pipeline routes into the existing
 :class:`~repro.core.recovery.RecoveryEngine` hole recovery (Algorithms
 3-4).  Legacy ``RPT1`` files are readable through the same entry point,
 with best-effort prefix salvage on damage.
+
+Both the one-shot reader and the streaming :class:`ArchiveTailReader`
+run on the same resumable scanner, so an archive consumed segment by
+segment as it grows yields byte-for-byte the salvage stats and contents
+of a batch read of the sealed file.  The crucial difference between the
+two modes is the open tail: a reader polling an *unsealed, growing*
+archive must treat an incomplete record at EOF as "no trailer yet, more
+data coming" -- leaving the bytes pending for the next poll -- whereas
+the batch reader (which sees the final file) converts the same bytes
+into a torn-record salvage event.  Only :meth:`ArchiveTailReader.finalize`
+applies the end-of-file semantics.
 """
 
 from __future__ import annotations
 
 import io
-import mmap
 import os
 import struct
 import zlib
@@ -466,12 +476,61 @@ class ArchiveWriter:
             self.abort()
 
 
+def iter_archive_events(trace, database, segment_packets: int = 256):
+    """The canonical record sequence :func:`write_archive` commits.
+
+    Yields, in exact on-disk order, one tuple per record body:
+
+    * ``("sideband", switches)`` -- thread-switch batches (all up front);
+    * ``("dump", dump)`` -- one code-dump journal record;
+    * ``("segment", core, chunk, lo, hi)`` -- one per-core stream chunk.
+
+    Shared between the batch exporter and the streaming/test harnesses
+    that commit the same archive record by record, so an incrementally
+    grown archive is byte-identical to a batch-written one.
+    """
+    switches = list(trace.thread_switches)
+    for start in range(0, len(switches), 1024) or [0]:
+        yield ("sideband", switches[start:start + 1024])
+    events: List[Tuple[int, int, str, object, object]] = []
+    for core_trace in trace.cores:
+        merged = merge_core_stream(core_trace.packets, core_trace.losses)
+        for start in range(0, len(merged), segment_packets):
+            chunk = merged[start:start + segment_packets]
+            lo, hi = _tsc_span(chunk)
+            events.append((lo, 1, "segment", core_trace.core, (chunk, lo, hi)))
+    if database is not None:
+        for dump in sorted(database.code_dumps, key=lambda d: d.load_tsc):
+            events.append((dump.load_tsc, 0, "dump", 0, dump))
+    events.sort(key=lambda event: (event[0], event[1]))
+    for _tsc, _rank, kind, core, item in events:
+        if kind == "dump":
+            yield ("dump", item)
+        else:
+            chunk, lo, hi = item
+            yield ("segment", core, chunk, lo, hi)
+
+
+def write_archive_event(writer: ArchiveWriter, event) -> int:
+    """Commit one :func:`iter_archive_events` tuple; returns its seq."""
+    kind = event[0]
+    if kind == "sideband":
+        return writer.append_sideband(event[1])
+    if kind == "dump":
+        return writer.append_code_dump(event[1])
+    if kind == "segment":
+        _kind, core, chunk, lo, hi = event
+        return writer.append_segment(core, chunk, tsc_span=(lo, hi))
+    raise ValueError("unknown archive event %r" % (kind,))
+
+
 def write_archive(
     trace,
     database,
     path,
     segment_packets: int = 256,
     snapshot_path=None,
+    on_segment=None,
 ) -> ArchiveWriteReport:
     """Export a collected :class:`~repro.pt.perf.PTTrace` + metadata.
 
@@ -480,30 +539,19 @@ def write_archive(
     archived up front; then per-core stream chunks of *segment_packets*
     entries and code-dump journal records interleave in TSC order, each
     dump landing before the first segment that could need it.
+
+    *on_segment*, when given, is called as ``on_segment(seq, core, lo,
+    hi)`` after each segment record's commit trailer is flushed -- the
+    hook a streaming consumer uses to decode segment-by-segment while
+    collection is still running.
     """
     with ArchiveWriter(path, snapshot_path=snapshot_path) as writer:
         if database is not None:
             writer.snapshot_metadata(database, include_dumps=False)
-        switches = list(trace.thread_switches)
-        for start in range(0, len(switches), 1024) or [0]:
-            writer.append_sideband(switches[start:start + 1024])
-        events: List[Tuple[int, int, str, object, object]] = []
-        for core_trace in trace.cores:
-            merged = merge_core_stream(core_trace.packets, core_trace.losses)
-            for start in range(0, len(merged), segment_packets):
-                chunk = merged[start:start + segment_packets]
-                lo, hi = _tsc_span(chunk)
-                events.append((lo, 1, "segment", core_trace.core, (chunk, lo, hi)))
-        if database is not None:
-            for dump in sorted(database.code_dumps, key=lambda d: d.load_tsc):
-                events.append((dump.load_tsc, 0, "dump", 0, dump))
-        events.sort(key=lambda event: (event[0], event[1]))
-        for _tsc, _rank, kind, core, item in events:
-            if kind == "dump":
-                writer.append_code_dump(item)
-            else:
-                chunk, lo, hi = item
-                writer.append_segment(core, chunk, tsc_span=(lo, hi))
+        for event in iter_archive_events(trace, database, segment_packets):
+            seq = write_archive_event(writer, event)
+            if on_segment is not None and event[0] == "segment":
+                on_segment(seq, event[1], event[3], event[4])
         return writer.close()
 
 
@@ -794,6 +842,24 @@ def _salvage_legacy(data, contents: ArchiveContents) -> None:
     contents.cores[0] = entries
 
 
+@dataclass(frozen=True)
+class ArchiveRecord:
+    """One committed record surfaced incrementally by the tail reader.
+
+    ``payload`` depends on the record type: a tagged ``(tag, item)``
+    entry list for segments, a :class:`~repro.core.metadata.CodeDump`
+    for journal records, a :class:`ThreadSwitchRecord` list for
+    sideband, ``None`` for the seal.
+    """
+
+    rtype: int
+    seq: int
+    core: int
+    tsc_lo: int
+    tsc_hi: int
+    payload: object
+
+
 def read_archive(path, snapshot_path=None, strict: bool = False) -> ArchiveContents:
     """Salvage-read an ``RPT2`` archive (or legacy ``RPT1`` stream).
 
@@ -808,18 +874,12 @@ def read_archive(path, snapshot_path=None, strict: bool = False) -> ArchiveConte
     snapshot_path = (
         str(snapshot_path) if snapshot_path is not None else path + ".meta"
     )
-    stats = SalvageStats()
-    contents = ArchiveContents(path=path, stats=stats)
+    contents = ArchiveContents(path=path, stats=SalvageStats())
+    scanner = _ArchiveScanner(contents, snapshot_path)
     with open(path, "rb") as source:
-        try:
-            data = mmap.mmap(source.fileno(), 0, access=mmap.ACCESS_READ)
-        except (ValueError, OSError):  # empty file or mmap-less source
-            data = source.read()
-        try:
-            _salvage(data, contents, snapshot_path)
-        finally:
-            if isinstance(data, mmap.mmap):
-                data.close()
+        scanner.feed(source.read())
+    scanner.finish()
+    stats = contents.stats
     if strict and stats.events:
         first = stats.events[0]
         raise ArchiveFormatError(
@@ -830,226 +890,420 @@ def read_archive(path, snapshot_path=None, strict: bool = False) -> ArchiveConte
     return contents
 
 
-def _salvage(data, contents: ArchiveContents, snapshot_path: str) -> None:
-    stats = contents.stats
-    stats.file_size = len(data)
-    magic = bytes(data[:4])
-    if magic == LEGACY_MAGIC:
-        _salvage_legacy(data, contents)
-        return
+class _ArchiveScanner:
+    """Resumable salvage scanner: the engine under both read modes.
 
-    pos = 0
-    if magic == ARCHIVE_MAGIC:
-        stats.bytes_salvaged += 4
-        pos = 4
-    else:
-        stats.record(
-            AnomalyKind.ARCHIVE_MALFORMED, 0, "bad archive magic %r" % magic
-        )
+    :func:`read_archive` feeds it the whole file and finishes; the
+    :class:`ArchiveTailReader` feeds appended byte chunks as the file
+    grows.  While unfinished, an *indeterminate* tail -- a truncated
+    header, a payload whose claimed length runs past the current EOF, or
+    a trailing sync-prefix byte -- is left **pending** rather than being
+    converted into a torn-record salvage event: on a live archive those
+    bytes mean "no trailer yet, more data coming", and only
+    :meth:`finish` (end of file, for real) applies the batch reader's
+    torn-tail degradation.  Everything *determinate* (CRC failures,
+    uncommitted trailers, duplicates, unparseable bodies) degrades
+    immediately, with byte-for-byte the accounting of a batch read.
+    """
 
-    n = len(data)
-    known: Dict[int, _Record] = {}
-    segment_entries: Dict[int, Tuple[int, List[Tuple[str, object]]]] = {}
-    synthesized: List[Tuple[int, AuxLossRecord]] = []  # (core, record)
+    def __init__(self, contents: ArchiveContents, snapshot_path: str):
+        self.contents = contents
+        self.stats = contents.stats
+        self.snapshot_path = snapshot_path
+        self._buffer = bytearray()
+        self._base = 0  # absolute file offset of _buffer[0]
+        self._total = 0  # bytes fed so far
+        self._magic_checked = False
+        self._legacy = False
+        self._finished = False
+        self._known: Dict[int, _Record] = {}
+        self._segment_entries: Dict[int, Tuple[int, List[Tuple[str, object]]]] = {}
+        self._synthesized: List[Tuple[int, AuxLossRecord]] = []  # (core, record)
+        self._new: List[ArchiveRecord] = []
 
-    def synthesize_loss(core: int, tsc_lo: int, tsc_hi: int, lost: int) -> None:
+    # ------------------------------------------------------------ feeding
+    def buffered_bytes(self) -> int:
+        """Unconsumed tail bytes held for the next feed (memory bound)."""
+        return len(self._buffer)
+
+    def drain_new(self) -> List[ArchiveRecord]:
+        """Records accepted since the last drain, in commit order."""
+        new, self._new = self._new, []
+        return new
+
+    def feed(self, chunk) -> None:
+        """Consume appended bytes; scans as far as is determinate."""
+        if self._finished:
+            raise ValueError("scanner already finished")
+        self._buffer += chunk
+        self._total += len(chunk)
+        if not self._magic_checked:
+            if len(self._buffer) < 4:
+                return  # magic still growing; wait
+            self._check_magic()
+        if not self._legacy:
+            self._scan(eof=False)
+
+    def finish(self) -> ArchiveContents:
+        """Apply end-of-file semantics and assemble the contents.
+
+        After this the cumulative stats, per-core streams, sideband, and
+        database equal a batch :func:`read_archive` of the same bytes --
+        including salvage-event order (scan events, unsealed, sequence
+        gaps, snapshot) and the byte-accounting invariant.
+        """
+        if self._finished:
+            return self.contents
+        self._finished = True
+        stats = self.stats
+        stats.file_size = self._total
+        contents = self.contents
+        if not self._magic_checked:
+            self._check_magic()  # short file: whatever is there is the magic
+        if self._legacy:
+            _salvage_legacy(bytes(self._buffer), contents)
+            self._buffer.clear()
+            return contents
+        self._scan(eof=True)
+        self._buffer.clear()
+        if not stats.sealed:
+            stats.record(
+                AnomalyKind.ARCHIVE_UNSEALED, self._total,
+                "archive ends without a seal record (crash or truncation)",
+            )
+        _detect_sequence_gaps(self._known, stats, self._synthesize_loss)
+
+        # Assemble per-core streams: accepted segments in seq order, then
+        # the synthesized losses merged at their TSC positions (stable
+        # sort keeps the canonical packet-before-loss tie order within
+        # each tick).
+        for seq in sorted(self._segment_entries):
+            core, entries = self._segment_entries[seq]
+            contents.cores.setdefault(core, []).extend(entries)
+        for core, hole in self._synthesized:
+            contents.cores.setdefault(core, []).append(("loss", hole))
+        for core in contents.cores:
+            contents.cores[core].sort(
+                key=lambda entry: (
+                    entry[1].start_tsc if entry[0] == "loss" else entry[1].tsc,
+                    entry[0] == "loss",
+                )
+            )
+        contents.thread_switches.sort(key=lambda record: record.tsc)
+
+        snapshot = _load_snapshot(self.snapshot_path, stats)
+        if snapshot is not None:
+            contents.database = snapshot.with_dumps(contents.journal_dumps)
+        return contents
+
+    # ---------------------------------------------------------- internals
+    def _check_magic(self) -> None:
+        self._magic_checked = True
+        magic = bytes(self._buffer[:4])
+        if magic == ARCHIVE_MAGIC:
+            self.stats.bytes_salvaged += 4
+            del self._buffer[:4]
+            self._base = 4
+        elif magic == LEGACY_MAGIC:
+            self._legacy = True
+        else:
+            self.stats.record(
+                AnomalyKind.ARCHIVE_MALFORMED, 0, "bad archive magic %r" % magic
+            )
+            # Bad magic: the whole prefix rescans as record garbage.
+
+    def _synthesize_loss(self, core: int, tsc_lo: int, tsc_hi: int, lost: int) -> None:
         hole = AuxLossRecord(
             start_tsc=tsc_lo, end_tsc=tsc_hi, bytes_lost=lost, packets_lost=0
         )
-        synthesized.append((core, hole))
-        stats.loss_records_synthesized += 1
-        stats.loss_bytes_synthesized += lost
+        self._synthesized.append((core, hole))
+        self.stats.loss_records_synthesized += 1
+        self.stats.loss_bytes_synthesized += lost
 
-    def register(rtype, seq, core, tsc_lo, tsc_hi, payload_len, accepted) -> None:
-        known[seq] = _Record(
+    def _register(self, rtype, seq, core, tsc_lo, tsc_hi, payload_len, accepted) -> None:
+        self._known[seq] = _Record(
             rtype=rtype, seq=seq, core=core, tsc_lo=tsc_lo, tsc_hi=tsc_hi,
             payload_len=payload_len, accepted=accepted,
         )
 
-    while pos < n:
-        sync = data.find(_SYNC, pos)
-        if sync < 0:
-            stats.bytes_dropped += n - pos
-            break
-        if sync > pos:
-            stats.bytes_dropped += sync - pos
-        parsed = _parse_record_at(data, sync)
-        if parsed == "torn-header":
-            stats.record(
-                AnomalyKind.SEGMENT_TORN, sync, "record header truncated at EOF"
-            )
-            stats.bytes_dropped += n - sync
-            break
-        if parsed == "bad-header-crc":
-            # Either a damaged header or payload bytes that happen to
-            # contain the sync pattern; flag only the plausible headers.
-            if data[sync + 2] in _KNOWN_TYPES:
+    def _scan(self, eof: bool) -> None:
+        stats = self.stats
+        known = self._known
+        data = bytes(self._buffer)
+        base = self._base
+        n = len(data)
+        pos = 0
+        while pos < n:
+            sync = data.find(_SYNC, pos)
+            if sync < 0:
+                if eof:
+                    stats.bytes_dropped += n - pos
+                    pos = n
+                else:
+                    # Garbage so far -- but the final byte could be the
+                    # first half of a sync marker still being written.
+                    hold = n - 1 if data[n - 1] == _SYNC[0] else n
+                    if hold > pos:
+                        stats.bytes_dropped += hold - pos
+                        pos = hold
+                break
+            if sync > pos:
+                stats.bytes_dropped += sync - pos
+                pos = sync
+            parsed = _parse_record_at(data, sync)
+            if parsed == "torn-header":
+                if not eof:
+                    break  # header still being written: pending
                 stats.record(
-                    AnomalyKind.ARCHIVE_MALFORMED, sync,
-                    "record header CRC mismatch",
+                    AnomalyKind.SEGMENT_TORN, base + sync,
+                    "record header truncated at EOF",
                 )
-            stats.bytes_dropped += 1
-            pos = sync + 1
-            continue
-        if isinstance(parsed[0], str):
-            why, rtype, seq, core, tsc_lo, tsc_hi, payload_len = parsed
-            if seq not in known:
-                register(rtype, seq, core, tsc_lo, tsc_hi, payload_len, False)
+                stats.bytes_dropped += n - sync
+                pos = n
+                break
+            if parsed == "bad-header-crc":
+                # Either a damaged header or payload bytes that happen to
+                # contain the sync pattern; flag only the plausible headers.
+                if data[sync + 2] in _KNOWN_TYPES:
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "record header CRC mismatch",
+                    )
+                stats.bytes_dropped += 1
+                pos = sync + 1
+                continue
+            if isinstance(parsed[0], str):
+                why, rtype, seq, core, tsc_lo, tsc_hi, payload_len = parsed
+                if why == "torn-payload" and not eof:
+                    break  # payload still being written: pending
+                if seq not in known:
+                    self._register(
+                        rtype, seq, core, tsc_lo, tsc_hi, payload_len, False
+                    )
+                    if rtype == REC_SEGMENT:
+                        stats.segments_total += 1
+                        stats.segments_dropped += 1
+                        self._synthesize_loss(core, tsc_lo, tsc_hi, payload_len)
+                    elif rtype == REC_CODE_DUMP:
+                        stats.metadata_dumps_dropped += 1
+                if why == "torn-payload":
+                    stats.record(
+                        AnomalyKind.SEGMENT_TORN, base + sync,
+                        "seq %d payload runs past EOF (%d bytes claimed)"
+                        % (seq, payload_len),
+                        seq=seq, core=core,
+                    )
+                    stats.bytes_dropped += n - sync
+                    pos = n
+                    break
+                if why == "uncommitted":
+                    stats.record(
+                        AnomalyKind.SEGMENT_TORN, base + sync,
+                        "seq %d never committed (torn trailer)" % seq,
+                        seq=seq, core=core,
+                    )
+                    # Framing up to the payload is accounted here; the
+                    # untrusted payload region is rescanned for later records
+                    # and lands in the dropped-garbage account.
+                    stats.bytes_dropped += len(_SYNC) + _HEADER.size + _HCRC.size
+                    pos = sync + len(_SYNC) + _HEADER.size + _HCRC.size
+                    continue
+                # bad-payload-crc: committed record whose payload rotted.
+                stats.record(
+                    AnomalyKind.SEGMENT_CRC_MISMATCH, base + sync,
+                    "seq %d payload CRC mismatch (%d bytes)" % (seq, payload_len),
+                    seq=seq, core=core,
+                )
+                stats.bytes_dropped += RECORD_OVERHEAD
+                stats.bytes_converted_to_loss += payload_len
+                pos = sync + len(_SYNC) + _HEADER.size + _HCRC.size + payload_len + _TRAILER.size
+                continue
+
+            end, rtype, seq, core, tsc_lo, tsc_hi, payload = parsed
+            extent = end - sync
+            if seq in known:
+                stats.sequence_duplicates += 1
+                stats.record(
+                    AnomalyKind.SEGMENT_DUPLICATE, base + sync,
+                    "seq %d already consumed; duplicate dropped" % seq,
+                    seq=seq, core=core,
+                )
                 if rtype == REC_SEGMENT:
                     stats.segments_total += 1
                     stats.segments_dropped += 1
-                    synthesize_loss(core, tsc_lo, tsc_hi, payload_len)
-                elif rtype == REC_CODE_DUMP:
-                    stats.metadata_dumps_dropped += 1
-            if why == "torn-payload":
-                stats.record(
-                    AnomalyKind.SEGMENT_TORN, sync,
-                    "seq %d payload runs past EOF (%d bytes claimed)"
-                    % (seq, payload_len),
-                    seq=seq, core=core,
-                )
-                stats.bytes_dropped += n - sync
-                break
-            if why == "uncommitted":
-                stats.record(
-                    AnomalyKind.SEGMENT_TORN, sync,
-                    "seq %d never committed (torn trailer)" % seq,
-                    seq=seq, core=core,
-                )
-                # Framing up to the payload is accounted here; the
-                # untrusted payload region is rescanned for later records
-                # and lands in the dropped-garbage account.
-                stats.bytes_dropped += len(_SYNC) + _HEADER.size + _HCRC.size
-                pos = sync + len(_SYNC) + _HEADER.size + _HCRC.size
+                stats.bytes_dropped += extent
+                pos = end
                 continue
-            # bad-payload-crc: committed record whose payload rotted.
-            stats.record(
-                AnomalyKind.SEGMENT_CRC_MISMATCH, sync,
-                "seq %d payload CRC mismatch (%d bytes)" % (seq, payload_len),
-                seq=seq, core=core,
-            )
-            stats.bytes_dropped += RECORD_OVERHEAD
-            stats.bytes_converted_to_loss += payload_len
-            pos = sync + len(_SYNC) + _HEADER.size + _HCRC.size + payload_len + _TRAILER.size
-            continue
-
-        end, rtype, seq, core, tsc_lo, tsc_hi, payload = parsed
-        extent = end - sync
-        if seq in known:
-            stats.sequence_duplicates += 1
-            stats.record(
-                AnomalyKind.SEGMENT_DUPLICATE, sync,
-                "seq %d already consumed; duplicate dropped" % seq,
-                seq=seq, core=core,
-            )
             if rtype == REC_SEGMENT:
                 stats.segments_total += 1
-                stats.segments_dropped += 1
-            stats.bytes_dropped += extent
-            pos = end
-            continue
-        if rtype == REC_SEGMENT:
-            stats.segments_total += 1
-            try:
-                entries = list(
-                    iter_body(
-                        io.BytesIO(payload),
-                        base_offset=sync + len(_SYNC) + _HEADER.size + _HCRC.size,
+                try:
+                    entries = list(
+                        iter_body(
+                            io.BytesIO(payload),
+                            base_offset=base + sync + len(_SYNC) + _HEADER.size + _HCRC.size,
+                        )
                     )
-                )
-            except TraceFormatError as error:
-                register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
-                stats.segments_dropped += 1
+                except TraceFormatError as error:
+                    self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
+                    stats.segments_dropped += 1
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "seq %d body unparseable despite valid CRC: %s" % (seq, error),
+                        seq=seq, core=core,
+                    )
+                    self._synthesize_loss(core, tsc_lo, tsc_hi, len(payload))
+                    stats.bytes_dropped += RECORD_OVERHEAD
+                    stats.bytes_converted_to_loss += len(payload)
+                    pos = end
+                    continue
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
+                stats.segments_salvaged += 1
+                self._segment_entries[seq] = (core, entries)
+                stats.bytes_salvaged += extent
+                self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, entries))
+            elif rtype == REC_CODE_DUMP:
+                try:
+                    dump = deserialize_code_dump(payload)
+                except TraceFormatError as error:
+                    self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
+                    stats.metadata_dumps_dropped += 1
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "seq %d code dump unparseable: %s" % (seq, error),
+                        seq=seq,
+                    )
+                    stats.bytes_dropped += extent
+                    pos = end
+                    continue
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
+                stats.metadata_dumps_salvaged += 1
+                self.contents.journal_dumps.append(dump)
+                stats.bytes_salvaged += extent
+                self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, dump))
+            elif rtype == REC_SIDEBAND:
+                try:
+                    switches = _parse_sideband(payload)
+                except TraceFormatError as error:
+                    self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "seq %d sideband unparseable: %s" % (seq, error),
+                        seq=seq,
+                    )
+                    stats.bytes_dropped += extent
+                    pos = end
+                    continue
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
+                self.contents.thread_switches.extend(switches)
+                stats.bytes_salvaged += extent
+                self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, switches))
+            elif rtype == REC_SEAL:
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
+                stats.sealed = True
+                stats.bytes_salvaged += extent
+                self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, None))
+            else:
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
                 stats.record(
-                    AnomalyKind.ARCHIVE_MALFORMED, sync,
-                    "seq %d body unparseable despite valid CRC: %s" % (seq, error),
-                    seq=seq, core=core,
-                )
-                synthesize_loss(core, tsc_lo, tsc_hi, len(payload))
-                stats.bytes_dropped += RECORD_OVERHEAD
-                stats.bytes_converted_to_loss += len(payload)
-                pos = end
-                continue
-            register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
-            stats.segments_salvaged += 1
-            segment_entries[seq] = (core, entries)
-            stats.bytes_salvaged += extent
-        elif rtype == REC_CODE_DUMP:
-            try:
-                dump = deserialize_code_dump(payload)
-            except TraceFormatError as error:
-                register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
-                stats.metadata_dumps_dropped += 1
-                stats.record(
-                    AnomalyKind.ARCHIVE_MALFORMED, sync,
-                    "seq %d code dump unparseable: %s" % (seq, error),
+                    AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                    "seq %d has unknown record type 0x%02x" % (seq, rtype),
                     seq=seq,
                 )
                 stats.bytes_dropped += extent
-                pos = end
-                continue
-            register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
-            stats.metadata_dumps_salvaged += 1
-            contents.journal_dumps.append(dump)
-            stats.bytes_salvaged += extent
-        elif rtype == REC_SIDEBAND:
-            try:
-                switches = _parse_sideband(payload)
-            except TraceFormatError as error:
-                register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
-                stats.record(
-                    AnomalyKind.ARCHIVE_MALFORMED, sync,
-                    "seq %d sideband unparseable: %s" % (seq, error),
-                    seq=seq,
-                )
-                stats.bytes_dropped += extent
-                pos = end
-                continue
-            register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
-            contents.thread_switches.extend(switches)
-            stats.bytes_salvaged += extent
-        elif rtype == REC_SEAL:
-            register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
-            stats.sealed = True
-            stats.bytes_salvaged += extent
-        else:
-            register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
-            stats.record(
-                AnomalyKind.ARCHIVE_MALFORMED, sync,
-                "seq %d has unknown record type 0x%02x" % (seq, rtype),
-                seq=seq,
-            )
-            stats.bytes_dropped += extent
-        pos = end
+            pos = end
+        # Compact: everything before *pos* has a final disposition.
+        if pos:
+            del self._buffer[:pos]
+            self._base += pos
 
-    if not stats.sealed:
-        stats.record(
-            AnomalyKind.ARCHIVE_UNSEALED, n,
-            "archive ends without a seal record (crash or truncation)",
+
+class ArchiveTailReader:
+    """Tail-follow a growing ``RPT2`` archive, record by record.
+
+    ``poll()`` reads whatever the writer appended since the last poll
+    and returns the newly *committed* records; an in-flight record at
+    the end of the file stays pending (never converted to loss) until
+    either its commit trailer lands or :meth:`finalize` declares true
+    end-of-file.  Memory stays bounded by the undecoded tail: consumed
+    bytes are discarded as soon as their disposition is final.
+
+    If the file *shrinks* or is replaced under the reader (a salvage
+    truncation fault, not an append), the incremental state no longer
+    matches the bytes on disk; the reader flags itself ``dirty`` and
+    :meth:`finalize` falls back to a fresh batch read of the final file,
+    so the result is still exactly :func:`read_archive`'s.
+    """
+
+    def __init__(self, path, snapshot_path=None):
+        self.path = str(path)
+        self.snapshot_path = (
+            str(snapshot_path) if snapshot_path is not None else self.path + ".meta"
         )
+        self.contents = ArchiveContents(path=self.path, stats=SalvageStats())
+        self._scanner = _ArchiveScanner(self.contents, self.snapshot_path)
+        self._offset = 0
+        self.dirty = False
+        self.finished = False
+        self.records_read = 0
+        self.segments_read = 0
 
-    _detect_sequence_gaps(known, stats, synthesize_loss)
+    # ---------------------------------------------------------------- API
+    @property
+    def stats(self) -> SalvageStats:
+        return self.contents.stats
 
-    # Assemble per-core streams: accepted segments in seq order, then the
-    # synthesized losses merged at their TSC positions (stable sort keeps
-    # the canonical packet-before-loss tie order within each tick).
-    for seq in sorted(segment_entries):
-        core, entries = segment_entries[seq]
-        contents.cores.setdefault(core, []).extend(entries)
-    for core, hole in synthesized:
-        contents.cores.setdefault(core, []).append(("loss", hole))
-    for core in contents.cores:
-        contents.cores[core].sort(
-            key=lambda entry: (
-                entry[1].start_tsc if entry[0] == "loss" else entry[1].tsc,
-                entry[0] == "loss",
-            )
+    @property
+    def sealed(self) -> bool:
+        return self.contents.stats.sealed
+
+    def buffered_bytes(self) -> int:
+        return self._scanner.buffered_bytes()
+
+    def poll(self) -> List[ArchiveRecord]:
+        """Consume newly appended bytes; returns new committed records.
+
+        Returns an empty list when nothing new committed (including when
+        the file does not exist yet).  Never raises on file content.
+        """
+        if self.finished:
+            return []
+        try:
+            size = os.path.getsize(self.path)
+            if size < self._offset:
+                self.dirty = True  # file shrank: not an append-only writer
+                return []
+            with open(self.path, "rb") as source:
+                source.seek(self._offset)
+                chunk = source.read()
+        except OSError:
+            return []
+        if chunk:
+            self._offset += len(chunk)
+            self._scanner.feed(chunk)
+        new = self._scanner.drain_new()
+        self.records_read += len(new)
+        self.segments_read += sum(
+            1 for record in new if record.rtype == REC_SEGMENT
         )
-    contents.thread_switches.sort(key=lambda record: record.tsc)
+        return new
 
-    snapshot = _load_snapshot(snapshot_path, stats)
-    if snapshot is not None:
-        contents.database = snapshot.with_dumps(contents.journal_dumps)
+    def finalize(self) -> ArchiveContents:
+        """Declare end-of-file and return the assembled contents.
+
+        Equals :func:`read_archive` of the file's final bytes: directly
+        (fresh batch read) when the reader went dirty, via the resumable
+        scanner's end-of-file pass otherwise.
+        """
+        if self.finished:
+            return self.contents
+        self.poll()
+        self.finished = True
+        if self.dirty:
+            self.contents = read_archive(
+                self.path, snapshot_path=self.snapshot_path
+            )
+            return self.contents
+        return self._scanner.finish()
 
 
 def _detect_sequence_gaps(known, stats: SalvageStats, synthesize_loss) -> None:

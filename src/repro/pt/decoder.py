@@ -668,6 +668,43 @@ class PTBatchDecoder:
         Never raises on malformed input; same contract and entry-by-entry
         degradation behaviour as :meth:`PTDecoder.decode`.
         """
+        self.feed(stream, columns)
+        return self.finish()
+
+    def adopt_state(self, previous: "PTBatchDecoder") -> "PTBatchDecoder":
+        """Take over *previous*'s mid-stream state (streaming handoff).
+
+        Used when the metadata database grows mid-stream: a fresh decoder
+        bound to the enlarged database adopts the old decoder's mutable
+        state -- cumulative stats, TNT remainder, pending conditional,
+        suspended walk, degradation flags, and the columns sink -- so the
+        concatenated ``feed`` calls across both decoders behave exactly
+        like one decoder over the concatenated stream.
+        """
+        self.stats = previous.stats
+        self._bits = previous._bits
+        self._cur = previous._cur
+        self._pending = previous._pending
+        self._walk = previous._walk
+        self._post_loss = previous._post_loss
+        self._desync = previous._desync
+        self._segment_anomalies = previous._segment_anomalies
+        self._segment_anomaly_start = previous._segment_anomaly_start
+        self._stale = previous._stale
+        self._cond_op = previous._cond_op
+        self._columns = previous._columns
+        return self
+
+    def feed(self, stream: Sequence[Tuple[str, object]], columns):
+        """Decode one chunk of the merged stream; resumable.
+
+        Mid-stream state (TNT remainder, pending conditional, suspended
+        walk, loss/desync flags) carries across calls, so feeding a
+        stream in arbitrary chunks then calling :meth:`finish` produces
+        exactly the columns and stats of one :meth:`decode_into` call
+        over the whole stream.  *columns* must be the same sink on every
+        call.
+        """
         self._columns = columns
         stats = self.stats
         limit = self.policy.max_anomalies_per_segment
@@ -769,10 +806,14 @@ class PTBatchDecoder:
                 )
             if budgeted and self._segment_anomalies >= limit:
                 self._declare_synthetic_hole(tsc)
-        self._abandon("end of stream")
-        stats.tnt_unused += len(self._bits) - self._cur
-        self._publish_metrics()
         return columns
+
+    def finish(self):
+        """End of stream: flush suspended state and publish metrics."""
+        self._abandon("end of stream")
+        self.stats.tnt_unused += len(self._bits) - self._cur
+        self._publish_metrics()
+        return self._columns
 
     # --------------------------------------------------------------- handlers
     def _on_packet_slow(self, packet, tsc: int) -> None:

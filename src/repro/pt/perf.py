@@ -224,7 +224,10 @@ def collect(run: RunResult, config: PTConfig = None) -> PTTrace:
     )
 
 
-def collect_to_archive(run: RunResult, path, config: PTConfig = None, snapshot_path=None):
+def collect_to_archive(
+    run: RunResult, path, config: PTConfig = None, snapshot_path=None,
+    on_segment=None,
+):
     """Collect a trace and persist it as a durable ``RPT2`` archive.
 
     The online component's periodic-dump loop in one call: collect the
@@ -232,6 +235,11 @@ def collect_to_archive(run: RunResult, path, config: PTConfig = None, snapshot_p
     into the segmented crash-safe archive at *path* (metadata snapshot at
     *snapshot_path*, default ``<path>.meta``).  Returns
     ``(trace, database, report)``.
+
+    *on_segment*, if given, is called as ``on_segment(seq, core, lo, hi)``
+    immediately after each segment record commits to disk -- the
+    segment-granular hook a streaming consumer (:mod:`repro.stream`)
+    uses to wake its tail reader instead of polling.
     """
     # Lazy imports: repro.core.pipeline imports this module at module
     # level, so reaching back into repro.core here must happen at call
@@ -248,5 +256,6 @@ def collect_to_archive(run: RunResult, path, config: PTConfig = None, snapshot_p
         path,
         segment_packets=config.archive_segment_packets,
         snapshot_path=snapshot_path,
+        on_segment=on_segment,
     )
     return trace, database, report

@@ -1,0 +1,19 @@
+"""Streaming incremental decode: tail-follow growing ``RPT2`` archives.
+
+Public surface:
+
+* :class:`StreamDecoder` -- one tenant: poll a growing archive, decode
+  committed segments incrementally, ``finalize()`` bit-identical to
+  batch :meth:`~repro.core.pipeline.JPortal.analyze_archive`;
+* :class:`StreamSupervisor` -- many tenants on one shared worker pool,
+  with per-tenant ``stream.*`` metrics;
+* :class:`FlowDelta` -- what one poll changed.
+
+See ``python -m repro.stream --demo`` for an end-to-end example and
+DESIGN.md section 3g for the architecture.
+"""
+
+from .delta import FlowDelta
+from .service import StreamDecoder, StreamSupervisor
+
+__all__ = ["FlowDelta", "StreamDecoder", "StreamSupervisor"]

@@ -1,0 +1,72 @@
+"""The per-poll delta a streaming tenant emits (:mod:`repro.stream`).
+
+A batch analysis produces one terminal
+:class:`~repro.core.pipeline.JPortalResult`; the streaming service
+instead surfaces progress as a sequence of :class:`FlowDelta`\\ s -- one
+per poll of the growing archive -- describing what *changed*: how many
+records committed, how many observed steps each thread gained, where the
+per-thread cursors now stand, and how far the decoder lags behind the
+writer.  The deltas are advisory (monitoring, backpressure); the
+authoritative flows come from ``finalize()``, whose output is
+bit-identical to a batch :meth:`~repro.core.pipeline.JPortal.analyze_archive`
+of the same sealed archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class FlowDelta:
+    """What one ``poll()`` of a streaming tenant changed."""
+
+    #: Tenant name (supervisor key).
+    tenant: str
+    #: 1-based poll ordinal for this tenant.
+    poll_index: int
+    #: Committed archive records consumed this poll (all types).
+    records: int = 0
+    #: Segment records among them.
+    segments: int = 0
+    #: Newly decoded observed steps per thread id.
+    new_steps: Dict[int, int] = field(default_factory=dict)
+    #: Newly recorded loss holes (all threads).
+    new_holes: int = 0
+    #: Newly recorded decode anomalies (all threads).
+    new_anomalies: int = 0
+    #: Newly recorded salvage events (archive damage).
+    salvage_events: int = 0
+    #: Per-thread cursor: observed steps decoded so far.
+    cursors: Dict[int, int] = field(default_factory=dict)
+    #: Entries parsed but not yet releasable (watermark backlog).
+    pending_entries: int = 0
+    #: Segments with at least one unreleased entry (decode lag).
+    lag_segments: int = 0
+    #: Wall-clock seconds this poll took (ingest + decode).
+    latency_seconds: float = 0.0
+    #: Whether the archive's seal record has been consumed.
+    sealed: bool = False
+
+    def new_step_total(self) -> int:
+        return sum(self.new_steps.values())
+
+    def describe(self) -> str:
+        """One log line: ``records=.. steps=.. lag=.. sealed``."""
+        parts = [
+            "poll %d" % self.poll_index,
+            "records=%d" % self.records,
+            "segments=%d" % self.segments,
+            "steps=+%d" % self.new_step_total(),
+            "lag=%d" % self.lag_segments,
+        ]
+        if self.new_holes:
+            parts.append("holes=+%d" % self.new_holes)
+        if self.new_anomalies:
+            parts.append("anomalies=+%d" % self.new_anomalies)
+        if self.salvage_events:
+            parts.append("salvage=+%d" % self.salvage_events)
+        if self.sealed:
+            parts.append("sealed")
+        return " ".join(parts)

@@ -1,0 +1,539 @@
+"""Streaming incremental decode service (tail-follow the online side).
+
+JPortal's online component periodically drains the PT buffer while the
+JVM keeps running (paper Section 5); this module gives the *offline*
+side the matching shape: instead of waiting for a sealed archive and
+batch-decoding it, a :class:`StreamDecoder` tail-follows a growing
+``RPT2`` archive through :class:`~repro.pt.archive.ArchiveTailReader`,
+decodes each committed segment with the array engine as it lands, and
+emits a :class:`~repro.stream.delta.FlowDelta` per poll.  A
+:class:`StreamSupervisor` multiplexes many concurrently traced
+processes (tenants), sharding their polls onto one shared worker pool
+and publishing per-tenant ``stream.*`` metrics.
+
+**The correctness contract** is bit-identity: ``finalize()`` on a
+sealed archive produces exactly the flows, anomaly taxonomy, and
+salvage accounting of a batch
+:meth:`~repro.core.pipeline.JPortal.analyze_archive` over the same
+file.  Two mechanisms enforce it:
+
+* the **watermark release** rule: a parsed entry is handed to a
+  decoder only once its timestamp is strictly below every known core's
+  last-seen timestamp, so the merged per-thread streams reproduce the
+  batch reassembly order (:func:`~repro.core.multicore.split_by_thread`)
+  exactly -- equal-timestamp ties cannot straddle the watermark;
+* the **replay fallback**: any condition under which incremental state
+  might diverge from a batch read -- archive damage (torn tails,
+  CRC failures, a missing seal), sideband or metadata arriving behind
+  the released watermark, out-of-order entries, a shrunk file, or a
+  feed error -- flips a flag, and ``finalize()`` then discards the
+  incremental state and delegates to batch ``analyze_archive``
+  (counted under ``stream.finalize_replays``).  Degradation costs a
+  re-decode, never correctness.
+
+The incremental path decodes with the metadata available *so far*
+(snapshot + journal prefix); that equals batch decoding because a
+physically consistent trace only branches into code at or after the
+code's ``load_tsc``, and any dump arriving at or behind the released
+watermark triggers replay instead.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+from ..core.metrics import MetricsRegistry
+from ..core.observed import ObservedColumns
+from ..core.parallel import BACKENDS, make_executor
+from ..pt.archive import (
+    REC_CODE_DUMP,
+    REC_SEGMENT,
+    REC_SIDEBAND,
+    ArchiveTailReader,
+    SalvageStats,
+    _load_snapshot,
+)
+from ..pt.decoder import PTBatchDecoder
+from .delta import FlowDelta
+
+
+class StreamDecoder:
+    """Incrementally decode one tenant's growing archive.
+
+    Call :meth:`poll` as often as desired while the writer appends;
+    call :meth:`finalize` once the writer is done (sealed or crashed).
+    Never raises on file content -- damage degrades to the batch-replay
+    path.  Memory stays bounded by the undecoded tail: raw bytes live
+    only in the tail reader's pending buffer, parsed entries only
+    between arrival and watermark release, and decoded steps go
+    straight into the per-thread columns the batch pipeline would have
+    built anyway.
+    """
+
+    def __init__(self, jportal, path, snapshot_path=None, name: str = "tenant"):
+        self.jportal = jportal
+        self.name = name
+        self.reader = ArchiveTailReader(path, snapshot_path=snapshot_path)
+        self.metrics = MetricsRegistry()
+        self.polls = 0
+        self.replayed = False
+        self.replay_reason: Optional[str] = None
+        self._wall_started = time.perf_counter()
+        self._replay = False
+        self._finalized = None
+        # Sideband / attribution state (mirrors split_by_thread).
+        self._switches_by_core: Dict[int, List[object]] = {}
+        self._switch_tscs: Dict[int, List[int]] = {}
+        self._default_tid = 0
+        self._default_min_tsc: Optional[int] = None
+        # Per-core parsed-but-unreleased entries, in canonical
+        # (tsc, is_loss) order: (tsc, is_loss, tag, item, seq).
+        self._pending: Dict[int, List[Tuple[int, bool, str, object, int]]] = {}
+        self._last_key: Dict[int, Tuple[int, bool]] = {}
+        self._consumed: Dict[int, int] = {}
+        self._seq_remaining: Dict[int, int] = {}
+        self._released_any = False
+        self._max_released_tsc = -1
+        # Commit-order watermark: the writer appends records globally
+        # sorted by (tsc, dump-before-segment), so every future record
+        # -- on any core, dump or segment -- carries tsc >= this.
+        self._commit_tsc = -1
+        # Incremental metadata: snapshot sidecar + dump journal so far.
+        self._snapshot = None
+        self._journal_dumps: List[object] = []
+        self._database = None
+        self._db_dirty = True
+        # Per-thread decode state.
+        self._decoders: Dict[int, PTBatchDecoder] = {}
+        self._columns: Dict[int, ObservedColumns] = {}
+        self._prior_steps: Dict[int, int] = {}
+        self._prior_holes = 0
+        self._prior_anomalies = 0
+        self._prior_events = 0
+
+    # ---------------------------------------------------------------- polling
+    def poll(self) -> FlowDelta:
+        """Consume newly committed records; decode what the watermark
+        releases; return the delta.  Never raises on file content."""
+        started = time.perf_counter()
+        self.polls += 1
+        delta = FlowDelta(tenant=self.name, poll_index=self.polls)
+        if self._finalized is not None:
+            delta.sealed = self.reader.sealed
+            return delta
+        records = self.reader.poll()
+        if self.reader.dirty:
+            self._flag_replay("archive shrank or was replaced under the reader")
+        try:
+            self._load_snapshot_once()
+            for record in records:
+                if record.rtype == REC_SIDEBAND:
+                    self._on_sideband(record.payload)
+                elif record.rtype == REC_CODE_DUMP:
+                    self._on_dump(record.payload)
+                elif record.rtype == REC_SEGMENT:
+                    delta.segments += 1
+                    self._on_segment(record)
+            if not self._replay:
+                self._feed(self._release(final=False))
+        except Exception as exc:  # no-crash contract: degrade to replay
+            self._flag_replay("feed error: %r" % (exc,))
+        delta.records = len(records)
+        self._fill_delta(delta)
+        delta.latency_seconds = time.perf_counter() - started
+        return delta
+
+    def finalize(self, max_workers: int = 1, backend: str = "thread"):
+        """Declare the archive done; return the terminal result.
+
+        Bit-identical to ``jportal.analyze_archive(path, ...)`` on the
+        same final file: directly so on the replay path, and by
+        construction (same reassembly order, same decoders, same
+        projection/recovery code path) on the incremental fast path.
+        """
+        if self._finalized is not None:
+            return self._finalized
+        contents = self.reader.finalize()
+        if self.reader.dirty:
+            self._flag_replay("archive shrank or was replaced under the reader")
+        if contents.stats.events:
+            # Any salvage event (torn tail, CRC damage, missing seal or
+            # snapshot, sequence gaps) means the batch reader degraded
+            # somewhere the incremental path did not follow entry by
+            # entry; replay rather than re-derive the accounting.
+            self._flag_replay(
+                "salvage events present (%d)" % len(contents.stats.events)
+            )
+        if self._replay:
+            self.replayed = True
+            self._finalized = self.jportal.analyze_archive(
+                self.reader.path,
+                max_workers=max_workers,
+                backend=backend,
+                snapshot_path=self.reader.snapshot_path,
+            )
+            return self._finalized
+        metrics = self.metrics
+        try:
+            self._feed(self._release(final=True))
+            flows = {}
+            for tid in sorted(self._decoders):
+                with metrics.timer("decode", tid=tid):
+                    self._decoders[tid].finish()
+            for tid in sorted(self._columns):
+                try:
+                    flows[tid] = self.jportal._project_and_recover(
+                        self._columns[tid], metrics, tid
+                    )
+                except Exception:
+                    flows[tid] = self.jportal._degraded_flow(tid, metrics)
+            result = self.jportal._finish(
+                contents.to_trace(),
+                contents.database_or_empty(),
+                flows,
+                metrics,
+                self._wall_started,
+            )
+            self.jportal._attach_salvage(result, contents.stats)
+        except Exception as exc:
+            # Last-ditch backstop: even a bug in the incremental path
+            # degrades to a batch replay, never an escaping exception.
+            self._flag_replay("finalize error: %r" % (exc,))
+            self.replayed = True
+            result = self.jportal.analyze_archive(
+                self.reader.path,
+                max_workers=max_workers,
+                backend=backend,
+                snapshot_path=self.reader.snapshot_path,
+            )
+        self._finalized = result
+        return result
+
+    def pending_entries(self) -> int:
+        return sum(len(entries) for entries in self._pending.values())
+
+    def lag_segments(self) -> int:
+        return len(self._seq_remaining)
+
+    def buffered_bytes(self) -> int:
+        """Raw tail bytes held by the reader (memory high-water input)."""
+        return self.reader.buffered_bytes()
+
+    # -------------------------------------------------------------- ingestion
+    def _flag_replay(self, reason: str) -> None:
+        if not self._replay:
+            self._replay = True
+            self.replay_reason = reason
+
+    def _load_snapshot_once(self) -> None:
+        if self._snapshot is not None:
+            return
+        probe = SalvageStats()  # throwaway: finalize() does the real accounting
+        snapshot = _load_snapshot(self.reader.snapshot_path, probe)
+        if snapshot is not None:
+            if self._released_any:
+                self._flag_replay("metadata snapshot appeared after release")
+            self._snapshot = snapshot
+            self._db_dirty = True
+
+    def _on_sideband(self, switches) -> None:
+        if self._released_any and switches:
+            # Released entries were attributed with the old switch set;
+            # a new switch could re-own them.
+            self._flag_replay("sideband records arrived after release")
+        for record in switches:
+            per = self._switches_by_core.setdefault(record.core, [])
+            tscs = self._switch_tscs.setdefault(record.core, [])
+            position = bisect_right(tscs, record.tsc)
+            per.insert(position, record)
+            tscs.insert(position, record.tsc)
+            if self._default_min_tsc is None or record.tsc < self._default_min_tsc:
+                self._default_min_tsc = record.tsc
+                self._default_tid = record.tid
+
+    def _on_dump(self, dump) -> None:
+        self._commit_tsc = max(self._commit_tsc, dump.load_tsc)
+        if dump.load_tsc <= self._max_released_tsc:
+            # Already-released entries were decoded without this code.
+            self._flag_replay("code dump arrived behind the released watermark")
+        self._journal_dumps.append(dump)
+        self._db_dirty = True
+
+    def _on_segment(self, record) -> None:
+        self._commit_tsc = max(self._commit_tsc, record.tsc_lo)
+        core = record.core
+        entries = record.payload
+        if not entries:
+            return
+        new_core = core not in self._last_key
+        pending = self._pending.setdefault(core, [])
+        self._consumed.setdefault(core, 0)
+        last = self._last_key.get(core)
+        count = 0
+        for tag, item in entries:
+            is_loss = tag == "loss"
+            tsc = item.start_tsc if is_loss else item.tsc
+            key = (tsc, is_loss)
+            if last is not None and key < last:
+                # Clean archives commit segments in canonical stream
+                # order; a decrease means this is not a stream we can
+                # decode incrementally in arrival order.
+                self._flag_replay("out-of-order entries on core %d" % core)
+            last = key
+            pending.append((tsc, is_loss, tag, item, record.seq))
+            count += 1
+        self._last_key[core] = last
+        self._seq_remaining[record.seq] = count
+        if new_core and pending[0][0] <= self._max_released_tsc:
+            # This core's entries interleave below timestamps we already
+            # released for other cores.
+            self._flag_replay("core %d first appeared behind the watermark" % core)
+
+    # ------------------------------------------------------ release + decode
+    def _release(self, final: bool):
+        """Entries whose order relative to all future input is settled.
+
+        The watermark ``W`` is the commit-order tsc of the *latest*
+        record on disk.  The writer commits records globally sorted by
+        ``(tsc, dump-before-segment)`` and a segment's header tsc is
+        the minimum of its entries', so every future entry -- on any
+        core, including cores that have not appeared yet -- and every
+        future code dump carries a timestamp at or above ``W``.
+        Releasing strictly-below-``W`` entries therefore can never race
+        a tie, and released code can never be invalidated by a
+        later-arriving dump, regardless of poll cadence.  Inputs that
+        break the sort premise trip the replay triggers instead.
+        ``final=True`` (end of file) releases everything.
+        """
+        if not self._last_key:
+            return []
+        watermark = None if final else self._commit_tsc
+        merged = []
+        for core in sorted(self._pending):
+            entries = self._pending[core]
+            cut = len(entries)
+            if watermark is not None:
+                cut = 0
+                while cut < len(entries) and entries[cut][0] < watermark:
+                    cut += 1
+            if not cut:
+                continue
+            base = self._consumed[core]
+            for index in range(cut):
+                tsc, _is_loss, tag, item, seq = entries[index]
+                merged.append((tsc, core, base + index, tag, item, seq))
+            self._consumed[core] = base + cut
+            del entries[:cut]
+        if not merged:
+            return []
+        # The batch reassembly order: (tsc, core, per-core position) --
+        # split_by_thread's global sequence numbers restated.
+        merged.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        self._released_any = True
+        self._max_released_tsc = max(self._max_released_tsc, merged[-1][0])
+        for _tsc, _core, _index, _tag, _item, seq in merged:
+            remaining = self._seq_remaining[seq] - 1
+            if remaining:
+                self._seq_remaining[seq] = remaining
+            else:
+                del self._seq_remaining[seq]
+        return merged
+
+    def _owner_of(self, core: int, tsc: int) -> int:
+        records = self._switches_by_core.get(core)
+        if not records:
+            return self._default_tid
+        position = bisect_right(self._switch_tscs[core], tsc) - 1
+        if position < 0:
+            return records[0].tid
+        return records[position].tid
+
+    def _feed(self, merged) -> None:
+        if not merged:
+            return
+        runs: Dict[int, List[Tuple[str, object]]] = {}
+        for tsc, core, _index, tag, item, _seq in merged:
+            runs.setdefault(self._owner_of(core, tsc), []).append((tag, item))
+        database = self._current_database()
+        jportal = self.jportal
+        for tid in sorted(runs):
+            decoder = self._decoders.get(tid)
+            if decoder is None:
+                decoder = PTBatchDecoder(
+                    database,
+                    jportal._lifter_for(database),
+                    metrics=self.metrics,
+                    tid=tid,
+                    policy=jportal.degradation_policy,
+                )
+                self._decoders[tid] = decoder
+                self._columns[tid] = ObservedColumns(tid)
+            with self.metrics.timer("decode", tid=tid):
+                decoder.feed(runs[tid], self._columns[tid])
+
+    def _current_database(self):
+        if self._db_dirty or self._database is None:
+            if self._snapshot is not None:
+                self._database = self._snapshot.with_dumps(self._journal_dumps)
+            else:
+                from ..core.metadata import CodeDatabase
+                from ..jvm.machine import AddressSpace
+
+                self._database = CodeDatabase(
+                    {}, list(self._journal_dumps), AddressSpace()
+                )
+            self._db_dirty = False
+            # Live decoders rebind to the enlarged database mid-stream:
+            # a fresh decoder adopts the old one's state, so the
+            # concatenated feeds equal one decode over the full stream.
+            jportal = self.jportal
+            for tid, old in list(self._decoders.items()):
+                self._decoders[tid] = PTBatchDecoder(
+                    self._database,
+                    jportal._lifter_for(self._database),
+                    metrics=self.metrics,
+                    tid=tid,
+                    policy=jportal.degradation_policy,
+                ).adopt_state(old)
+        return self._database
+
+    def _fill_delta(self, delta: FlowDelta) -> None:
+        holes = 0
+        anomalies = 0
+        for tid, columns in self._columns.items():
+            steps = len(columns.symbols)
+            prior = self._prior_steps.get(tid, 0)
+            if steps != prior:
+                delta.new_steps[tid] = steps - prior
+            self._prior_steps[tid] = steps
+            delta.cursors[tid] = steps
+            holes += len(columns.holes())
+            anomalies += columns.anomalies
+        delta.new_holes = holes - self._prior_holes
+        self._prior_holes = holes
+        delta.new_anomalies = anomalies - self._prior_anomalies
+        self._prior_anomalies = anomalies
+        events = len(self.reader.stats.events)
+        delta.salvage_events = events - self._prior_events
+        self._prior_events = events
+        delta.pending_entries = self.pending_entries()
+        delta.lag_segments = self.lag_segments()
+        delta.sealed = self.reader.sealed
+
+
+class StreamSupervisor:
+    """Multiplex many streaming tenants onto one shared worker pool.
+
+    Each tenant is one concurrently traced process (its own archive,
+    program, and analyser).  ``poll_all()`` shards the per-tenant polls
+    onto a shared thread pool (:func:`repro.core.parallel.make_executor`)
+    and joins deterministically in tenant-name order; per-tenant
+    ``stream.*`` metrics land in :attr:`metrics` keyed by tenant index.
+    *backend* (``"thread"`` or ``"process"``, the
+    :data:`~repro.core.parallel.BACKENDS` pair) and *max_workers* are
+    applied where per-thread analysis fans out -- the batch-replay path
+    of ``finalize()`` -- since live incremental decoder state is
+    host-memory-resident and shards on the thread pool.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, backend: str = "thread"):
+        if backend not in BACKENDS:
+            raise ValueError(
+                "backend must be one of %r, got %r" % (BACKENDS, backend)
+            )
+        self.max_workers = max_workers
+        self.backend = backend
+        self.metrics = MetricsRegistry()
+        self._tenants: Dict[str, StreamDecoder] = {}
+        self._indices: Dict[str, int] = {}
+        self._pool = None
+
+    # -------------------------------------------------------------------- API
+    def add_tenant(
+        self, name: str, path, jportal, snapshot_path=None
+    ) -> StreamDecoder:
+        if name in self._tenants:
+            raise ValueError("duplicate tenant %r" % name)
+        tenant = StreamDecoder(
+            jportal, path, snapshot_path=snapshot_path, name=name
+        )
+        self._indices[name] = len(self._tenants)
+        self._tenants[name] = tenant
+        return tenant
+
+    def tenants(self) -> List[str]:
+        return sorted(self._tenants)
+
+    def poll_all(self) -> Dict[str, FlowDelta]:
+        """Poll every tenant once (sharded); deterministic join order."""
+        names = self.tenants()
+        if len(names) > 1:
+            pool = self._executor()
+            futures = {
+                name: pool.submit(self._tenants[name].poll) for name in names
+            }
+            deltas = {name: futures[name].result() for name in names}
+        else:
+            deltas = {name: self._tenants[name].poll() for name in names}
+        for name in names:
+            self._publish(name, deltas[name])
+        return deltas
+
+    def finalize(self, name: str):
+        tenant = self._tenants[name]
+        result = tenant.finalize(
+            max_workers=self.max_workers or 1, backend=self.backend
+        )
+        if tenant.replayed:
+            self.metrics.incr(
+                "stream.finalize_replays", tid=self._indices[name]
+            )
+        return result
+
+    def finalize_all(self) -> Dict[str, object]:
+        return {name: self.finalize(name) for name in self.tenants()}
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "StreamSupervisor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _executor(self):
+        if self._pool is None:
+            import os
+
+            workers = self.max_workers or min(
+                max(len(self._tenants), 1), os.cpu_count() or 1
+            )
+            self._pool = make_executor(
+                workers, thread_name_prefix="jportal-stream"
+            )
+        return self._pool
+
+    def _publish(self, name: str, delta: FlowDelta) -> None:
+        index = self._indices[name]
+        tenant = self._tenants[name]
+        metrics = self.metrics
+        metrics.incr("stream.polls", tid=index)
+        if delta.records:
+            metrics.incr("stream.records", delta.records, tid=index)
+        if delta.segments:
+            metrics.incr("stream.segments", delta.segments, tid=index)
+        metrics.add_time("stream.delta_latency", delta.latency_seconds, tid=index)
+        metrics.set_gauge("stream.lag_segments", delta.lag_segments, tid=index)
+        metrics.set_gauge("stream.queue_depth", delta.pending_entries, tid=index)
+        metrics.observe_max(
+            "stream.queue_depth_peak", delta.pending_entries, tid=index
+        )
+        metrics.observe_max(
+            "stream.buffer_bytes", tenant.buffered_bytes(), tid=index
+        )

@@ -215,3 +215,84 @@ class TestCachePrimitives:
         report = cache.load(analysis_cache_key(figure2))
         assert report is not None
         assert pickle.loads(pickle.dumps(report)).checks.keys() == report.checks.keys()
+
+
+class TestCacheConcurrency:
+    """The temp+rename store must be safe under concurrent access: a
+    reader racing a writer sees either the old value, the new value, or
+    a miss -- never a partial write, never an exception, and never a
+    ``cache.anomaly.*`` event caused purely by the race."""
+
+    def test_store_load_race_never_yields_partial_entry(self, tmp_path):
+        import threading
+
+        key = "racekey1"
+        payload = {"table": list(range(5000)), "tag": "x" * 4096}
+        stop = threading.Event()
+        failures = []
+
+        def writer(cache):
+            while not stop.is_set():
+                if not cache.store(key, payload):
+                    failures.append("store returned False")
+
+        def reader(cache):
+            while not stop.is_set():
+                got = cache.load(key)
+                if got is not None and got != payload:
+                    failures.append("partial entry observed")
+
+        caches = [AnalysisCache(str(tmp_path)) for _ in range(4)]
+        threads = [
+            threading.Thread(target=writer, args=(caches[0],)),
+            threading.Thread(target=writer, args=(caches[1],)),
+            threading.Thread(target=reader, args=(caches[2],)),
+            threading.Thread(target=reader, args=(caches[3],)),
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        assert failures == []
+        for cache in caches:
+            anomalies = {
+                name: count
+                for name, count in cache.events.items()
+                if name.startswith("cache.anomaly.")
+            }
+            assert anomalies == {}, anomalies
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+        assert AnalysisCache(str(tmp_path)).load(key) == payload
+
+    def test_many_writers_distinct_keys_all_land(self, tmp_path):
+        import threading
+
+        def hammer(cache, worker):
+            for round_trip in range(25):
+                key = "w%dk%d" % (worker, round_trip % 5)
+                assert cache.store(key, (worker, round_trip))
+
+        caches = [AnalysisCache(str(tmp_path)) for _ in range(6)]
+        threads = [
+            threading.Thread(target=hammer, args=(cache, worker))
+            for worker, cache in enumerate(caches)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        fresh = AnalysisCache(str(tmp_path))
+        for worker in range(6):
+            for slot in range(5):
+                value = fresh.load("w%dk%d" % (worker, slot))
+                assert value is not None and value[0] == worker
+        assert not any(
+            name.startswith("cache.anomaly.") for name in fresh.events
+        )

@@ -1,0 +1,140 @@
+"""Multi-tenant soak: hostile live tails never escape the supervisor.
+
+Eight tenants tail-follow archives whose bytes were mutated by
+:class:`~repro.pt.faults.FaultInjector` *before* being revealed
+chunk-by-chunk -- so every fault lands mid-stream, on a live tail.  Two
+tenants additionally see their file *shrink* mid-follow (a salvage
+truncation, not an append), which must flip the reader dirty rather
+than corrupt state.  The contract under soak:
+
+* no exception escapes ``poll_all``/``finalize_all`` (no-crash);
+* every tenant's salvage byte-accounting balances against its final
+  file (``salvaged + dropped + converted == file_size``);
+* the resumable scanner's final stats equal a one-shot batch
+  ``read_archive`` of the same bytes (non-shrunk tenants);
+* memory high-water stays bounded: the raw tail buffer never exceeds
+  the archive itself.
+
+``TestStreamSoakSmoke`` is the reduced-tenant variant CI's
+``stream-soak`` job runs; the full eight-tenant soak runs with tier-1.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+
+from repro.pt.archive import read_archive, write_archive
+from repro.pt.faults import FaultInjector
+from repro.stream import StreamSupervisor
+
+from ..integration.test_archive_salvage import salvage_contract
+from .conftest import SEGMENT_PACKETS
+
+
+def _run_soak(fixture, tmp_path, tenants: int, chunks: int, seed_base: int):
+    clean_path = tmp_path / "clean.rpt2"
+    write_archive(
+        fixture["lossy"], fixture["database"], clean_path,
+        segment_packets=SEGMENT_PACKETS,
+    )
+    clean_bytes = open(clean_path, "rb").read()
+    snapshot_src = str(clean_path) + ".meta"
+
+    plans = {}
+    with StreamSupervisor(max_workers=4) as supervisor:
+        for index in range(tenants):
+            name = "tenant%d" % index
+            rng = random.Random(seed_base + index)
+            injector = FaultInjector(seed=seed_base + index)
+            mutated, faults = injector.corrupt_archive(
+                clean_bytes, faults=1 + index % 3
+            )
+            path = str(tmp_path / ("%s.rpt2" % name))
+            shutil.copy(snapshot_src, path + ".meta")
+            cuts = sorted(
+                rng.sample(range(1, len(mutated)), min(chunks - 1, len(mutated) - 1))
+            ) + [len(mutated)]
+            shrink_at = rng.randrange(1, len(cuts)) if index % 4 == 2 else None
+            plans[name] = {
+                "path": path,
+                "bytes": mutated,
+                "cuts": cuts,
+                "shrink_at": shrink_at,
+                "faults": faults,
+                "written": 0,
+                "step": 0,
+            }
+            supervisor.add_tenant(name, path, fixture["jportal"])
+
+        live = set(plans)
+        while live:
+            for name in sorted(live):
+                plan = plans[name]
+                step = plan["step"]
+                if step >= len(plan["cuts"]):
+                    live.discard(name)
+                    continue
+                if plan["shrink_at"] is not None and step == plan["shrink_at"]:
+                    # The file shrinks under the reader: rewrite a
+                    # shorter prefix, then keep appending next steps.
+                    keep = max(1, plan["written"] // 2)
+                    with open(plan["path"], "wb") as sink:
+                        sink.write(plan["bytes"][:keep])
+                    plan["written"] = keep
+                    plan["shrink_at"] = None
+                    continue
+                target = plan["cuts"][step]
+                if target > plan["written"]:
+                    with open(plan["path"], "ab") as sink:
+                        sink.write(plan["bytes"][plan["written"]:target])
+                    plan["written"] = target
+                plan["step"] = step + 1
+            supervisor.poll_all()  # must never raise, whatever the bytes
+
+        results = supervisor.finalize_all()  # must never raise either
+        metrics = supervisor.metrics
+
+    assert sorted(results) == sorted(plans)
+    for name, result in results.items():
+        plan = plans[name]
+        final_size = os.path.getsize(plan["path"])
+        assert final_size == len(plan["bytes"]), name
+        note = "%s faults=%r" % (name, [f.kind for f in plan["faults"]])
+        assert result.salvage is not None, note
+        salvage_contract(result.salvage, final_size, note)
+        tenant = supervisor._tenants[name]
+        if not tenant.reader.dirty:
+            # The resumable scanner saw the same bytes as a batch read
+            # would: its accounting must be byte-for-byte identical.
+            batch = read_archive(plan["path"], snapshot_path=plan["path"] + ".meta")
+            assert tenant.reader.stats == batch.stats, note
+
+    # Memory high-water: the undecoded tail buffer is bounded by the
+    # archive itself (pending bytes are discarded once determinate).
+    assert metrics.maximum("stream.buffer_bytes") <= len(clean_bytes) + 64
+    assert metrics.counter("stream.polls") > 0
+    return results
+
+
+class TestStreamSoakFull:
+    """The ISSUE's soak: 8 tenants, faults on live tails, no escapes."""
+
+    def test_eight_tenants_survive_hostile_tails(
+        self, stream_fixture, tmp_path
+    ):
+        _run_soak(
+            stream_fixture, tmp_path, tenants=8, chunks=40,
+            seed_base=6_000_000,
+        )
+
+
+class TestStreamSoakSmoke:
+    """Reduced soak for the CI ``stream-soak`` job."""
+
+    def test_soak_smoke(self, stream_fixture, tmp_path):
+        _run_soak(
+            stream_fixture, tmp_path, tenants=3, chunks=12,
+            seed_base=6_500_000,
+        )
