@@ -244,6 +244,72 @@ def run_stream_lag(subject_name: str = "luindex") -> Dict[str, object]:
     }
 
 
+def run_cross_format(subject_name: str = "sunflow") -> Dict[str, object]:
+    """The cross-format measurement: PT vs E-Trace encoding density.
+
+    Collects the same run through both frontends and records bytes per
+    conditional branch, the overall compression ratio (PT bytes over
+    E-Trace bytes -- >1 means the branch-map/delta-address format is
+    denser), and the loss behaviour of each format at the same
+    ``BUFFER_128`` buffer bytes and drain schedule.
+    """
+    from ..tracesource.events import ConditionalOutcomes, IndirectTarget
+
+    subject, run, lossy_config = _subject_setup(subject_name)
+    database = collect_metadata(run)
+    jportal = JPortal(
+        subject.program,
+        recovery=RecoveryConfig(
+            cost_per_instruction=run.config.compiled_step_cost
+        ),
+        engine="array",
+    )
+    results: Dict[str, object] = {
+        "subject": subject_name,
+        "buffer_bytes": BUFFER_128,
+        "formats": {},
+    }
+    for name in ("pt", "etrace"):
+        lossless = PTConfig(
+            buffer=RingBufferConfig(
+                capacity_bytes=10**9, drain_bandwidth=1e9
+            ),
+            frontend=name,
+        )
+        trace = collect(run, lossless)
+        packets = [p for core in trace.cores for p in core.packets]
+        stream_bytes = sum(p.size for p in packets)
+        branches = sum(
+            len(p.bits) for p in packets if isinstance(p, ConditionalOutcomes)
+        )
+        indirects = sum(1 for p in packets if isinstance(p, IndirectTarget))
+        lossy = collect(
+            run,
+            PTConfig(
+                buffer=RingBufferConfig(
+                    capacity_bytes=BUFFER_128,
+                    drain_period=lossy_config.buffer.drain_period,
+                ),
+                frontend=name,
+            ),
+        )
+        analysis = jportal.analyze_trace(lossy, database)
+        results["formats"][name] = {
+            "stream_bytes": stream_bytes,
+            "branches": branches,
+            "indirect_targets": indirects,
+            "bytes_per_branch": stream_bytes / branches if branches else 0.0,
+            "lossy_bytes_lost": lossy.bytes_lost,
+            "lossy_loss_fraction": analysis.loss_fraction,
+            "lossy_anomalies": analysis.anomalies,
+            "lossy_entries": analysis.total_entries(),
+        }
+    pt_bytes = results["formats"]["pt"]["stream_bytes"]
+    et_bytes = results["formats"]["etrace"]["stream_bytes"]
+    results["compression_ratio"] = pt_bytes / et_bytes if et_bytes else 0.0
+    return results
+
+
 # ------------------------------------------------------------------ storage
 def merge_into(path: str, label: str, entry: Dict[str, object]) -> Dict[str, object]:
     """Merge one labelled run into the bench file (atomic rewrite)."""

@@ -26,6 +26,7 @@ from . import (
     check_regression,
     merge_into,
     run_archive_overhead,
+    run_cross_format,
     run_id,
     run_stream_lag,
     run_table5,
@@ -64,6 +65,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-stream", action="store_true",
         help="skip the streaming-lag benchmark",
+    )
+    parser.add_argument(
+        "--skip-etrace", action="store_true",
+        help="skip the PT-vs-E-Trace cross-format benchmark",
     )
     parser.add_argument(
         "--check-against", default=None, metavar="BENCH_JSON",
@@ -126,6 +131,20 @@ def main(argv=None) -> int:
                 entry["stream"]["max_lag_segments"],
                 entry["stream"]["finalize_s"],
                 entry["stream"]["batch_s"],
+            )
+        )
+    if not args.skip_etrace:
+        entry["cross_format"] = run_cross_format()
+        formats = entry["cross_format"]["formats"]
+        print(
+            "bench: cross-format pt %.2f B/branch vs etrace %.2f B/branch"
+            " (ratio %.2fx), lossy loss %.1f%% vs %.1f%%"
+            % (
+                formats["pt"]["bytes_per_branch"],
+                formats["etrace"]["bytes_per_branch"],
+                entry["cross_format"]["compression_ratio"],
+                100.0 * formats["pt"]["lossy_loss_fraction"],
+                100.0 * formats["etrace"]["lossy_loss_fraction"],
             )
         )
     merge_into(out, args.label, entry)

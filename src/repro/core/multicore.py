@@ -1,7 +1,7 @@
 """Per-core -> per-thread trace reassembly (paper Section 6).
 
-PT records per physical core, but a thread migrates between cores; its
-trace is distributed.  JPortal:
+Hardware tracing records per physical core, but a thread migrates
+between cores; its trace is distributed.  JPortal:
 
 1. obtains, for each core, the thread-switch records (timestamps at which
    each thread begins running there);
@@ -14,18 +14,24 @@ mistakes in data separation" (Section 7.2) -- reproduced here via the
 runtime's ``switch_timestamp_jitter``, which makes boundary packets land
 in the wrong thread's stream exactly as in the paper.
 
-Loss records are split into the same windows, so each per-thread stream
-is a TSC-ordered list of ``("packet" | "loss", item)`` entries ready for
-:class:`repro.pt.decoder.PTDecoder`.
+Loss records are split into the same windows: a loss span that crosses
+one or more thread-switch boundaries is cut at each boundary
+(:func:`split_loss_at_switches`), its ``bytes_lost``/``packets_lost``
+apportioned by span fraction, so every thread that owned the core during
+the hole sees its share -- and per-core totals stay conserved.  Each
+per-thread stream is then a TSC-ordered list of
+``("packet" | "loss", item)`` entries ready for the trace-source engines
+(:mod:`repro.tracesource.engine`).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..jvm.machine import ThreadSwitchRecord
+from ..pt.packets import AuxLossRecord
 from ..pt.perf import PTTrace
 
 TaggedStream = List[Tuple[str, object]]
@@ -33,16 +39,87 @@ TaggedStream = List[Tuple[str, object]]
 
 @dataclass
 class ThreadTrace:
-    """One thread's reassembled, TSC-ordered packet/loss stream."""
+    """One thread's reassembled, TSC-ordered packet/loss stream.
+
+    ``source`` names the trace frontend that produced the packets
+    (``"pt"``, ``"etrace"``), so the pipeline can resolve the matching
+    decoder classes through the trace-source registry.
+    """
 
     tid: int
     stream: TaggedStream = field(default_factory=list)
+    source: str = "pt"
 
     def packet_count(self) -> int:
         return sum(1 for tag, _ in self.stream if tag == "packet")
 
     def loss_count(self) -> int:
         return sum(1 for tag, _ in self.stream if tag == "loss")
+
+
+def split_loss_at_switches(
+    loss: AuxLossRecord,
+    timestamps: Sequence[int],
+    owner_of: Callable[[int], int],
+) -> List[Tuple[int, AuxLossRecord]]:
+    """Cut one loss span at the thread-switch boundaries inside it.
+
+    Returns ``[(tid, piece), ...]`` in timestamp order.  *timestamps* is
+    the core's sorted switch-timestamp list and *owner_of* maps a tsc to
+    the owning tid (the same ``bisect`` attribution used for packets).
+    Boundaries strictly inside ``(start_tsc, end_tsc]`` cut the span;
+    adjacent pieces with the same owner are re-merged, so a span that
+    never changes hands comes back as the *original* record (splitting
+    only happens when attribution actually differs).  ``bytes_lost`` and
+    ``packets_lost`` are apportioned by each piece's fraction of the
+    inclusive span length using cumulative rounding, so the piece totals
+    equal the original counts exactly -- the per-core conservation
+    property the reassembly tests pin.
+    """
+    start, end = loss.start_tsc, loss.end_tsc
+    if end <= start or not timestamps:
+        return [(owner_of(start), loss)]
+    lo = bisect_right(timestamps, start)
+    hi = bisect_right(timestamps, end)
+    if lo >= hi:
+        return [(owner_of(start), loss)]
+    cuts: List[int] = []
+    for index in range(lo, hi):
+        tsc = timestamps[index]
+        if not cuts or cuts[-1] != tsc:
+            cuts.append(tsc)
+    # Piece i covers [bounds[i], bounds[i+1] - 1]; the last runs to end.
+    bounds = [start] + cuts
+    pieces: List[List[int]] = []  # [tid, piece_start, piece_end]
+    for index, piece_start in enumerate(bounds):
+        piece_end = bounds[index + 1] - 1 if index + 1 < len(bounds) else end
+        tid = owner_of(piece_start)
+        if pieces and pieces[-1][0] == tid:
+            pieces[-1][2] = piece_end
+        else:
+            pieces.append([tid, piece_start, piece_end])
+    if len(pieces) == 1:
+        return [(pieces[0][0], loss)]
+    total = end - start + 1
+    out: List[Tuple[int, AuxLossRecord]] = []
+    cum = prev_bytes = prev_packets = 0
+    for tid, piece_start, piece_end in pieces:
+        cum += piece_end - piece_start + 1
+        cum_bytes = loss.bytes_lost * cum // total
+        cum_packets = loss.packets_lost * cum // total
+        out.append(
+            (
+                tid,
+                AuxLossRecord(
+                    start_tsc=piece_start,
+                    end_tsc=piece_end,
+                    bytes_lost=cum_bytes - prev_bytes,
+                    packets_lost=cum_packets - prev_packets,
+                ),
+            )
+        )
+        prev_bytes, prev_packets = cum_bytes, cum_packets
+    return out
 
 
 def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
@@ -60,6 +137,8 @@ def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
     default_tid = 0
     if trace.thread_switches:
         default_tid = min(trace.thread_switches, key=lambda record: record.tsc).tid
+
+    source = getattr(trace.config, "frontend", "pt") or "pt"
 
     # Window items per thread: (tsc, sequence, tag, item).  The running
     # sequence number keeps the original per-core order among items with
@@ -85,14 +164,29 @@ def split_by_thread(trace: PTTrace) -> Dict[int, ThreadTrace]:
             merged.append((loss.start_tsc, "loss", loss))
         merged.sort(key=lambda entry: entry[0])
         for tsc, tag, item in merged:
-            tid = owner_of(tsc)
-            gathered.setdefault(tid, []).append((tsc, sequence, tag, item))
-            sequence += 1
+            if tag == "loss":
+                # A loss span crossing switch boundaries is cut per
+                # owner; the pieces stay contiguous at the original
+                # stream position (sort key = the span's start) so the
+                # streaming release order reproduces this exactly.
+                for tid, piece in split_loss_at_switches(
+                    item, timestamps, owner_of
+                ):
+                    gathered.setdefault(tid, []).append(
+                        (tsc, sequence, tag, piece)
+                    )
+                    sequence += 1
+            else:
+                tid = owner_of(tsc)
+                gathered.setdefault(tid, []).append((tsc, sequence, tag, item))
+                sequence += 1
 
     threads: Dict[int, ThreadTrace] = {}
     for tid, entries in gathered.items():
         entries.sort(key=lambda entry: (entry[0], entry[1]))
         threads[tid] = ThreadTrace(
-            tid=tid, stream=[(tag, item) for _, _, tag, item in entries]
+            tid=tid,
+            stream=[(tag, item) for _, _, tag, item in entries],
+            source=source,
         )
     return threads

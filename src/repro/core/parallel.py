@@ -124,7 +124,8 @@ class ParallelPipeline:
     def analyze_run(
         self, run, pt_config: Optional[PTConfig] = None
     ) -> JPortalResult:
-        """Collect a PT trace from *run* and analyse it on the pool."""
+        """Collect a trace from *run* (any frontend) and analyse it on
+        the pool."""
         trace = collect(run, pt_config)
         database = collect_metadata(run)
         return self.analyze_trace(trace, database)

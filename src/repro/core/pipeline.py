@@ -2,13 +2,14 @@
 
 Wires the whole offline side together, mirroring the paper's architecture:
 
-1. **collect** (online, :mod:`repro.pt.perf`): PT packets per core with
-   data loss + machine-code metadata export;
+1. **collect** (online, :mod:`repro.pt.perf`): trace packets per core --
+   from whichever frontend the config names (Intel PT, RISC-V E-Trace)
+   -- with data loss + machine-code metadata export;
 2. **reassemble** (:mod:`repro.core.multicore`): per-core -> per-thread
    packet streams using thread-switch sideband;
-3. **decode** (:mod:`repro.pt.decoder` + the Section 3 mappers): packets
-   -> observed bytecode steps (interp: opcode only; JIT: exact location)
-   and loss holes;
+3. **decode** (:mod:`repro.tracesource.engine` + the Section 3 mappers):
+   packets -> observed bytecode steps (interp: opcode only; JIT: exact
+   location) and loss holes;
 4. **reconstruct** (:mod:`repro.core.reconstruct`): project each hole-free
    segment onto the ICFG NFA;
 5. **recover** (:mod:`repro.core.recovery`): fill the holes from matching
@@ -35,11 +36,10 @@ from ..pt.decoder import (
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
-    PTBatchDecoder,
-    PTDecoder,
     TraceLoss,
 )
 from ..pt.perf import PTConfig, PTTrace, collect
+from ..tracesource import get_frontend
 from .batchflow import JitLifter
 from .degradation import anomaly_breakdown
 from .interp_decoder import lift_dispatch
@@ -212,7 +212,7 @@ class JPortal:
         degradation: Policy for hostile input (resync protocol + error
             budget); ``None`` uses the :class:`DegradationPolicy` default.
         engine: ``"array"`` (default) decodes through the fused columnar
-            core (:class:`~repro.pt.decoder.PTBatchDecoder` +
+            core (:class:`~repro.tracesource.engine.BatchEventDecoder` +
             :meth:`~repro.core.reconstruct.Projector.project_arrays`);
             ``"object"`` takes the original per-item path.  Both produce
             bit-identical results (the equivalence suite pins this); the
@@ -277,7 +277,7 @@ class JPortal:
         max_workers: int = 1,
         backend: str = "thread",
     ) -> JPortalResult:
-        """Collect a PT trace from *run* and analyse it."""
+        """Collect a trace from *run* (any frontend) and analyse it."""
         trace = collect(run, pt_config)
         database = collect_metadata(run)
         return self.analyze_trace(
@@ -454,11 +454,15 @@ class JPortal:
         Self-contained and side-effect-free apart from *metrics* (which is
         thread-safe), so chains for different tids can run concurrently.
         The ``engine`` choice picks the columnar or the object core; both
-        emit identical observed content, projections, and metrics.
+        emit identical observed content, projections, and metrics.  The
+        decoder classes come from the frontend registry keyed by the
+        thread trace's ``source`` (``"pt"``, ``"etrace"``, ...), so a
+        second trace format flows through this chain unchanged.
         """
+        frontend = get_frontend(thread_trace.source)
         if self.engine == "array":
             with metrics.timer("decode", tid=tid):
-                decoder = PTBatchDecoder(
+                decoder = frontend.batch_decoder(
                     database,
                     self._lifter_for(database),
                     metrics=metrics,
@@ -470,7 +474,7 @@ class JPortal:
                 )
             return self._project_and_recover(observed, metrics, tid)
         with metrics.timer("decode", tid=tid):
-            decoder = PTDecoder(
+            decoder = frontend.object_decoder(
                 database,
                 metrics=metrics,
                 tid=tid,

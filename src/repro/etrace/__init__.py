@@ -1,0 +1,62 @@
+"""RISC-V E-Trace frontend: branch-map packets over the shared decode core.
+
+A second :class:`repro.tracesource.TraceFrontend` implementation
+(registered as ``"etrace"``), modelled on the Efficient Trace for RISC-V
+branch-trace format: outcome bits pack into up-to-31-bit branch maps,
+indirect targets are delta-compressed against the previously reported
+address, and periodic full-address sync packets bound resynchronisation
+cost.  Decode, multicore splitting, archives, salvage, fault injection,
+and recovery are all shared with the PT frontend -- selecting the
+frontend is ``PTConfig(frontend="etrace")``.
+
+Importing this package registers both the frontend and the RPT1/RPT2
+entry codecs for E-Trace packets (:mod:`repro.etrace.serialize`).
+"""
+
+from ..tracesource import TraceFrontend, register_frontend
+from . import serialize as _serialize  # noqa: F401 - codec registration
+from .decoder import ETraceBatchDecoder, ETraceDecoder
+from .encoder import ETraceEncoder, ETraceEncoderConfig, encode_core
+from .packets import (
+    BRANCH_MAP_MAX_BITS,
+    ETAddressPacket,
+    ETBranchMapPacket,
+    ETDisablePacket,
+    ETEnablePacket,
+    ETPacket,
+    ETSyncPacket,
+    ETTimePacket,
+    ETTrapPacket,
+    delta_address_size,
+)
+
+#: The E-Trace frontend's registry entry (:mod:`repro.tracesource`).
+ETRACE_FRONTEND = register_frontend(
+    TraceFrontend(
+        name="etrace",
+        make_encoder=ETraceEncoder,
+        encode_core=encode_core,
+        object_decoder=ETraceDecoder,
+        batch_decoder=ETraceBatchDecoder,
+        encoder_config_type=ETraceEncoderConfig,
+    )
+)
+
+__all__ = [
+    "BRANCH_MAP_MAX_BITS",
+    "ETAddressPacket",
+    "ETBranchMapPacket",
+    "ETDisablePacket",
+    "ETEnablePacket",
+    "ETPacket",
+    "ETRACE_FRONTEND",
+    "ETSyncPacket",
+    "ETTimePacket",
+    "ETTrapPacket",
+    "ETraceBatchDecoder",
+    "ETraceDecoder",
+    "ETraceEncoder",
+    "ETraceEncoderConfig",
+    "delta_address_size",
+    "encode_core",
+]

@@ -1,0 +1,19 @@
+"""E-Trace decoders: the shared trace-source engines, under local names.
+
+E-Trace packets subclass the normalised event bases in
+:mod:`repro.tracesource.events`, so the generic engines decode them with
+no frontend-specific code at all -- branch maps land on the conditional
+walk, address/sync packets on the indirect path, traps abandon the
+block like FUPs do.  The aliases exist so call sites (and the frontend
+registry entry) can name the E-Trace decoder without knowing the
+engines are shared.
+"""
+
+from __future__ import annotations
+
+from ..tracesource.engine import BatchEventDecoder, EventDecoder
+
+ETraceDecoder = EventDecoder
+ETraceBatchDecoder = BatchEventDecoder
+
+__all__ = ["ETraceBatchDecoder", "ETraceDecoder"]

@@ -1,0 +1,152 @@
+"""E-Trace packet encoder: hardware branch events -> branch-map stream.
+
+The same runtime branch events the PT encoder consumes
+(:mod:`repro.jvm.machine`), compressed the E-Trace way:
+
+* conditional outcomes accumulate into branch-map packets of up to 31
+  bits (the pending map is flushed before any non-outcome packet so the
+  bit/branch correspondence survives stream segmentation -- same
+  invariant as the PT encoder's TNT flush);
+* indirect targets become delta-compressed address packets, with a full
+  uncompressed sync packet at trace start and periodically thereafter;
+* enable/disable events become support packets;
+* time packets are inserted whenever enough time has passed.
+
+The encoder is per-core and stateful; use :func:`encode_core` for the
+one-shot case.  Reuses :class:`repro.pt.encoder.EncoderStats`, which
+counts through the event bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..jvm.machine import (
+    DisableEvent,
+    EnableEvent,
+    FupEvent,
+    HardwareEvent,
+    TipEvent,
+    TntEvent,
+)
+from ..pt.encoder import EncoderStats
+from .packets import (
+    BRANCH_MAP_MAX_BITS,
+    ETAddressPacket,
+    ETBranchMapPacket,
+    ETDisablePacket,
+    ETEnablePacket,
+    ETPacket,
+    ETSyncPacket,
+    ETTimePacket,
+    ETTrapPacket,
+    delta_address_size,
+)
+
+
+@dataclass
+class ETraceEncoderConfig:
+    """Encoder tuning.
+
+    Attributes:
+        branch_map_capacity: Bits per branch-map packet (the format
+            allows up to 31).
+        sync_interval: Emit a full-address sync packet after this many
+            delta-compressed address packets (decoder resync points).
+        time_interval: Emit a time packet when at least this many TSC
+            units elapsed since the previous one.
+    """
+
+    branch_map_capacity: int = BRANCH_MAP_MAX_BITS
+    sync_interval: int = 64
+    time_interval: int = 2_000
+
+    def __post_init__(self):
+        if not 1 <= self.branch_map_capacity <= BRANCH_MAP_MAX_BITS:
+            raise ValueError(
+                "branch_map_capacity must be 1..%d" % BRANCH_MAP_MAX_BITS
+            )
+
+
+class ETraceEncoder:
+    """Stateful single-core encoder."""
+
+    def __init__(self, config: Optional[ETraceEncoderConfig] = None):
+        # ``None`` sentinel (never a shared default-argument instance);
+        # see the matching note in :class:`repro.pt.encoder.PTEncoder`.
+        self.config = config if config is not None else ETraceEncoderConfig()
+        self.stats = EncoderStats()
+        self._pending_bits: List[bool] = []
+        self._pending_tsc = 0
+        self._last_ip: Optional[int] = None
+        self._since_sync = 0
+        self._last_time_packet = None
+
+    def encode(self, events: Iterable[HardwareEvent]) -> List[ETPacket]:
+        """Encode *events* (in TSC order) into packets."""
+        packets: List[ETPacket] = []
+        for event in events:
+            self._maybe_time(event.tsc, packets)
+            if isinstance(event, TntEvent):
+                if not self._pending_bits:
+                    self._pending_tsc = event.tsc
+                self._pending_bits.append(event.taken)
+                if len(self._pending_bits) >= self.config.branch_map_capacity:
+                    self._flush_branch_map(packets)
+            elif isinstance(event, TipEvent):
+                self._flush_branch_map(packets)
+                self._emit_address(event.tsc, event.target, packets)
+            elif isinstance(event, FupEvent):
+                self._flush_branch_map(packets)
+                self._append(packets, ETTrapPacket(event.tsc, event.ip))
+            elif isinstance(event, EnableEvent):
+                self._flush_branch_map(packets)
+                self._append(packets, ETEnablePacket(event.tsc, event.ip))
+            elif isinstance(event, DisableEvent):
+                self._flush_branch_map(packets)
+                self._append(packets, ETDisablePacket(event.tsc, event.ip))
+            else:  # pragma: no cover - exhaustive over HardwareEvent
+                raise TypeError("unknown event %r" % (event,))
+        self._flush_branch_map(packets)
+        return packets
+
+    # ------------------------------------------------------------- internals
+    def _append(self, packets: List[ETPacket], packet: ETPacket) -> None:
+        packets.append(packet)
+        self.stats.add(packet)
+
+    def _flush_branch_map(self, packets: List[ETPacket]) -> None:
+        if self._pending_bits:
+            self._append(
+                packets,
+                ETBranchMapPacket(self._pending_tsc, tuple(self._pending_bits)),
+            )
+            self._pending_bits = []
+
+    def _emit_address(self, tsc: int, target: int, packets) -> None:
+        if self._last_ip is None or self._since_sync >= self.config.sync_interval:
+            self._append(packets, ETSyncPacket(tsc, target))
+            self._since_sync = 0
+        else:
+            size = delta_address_size(target, self._last_ip)
+            self._append(packets, ETAddressPacket(tsc, target, size))
+            self._since_sync += 1
+        self._last_ip = target
+
+    def _maybe_time(self, tsc: int, packets: List[ETPacket]) -> None:
+        if (
+            self._last_time_packet is None
+            or tsc - self._last_time_packet >= self.config.time_interval
+        ):
+            self._flush_branch_map(packets)
+            self._append(packets, ETTimePacket(tsc))
+            self._last_time_packet = tsc
+
+
+def encode_core(
+    events: Iterable[HardwareEvent],
+    config: Optional[ETraceEncoderConfig] = None,
+) -> List[ETPacket]:
+    """Encode one core's event list; convenience wrapper."""
+    return ETraceEncoder(config).encode(events)

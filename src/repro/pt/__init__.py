@@ -1,5 +1,12 @@
-"""Simulated Intel PT substrate: packets, encoder, lossy ring buffer, decoder."""
+"""Simulated Intel PT substrate: packets, encoder, lossy ring buffer, decoder.
 
+The decode core itself lives in :mod:`repro.tracesource`; this package is
+the reference *frontend* -- the PT packet model, its encoder, and the
+collection/archive stack -- registered under the name ``"pt"`` in the
+trace-source registry.
+"""
+
+from ..tracesource import TraceFrontend, register_frontend
 from .buffer import BufferResult, RingBuffer, RingBufferConfig, interleave_with_losses
 from .decoder import (
     AnomalyKind,
@@ -9,6 +16,7 @@ from .decoder import (
     InterpDispatch,
     InterpReturnStub,
     JitSpan,
+    PTBatchDecoder,
     PTDecoder,
     TraceLoss,
 )
@@ -56,7 +64,21 @@ from .perf import (
     filter_events,
 )
 
+#: The Intel PT frontend's registry entry (:mod:`repro.tracesource`).
+PT_FRONTEND = register_frontend(
+    TraceFrontend(
+        name="pt",
+        make_encoder=PTEncoder,
+        encode_core=encode_core,
+        object_decoder=PTDecoder,
+        batch_decoder=PTBatchDecoder,
+        encoder_config_type=EncoderConfig,
+    )
+)
+
 __all__ = [
+    "PT_FRONTEND",
+    "PTBatchDecoder",
     "BufferResult",
     "RingBuffer",
     "RingBufferConfig",

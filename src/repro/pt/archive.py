@@ -19,7 +19,7 @@ Archive layout (little-endian)::
     record := sync(2) header(33) hcrc(4) payload(len) commit(5)
       sync     A5 5A                        resync marker for salvage
       header   u8  type                     1=segment 2=code-dump
-                                            3=sideband 7F=seal
+                                            3=sideband 4=format 7F=seal
                u32 seq                      archive-wide, contiguous from 0
                u32 core                     producing core (0 for metadata)
                u64 tsc_start, u64 tsc_end   payload's TSC span
@@ -96,9 +96,14 @@ CODE_DUMP_VERSION = 1
 REC_SEGMENT = 0x01
 REC_CODE_DUMP = 0x02
 REC_SIDEBAND = 0x03
+#: Trace-format declaration: payload is the frontend name (utf-8).
+#: Written as the very first record when the archive holds a non-PT
+#: stream, so the scanner registers that frontend's entry codecs before
+#: any segment body parses.  Absent means ``"pt"`` (legacy archives).
+REC_FORMAT = 0x04
 REC_SEAL = 0x7F
 
-_KNOWN_TYPES = (REC_SEGMENT, REC_CODE_DUMP, REC_SIDEBAND, REC_SEAL)
+_KNOWN_TYPES = (REC_SEGMENT, REC_CODE_DUMP, REC_SIDEBAND, REC_FORMAT, REC_SEAL)
 
 _SYNC = b"\xa5\x5a"
 _COMMIT = 0xC3
@@ -353,6 +358,7 @@ class ArchiveWriteReport:
     segments: int = 0
     code_dumps: int = 0
     sideband_records: int = 0
+    format_records: int = 0
     bytes_written: int = 0
     snapshot_bytes: int = 0
 
@@ -413,6 +419,17 @@ class ArchiveWriter:
         lo, hi = tsc_span if tsc_span is not None else _tsc_span(entries)
         seq = self._append(REC_SEGMENT, core, lo, hi, sink.getvalue())
         self.report.segments += 1
+        return seq
+
+    def append_format(self, name: str) -> int:
+        """Declare the archive's trace format (omit for ``"pt"``).
+
+        Must be the first record appended: the salvage scanner parses
+        segment bodies as it reaches them, and only a format record seen
+        *earlier* in the file gets the right entry codecs registered.
+        """
+        seq = self._append(REC_FORMAT, 0, 0, 0, name.encode("utf-8"))
+        self.report.format_records += 1
         return seq
 
     def append_code_dump(self, dump) -> int:
@@ -481,6 +498,8 @@ def iter_archive_events(trace, database, segment_packets: int = 256):
 
     Yields, in exact on-disk order, one tuple per record body:
 
+    * ``("format", name)`` -- the trace-format declaration, first, only
+      when the trace's frontend is not the implicit ``"pt"``;
     * ``("sideband", switches)`` -- thread-switch batches (all up front);
     * ``("dump", dump)`` -- one code-dump journal record;
     * ``("segment", core, chunk, lo, hi)`` -- one per-core stream chunk.
@@ -489,6 +508,9 @@ def iter_archive_events(trace, database, segment_packets: int = 256):
     that commit the same archive record by record, so an incrementally
     grown archive is byte-identical to a batch-written one.
     """
+    frontend = getattr(getattr(trace, "config", None), "frontend", "pt") or "pt"
+    if frontend != "pt":
+        yield ("format", frontend)
     switches = list(trace.thread_switches)
     for start in range(0, len(switches), 1024) or [0]:
         yield ("sideband", switches[start:start + 1024])
@@ -514,6 +536,8 @@ def iter_archive_events(trace, database, segment_packets: int = 256):
 def write_archive_event(writer: ArchiveWriter, event) -> int:
     """Commit one :func:`iter_archive_events` tuple; returns its seq."""
     kind = event[0]
+    if kind == "format":
+        return writer.append_format(event[1])
     if kind == "sideband":
         return writer.append_sideband(event[1])
     if kind == "dump":
@@ -635,6 +659,8 @@ class ArchiveContents:
     stats: SalvageStats
     cores: Dict[int, List[Tuple[str, object]]] = field(default_factory=dict)
     thread_switches: List[ThreadSwitchRecord] = field(default_factory=list)
+    #: Frontend name from the format record; ``"pt"`` when absent.
+    trace_format: str = "pt"
     #: Snapshot + journal, when the snapshot sidecar was readable.
     database: Optional[object] = None
     #: Journal dumps (also merged into ``database`` when it exists).
@@ -674,7 +700,7 @@ class ArchiveContents:
         return PTTrace(
             cores=cores,
             thread_switches=list(self.thread_switches),
-            config=config or PTConfig(),
+            config=config or PTConfig(frontend=self.trace_format),
         )
 
 
@@ -849,7 +875,8 @@ class ArchiveRecord:
     ``payload`` depends on the record type: a tagged ``(tag, item)``
     entry list for segments, a :class:`~repro.core.metadata.CodeDump`
     for journal records, a :class:`ThreadSwitchRecord` list for
-    sideband, ``None`` for the seal.
+    sideband, the frontend name string for format records, ``None`` for
+    the seal.
     """
 
     rtype: int
@@ -1197,6 +1224,37 @@ class _ArchiveScanner:
                 self.contents.thread_switches.extend(switches)
                 stats.bytes_salvaged += extent
                 self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, switches))
+            elif rtype == REC_FORMAT:
+                try:
+                    name = payload.decode("utf-8")
+                except UnicodeDecodeError:
+                    self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), False)
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "seq %d format record payload is not utf-8" % seq,
+                        seq=seq,
+                    )
+                    stats.bytes_dropped += extent
+                    pos = end
+                    continue
+                self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
+                self.contents.trace_format = name
+                try:
+                    # Registers the named frontend's entry codecs (an
+                    # import side effect), so the segment bodies that
+                    # follow parse.  Unknown name: segments with foreign
+                    # tags degrade into synthetic loss records below.
+                    from ..tracesource import get_frontend
+
+                    get_frontend(name)
+                except KeyError:
+                    stats.record(
+                        AnomalyKind.ARCHIVE_MALFORMED, base + sync,
+                        "seq %d names unknown trace format %r" % (seq, name),
+                        seq=seq,
+                    )
+                stats.bytes_salvaged += extent
+                self._new.append(ArchiveRecord(rtype, seq, core, tsc_lo, tsc_hi, name))
             elif rtype == REC_SEAL:
                 self._register(rtype, seq, core, tsc_lo, tsc_hi, len(payload), True)
                 stats.sealed = True

@@ -17,8 +17,8 @@ common one-shot case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from ..jvm.machine import (
     DisableEvent,
@@ -28,6 +28,7 @@ from ..jvm.machine import (
     TipEvent,
     TntEvent,
 )
+from ..tracesource.events import ConditionalOutcomes, IndirectTarget
 from .packets import (
     FUPPacket,
     Packet,
@@ -56,27 +57,38 @@ class EncoderConfig:
 
 @dataclass
 class EncoderStats:
-    """Byte/packet accounting for trace-size experiments (Table 5)."""
+    """Byte/packet accounting for trace-size experiments (Table 5).
+
+    Counts through the event bases, so any frontend's packets (PT TNT/
+    TIP, E-Trace branch maps / address packets) land in the same
+    ``tnt_bits``/``tips`` buckets and cross-format byte comparisons stay
+    apples-to-apples.
+    """
 
     packets: int = 0
     bytes: int = 0
     tnt_bits: int = 0
     tips: int = 0
 
-    def add(self, packet: Packet) -> None:
+    def add(self, packet) -> None:
         self.packets += 1
         self.bytes += packet.size
-        if isinstance(packet, TNTPacket):
+        if isinstance(packet, ConditionalOutcomes):
             self.tnt_bits += len(packet.bits)
-        elif isinstance(packet, TIPPacket):
+        elif isinstance(packet, IndirectTarget):
             self.tips += 1
 
 
 class PTEncoder:
     """Stateful single-core encoder."""
 
-    def __init__(self, config: EncoderConfig = EncoderConfig()):
-        self.config = config
+    def __init__(self, config: Optional[EncoderConfig] = None):
+        # ``None`` sentinel, not a default-argument instance: a default
+        # ``EncoderConfig()`` would be evaluated once and shared by every
+        # encoder constructed without an explicit config, so mutating one
+        # encoder's ``config`` (a bench sweep tuning ``tsc_interval``)
+        # would silently retune all of them.
+        self.config = config if config is not None else EncoderConfig()
         self.stats = EncoderStats()
         self._pending_bits: List[bool] = []
         self._pending_tsc = 0
@@ -136,7 +148,7 @@ class PTEncoder:
 
 
 def encode_core(
-    events: Iterable[HardwareEvent], config: EncoderConfig = EncoderConfig()
+    events: Iterable[HardwareEvent], config: Optional[EncoderConfig] = None
 ) -> List[Packet]:
     """Encode one core's event list; convenience wrapper."""
     return PTEncoder(config).encode(events)

@@ -10,6 +10,11 @@ Packet kinds follow Section 2 of the paper:
 * ``FUP`` -- source IP of an asynchronous event;
 * ``TSC`` -- timestamp packets.
 
+Each packet subclasses its normalised event base from
+:mod:`repro.tracesource.events`, which is what the decode engines
+dispatch on -- the PT classes only add the encoded ``size`` and any
+PT-specific constraints (the 6-bit short-TNT limit, TIP IP compression).
+
 Every packet also carries the generation-time TSC as metadata (real
 decoders interpolate between TSC packets; we model the resulting
 imprecision with sideband timestamp jitter instead -- see DESIGN.md).
@@ -22,39 +27,40 @@ the ring buffer overflows, which JPortal uses to localise data loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Union
+
+from ..tracesource.events import (
+    AsyncEvent,
+    ConditionalOutcomes,
+    IndirectTarget,
+    LossSpan,
+    TimeRef,
+    TraceDisable,
+    TraceEnable,
+)
 
 
 @dataclass(frozen=True)
-class PGEPacket:
+class PGEPacket(TraceEnable):
     """Packet Generation Enable: tracing begins at ``ip``."""
 
-    tsc: int
-    ip: int
-
     @property
     def size(self) -> int:
         return 9
 
 
 @dataclass(frozen=True)
-class PGDPacket:
+class PGDPacket(TraceDisable):
     """Packet Generation Disable: tracing ends at ``ip``."""
 
-    tsc: int
-    ip: int
-
     @property
     def size(self) -> int:
         return 9
 
 
 @dataclass(frozen=True)
-class TNTPacket:
+class TNTPacket(ConditionalOutcomes):
     """Up to six conditional outcomes packed into one byte."""
-
-    tsc: int
-    bits: Tuple[bool, ...]
 
     @property
     def size(self) -> int:
@@ -66,15 +72,13 @@ class TNTPacket:
 
 
 @dataclass(frozen=True)
-class TIPPacket:
+class TIPPacket(IndirectTarget):
     """Indirect-branch target.
 
     ``compressed_size`` is the encoded byte count after IP compression
     (header byte + 2, 4, or 8 target bytes).
     """
 
-    tsc: int
-    target: int
     compressed_size: int = 9
 
     @property
@@ -83,11 +87,8 @@ class TIPPacket:
 
 
 @dataclass(frozen=True)
-class FUPPacket:
+class FUPPacket(AsyncEvent):
     """Source IP of an asynchronous event (fault, interrupt)."""
-
-    tsc: int
-    ip: int
 
     @property
     def size(self) -> int:
@@ -95,10 +96,8 @@ class FUPPacket:
 
 
 @dataclass(frozen=True)
-class TSCPacket:
+class TSCPacket(TimeRef):
     """Timestamp packet."""
-
-    tsc: int
 
     @property
     def size(self) -> int:
@@ -109,18 +108,13 @@ Packet = Union[PGEPacket, PGDPacket, TNTPacket, TIPPacket, FUPPacket, TSCPacket]
 
 
 @dataclass(frozen=True)
-class AuxLossRecord:
+class AuxLossRecord(LossSpan):
     """A hole in the trace: packets in ``[start_tsc, end_tsc]`` were lost.
 
     Mirrors ``perf_record_aux`` with ``PERF_AUX_FLAG_TRUNCATED``: JPortal
     "leverages these events to localise data loss and separate
     subsequences" (Section 4).
     """
-
-    start_tsc: int
-    end_tsc: int
-    bytes_lost: int
-    packets_lost: int
 
 
 def compressed_tip_size(target: int, last_ip: int) -> int:

@@ -23,6 +23,7 @@ from ..jvm.machine import (
     TipEvent,
 )
 from ..jvm.runtime import RunResult
+from ..tracesource import get_frontend
 from .buffer import BufferResult, RingBuffer, RingBufferConfig
 from .encoder import EncoderConfig, EncoderStats, PTEncoder
 from .packets import AuxLossRecord, Packet
@@ -40,6 +41,12 @@ class PTConfig:
     #: to files" knob (Section 3): smaller segments mean finer-grained
     #: crash-loss, larger ones less framing overhead.
     archive_segment_packets: int = 256
+    #: Trace frontend (registry name): ``"pt"`` encodes Intel PT packets,
+    #: ``"etrace"`` RISC-V E-Trace packets.  The ring buffer, sideband,
+    #: archive, and decode layers are format-agnostic; only the packet
+    #: encoding changes.  When *encoder* is not the selected frontend's
+    #: config type, the frontend's defaults apply.
+    frontend: str = "pt"
 
 
 @dataclass
@@ -200,13 +207,23 @@ def calibrate_drain_bandwidth(
 
 
 def collect(run: RunResult, config: PTConfig = None) -> PTTrace:
-    """Collect a PT trace from a finished run (the online component)."""
+    """Collect a trace from a finished run (the online component).
+
+    The packet encoding is the frontend named by ``config.frontend``;
+    the ring-buffer loss model and sideband handling are shared.
+    """
     config = config or PTConfig()
+    frontend = get_frontend(config.frontend)
+    encoder_config = (
+        config.encoder
+        if isinstance(config.encoder, frontend.encoder_config_type)
+        else None
+    )
     cores: List[CoreTrace] = []
     for core_id, events in enumerate(run.core_events):
         if config.ip_filter:
             events = filter_events(events, run.address_space)
-        encoder = PTEncoder(config.encoder)
+        encoder = frontend.make_encoder(encoder_config)
         packets = encoder.encode(events)
         buffered: BufferResult = RingBuffer(config.buffer).apply(packets)
         cores.append(

@@ -22,6 +22,11 @@ byte  meaning
 0x07  LOSS  -- u64 start, u64 end, u64 bytes, u32 packets
 ====  =======================================================
 
+Tags 0x10 and above are reserved for extension codecs registered by
+other trace-source frontends via :func:`register_entry_codec`
+(:mod:`repro.etrace.serialize` registers the E-Trace packet tags when
+the ``repro.etrace`` package is imported).
+
 The logical ``compressed_size`` is stored so byte accounting survives the
 round trip (the file stores full IPs for simplicity; real PT would store
 the compressed form -- the *semantics* is identical).  Valid values are
@@ -48,7 +53,7 @@ from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, Iterator, List, Tuple
+from typing import BinaryIO, Callable, Dict, Iterable, Iterator, List, Tuple
 
 from .packets import (
     AuxLossRecord,
@@ -69,10 +74,46 @@ _TAG_FUP = 0x05
 _TAG_TSC = 0x06
 _TAG_LOSS = 0x07
 
+_BUILTIN_TAGS = frozenset(range(_TAG_PGE, _TAG_LOSS + 1))
+
 _MAGIC = b"RPT1"
 
 #: Encoded TIP sizes IP compression can produce: header + 2, 4, or 8.
 VALID_TIP_SIZES = (3, 5, 9)
+
+# --------------------------------------------------------- extension codecs
+# Other frontends (repro.etrace) serialise their packet classes through
+# the same entry stream by registering a codec per class.  Codecs are
+# looked up by exact class on write (before the PT isinstance chain, so
+# registration always wins) and by tag on read; an unregistered tag is
+# still a TraceFormatError, which is how archive salvage degrades when a
+# format record was lost.
+_EXTENSION_PACK: Dict[type, Tuple[int, Callable[[object], bytes]]] = {}
+_EXTENSION_UNPACK: Dict[int, Callable] = {}
+
+
+def register_entry_codec(
+    tag: int,
+    cls: type,
+    pack: Callable[[object], bytes],
+    unpack: Callable,
+) -> None:
+    """Register a packet codec for :func:`write_entry` / :func:`iter_body`.
+
+    ``pack(item)`` returns the payload bytes (everything after the tag
+    byte); ``unpack(need, entry_offset)`` reads via the ``need(count)``
+    closure (which raises :class:`TraceFormatError` on truncation) and
+    returns the packet, raising :class:`TraceFormatError` itself for
+    invalid field values.  Builtin tags cannot be overridden;
+    re-registering the same tag replaces the previous codec (idempotent
+    module re-imports).
+    """
+    if tag in _BUILTIN_TAGS:
+        raise ValueError("tag 0x%02x is reserved for builtin packets" % tag)
+    if not 0 < tag <= 0xFF:
+        raise ValueError("tag must be one byte, got %r" % (tag,))
+    _EXTENSION_PACK[cls] = (tag, pack)
+    _EXTENSION_UNPACK[tag] = unpack
 
 
 class TraceFormatError(Exception):
@@ -106,6 +147,11 @@ def write_entry(entry: Tuple[str, object], sink: BinaryIO) -> int:
             )
         )
     packet: Packet = item
+    extension = _EXTENSION_PACK.get(packet.__class__)
+    if extension is not None:
+        ext_tag, pack = extension
+        payload = pack(packet)
+        return sink.write(bytes((ext_tag,)) + payload)
     if isinstance(packet, PGEPacket):
         return sink.write(struct.pack("<BQQ", _TAG_PGE, packet.tsc, packet.ip))
     if isinstance(packet, PGDPacket):
@@ -228,11 +274,14 @@ def iter_body(
                 ),
             )
         else:
-            raise TraceFormatError(
-                "unknown tag 0x%02x at offset %d" % (tag, entry_offset),
-                offset=entry_offset,
-                entry_offset=entry_offset,
-            )
+            unpack = _EXTENSION_UNPACK.get(tag)
+            if unpack is None:
+                raise TraceFormatError(
+                    "unknown tag 0x%02x at offset %d" % (tag, entry_offset),
+                    offset=entry_offset,
+                    entry_offset=entry_offset,
+                )
+            yield ("packet", unpack(need, entry_offset))
 
 
 def iter_stream(source: BinaryIO) -> Iterator[Tuple[str, object]]:

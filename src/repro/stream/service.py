@@ -1,6 +1,6 @@
 """Streaming incremental decode service (tail-follow the online side).
 
-JPortal's online component periodically drains the PT buffer while the
+JPortal's online component periodically drains the trace buffer while the
 JVM keeps running (paper Section 5); this module gives the *offline*
 side the matching shape: instead of waiting for a sealed archive and
 batch-decoding it, a :class:`StreamDecoder` tail-follows a growing
@@ -45,17 +45,20 @@ from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 from ..core.metrics import MetricsRegistry
+from ..core.multicore import split_loss_at_switches
 from ..core.observed import ObservedColumns
 from ..core.parallel import BACKENDS, make_executor
 from ..pt.archive import (
     REC_CODE_DUMP,
+    REC_FORMAT,
     REC_SEGMENT,
     REC_SIDEBAND,
     ArchiveTailReader,
     SalvageStats,
     _load_snapshot,
 )
-from ..pt.decoder import PTBatchDecoder
+from ..tracesource import get_frontend
+from ..tracesource.engine import BatchEventDecoder
 from .delta import FlowDelta
 
 
@@ -105,8 +108,11 @@ class StreamDecoder:
         self._journal_dumps: List[object] = []
         self._database = None
         self._db_dirty = True
+        # Trace format: "pt" unless a format record says otherwise (the
+        # writer commits it first, before any segment).
+        self._frontend_name = "pt"
         # Per-thread decode state.
-        self._decoders: Dict[int, PTBatchDecoder] = {}
+        self._decoders: Dict[int, BatchEventDecoder] = {}
         self._columns: Dict[int, ObservedColumns] = {}
         self._prior_steps: Dict[int, int] = {}
         self._prior_holes = 0
@@ -133,6 +139,8 @@ class StreamDecoder:
                     self._on_sideband(record.payload)
                 elif record.rtype == REC_CODE_DUMP:
                     self._on_dump(record.payload)
+                elif record.rtype == REC_FORMAT:
+                    self._on_format(record.payload)
                 elif record.rtype == REC_SEGMENT:
                     delta.segments += 1
                     self._on_segment(record)
@@ -253,6 +261,16 @@ class StreamDecoder:
                 self._default_min_tsc = record.tsc
                 self._default_tid = record.tid
 
+    def _on_format(self, name: str) -> None:
+        if name == self._frontend_name:
+            return
+        if self._released_any:
+            # Released entries were decoded with the wrong frontend's
+            # engines (a format record belongs at the head of the file).
+            self._flag_replay("format record arrived after release")
+        self._frontend_name = name
+        get_frontend(name)  # unknown name raises -> replay via poll()
+
     def _on_dump(self, dump) -> None:
         self._commit_tsc = max(self._commit_tsc, dump.load_tsc)
         if dump.load_tsc <= self._max_released_tsc:
@@ -355,13 +373,27 @@ class StreamDecoder:
             return
         runs: Dict[int, List[Tuple[str, object]]] = {}
         for tsc, core, _index, tag, item, _seq in merged:
-            runs.setdefault(self._owner_of(core, tsc), []).append((tag, item))
+            if tag == "loss":
+                # Same boundary split as split_by_thread: the pieces are
+                # appended here, at the span's release position, which is
+                # exactly where the batch reassembly sorts them.
+                for tid, piece in split_loss_at_switches(
+                    item,
+                    self._switch_tscs.get(core, ()),
+                    lambda t, core=core: self._owner_of(core, t),
+                ):
+                    runs.setdefault(tid, []).append((tag, piece))
+            else:
+                runs.setdefault(self._owner_of(core, tsc), []).append(
+                    (tag, item)
+                )
         database = self._current_database()
         jportal = self.jportal
+        batch_decoder = get_frontend(self._frontend_name).batch_decoder
         for tid in sorted(runs):
             decoder = self._decoders.get(tid)
             if decoder is None:
-                decoder = PTBatchDecoder(
+                decoder = batch_decoder(
                     database,
                     jportal._lifter_for(database),
                     metrics=self.metrics,
@@ -389,8 +421,9 @@ class StreamDecoder:
             # a fresh decoder adopts the old one's state, so the
             # concatenated feeds equal one decode over the full stream.
             jportal = self.jportal
+            batch_decoder = get_frontend(self._frontend_name).batch_decoder
             for tid, old in list(self._decoders.items()):
-                self._decoders[tid] = PTBatchDecoder(
+                self._decoders[tid] = batch_decoder(
                     self._database,
                     jportal._lifter_for(self._database),
                     metrics=self.metrics,

@@ -1,0 +1,94 @@
+"""Normalised branch-event vocabulary every trace frontend maps onto.
+
+JPortal's decode/reconstruct/recover core is ISA-agnostic: it consumes
+*branch outcomes* and *indirect targets*, not Intel PT packets (paper
+Sections 3-5).  This module names the five event families the decode
+engine (:mod:`repro.tracesource.engine`) actually dispatches on, as
+frozen-dataclass base classes a frontend's packet types subclass:
+
+* :class:`ConditionalOutcomes` -- a batch of packed taken/not-taken
+  bits, in branch-retirement order (PT ``TNT``; E-Trace branch maps);
+* :class:`IndirectTarget` -- the destination IP of an indirect branch,
+  call, or return (PT ``TIP``; E-Trace address packets);
+* :class:`AsyncEvent` -- an asynchronous control transfer (fault,
+  interrupt); the current flow is interrupted and resumes at the next
+  indirect target (PT ``FUP``; E-Trace trap packets);
+* :class:`TraceEnable` / :class:`TraceDisable` -- tracing pauses and
+  resumes that do *not* move control (PT ``PGE``/``PGD``; E-Trace
+  support packets); the engine ignores them;
+* :class:`TimeRef` -- a pure timestamp reference (PT ``TSC`` packets;
+  E-Trace time packets); ignored by the engine.
+
+Loss is not a packet: :class:`LossSpan` models the sideband records the
+collection stack emits when its buffer overflows (``perf_record_aux``
+with the truncated flag, or an E-Trace encoder overflow message), which
+the pipeline uses to localise data loss.
+
+Every event carries the generation-time ``tsc`` as metadata; real
+decoders interpolate between time packets, an imprecision modelled by
+sideband timestamp jitter instead (see DESIGN.md).  Subclasses must be
+re-decorated ``@dataclass(frozen=True)`` and expose a ``size`` property
+(their encoded byte count) for the ring-buffer loss model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ConditionalOutcomes:
+    """A batch of conditional-branch outcomes, one bit per branch."""
+
+    tsc: int
+    bits: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class IndirectTarget:
+    """The destination IP of an indirect branch / call / return."""
+
+    tsc: int
+    target: int
+
+
+@dataclass(frozen=True)
+class AsyncEvent:
+    """Source IP of an asynchronous event (fault, interrupt)."""
+
+    tsc: int
+    ip: int
+
+
+@dataclass(frozen=True)
+class TraceEnable:
+    """Tracing resumes at ``ip``; control did not move."""
+
+    tsc: int
+    ip: int
+
+
+@dataclass(frozen=True)
+class TraceDisable:
+    """Tracing pauses at ``ip``; control did not move."""
+
+    tsc: int
+    ip: int
+
+
+@dataclass(frozen=True)
+class TimeRef:
+    """A pure timestamp reference packet."""
+
+    tsc: int
+
+
+@dataclass(frozen=True)
+class LossSpan:
+    """A hole in the trace: data in ``[start_tsc, end_tsc]`` was lost."""
+
+    start_tsc: int
+    end_tsc: int
+    bytes_lost: int
+    packets_lost: int

@@ -1,10 +1,10 @@
 """Unit tests for per-core -> per-thread trace reassembly (Section 6)."""
 
-from repro.core.multicore import split_by_thread
+from repro.core.multicore import split_by_thread, split_loss_at_switches
 from repro.jvm.jit import JITPolicy
 from repro.jvm.machine import ThreadSwitchRecord
 from repro.jvm.runtime import JVMRuntime, RuntimeConfig
-from repro.pt.packets import TIPPacket
+from repro.pt.packets import AuxLossRecord, TIPPacket
 from repro.pt.perf import CoreTrace, PTConfig, PTTrace, collect
 
 from ..conftest import build_figure2_program, lossless_config
@@ -152,3 +152,148 @@ class TestRealRuns:
                 for tag, item in thread.stream
             ]
             assert timestamps == sorted(timestamps)
+
+
+class TestLossSplitting:
+    """Loss spans crossing thread-switch boundaries (the attribution
+    bugfix): each owner gets its share, per-core totals conserved."""
+
+    def _trace_with_loss(self, switches, losses, packets=()):
+        core = CoreTrace(
+            core=0,
+            packets=list(packets),
+            losses=list(losses),
+            bytes_generated=sum(l.bytes_lost for l in losses),
+            bytes_lost=sum(l.bytes_lost for l in losses),
+            encoder_stats=None,
+        )
+        return PTTrace(cores=[core], thread_switches=switches, config=PTConfig())
+
+    def test_span_crossing_switch_is_split(self):
+        """Regression: the whole span used to land on the owner of its
+        start tsc, silently blaming one thread for another's hole."""
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=1, tsc=10),
+        ]
+        loss = AuxLossRecord(
+            start_tsc=5, end_tsc=15, bytes_lost=110, packets_lost=11
+        )
+        threads = split_by_thread(self._trace_with_loss(switches, [loss]))
+        assert threads[0].loss_count() == 1
+        assert threads[1].loss_count() == 1
+        (piece0,) = [item for tag, item in threads[0].stream if tag == "loss"]
+        (piece1,) = [item for tag, item in threads[1].stream if tag == "loss"]
+        assert (piece0.start_tsc, piece0.end_tsc) == (5, 9)
+        assert (piece1.start_tsc, piece1.end_tsc) == (10, 15)
+        assert piece0.bytes_lost + piece1.bytes_lost == 110
+        assert piece0.packets_lost + piece1.packets_lost == 11
+        # 5 of 11 ticks belong to tid 0.
+        assert piece0.bytes_lost == 50
+        assert piece0.packets_lost == 5
+
+    def test_single_owner_span_is_returned_unsplit(self):
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=1, tsc=100),
+        ]
+        loss = AuxLossRecord(
+            start_tsc=5, end_tsc=50, bytes_lost=64, packets_lost=4
+        )
+        threads = split_by_thread(self._trace_with_loss(switches, [loss]))
+        assert 1 not in threads or threads[1].loss_count() == 0
+        (piece,) = [item for tag, item in threads[0].stream if tag == "loss"]
+        assert piece is loss
+
+    def test_switch_back_to_same_owner_does_not_split(self):
+        """Cut points where attribution does not change re-merge, so the
+        old single-owner behaviour (one record, unmodified) survives."""
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=0, tsc=10),
+        ]
+        loss = AuxLossRecord(
+            start_tsc=5, end_tsc=15, bytes_lost=100, packets_lost=10
+        )
+        (tid, piece), = split_loss_at_switches(
+            loss, [0, 10], lambda tsc: 0
+        )
+        assert tid == 0 and piece is loss
+
+    def test_boundary_at_span_start_does_not_cut(self):
+        """A switch exactly at start_tsc owns the whole span already;
+        only boundaries strictly inside (start, end] cut."""
+        loss = AuxLossRecord(
+            start_tsc=10, end_tsc=20, bytes_lost=10, packets_lost=1
+        )
+        pieces = split_loss_at_switches(
+            loss, [10], lambda tsc: 1 if tsc >= 10 else 0
+        )
+        assert pieces == [(1, loss)]
+
+    def test_conservation_property(self):
+        """Property: over random switch layouts and spans, piece totals
+        always equal the original and pieces tile the span exactly."""
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(200):
+            switch_tscs = sorted(
+                rng.sample(range(1, 400), rng.randrange(1, 12))
+            )
+            owners = [rng.randrange(4) for _ in switch_tscs]
+
+            def owner_of(tsc):
+                position = len([t for t in switch_tscs if t <= tsc]) - 1
+                return owners[position] if position >= 0 else owners[0]
+
+            start = rng.randrange(0, 380)
+            end = start + rng.randrange(0, 60)
+            loss = AuxLossRecord(
+                start_tsc=start,
+                end_tsc=end,
+                bytes_lost=rng.randrange(0, 5000),
+                packets_lost=rng.randrange(0, 50),
+            )
+            pieces = split_loss_at_switches(loss, switch_tscs, owner_of)
+            assert sum(p.bytes_lost for _, p in pieces) == loss.bytes_lost
+            assert sum(p.packets_lost for _, p in pieces) == loss.packets_lost
+            assert pieces[0][1].start_tsc == start
+            assert pieces[-1][1].end_tsc == end
+            for (_, left), (_, right) in zip(pieces, pieces[1:]):
+                assert right.start_tsc == left.end_tsc + 1
+            for index, (tid, piece) in enumerate(pieces):
+                assert tid == owner_of(piece.start_tsc)
+                if index:
+                    assert tid != pieces[index - 1][0]
+
+    def test_per_core_loss_totals_conserved_through_split(self):
+        """Sum of per-thread loss spans equals the per-core loss spans
+        (the ISSUE's property), on a trace with several crossing holes."""
+        switches = [
+            ThreadSwitchRecord(core=0, tid=0, tsc=0),
+            ThreadSwitchRecord(core=0, tid=1, tsc=50),
+            ThreadSwitchRecord(core=0, tid=2, tsc=120),
+            ThreadSwitchRecord(core=0, tid=0, tsc=200),
+        ]
+        losses = [
+            AuxLossRecord(start_tsc=40, end_tsc=70, bytes_lost=333, packets_lost=7),
+            AuxLossRecord(start_tsc=100, end_tsc=260, bytes_lost=999, packets_lost=13),
+        ]
+        threads = split_by_thread(self._trace_with_loss(switches, losses))
+        split_bytes = sum(
+            item.bytes_lost
+            for thread in threads.values()
+            for tag, item in thread.stream
+            if tag == "loss"
+        )
+        split_packets = sum(
+            item.packets_lost
+            for thread in threads.values()
+            for tag, item in thread.stream
+            if tag == "loss"
+        )
+        assert split_bytes == sum(l.bytes_lost for l in losses)
+        assert split_packets == sum(l.packets_lost for l in losses)
+        # Every thread that owned the core inside a hole sees a share.
+        assert all(threads[tid].loss_count() for tid in (0, 1, 2))

@@ -109,3 +109,37 @@ class TestEventMapping:
         events = [TntEvent(tsc=0, taken=True)]
         tnts = _packets_of(encode_core(events), TNTPacket)
         assert len(tnts) == 1
+
+
+class TestConfigIsolation:
+    """Regression for the shared mutable default-argument config."""
+
+    def test_two_encoders_do_not_share_config(self):
+        """With ``config: EncoderConfig = EncoderConfig()`` in the
+        signature, every default-constructed encoder shared ONE config
+        instance, so tuning one silently retuned all of them."""
+        first = PTEncoder()
+        second = PTEncoder()
+        assert first.config is not second.config
+        first.config.tsc_interval = 1
+        first.config.tnt_capacity = 2
+        assert second.config.tsc_interval == 2_000
+        assert second.config.tnt_capacity == 6
+
+    def test_mutated_default_does_not_leak_into_encode_core(self):
+        encoder = PTEncoder()
+        encoder.config.tnt_capacity = 1
+        events = [TntEvent(tsc=100 + i, taken=True) for i in range(6)]
+        packets = encode_core(events)
+        tnts = [p for p in packets if isinstance(p, TNTPacket)]
+        # encode_core's fresh default packs all six bits into one packet.
+        assert len(tnts) == 1 and len(tnts[0].bits) == 6
+
+    def test_explicit_config_still_honoured(self):
+        config = EncoderConfig(tnt_capacity=2)
+        events = [TntEvent(tsc=100 + i, taken=False) for i in range(4)]
+        tnts = [
+            p for p in encode_core(events, config)
+            if isinstance(p, TNTPacket)
+        ]
+        assert [len(p.bits) for p in tnts] == [2, 2]
