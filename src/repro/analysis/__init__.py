@@ -13,10 +13,18 @@ questions:
   JIT code dumps, debug images) is internally consistent and resolvable
   against the program.
 
+Every question is answered *per trace frontend*: the analysis is
+parametric over the :class:`~repro.tracesource.projection.ProjectionModel`
+each registered :class:`~repro.tracesource.TraceFrontend` exports, and
+the trace-plan advisor (:mod:`repro.analysis.advisor`) ranks frontends
+by predicted decodability, coverage, and bytes-per-branch cost.
+
 Run it from the command line over the bundled subjects::
 
     PYTHONPATH=src python -m repro.analysis avrora
     PYTHONPATH=src python -m repro.analysis --all --fail-on-error
+    PYTHONPATH=src python -m repro.analysis --all --all-frontends
+    PYTHONPATH=src python -m repro.analysis plan sunflow
 """
 
 from .ambiguity import (
@@ -44,12 +52,29 @@ from .lint import (
     unreachable_blocks,
     unreachable_nodes,
 )
-from .observability import EdgeObservability, ObservabilityMap
+from .advisor import (
+    BYTES_PER_BRANCH_RTOL,
+    DispatchEstimate,
+    FrontendPlan,
+    TracePlan,
+    estimate_dispatch_ratio,
+    plan_trace,
+    verify_against_measurement,
+)
+from .observability import EdgeObservability, ObservabilityMap, default_model
 from .report import AnalysisReport, MethodVerdict, analyze_program
 
 __all__ = [
     "AmbiguityWitness",
     "AnalysisReport",
+    "BYTES_PER_BRANCH_RTOL",
+    "DispatchEstimate",
+    "FrontendPlan",
+    "TracePlan",
+    "default_model",
+    "estimate_dispatch_ratio",
+    "plan_trace",
+    "verify_against_measurement",
     "DominatorTree",
     "EdgeObservability",
     "LintFinding",

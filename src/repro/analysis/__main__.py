@@ -4,27 +4,45 @@ Examples::
 
     PYTHONPATH=src python -m repro.analysis avrora
     PYTHONPATH=src python -m repro.analysis --all --fail-on-error
+    PYTHONPATH=src python -m repro.analysis --all --all-frontends
+    PYTHONPATH=src python -m repro.analysis pmd --frontend etrace --json
     PYTHONPATH=src python -m repro.analysis --generated 2416
     PYTHONPATH=src python -m repro.analysis pmd --static-only
+    PYTHONPATH=src python -m repro.analysis plan sunflow
+    PYTHONPATH=src python -m repro.analysis plan --all-frontends sunflow
 
 Without ``--static-only`` each subject is also *run* once so the
 exported code database (JIT dumps, debug images) goes through the
 metadata lints; with it, only the program-level analysis runs.
 ``--fail-on-error`` exits non-zero when any subject has an ERROR lint
 finding or a definitely-ambiguous method -- that is what CI gates on.
+``--frontend`` selects the projection model the verdicts are computed
+under; ``--all-frontends`` runs the full registered matrix.
+
+The ``plan`` subcommand runs the trace-plan advisor instead: per
+frontend it reports the ambiguous-method set, predicted bytes-per-branch
+bounds from the packet grammar, silent-edge coverage loss and resync
+exposure, and ranks the frontends.  ``--expect-best NAME`` turns the
+ranking into an exit-code assertion (the CI advisor-smoke gate).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
 from ..jvm.templates import TemplateTable
 from .report import AnalysisReport, analyze_program
 
+#: The builtin frontend matrix ``--all-frontends`` expands to.
+ALL_FRONTENDS = ("pt", "etrace")
 
-def _analyze_subject(name: str, static_only: bool) -> AnalysisReport:
+
+def _analyze_subject(
+    name: str, static_only: bool, frontend: str = "pt"
+) -> AnalysisReport:
     from ..core.metadata import collect_metadata
     from ..workloads import build_subject, default_config
 
@@ -40,17 +58,94 @@ def _analyze_subject(name: str, static_only: bool) -> AnalysisReport:
         opaque_call_sites=subject.opaque_call_sites,
         template_table=template_table,
         database=database,
+        frontend=frontend,
     )
 
 
-def _analyze_generated(seed: int) -> AnalysisReport:
+def _analyze_generated(seed: int, frontend: str = "pt") -> AnalysisReport:
     from ..workloads.generator import generate_program
 
     program = generate_program(seed)
-    return analyze_program(program, template_table=TemplateTable())
+    return analyze_program(
+        program, template_table=TemplateTable(), frontend=frontend
+    )
+
+
+def plan_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis plan",
+        description="Static trace-plan advisor: rank frontends per subject.",
+    )
+    parser.add_argument("subject", nargs="*", help="subject name(s)")
+    parser.add_argument(
+        "--all", action="store_true", help="plan all bundled subjects"
+    )
+    parser.add_argument(
+        "--frontends",
+        default=",".join(ALL_FRONTENDS),
+        help="comma-separated frontends to rank (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--all-frontends",
+        action="store_true",
+        help="rank the full builtin frontend matrix (the default set)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit plans as JSON"
+    )
+    parser.add_argument(
+        "--expect-best",
+        metavar="FRONTEND",
+        help="exit 1 unless every plan recommends this frontend",
+    )
+    args = parser.parse_args(argv)
+
+    from ..workloads import SUBJECT_NAMES, build_subject
+    from .advisor import plan_trace
+
+    targets = list(SUBJECT_NAMES) if args.all else list(args.subject)
+    if not targets:
+        parser.error("give a subject name or --all")
+    frontends = tuple(
+        name.strip() for name in args.frontends.split(",") if name.strip()
+    )
+
+    failed = False
+    documents = []
+    for name in targets:
+        subject = build_subject(name)
+        plan = plan_trace(
+            subject.program,
+            frontends=frontends,
+            template_table=TemplateTable(),
+            subject=name,
+            opaque_call_sites=subject.opaque_call_sites,
+        )
+        if args.json:
+            documents.append(plan.to_dict())
+        else:
+            print(plan.render())
+            print()
+        if (
+            args.expect_best is not None
+            and plan.recommended.frontend != args.expect_best
+        ):
+            print(
+                "FAIL: %s recommends %r, expected %r"
+                % (name, plan.recommended.frontend, args.expect_best),
+                file=sys.stderr,
+            )
+            failed = True
+    if args.json:
+        print(json.dumps(documents, indent=1, sort_keys=True))
+    return 1 if failed else 0
 
 
 def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "plan":
+        return plan_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static decodability analysis over a subject program.",
@@ -75,6 +170,21 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="exit 1 on any ERROR finding or ambiguous method",
     )
+    parser.add_argument(
+        "--frontend",
+        default="pt",
+        help="projection model to analyse under (default: pt)",
+    )
+    parser.add_argument(
+        "--all-frontends",
+        action="store_true",
+        help="analyse every subject under the full frontend matrix",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-(subject, frontend) summaries as JSON",
+    )
     args = parser.parse_args(argv)
 
     targets: List[str] = list(args.subject)
@@ -84,19 +194,38 @@ def main(argv: List[str] = None) -> int:
         targets = list(SUBJECT_NAMES)
     if not targets and args.generated is None:
         parser.error("give a subject name, --all, or --generated SEED")
+    frontends = ALL_FRONTENDS if args.all_frontends else (args.frontend,)
 
     failed = False
-    if args.generated is not None:
-        report = _analyze_generated(args.generated)
-        print("=== generated seed %d ===" % args.generated)
-        print(report.render())
-        failed = failed or report.has_errors
-    for name in targets:
-        report = _analyze_subject(name, args.static_only)
-        print("=== %s ===" % name)
-        print(report.render())
-        print()
-        failed = failed or report.has_errors
+    documents = []
+    for frontend in frontends:
+        if args.generated is not None:
+            report = _analyze_generated(args.generated, frontend=frontend)
+            if args.json:
+                documents.append(
+                    dict(
+                        report.summary(),
+                        subject="generated-%d" % args.generated,
+                    )
+                )
+            else:
+                print(
+                    "=== generated seed %d [%s] ==="
+                    % (args.generated, frontend)
+                )
+                print(report.render())
+            failed = failed or report.has_errors
+        for name in targets:
+            report = _analyze_subject(name, args.static_only, frontend=frontend)
+            if args.json:
+                documents.append(dict(report.summary(), subject=name))
+            else:
+                print("=== %s [%s] ===" % (name, frontend))
+                print(report.render())
+                print()
+            failed = failed or report.has_errors
+    if args.json:
+        print(json.dumps(documents, indent=1, sort_keys=True))
     if args.fail_on_error and failed:
         print("FAIL: errors or ambiguous methods found", file=sys.stderr)
         return 1

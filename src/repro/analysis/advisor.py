@@ -1,0 +1,379 @@
+"""Trace-plan advisor: which frontend should trace this program?
+
+Given a program (and optionally its template table), the advisor runs
+the frontend-parametric static analysis once per registered frontend and
+combines three ingredients into a ranked recommendation, all *before a
+single byte is traced*:
+
+* **decodability** -- the per-frontend ambiguous-method set and
+  transient-ambiguity measure from :func:`repro.analysis.analyze_program`;
+* **coverage** -- the SILENT edge fraction under each frontend's
+  projection (edges no packet will ever discriminate);
+* **cost** -- predicted bytes per conditional branch, derived from the
+  frontend's :class:`~repro.tracesource.projection.ProjectionModel`
+  packet grammar and a static dispatch-per-branch estimate.
+
+The cost prediction brackets two execution regimes.  In interpreted
+code every bytecode dispatch emits a target packet and every pending
+outcome batch is flushed before it, so the upper regime is
+``outcome_packet_bytes(1) + R_hi * worst-case target bytes`` with
+``R_hi`` the loop-body instructions-per-conditional ratio.  In JIT
+compiled code only genuine indirect transfers (calls, returns,
+switches, throws) emit target packets and outcome batches fill up, so
+the lower regime uses ``R_lo``, the loop-body indirect-transfer ratio,
+with best-case packing.  The point estimate takes the geometric mean of
+the two dispatch ratios (hot code is a JIT/interp blend) at the
+grammar's typical target size.  Against the measured cross-format bench
+this estimate is accurate to well within :data:`BYTES_PER_BRANCH_RTOL`
+relative error on the golden subjects, and the [low, high] bounds
+always contain the measurement -- ``repro.bench.run_advisor_accuracy``
+records both, and the advisor-smoke CI step pins the PT-vs-E-Trace
+ranking.
+
+Ranking: frontends that leave methods definitely ambiguous sort last;
+ties break on silent-edge coverage loss, then on estimated bytes per
+branch, then on resync exposure.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..jvm.model import JProgram
+from ..jvm.opcodes import Kind
+
+from .report import AnalysisReport, analyze_program
+
+#: Documented error bound for the bytes-per-branch *point estimate*
+#: against the measured cross-format bench on the golden subjects.  The
+#: [low, high] bounds are hard: a measurement outside them is a model
+#: bug, not an estimation error.
+BYTES_PER_BRANCH_RTOL = 0.5
+
+#: Instruction kinds that still emit a target packet from JIT-compiled
+#: code (the lower dispatch regime).
+_INDIRECT_KINDS = (Kind.CALL, Kind.RETURN, Kind.SWITCH, Kind.THROW)
+
+
+@dataclass(frozen=True)
+class DispatchEstimate:
+    """Static dispatches-per-conditional-branch estimate for one program.
+
+    ``low`` is the JIT regime (indirect transfers only), ``high`` the
+    interpreted regime (every instruction), both measured over natural
+    loop bodies (backward-branch intervals) where execution
+    concentrates; ``point`` is their geometric mean.
+    """
+
+    low: float
+    high: float
+    point: float
+    cond_sites: int
+    loop_cond_sites: int
+
+
+def estimate_dispatch_ratio(program: JProgram) -> DispatchEstimate:
+    """Estimate dynamic dispatches per conditional from static structure.
+
+    Loop bodies are approximated by backward-branch intervals
+    ``[target, branch]`` within each method; programs without loops fall
+    back to whole-program instruction counts.
+    """
+    loop_n = loop_c = loop_i = 0
+    total_n = total_c = total_i = 0
+    for method in program.methods():
+        code = method.code
+        total_n += len(code)
+        total_c += sum(1 for inst in code if inst.kind is Kind.COND)
+        total_i += sum(1 for inst in code if inst.kind in _INDIRECT_KINDS)
+        for inst in code:
+            target = getattr(inst, "target", None)
+            if (
+                target is not None
+                and target <= inst.bci
+                and inst.kind in (Kind.COND, Kind.GOTO)
+            ):
+                body = [i for i in code if target <= i.bci <= inst.bci]
+                loop_n += len(body)
+                loop_c += sum(1 for i in body if i.kind is Kind.COND)
+                loop_i += sum(1 for i in body if i.kind in _INDIRECT_KINDS)
+    if loop_c == 0:
+        loop_n, loop_c, loop_i = total_n, total_c, total_i
+    if loop_c == 0:
+        # A branch-free program: cost-per-branch is moot; report the
+        # dispatch volume itself so the estimate stays finite.
+        return DispatchEstimate(
+            low=float(max(loop_i, 1)),
+            high=float(max(loop_n, 1)),
+            point=math.sqrt(max(loop_i, 1) * max(loop_n, 1)),
+            cond_sites=total_c,
+            loop_cond_sites=0,
+        )
+    low = max(loop_i, 1) / loop_c
+    high = loop_n / loop_c
+    return DispatchEstimate(
+        low=low,
+        high=high,
+        point=math.sqrt(low * high),
+        cond_sites=total_c,
+        loop_cond_sites=loop_c,
+    )
+
+
+@dataclass(frozen=True)
+class FrontendPlan:
+    """One frontend's row in the trace plan."""
+
+    frontend: str
+    decodable: bool
+    ambiguous_methods: Tuple[str, ...]
+    transient_dfa_states: int
+    silent_edges: int
+    total_edges: int
+    bytes_per_branch_low: float
+    bytes_per_branch_high: float
+    bytes_per_branch_estimate: float
+    resync_exposure: float
+
+    @property
+    def silent_fraction(self) -> float:
+        if not self.total_edges:
+            return 0.0
+        return self.silent_edges / self.total_edges
+
+    def sort_key(self):
+        """Lower sorts better: ambiguity, coverage loss, cost, resync."""
+        return (
+            len(self.ambiguous_methods),
+            self.silent_fraction,
+            self.bytes_per_branch_estimate,
+            self.resync_exposure,
+            self.frontend,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "frontend": self.frontend,
+            "decodable": self.decodable,
+            "ambiguous_methods": list(self.ambiguous_methods),
+            "transient_dfa_states": self.transient_dfa_states,
+            "silent_edges": self.silent_edges,
+            "total_edges": self.total_edges,
+            "silent_fraction": self.silent_fraction,
+            "bytes_per_branch_low": self.bytes_per_branch_low,
+            "bytes_per_branch_high": self.bytes_per_branch_high,
+            "bytes_per_branch_estimate": self.bytes_per_branch_estimate,
+            "resync_exposure": self.resync_exposure,
+        }
+
+
+@dataclass(frozen=True)
+class TracePlan:
+    """The advisor's full output: ranked per-frontend plans."""
+
+    subject: str
+    plans: Tuple[FrontendPlan, ...]
+    dispatch: DispatchEstimate
+
+    @property
+    def recommended(self) -> FrontendPlan:
+        return self.plans[0]
+
+    def plan_for(self, frontend: str) -> FrontendPlan:
+        for plan in self.plans:
+            if plan.frontend == frontend:
+                return plan
+        raise KeyError("no plan for frontend %r" % (frontend,))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "recommended": self.recommended.frontend,
+            "dispatch_ratio": {
+                "low": self.dispatch.low,
+                "high": self.dispatch.high,
+                "point": self.dispatch.point,
+            },
+            "frontends": [plan.to_dict() for plan in self.plans],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    def render(self) -> str:
+        lines = ["trace plan: %s" % self.subject]
+        lines.append(
+            "  dispatch/branch estimate: %.2f (regime bounds %.2f..%.2f)"
+            % (self.dispatch.point, self.dispatch.low, self.dispatch.high)
+        )
+        for rank, plan in enumerate(self.plans, start=1):
+            marker = "*" if rank == 1 else " "
+            verdict = (
+                "decodable"
+                if plan.decodable
+                else "AMBIGUOUS(%d)" % len(plan.ambiguous_methods)
+            )
+            lines.append(
+                "  %s %d. %-8s %s  %.1f B/branch (%.1f..%.1f)"
+                "  silent %d/%d  resync %.4f"
+                % (
+                    marker,
+                    rank,
+                    plan.frontend,
+                    verdict,
+                    plan.bytes_per_branch_estimate,
+                    plan.bytes_per_branch_low,
+                    plan.bytes_per_branch_high,
+                    plan.silent_edges,
+                    plan.total_edges,
+                    plan.resync_exposure,
+                )
+            )
+            if plan.ambiguous_methods:
+                lines.append(
+                    "       ambiguous: %s" % ", ".join(plan.ambiguous_methods)
+                )
+            if plan.transient_dfa_states:
+                lines.append(
+                    "       transient ambiguity: %d DFA states"
+                    % plan.transient_dfa_states
+                )
+        lines.append("  recommendation: %s" % self.recommended.frontend)
+        return "\n".join(lines)
+
+    def __str__(self):
+        return self.render()
+
+
+def _cost_bounds(model, dispatch: DispatchEstimate) -> Tuple[float, float, float]:
+    """(low, high, estimate) bytes per conditional branch under *model*.
+
+    Low: JIT regime -- outcome batches packed to capacity, minimal
+    target compression, only indirect transfers dispatch.  High:
+    interpreted regime -- every outcome flushed alone, worst-case target
+    bytes plus the full sync share, every instruction dispatches.  The
+    time-packet share (one per ~2000 events) is below rounding and is
+    ignored; async events are workload-dependent and excluded from the
+    per-branch figure.
+    """
+    best_outcome, worst_outcome = model.bytes_per_outcome_bounds()
+    ind_low, ind_high = model.indirect_bytes_bounds()
+    low = best_outcome + dispatch.low * ind_low
+    high = worst_outcome + dispatch.high * ind_high
+    estimate = worst_outcome + dispatch.point * model.indirect_bytes_estimate()
+    return low, high, estimate
+
+
+def plan_trace(
+    program: JProgram,
+    frontends: Sequence[str] = ("pt", "etrace"),
+    template_table=None,
+    subject: str = "<program>",
+    opaque_call_sites=(),
+    reports: Optional[Dict[str, AnalysisReport]] = None,
+) -> TracePlan:
+    """Rank *frontends* for tracing *program*, statically.
+
+    *reports* may supply already-computed per-frontend analysis reports
+    (the CLI reuses the lint pass's); missing entries are computed here.
+    """
+    from ..tracesource import get_projection_model
+
+    dispatch = estimate_dispatch_ratio(program)
+    plans: List[FrontendPlan] = []
+    for name in frontends:
+        model = get_projection_model(name)
+        report = (reports or {}).get(name)
+        if report is None:
+            report = analyze_program(
+                program,
+                opaque_call_sites=opaque_call_sites,
+                template_table=template_table,
+                frontend=name,
+            )
+        counts = report.observability.summary()
+        total_edges = sum(counts.values())
+        low, high, estimate = _cost_bounds(model, dispatch)
+        plans.append(
+            FrontendPlan(
+                frontend=name,
+                decodable=report.decodable(),
+                ambiguous_methods=tuple(report.ambiguous_methods()),
+                transient_dfa_states=sum(
+                    check.ambiguous_dfa_states
+                    for check in report.checks.values()
+                ),
+                silent_edges=counts.get("silent", 0),
+                total_edges=total_edges,
+                bytes_per_branch_low=low,
+                bytes_per_branch_high=high,
+                bytes_per_branch_estimate=estimate,
+                resync_exposure=model.resync_exposure(),
+            )
+        )
+    plans.sort(key=lambda plan: plan.sort_key())
+    return TracePlan(subject=subject, plans=tuple(plans), dispatch=dispatch)
+
+
+def verify_against_measurement(
+    plan: TracePlan, cross_format: Dict[str, object]
+) -> List[str]:
+    """Cross-check a static plan against a dynamic cross-format entry.
+
+    *cross_format* is the dict produced by
+    :func:`repro.bench.run_cross_format`.  Returns a list of human-
+    readable violations (empty when the plan is sound): a measured
+    bytes-per-branch outside the static [low, high] bounds, a point
+    estimate off by more than :data:`BYTES_PER_BRANCH_RTOL`, or a
+    measured frontend ranking that contradicts the recommendation.
+    """
+    problems: List[str] = []
+    formats = cross_format.get("formats", {})
+    measured: Dict[str, float] = {}
+    for name, entry in formats.items():
+        try:
+            plan_row = plan.plan_for(name)
+        except KeyError:
+            continue
+        value = float(entry["bytes_per_branch"])
+        measured[name] = value
+        if not (
+            plan_row.bytes_per_branch_low
+            <= value
+            <= plan_row.bytes_per_branch_high
+        ):
+            problems.append(
+                "%s: measured %.2f B/branch outside static bounds"
+                " [%.2f, %.2f]"
+                % (
+                    name,
+                    value,
+                    plan_row.bytes_per_branch_low,
+                    plan_row.bytes_per_branch_high,
+                )
+            )
+        rel_error = abs(plan_row.bytes_per_branch_estimate - value) / value
+        if rel_error > BYTES_PER_BRANCH_RTOL:
+            problems.append(
+                "%s: estimate %.2f vs measured %.2f B/branch"
+                " (relative error %.2f > %.2f)"
+                % (
+                    name,
+                    plan_row.bytes_per_branch_estimate,
+                    value,
+                    rel_error,
+                    BYTES_PER_BRANCH_RTOL,
+                )
+            )
+    if len(measured) >= 2:
+        best_measured = min(measured, key=lambda name: measured[name])
+        ranked = [p.frontend for p in plan.plans if p.frontend in measured]
+        if ranked and ranked[0] != best_measured:
+            problems.append(
+                "recommendation %r contradicts measurement (densest: %r)"
+                % (ranked[0], best_measured)
+            )
+    return problems

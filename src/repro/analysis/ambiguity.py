@@ -49,6 +49,7 @@ from ..jvm.instructions import MethodRef
 from ..jvm.model import JMethod, JProgram, ProgramError
 from ..jvm.opcodes import Kind, Op
 from ..core.nfa import NFA, determinize
+from .observability import default_model
 
 #: Maximum observable symbols embedded in one call-edge label.
 MAX_CALL_PREFIX = 12
@@ -116,20 +117,25 @@ def _observable_prefix(
     resolver: Optional[Resolver],
     length: int = MAX_CALL_PREFIX,
     depth: int = MAX_CALL_DEPTH,
+    model=None,
 ) -> Tuple[object, ...]:
-    """The opcode sequence a trace is guaranteed to open with in *method*.
+    """The symbol sequence a trace is guaranteed to open with in *method*.
 
     Straight-line walk from bci 0; stops at the first branching point
     (conditional, switch, return, throw -- included, then cut) and at
     calls it cannot expand (unknown or non-unique callee).  Truncation is
-    conservative: shorter prefixes merge more labels.
+    conservative: shorter prefixes merge more labels.  Symbols pass
+    through the model's :meth:`symbol_token` -- a frontend that never
+    reports dispatch targets collapses every prefix to one constant.
     """
+    if model is None:
+        model = default_model()
     symbols: List[object] = []
     bci = 0
     count = len(method.code)
     while bci < count and len(symbols) < length:
         inst = method.code[bci]
-        symbols.append(inst.symbol())
+        symbols.append(model.symbol_token(inst.symbol()))
         kind = inst.kind
         if kind in (Kind.COND, Kind.SWITCH, Kind.RETURN, Kind.THROW):
             break
@@ -138,7 +144,7 @@ def _observable_prefix(
             if depth <= 0 or len(targets) != 1:
                 break
             nested = _observable_prefix(
-                targets[0], resolver, length - len(symbols), depth - 1
+                targets[0], resolver, length - len(symbols), depth - 1, model
             )
             symbols.extend(nested)
             break  # what follows the nested return is not modelled
@@ -150,7 +156,7 @@ def _observable_prefix(
 
 
 def _call_labels(
-    inst, method: JMethod, resolver: Optional[Resolver]
+    inst, method: JMethod, resolver: Optional[Resolver], model
 ) -> List[object]:
     """One label per possible callee of a call instruction.
 
@@ -158,28 +164,36 @@ def _call_labels(
     call gets the single marker label ``(op, None)`` so *all* unknown
     callees collide (conservative).
     """
+    token = model.symbol_token(inst.symbol())
     targets = resolver(inst.methodref, inst.op is Op.INVOKEVIRTUAL) if resolver else []
     if not targets:
-        return [(inst.symbol(), None)]
+        return [(token, None)]
     labels = []
     for callee in targets:
-        labels.append((inst.symbol(), _observable_prefix(callee, resolver)))
+        labels.append(
+            (token, _observable_prefix(callee, resolver, model=model))
+        )
     return labels
 
 
 def projection_nfa(
-    method: JMethod, resolver: Optional[Resolver] = None
+    method: JMethod, resolver: Optional[Resolver] = None, model=None
 ) -> NFA:
     """The packet-projection NFA of one method (states = bcis + sink).
 
-    An edge consumes the *source* instruction's observable label:
-    ``(symbol, taken)`` for conditionals (the TNT bit is observed),
-    ``(symbol, callee_prefix)`` for calls (the callee's template TIPs are
-    observed before control falls through), ``(symbol, None)`` otherwise
-    -- notably for switches, whose interpreted dispatch emits no TNT, so
-    every arm shares one label.  ``athrow`` transfers to its innermost
+    An edge consumes the *source* instruction's observable label under
+    the frontend's projection *model* (default: PT): for PT that is
+    ``(symbol, taken)`` for conditionals (the outcome bit is observed),
+    ``(symbol, callee_prefix)`` for calls (the callee's template
+    dispatches are observed before control falls through) and
+    ``(symbol, None)`` otherwise -- notably for switches, whose
+    interpreted dispatch emits no outcome bit, so every arm shares one
+    label.  A model that hides conditionals or targets merges the
+    corresponding labels instead.  ``athrow`` transfers to its innermost
     covering handler when one exists, else to the sink.
     """
+    if model is None:
+        model = default_model()
     count = len(method.code)
     nfa = NFA(state_count=count + 1)
     sink = count
@@ -189,21 +203,29 @@ def projection_nfa(
         kind = inst.kind
         if kind is Kind.COND:
             if inst.bci + 1 < count:
-                nfa.add(inst.bci, (inst.symbol(), False), inst.bci + 1)
-            nfa.add(inst.bci, (inst.symbol(), True), inst.target)
+                nfa.add(
+                    inst.bci,
+                    model.conditional_label(inst.symbol(), False),
+                    inst.bci + 1,
+                )
+            nfa.add(
+                inst.bci,
+                model.conditional_label(inst.symbol(), True),
+                inst.target,
+            )
         elif kind is Kind.RETURN:
-            nfa.add(inst.bci, (inst.symbol(), None), sink)
+            nfa.add(inst.bci, model.transfer_label(inst.symbol()), sink)
         elif kind is Kind.THROW:
             handler = method.handler_for(inst.bci)
             target = handler.handler if handler is not None else sink
-            nfa.add(inst.bci, (inst.symbol(), None), target)
+            nfa.add(inst.bci, model.transfer_label(inst.symbol()), target)
         elif kind is Kind.CALL:
             target = inst.bci + 1 if inst.bci + 1 < count else sink
-            for label in _call_labels(inst, method, resolver):
+            for label in _call_labels(inst, method, resolver, model):
                 nfa.add(inst.bci, label, target)
         else:
             for target in inst.successors_within(count):
-                nfa.add(inst.bci, (inst.symbol(), None), target)
+                nfa.add(inst.bci, model.transfer_label(inst.symbol()), target)
     return nfa
 
 
@@ -287,14 +309,17 @@ def _witness(
 
 
 # ------------------------------------------------------------------- API
-def check(method: JMethod, resolver: Optional[Resolver] = None) -> MethodCheck:
+def check(
+    method: JMethod, resolver: Optional[Resolver] = None, model=None
+) -> MethodCheck:
     """Decide whether *method*'s paths are decodable from a lossless trace.
 
     Runs the product search for definite ambiguity and the Figure 5
     subset construction (reused from :mod:`repro.core.nfa`) for the
-    transient-ambiguity measure.
+    transient-ambiguity measure, both under the frontend's projection
+    *model* (default: PT).
     """
-    nfa = projection_nfa(method, resolver)
+    nfa = projection_nfa(method, resolver, model=model)
     witness = _find_diamond(nfa, method.qualified_name)
     dfa = determinize(nfa)
     ambiguous = sum(1 for state in dfa.transitions if len(state) > 1)
@@ -309,18 +334,18 @@ def check(method: JMethod, resolver: Optional[Resolver] = None) -> MethodCheck:
 
 
 def check_program(
-    program: JProgram, resolver: Optional[Resolver] = None
+    program: JProgram, resolver: Optional[Resolver] = None, model=None
 ) -> Dict[str, MethodCheck]:
     """:func:`check` every method; resolver defaults to static dispatch."""
     resolver = resolver or program_resolver(program)
     return {
-        method.qualified_name: check(method, resolver)
+        method.qualified_name: check(method, resolver, model=model)
         for method in program.methods()
     }
 
 
 def dispatch_collisions(
-    program: JProgram, resolver: Optional[Resolver] = None
+    program: JProgram, resolver: Optional[Resolver] = None, model=None
 ) -> List[Tuple[str, int, str, str]]:
     """Virtual call sites whose possible callees look alike.
 
@@ -332,6 +357,8 @@ def dispatch_collisions(
     disambiguates beyond the bound.
     """
     resolver = resolver or program_resolver(program)
+    if model is None:
+        model = default_model()
     collisions: List[Tuple[str, int, str, str]] = []
     for method in program.methods():
         for inst in method.code:
@@ -342,7 +369,7 @@ def dispatch_collisions(
                 continue
             seen: Dict[Tuple[object, ...], str] = {}
             for callee in targets:
-                prefix = _observable_prefix(callee, resolver)
+                prefix = _observable_prefix(callee, resolver, model=model)
                 other = seen.get(prefix)
                 if other is not None and other != callee.qualified_name:
                     collisions.append(

@@ -1,27 +1,33 @@
 """Per-edge observability classification of the ICFG.
 
-What PT reveals about an ICFG edge depends on how its *source* instruction
-is dispatched (see DESIGN.md and the paper's Section 3):
+What a hardware trace reveals about an ICFG edge depends on how its
+*source* instruction is dispatched (see DESIGN.md and the paper's
+Section 3), filtered through the active frontend's
+:class:`~repro.tracesource.projection.ProjectionModel`:
 
-* a **conditional** emits a TNT bit, so both of its arms are directly
-  observed -- ``TNT_OBSERVED``;
-* any other transfer is witnessed only *indirectly*, by the template TIP
-  of the **target** instruction: the edge is ``TIP_OBSERVED`` when that
-  TIP discriminates it from every sibling edge of the same source, i.e.
-  no other successor starts with the same observable opcode (template
-  range);
-* when two or more successors of one source share the target opcode the
-  dispatch TIP cannot tell them apart -- those edges are ``SILENT``.
-  Classic producers: identical-first-opcode switch arms (interpreted
-  switches emit no TNT), virtual call edges whose possible callees open
-  with the same opcode, and return edges to return sites that happen to
-  begin identically.
+* a **conditional** emits an outcome bit (PT TNT, E-Trace branch-map
+  bit), so both of its arms are directly observed -- ``TNT_OBSERVED``
+  (alias ``OUTCOME_OBSERVED``) -- provided the model observes
+  conditionals at all;
+* any other transfer is witnessed only *indirectly*, by the target
+  address the dispatch reveals (PT template TIP, E-Trace address
+  packet): the edge is ``TIP_OBSERVED`` (alias ``TARGET_OBSERVED``)
+  when that target discriminates it from every sibling edge of the same
+  source, i.e. no other successor starts with the same observable
+  opcode (template range);
+* when two or more successors of one source share the observable target
+  token the dispatch cannot tell them apart -- those edges are
+  ``SILENT``.  Classic producers: identical-first-opcode switch arms
+  (interpreted switches emit no outcome bit), virtual call edges whose
+  possible callees open with the same opcode, and return edges to
+  return sites that happen to begin identically.
 
 The classification is purely static (opcode metadata plus, optionally,
 the exported template table) and is consumed in two places: the recovery
 engine scores hole anchors by how observable their out-edges are
 (:meth:`ObservabilityMap.node_score`), and the ambiguity checker reports
-silent regions alongside its path-level verdicts.
+silent regions alongside its path-level verdicts.  The default model is
+Intel PT's, which reproduces the pre-parametric classification exactly.
 """
 
 from __future__ import annotations
@@ -35,11 +41,25 @@ from ..jvm.opcodes import Kind
 Node = Tuple[str, int]
 
 
-class EdgeObservability(enum.Enum):
-    """How a PT trace witnesses one ICFG edge."""
+def default_model():
+    """The PT projection model: the analysis layer's historical default."""
+    from ..tracesource import get_projection_model
 
-    TNT_OBSERVED = "tnt"  # conditional arm: a TNT bit names it directly
-    TIP_OBSERVED = "tip"  # the target's dispatch TIP discriminates it
+    return get_projection_model("pt")
+
+
+class EdgeObservability(enum.Enum):
+    """How a trace witnesses one ICFG edge.
+
+    The canonical names predate frontend pluggability; the frontend-
+    neutral aliases (``OUTCOME_OBSERVED``, ``TARGET_OBSERVED``) share
+    their values, so comparisons and serialized forms are unchanged.
+    """
+
+    TNT_OBSERVED = "tnt"  # conditional arm: an outcome bit names it directly
+    OUTCOME_OBSERVED = "tnt"  # frontend-neutral alias
+    TIP_OBSERVED = "tip"  # the target's dispatch address discriminates it
+    TARGET_OBSERVED = "tip"  # frontend-neutral alias
     SILENT = "silent"  # indistinguishable from a sibling edge
 
 
@@ -51,10 +71,14 @@ class ObservabilityMap:
     distinguishable only if their template address ranges are disjoint
     (:meth:`~repro.jvm.templates.TemplateTable.distinguishes`); without
     one, distinct opcodes are assumed to dispatch through distinct
-    templates (true for our layout, and for HotSpot's).
+    templates (true for our layout, and for HotSpot's).  *model* selects
+    the frontend projection (default: PT).
     """
 
-    def __init__(self, icfg: ICFG, template_table=None):
+    def __init__(self, icfg: ICFG, template_table=None, model=None):
+        if model is None:
+            model = default_model()
+        self.model = model
         self._classes: Dict[int, EdgeObservability] = {}
         self._node_scores: Dict[Node, float] = {}
         self._silent_edges: List[IEdge] = []
@@ -63,12 +87,14 @@ class ObservabilityMap:
             if not out:
                 continue
             source_kind = icfg.instruction(node).kind
-            if source_kind is Kind.COND:
+            if source_kind is Kind.COND and model.observes_conditionals:
                 for edge in out:
                     self._classes[edge.edge_id] = EdgeObservability.TNT_OBSERVED
                 continue
             tokens = [
-                self._token(icfg.instruction(edge.dst).symbol(), template_table)
+                self._token(
+                    icfg.instruction(edge.dst).symbol(), template_table, model
+                )
                 for edge in out
             ]
             for edge, token in zip(out, tokens):
@@ -92,13 +118,12 @@ class ObservabilityMap:
             self._node_scores[node] = observed / len(out)
 
     @staticmethod
-    def _token(symbol, template_table):
-        """The equivalence token the dispatch TIP reveals for *symbol*."""
+    def _token(symbol, template_table, model):
+        """The equivalence token the dispatch reveals for *symbol*."""
+        ranges = None
         if template_table is not None:
             ranges = template_table.ranges_of(symbol)
-            if ranges is not None:
-                return ranges
-        return symbol
+        return model.target_token(symbol, ranges)
 
     # ---------------------------------------------------------------- queries
     def of(self, edge: IEdge) -> EdgeObservability:

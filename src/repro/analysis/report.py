@@ -21,7 +21,7 @@ from ..jvm.model import JProgram
 
 from .ambiguity import MethodCheck, check_program, dispatch_collisions
 from .lint import LintFinding, LintReport, lint_database, lint_program, unreachable_blocks
-from .observability import ObservabilityMap
+from .observability import ObservabilityMap, default_model
 
 Node = Tuple[str, int]
 
@@ -48,7 +48,12 @@ class MethodVerdict:
 
 @dataclass(frozen=True)
 class AnalysisReport:
-    """Everything the static pass learned about one program."""
+    """Everything the static pass learned about one program.
+
+    ``frontend`` names the projection model the verdicts were computed
+    under (``"pt"`` unless the caller asked otherwise) -- reports are
+    per-frontend artifacts, not program-global ones.
+    """
 
     checks: Dict[str, MethodCheck]
     observability: ObservabilityMap
@@ -56,6 +61,7 @@ class AnalysisReport:
     unreachable: Dict[str, List[int]]
     collisions: List[Tuple[str, int, str, str]]
     static_seconds: float
+    frontend: str = "pt"
 
     # ------------------------------------------------------------ verdicts
     def decodable(self) -> bool:
@@ -99,6 +105,7 @@ class AnalysisReport:
     def summary(self) -> Dict[str, object]:
         counts = self.observability.summary()
         return {
+            "frontend": self.frontend,
             "methods": len(self.checks),
             "decodable": self.decodable(),
             "ambiguous_methods": self.ambiguous_methods(),
@@ -116,7 +123,7 @@ class AnalysisReport:
         }
 
     def render(self) -> str:
-        lines = ["static decodability analysis"]
+        lines = ["static decodability analysis [frontend: %s]" % self.frontend]
         lines.append("  methods analysed: %d" % len(self.checks))
         counts = self.observability.summary()
         lines.append(
@@ -164,19 +171,34 @@ def analyze_program(
     opaque_call_sites: Iterable[Node] = (),
     template_table=None,
     database=None,
+    frontend: Optional[str] = None,
+    model=None,
 ) -> AnalysisReport:
     """Run the full static pass over *program*.
 
     *icfg* is reused if the caller already built one (the pipeline has);
     *template_table* refines observability with real range tokens;
-    *database* additionally lints the exported metadata in the same pass.
+    *database* additionally lints the exported metadata in the same
+    pass.  *frontend* names a registered trace frontend whose projection
+    model governs observability and ambiguity (default: ``"pt"``);
+    passing an explicit *model* overrides the lookup (test hook for
+    hypothetical projections).
     """
     started = time.perf_counter()
+    if model is None:
+        if frontend is None or frontend == "pt":
+            model = default_model()
+        else:
+            from ..tracesource import get_projection_model
+
+            model = get_projection_model(frontend)
     if icfg is None:
         icfg = ICFG(program, opaque_call_sites=opaque_call_sites)
-    observability = ObservabilityMap(icfg, template_table=template_table)
-    checks = check_program(program)
-    collisions = dispatch_collisions(program)
+    observability = ObservabilityMap(
+        icfg, template_table=template_table, model=model
+    )
+    checks = check_program(program, model=model)
+    collisions = dispatch_collisions(program, model=model)
     lint = LintReport()
     lint.extend(lint_program(program, icfg))
     if database is not None:
@@ -188,4 +210,5 @@ def analyze_program(
         unreachable=unreachable_blocks(program),
         collisions=collisions,
         static_seconds=time.perf_counter() - started,
+        frontend=frontend if frontend is not None else model.name,
     )

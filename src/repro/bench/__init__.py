@@ -310,6 +310,72 @@ def run_cross_format(subject_name: str = "sunflow") -> Dict[str, object]:
     return results
 
 
+def run_advisor_accuracy(
+    subject_name: str = "sunflow",
+    cross_format: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Static trace-plan predictions against the measured cross-format run.
+
+    Runs the advisor (:func:`repro.analysis.advisor.plan_trace`) on the
+    subject, measures the same subject through both frontends
+    (:func:`run_cross_format`, or the caller's entry), and records, per
+    frontend, the predicted vs measured bytes-per-branch and the
+    relative error -- plus whether the advisor's recommendation matches
+    the measured densest frontend and whether every measurement fell
+    inside the static bounds.  The entry is the soundness oracle the
+    acceptance criteria name: ``sound`` must be ``True`` and every
+    ``relative_error`` must stay within the documented
+    :data:`repro.analysis.advisor.BYTES_PER_BRANCH_RTOL`.
+    """
+    from ..analysis.advisor import (
+        BYTES_PER_BRANCH_RTOL,
+        plan_trace,
+        verify_against_measurement,
+    )
+
+    if cross_format is None:
+        cross_format = run_cross_format(subject_name)
+    subject = build_subject(subject_name)
+    run = subject.run(default_config())
+    plan = plan_trace(
+        subject.program,
+        template_table=run.template_table,
+        subject=subject_name,
+        opaque_call_sites=subject.opaque_call_sites,
+    )
+    problems = verify_against_measurement(plan, cross_format)
+    formats = cross_format.get("formats", {})
+    measured = {
+        name: float(entry["bytes_per_branch"])
+        for name, entry in formats.items()
+    }
+    per_frontend = {}
+    for row in plan.plans:
+        value = measured.get(row.frontend)
+        per_frontend[row.frontend] = {
+            "predicted_bytes_per_branch": row.bytes_per_branch_estimate,
+            "predicted_low": row.bytes_per_branch_low,
+            "predicted_high": row.bytes_per_branch_high,
+            "measured_bytes_per_branch": value,
+            "relative_error": (
+                abs(row.bytes_per_branch_estimate - value) / value
+                if value
+                else None
+            ),
+        }
+    return {
+        "subject": subject_name,
+        "recommended": plan.recommended.frontend,
+        "measured_best": (
+            min(measured, key=lambda name: measured[name]) if measured else None
+        ),
+        "error_bound": BYTES_PER_BRANCH_RTOL,
+        "frontends": per_frontend,
+        "violations": problems,
+        "sound": not problems,
+    }
+
+
 # ------------------------------------------------------------------ storage
 def merge_into(path: str, label: str, entry: Dict[str, object]) -> Dict[str, object]:
     """Merge one labelled run into the bench file (atomic rewrite)."""

@@ -25,6 +25,7 @@ from . import (
     SMOKE_SUBJECTS,
     check_regression,
     merge_into,
+    run_advisor_accuracy,
     run_archive_overhead,
     run_cross_format,
     run_id,
@@ -69,6 +70,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-etrace", action="store_true",
         help="skip the PT-vs-E-Trace cross-format benchmark",
+    )
+    parser.add_argument(
+        "--skip-advisor", action="store_true",
+        help="skip the advisor prediction-accuracy benchmark "
+             "(implied by --skip-etrace: it reuses the cross-format run)",
     )
     parser.add_argument(
         "--check-against", default=None, metavar="BENCH_JSON",
@@ -147,6 +153,26 @@ def main(argv=None) -> int:
                 100.0 * formats["etrace"]["lossy_loss_fraction"],
             )
         )
+        if not args.skip_advisor:
+            entry["advisor_accuracy"] = run_advisor_accuracy(
+                cross_format=entry["cross_format"]
+            )
+            accuracy = entry["advisor_accuracy"]
+            errors = [
+                row["relative_error"]
+                for row in accuracy["frontends"].values()
+                if row["relative_error"] is not None
+            ]
+            print(
+                "bench: advisor recommends %s (measured best %s),"
+                " max relative error %.3f, sound=%s"
+                % (
+                    accuracy["recommended"],
+                    accuracy["measured_best"],
+                    max(errors) if errors else 0.0,
+                    accuracy["sound"],
+                )
+            )
     merge_into(out, args.label, entry)
     print("bench: wrote %r run to %s" % (args.label, out))
 

@@ -42,8 +42,9 @@ from ..jvm.model import JProgram
 
 #: Bump on any change to the entry layout *or* to what the pickled
 #: report contains; old entries then read as ``stale_version`` and
-#: rebuild cold.
-CACHE_VERSION = 1
+#: rebuild cold.  v2: reports carry the frontend field and the key
+#: hashes the (frontend, projection-model version) pair.
+CACHE_VERSION = 2
 
 #: Entry header: magic + little-endian format version.
 MAGIC = b"JPDC"
@@ -61,17 +62,33 @@ CACHE_METRIC_PREFIX = "cache.anomaly."
 
 
 def analysis_cache_key(
-    program: JProgram, opaque_call_sites: Iterable[Tuple[str, int]] = ()
+    program: JProgram,
+    opaque_call_sites: Iterable[Tuple[str, int]] = (),
+    frontend: str = "pt",
+    model_version: Optional[int] = None,
 ) -> str:
-    """Stable digest identifying one (program, opaque-sites) analysis.
+    """Stable digest identifying one (program, opaque-sites, frontend)
+    analysis.
 
     The disassembly covers every method's bytecode and handlers in
     deterministic order, so recompiling an unchanged program hits and
-    any bytecode edit misses.
+    any bytecode edit misses.  The frontend name and its
+    ProjectionModel version are part of the key: observability and
+    ambiguity verdicts are per-projection, so a report built under one
+    frontend must never be served to another (nor survive a model
+    revision).  *model_version* defaults to the registered frontend's
+    current version.
     """
+    if model_version is None:
+        from ..tracesource import get_projection_model
+
+        model_version = get_projection_model(frontend).version
     hasher = hashlib.sha256()
     hasher.update(disassemble_program(program).encode("utf-8"))
     hasher.update(repr(sorted(opaque_call_sites)).encode("utf-8"))
+    hasher.update(
+        ("frontend:%s/%d" % (frontend, model_version)).encode("utf-8")
+    )
     return hasher.hexdigest()
 
 

@@ -403,7 +403,7 @@ def determinize(nfa: NFA) -> DFA:
 
 
 # ----------------------------------------------------- Definition 4.3 bridge
-def method_nfa(icfg: ICFG, qname: str, start_bci: int = 0) -> NFA:
+def method_nfa(icfg: ICFG, qname: str, start_bci: int = 0, model=None) -> NFA:
     """Build the explicit per-method NFA of Figure 4(b).
 
     States are bcis.  An edge ``src -> dst`` consumes the *source*
@@ -413,7 +413,11 @@ def method_nfa(icfg: ICFG, qname: str, start_bci: int = 0) -> NFA:
     ``b1, ..., bn`` is matched by starting at ``b1``'s state and consuming
     ``(op_i, taken_i)`` for each instruction -- see
     :func:`repro.core.reconstruct.explicit_symbols`.  Intra-method edges
-    only, as in the figure.
+    only, as in the figure.  An optional frontend *model*
+    (:class:`repro.tracesource.projection.ProjectionModel`) reshapes the
+    label alphabet the way the analysis layer does -- conditional arms
+    merge under a model that hides outcome bits; the default (``None``)
+    keeps the concrete ``(op, arm)`` labels the match engine consumes.
     """
     method = icfg.method(qname)
     count = len(method.code)
@@ -424,9 +428,14 @@ def method_nfa(icfg: ICFG, qname: str, start_bci: int = 0) -> NFA:
     for inst in method.code:
         kind = info(inst.op).kind
         if kind is Kind.COND:
-            if inst.bci + 1 < count:
-                nfa.add(inst.bci, (inst.op, False), inst.bci + 1)
-            nfa.add(inst.bci, (inst.op, True), inst.target)
+            if model is None or model.observes_conditionals:
+                if inst.bci + 1 < count:
+                    nfa.add(inst.bci, (inst.op, False), inst.bci + 1)
+                nfa.add(inst.bci, (inst.op, True), inst.target)
+            else:
+                if inst.bci + 1 < count:
+                    nfa.add(inst.bci, (inst.op, None), inst.bci + 1)
+                nfa.add(inst.bci, (inst.op, None), inst.target)
         elif kind in (Kind.RETURN, Kind.THROW):
             nfa.add(inst.bci, (inst.op, None), sink)
         else:

@@ -74,6 +74,7 @@ def _process_init(payload: dict) -> None:
         # Workers share the parent's persistent analysis cache, so the
         # per-worker static rebuild is a disk load, not a determinize.
         cache_dir=payload["cache_dir"],
+        analysis_frontend=payload.get("analysis_frontend", "pt"),
     )
 
 
@@ -204,6 +205,7 @@ class ParallelPipeline:
             "degradation": jportal.degradation_policy,
             "engine": jportal.engine,
             "cache_dir": jportal.cache_dir,
+            "analysis_frontend": jportal.analysis_frontend,
             "database": database,
         }
         with ProcessPoolExecutor(

@@ -236,6 +236,7 @@ class JPortal:
         degradation: Optional[DegradationPolicy] = None,
         engine: str = "array",
         cache_dir: Optional[str] = None,
+        analysis_frontend: str = "pt",
     ):
         if engine not in ("array", "object"):
             raise ValueError(
@@ -244,11 +245,16 @@ class JPortal:
         self.engine = engine
         self.program = program
         self.cache_dir = cache_dir
+        self.analysis_frontend = analysis_frontend
+        self._opaque_call_sites = tuple(opaque_call_sites)
         self.icfg = ICFG(program, opaque_call_sites)
         self.nfa = ProgramNFA(self.icfg)
-        self.analysis_report, self._cache_events = self._static_analysis(
-            program, opaque_call_sites, cache_dir
-        )
+        # Reports are per-frontend artifacts; the default frontend's is
+        # built eagerly (projector and recovery consume it), others
+        # lazily on the first trace that names them.
+        self._analysis_reports: Dict[str, object] = {}
+        self._cache_events: Dict[str, int] = {}
+        self.analysis_report = self.analysis_report_for(analysis_frontend)
         self.projector = Projector(
             self.nfa,
             context_sensitive=context_sensitive,
@@ -355,11 +361,30 @@ class JPortal:
         return result
 
     # ------------------------------------------------------------- internals
-    def _static_analysis(self, program, opaque_call_sites, cache_dir):
-        """The static decodability analysis, once per program (amortised
-        over every run this profiler analyses) -- loaded from the
-        persistent cache when *cache_dir* is set and holds a valid entry
-        for this program, rebuilt (and stored) otherwise.
+    def analysis_report_for(self, frontend: str):
+        """The static analysis report under *frontend*'s projection model.
+
+        Memoized per frontend; the cache events of every build fold into
+        this profiler's shared ``cache.*`` counters.
+        """
+        report = self._analysis_reports.get(frontend)
+        if report is None:
+            report, events = self._static_analysis(
+                self.program, self._opaque_call_sites, self.cache_dir, frontend
+            )
+            self._analysis_reports[frontend] = report
+            for name, count in events.items():
+                self._cache_events[name] = (
+                    self._cache_events.get(name, 0) + count
+                )
+        return report
+
+    def _static_analysis(self, program, opaque_call_sites, cache_dir, frontend):
+        """The static decodability analysis, once per (program, frontend)
+        (amortised over every run this profiler analyses) -- loaded from
+        the persistent cache when *cache_dir* is set and holds a valid
+        entry for this program under this frontend's projection model,
+        rebuilt (and stored) otherwise.
 
         The analysis package builds on ``repro.core.nfa``, so its import
         stays local to avoid a cycle.  Returns ``(report, cache_events)``
@@ -370,13 +395,16 @@ class JPortal:
 
         if cache_dir is None:
             report = analyze_program(
-                program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+                program,
+                icfg=self.icfg,
+                opaque_call_sites=opaque_call_sites,
+                frontend=frontend,
             )
             return report, {}
         from .dfacache import AnalysisCache, analysis_cache_key
 
         cache = AnalysisCache(cache_dir)
-        key = analysis_cache_key(program, opaque_call_sites)
+        key = analysis_cache_key(program, opaque_call_sites, frontend=frontend)
         started = time.perf_counter()
         report = cache.load(key)
         if report is not None:
@@ -388,7 +416,10 @@ class JPortal:
             )
         else:
             report = analyze_program(
-                program, icfg=self.icfg, opaque_call_sites=opaque_call_sites
+                program,
+                icfg=self.icfg,
+                opaque_call_sites=opaque_call_sites,
+                frontend=frontend,
             )
             cache.store(key, report)
         return report, cache.events
@@ -552,23 +583,34 @@ class JPortal:
         """Assemble the result: per-thread breakdowns and aggregates."""
         from ..analysis.lint import lint_database
 
+        # The attached report reflects the frontend that produced this
+        # trace: per-frontend projection models mean per-frontend
+        # verdicts.  Unknown/model-less frontends fall back to the
+        # profiler's default report rather than failing the run.
+        frontend = getattr(
+            getattr(trace, "config", None), "frontend", None
+        ) or self.analysis_frontend
+        try:
+            static_report = self.analysis_report_for(frontend)
+        except (KeyError, ValueError):
+            static_report = self.analysis_report
         # Every result carries the cache counters of the build that
         # produced its analyser (hits/misses/anomalies), so cache damage
         # is visible on the same surface as decode/archive damage.
         for name, count in self._cache_events.items():
             metrics.incr(name, count)
         with metrics.timer("analysis"):
-            analysis_report = self.analysis_report.with_database_findings(
+            analysis_report = static_report.with_database_findings(
                 lint_database(database, self.program)
             )
         # Publish the static (subset-construction) share as its own
         # phase: `timings_by_prefix("analysis")` then shows ~zero
         # `.static` on a warm-cache build, which is how the cache's
         # "skips determinization" contract is verified.
-        metrics.add_time("analysis.static", self.analysis_report.static_seconds)
+        metrics.add_time("analysis.static", static_report.static_seconds)
         timings = PhaseTimings(wall_seconds=time.perf_counter() - wall_started)
         timings.analysis_seconds = (
-            metrics.timing("analysis") + self.analysis_report.static_seconds
+            metrics.timing("analysis") + static_report.static_seconds
         )
         total_anomalies = 0
         for tid in sorted(flows):

@@ -13,7 +13,7 @@ Importing this package registers both the frontend and the RPT1/RPT2
 entry codecs for E-Trace packets (:mod:`repro.etrace.serialize`).
 """
 
-from ..tracesource import TraceFrontend, register_frontend
+from ..tracesource import ProjectionModel, TraceFrontend, register_frontend
 from . import serialize as _serialize  # noqa: F401 - codec registration
 from .decoder import ETraceBatchDecoder, ETraceDecoder
 from .encoder import ETraceEncoder, ETraceEncoderConfig, encode_core
@@ -30,6 +30,29 @@ from .packets import (
     delta_address_size,
 )
 
+#: E-Trace's static projection: outcome bits pack into branch maps (one
+#: header byte + one payload byte per 8 bits, up to 31 bits -- but the
+#: map is flushed before every address packet, so interpreted dispatch
+#: pays the 2-byte single-bit case), delta-compressed target addresses
+#: (1 header + 1/2/4/8 delta bytes; the template/JIT region mix makes
+#: 4 typical, as for PT's TIP), and a 10-byte full-address sync every
+#: ``sync_interval`` address packets bounding post-loss
+#: resynchronisation.
+ETRACE_PROJECTION = ProjectionModel(
+    name="etrace",
+    version=1,
+    outcome_batch_bits=BRANCH_MAP_MAX_BITS,
+    outcome_header_bytes=1,
+    outcome_bits_per_payload_byte=8,
+    target_bytes_min=2,
+    target_bytes_typical=4,
+    target_bytes_max=9,
+    sync_interval=ETraceEncoderConfig().sync_interval,
+    sync_bytes=10,
+    time_bytes=5,
+    async_bytes=9,
+)
+
 #: The E-Trace frontend's registry entry (:mod:`repro.tracesource`).
 ETRACE_FRONTEND = register_frontend(
     TraceFrontend(
@@ -39,6 +62,7 @@ ETRACE_FRONTEND = register_frontend(
         object_decoder=ETraceDecoder,
         batch_decoder=ETraceBatchDecoder,
         encoder_config_type=ETraceEncoderConfig,
+        projection_model=ETRACE_PROJECTION,
     )
 )
 
@@ -50,6 +74,7 @@ __all__ = [
     "ETEnablePacket",
     "ETPacket",
     "ETRACE_FRONTEND",
+    "ETRACE_PROJECTION",
     "ETSyncPacket",
     "ETTimePacket",
     "ETTrapPacket",

@@ -6,7 +6,7 @@ collection/archive stack -- registered under the name ``"pt"`` in the
 trace-source registry.
 """
 
-from ..tracesource import TraceFrontend, register_frontend
+from ..tracesource import ProjectionModel, TraceFrontend, register_frontend
 from .buffer import BufferResult, RingBuffer, RingBufferConfig, interleave_with_losses
 from .decoder import (
     AnomalyKind,
@@ -64,6 +64,27 @@ from .perf import (
     filter_events,
 )
 
+#: Intel PT's static projection: per-branch TNT bits (short TNT is one
+#: byte carrying up to 6 outcomes, flushed before any other packet) and
+#: full-target TIP packets with upper-byte IP compression (3/5/9 bytes;
+#: control alternating between the template area and the JIT code cache
+#: mixes the 16-bit and 32-bit update forms, so 4 is typical).  No
+#: periodic full-address resync -- PT recovers at PGE/sync boundaries.
+PT_PROJECTION = ProjectionModel(
+    name="pt",
+    version=1,
+    outcome_batch_bits=6,
+    outcome_header_bytes=1,
+    outcome_bits_per_payload_byte=0,
+    target_bytes_min=3,
+    target_bytes_typical=4,
+    target_bytes_max=9,
+    sync_interval=None,
+    sync_bytes=0,
+    time_bytes=8,
+    async_bytes=9,
+)
+
 #: The Intel PT frontend's registry entry (:mod:`repro.tracesource`).
 PT_FRONTEND = register_frontend(
     TraceFrontend(
@@ -73,11 +94,13 @@ PT_FRONTEND = register_frontend(
         object_decoder=PTDecoder,
         batch_decoder=PTBatchDecoder,
         encoder_config_type=EncoderConfig,
+        projection_model=PT_PROJECTION,
     )
 )
 
 __all__ = [
     "PT_FRONTEND",
+    "PT_PROJECTION",
     "PTBatchDecoder",
     "BufferResult",
     "RingBuffer",

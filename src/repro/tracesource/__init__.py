@@ -32,8 +32,9 @@ module-import time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
+from .projection import ProjectionModel  # noqa: F401  (re-exported)
 from .engine import (  # noqa: F401  (re-exported: the shared engine API)
     AnomalyKind,
     BatchEventDecoder,
@@ -77,6 +78,10 @@ class TraceFrontend:
         encoder_config_type: The config dataclass ``make_encoder``
             accepts; collection passes a foreign config type as ``None``
             so format defaults apply.
+        projection_model: The frontend's static
+            :class:`~repro.tracesource.projection.ProjectionModel` --
+            what its packets reveal about control flow and at what byte
+            cost.  The analysis layer refuses frontends without one.
     """
 
     name: str
@@ -85,6 +90,7 @@ class TraceFrontend:
     object_decoder: type
     batch_decoder: type
     encoder_config_type: type
+    projection_model: Optional[ProjectionModel] = None
 
 
 _FRONTENDS: Dict[str, TraceFrontend] = {}
@@ -114,6 +120,21 @@ def get_frontend(name: str) -> TraceFrontend:
     if frontend is None:
         raise KeyError("unknown trace frontend %r" % (name,))
     return frontend
+
+
+def get_projection_model(name: str) -> ProjectionModel:
+    """Resolve a frontend's static projection model by name.
+
+    Raises ``KeyError`` when the frontend is unknown, ``ValueError``
+    when it registered without a model -- the static analysis layer
+    cannot reason about a format that never declared its projection.
+    """
+    frontend = get_frontend(name)
+    if frontend.projection_model is None:
+        raise ValueError(
+            "trace frontend %r exports no ProjectionModel" % (name,)
+        )
+    return frontend.projection_model
 
 
 def frontend_names() -> Sequence[str]:

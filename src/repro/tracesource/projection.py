@@ -1,0 +1,192 @@
+"""ProjectionModel: how a frontend's packets project runtime control flow.
+
+The static analysis layer (:mod:`repro.analysis`) asks one question the
+dynamic decode layer never has to: *what could a trace have said*?  The
+answer depends on the frontend.  Intel PT projects every retired
+conditional to a TNT bit and every indirect transfer to a target-IP TIP
+packet (upper-byte compressed); RISC-V E-Trace packs up to 31 outcome
+bits into one branch map and reports indirect targets as deltas against
+the previously reported address, with a periodic full-address sync
+packet bounding resynchronisation cost.  Both reveal the *same
+information* per event -- an outcome bit, a target address -- but at
+different byte costs and with different loss/resync exposure, and a
+hypothetical frontend (address-only hardware, say) may reveal strictly
+less.
+
+:class:`ProjectionModel` captures exactly what the static layer needs,
+per frontend:
+
+* **symbol projection** -- whether conditional outcomes are observable
+  at all (:attr:`~ProjectionModel.observes_conditionals`), whether
+  dispatch targets are (:attr:`~ProjectionModel.observes_targets`), and
+  the label each instruction class contributes to the packet-projection
+  NFA (:meth:`~ProjectionModel.conditional_label`,
+  :meth:`~ProjectionModel.transfer_label`,
+  :meth:`~ProjectionModel.target_token`);
+* **packet grammar costs** -- outcome-batch capacity and byte layout,
+  indirect-target byte bounds, periodic-sync interval and cost, time
+  and async packet sizes -- from which the trace-plan advisor
+  (:mod:`repro.analysis.advisor`) derives bytes-per-branch bounds
+  without tracing a single byte;
+* **identity** -- ``name`` (the frontend registry key) and ``version``,
+  folded into the persistent analysis-cache key
+  (:func:`repro.core.dfacache.analysis_cache_key`) so a report computed
+  under one model is never silently reused under another.
+
+Each :class:`~repro.tracesource.TraceFrontend` carries its model in the
+registry; :func:`repro.tracesource.get_projection_model` resolves one by
+frontend name, importing the builtin frontends lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProjectionModel:
+    """One frontend's static projection contract.
+
+    Attributes:
+        name: The frontend registry name (``"pt"``, ``"etrace"``).
+        version: Model revision, bumped whenever the projection semantics
+            or the grammar constants change; part of the analysis cache
+            key so stale per-frontend reports invalidate.
+        observes_conditionals: Whether a retired conditional contributes
+            an outcome bit to the stream (PT TNT, E-Trace branch map).
+        observes_targets: Whether indirect transfers reveal their target
+            address (PT TIP, E-Trace address packets).  ``False`` models
+            outcome-only hardware: every dispatch is invisible and only
+            branch bits survive.
+        outcome_batch_bits: Maximum outcome bits one packet carries
+            (PT short TNT: 6; E-Trace branch map: 31).
+        outcome_header_bytes: Fixed per-outcome-packet byte cost.
+        outcome_bits_per_payload_byte: Outcome bits packed per payload
+            byte, or 0 when the bits ride inside the header byte itself
+            (PT's short TNT is one byte total).
+        target_bytes_min: Best-case encoded bytes for one indirect
+            target (maximal IP/delta compression).
+        target_bytes_typical: The compression the grammar delivers when
+            successive targets share a region (template dispatch): the
+            advisor's point estimate.
+        target_bytes_max: Worst-case encoded bytes for one target.
+        sync_interval: Emit a full-address sync packet after this many
+            delta-compressed targets (``None``: the format never
+            resyncs periodically -- PT relies on PSB/PGE instead).
+        sync_bytes: Encoded size of that sync packet.
+        time_bytes: Encoded size of a time-reference packet.
+        async_bytes: Encoded size of an async-event (trap/FUP) packet.
+    """
+
+    name: str
+    version: int
+    observes_conditionals: bool = True
+    observes_targets: bool = True
+    outcome_batch_bits: int = 6
+    outcome_header_bytes: int = 1
+    outcome_bits_per_payload_byte: int = 0
+    target_bytes_min: int = 3
+    target_bytes_typical: int = 3
+    target_bytes_max: int = 9
+    sync_interval: Optional[int] = None
+    sync_bytes: int = 0
+    time_bytes: int = 8
+    async_bytes: int = 9
+
+    # ------------------------------------------------------ symbol projection
+    def symbol_token(self, symbol) -> object:
+        """What a dispatch reveals about the instruction being executed.
+
+        The symbol itself when targets are observable (the template TIP
+        names the opcode); a constant otherwise (the trace still reveals
+        that *a* step happened -- stream length -- but not which).
+        """
+        return symbol if self.observes_targets else "·"
+
+    def conditional_label(self, symbol, taken: bool) -> Tuple[object, object]:
+        """NFA edge label for one arm of a conditional."""
+        if self.observes_conditionals:
+            return (self.symbol_token(symbol), taken)
+        return (self.symbol_token(symbol), None)
+
+    def transfer_label(self, symbol) -> Tuple[object, object]:
+        """NFA edge label for a non-conditional transfer."""
+        return (self.symbol_token(symbol), None)
+
+    def target_token(self, symbol, template_ranges) -> object:
+        """The equivalence class a dispatch target address reveals.
+
+        Two sibling edges are discriminated exactly when their tokens
+        differ.  With a template table, the token is the target opcode's
+        machine address range tuple (two opcodes sharing ranges would
+        alias); without one, the symbol itself; and under a model that
+        never reports targets, one shared token -- every sibling
+        collides.
+        """
+        if not self.observes_targets:
+            return None
+        if template_ranges is not None:
+            return template_ranges
+        return symbol
+
+    # ------------------------------------------------------- grammar costs
+    def outcome_packet_bytes(self, bits: int) -> int:
+        """Encoded size of one outcome packet carrying *bits* outcomes."""
+        if bits <= 0 or not self.observes_conditionals:
+            return 0
+        payload = 0
+        if self.outcome_bits_per_payload_byte:
+            per = self.outcome_bits_per_payload_byte
+            payload = (bits + per - 1) // per
+        return self.outcome_header_bytes + payload
+
+    def bytes_per_outcome_bounds(self) -> Tuple[float, float]:
+        """(best, worst) bytes per conditional outcome bit.
+
+        Best: packets filled to capacity.  Worst: every bit flushed
+        alone -- which is the *normal* interpreted-mode case, because the
+        pending batch is flushed before every dispatch packet.
+        """
+        if not self.observes_conditionals:
+            return (0.0, 0.0)
+        best = self.outcome_packet_bytes(self.outcome_batch_bits) / float(
+            self.outcome_batch_bits
+        )
+        worst = float(self.outcome_packet_bytes(1))
+        return (best, worst)
+
+    def resync_exposure(self) -> float:
+        """Fraction of indirect targets paying full-address sync cost.
+
+        0.0 for formats without periodic resync (PT).  For E-Trace every
+        ``sync_interval + 1``-th address packet is an uncompressed sync,
+        which is also the decoder's recovery granularity after loss.
+        """
+        if not self.observes_targets or self.sync_interval is None:
+            return 0.0
+        return 1.0 / (self.sync_interval + 1)
+
+    def indirect_bytes_estimate(self) -> float:
+        """Expected bytes per indirect target under locality.
+
+        Template dispatch keeps successive targets in one small region,
+        so the typical compressed size applies; periodic syncs add their
+        amortised share.
+        """
+        if not self.observes_targets:
+            return 0.0
+        exposure = self.resync_exposure()
+        return (
+            self.target_bytes_typical * (1.0 - exposure)
+            + self.sync_bytes * exposure
+        )
+
+    def indirect_bytes_bounds(self) -> Tuple[float, float]:
+        """(best, worst) bytes per indirect target, sync included."""
+        if not self.observes_targets:
+            return (0.0, 0.0)
+        return (
+            float(self.target_bytes_min),
+            float(max(self.target_bytes_max, self.sync_bytes)),
+        )

@@ -1,0 +1,205 @@
+"""Tests for the trace-plan advisor and its dynamic soundness oracle."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import (
+    BYTES_PER_BRANCH_RTOL,
+    estimate_dispatch_ratio,
+    plan_trace,
+    verify_against_measurement,
+)
+from repro.jvm.assembler import MethodAssembler
+from repro.jvm.model import JClass, JProgram
+from repro.jvm.templates import TemplateTable
+from repro.workloads import SUBJECT_NAMES, build_subject
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+_BENCH_FILE = os.path.join(_REPO_ROOT, "BENCH_2026-08-08.json")
+
+
+def _committed_cross_format():
+    with open(_BENCH_FILE, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return document["runs"]["post"]["cross_format"]
+
+
+def _ambiguous_program():
+    """A tableswitch with identical-opcode arms: ambiguous under any
+    frontend that reveals opcodes but no switch outcome."""
+    asm = MethodAssembler("T", "amb", arg_count=1, returns_value=True)
+    asm.load(0).const(3).irem()
+    asm.tableswitch({0: "c0", 1: "c1"}, "dflt")
+    for label in ("c0", "c1"):
+        asm.label(label)
+        asm.load(0).const(5).iadd().store(0)
+        asm.goto("join")
+    asm.label("dflt")
+    asm.iinc(0, 1)
+    asm.label("join")
+    asm.load(0).ireturn()
+    cls = JClass("T")
+    cls.add_method(asm.build())
+    program = JProgram("amb-test")
+    program.add_class(cls)
+    program.set_entry("T", "amb")
+    return program
+
+
+class TestDispatchEstimate:
+    @pytest.mark.parametrize("name", SUBJECT_NAMES)
+    def test_regimes_ordered(self, name):
+        estimate = estimate_dispatch_ratio(build_subject(name).program)
+        assert 0 < estimate.low <= estimate.point <= estimate.high
+        assert estimate.cond_sites > 0
+
+
+class TestTracePlan:
+    def test_golden_subjects_all_decodable_under_both_frontends(self):
+        for name in SUBJECT_NAMES:
+            subject = build_subject(name)
+            plan = plan_trace(
+                subject.program,
+                template_table=TemplateTable(),
+                subject=name,
+                opaque_call_sites=subject.opaque_call_sites,
+            )
+            assert {p.frontend for p in plan.plans} == {"pt", "etrace"}
+            for row in plan.plans:
+                assert row.decodable, (name, row.frontend)
+                assert row.ambiguous_methods == ()
+                assert (
+                    row.bytes_per_branch_low
+                    <= row.bytes_per_branch_estimate
+                    <= row.bytes_per_branch_high
+                )
+
+    def test_recommends_pt_on_sunflow(self):
+        """PT is the denser format on the golden cross-format subject
+        (the committed bench measures compression_ratio < 1), and the
+        static plan must agree."""
+        subject = build_subject("sunflow")
+        plan = plan_trace(
+            subject.program, template_table=TemplateTable(), subject="sunflow"
+        )
+        assert plan.recommended.frontend == "pt"
+
+    def test_ambiguous_program_ranks_with_ambiguity_first_key(self):
+        plan = plan_trace(
+            _ambiguous_program(), template_table=TemplateTable(), subject="amb"
+        )
+        for row in plan.plans:
+            assert not row.decodable
+            assert row.ambiguous_methods == ("T.amb",)
+
+    def test_render_and_json_round_trip(self):
+        subject = build_subject("avrora")
+        plan = plan_trace(
+            subject.program, template_table=TemplateTable(), subject="avrora"
+        )
+        text = plan.render()
+        assert "recommendation:" in text
+        assert "avrora" in text
+        document = json.loads(plan.to_json())
+        assert document["recommended"] == plan.recommended.frontend
+        assert len(document["frontends"]) == 2
+
+
+class TestSoundnessOracle:
+    """The acceptance-criteria cross-check against the committed bench."""
+
+    def test_static_plan_sound_against_committed_measurement(self):
+        cross_format = _committed_cross_format()
+        subject = build_subject(cross_format["subject"])
+        plan = plan_trace(
+            subject.program,
+            template_table=TemplateTable(),
+            subject=cross_format["subject"],
+            opaque_call_sites=subject.opaque_call_sites,
+        )
+        problems = verify_against_measurement(plan, cross_format)
+        assert problems == []
+
+    def test_committed_measurements_inside_static_bounds(self):
+        cross_format = _committed_cross_format()
+        subject = build_subject(cross_format["subject"])
+        plan = plan_trace(
+            subject.program,
+            template_table=TemplateTable(),
+            subject=cross_format["subject"],
+        )
+        for name, entry in cross_format["formats"].items():
+            row = plan.plan_for(name)
+            measured = entry["bytes_per_branch"]
+            assert row.bytes_per_branch_low <= measured <= row.bytes_per_branch_high
+            rel_error = abs(row.bytes_per_branch_estimate - measured) / measured
+            assert rel_error <= BYTES_PER_BRANCH_RTOL
+
+    def test_static_ambiguity_agrees_with_dynamic_transients(self):
+        """Golden subjects are statically decodable under both frontends
+        and dynamically every matched step is unambiguous -- the two
+        sides of the acceptance criterion."""
+        from repro.core import JPortal
+        from repro.core.metadata import collect_metadata
+        from repro.pt.buffer import RingBufferConfig
+        from repro.pt.perf import PTConfig, collect
+        from repro.workloads import default_config
+
+        subject = build_subject("avrora")
+        plan = plan_trace(
+            subject.program,
+            template_table=TemplateTable(),
+            subject="avrora",
+            opaque_call_sites=subject.opaque_call_sites,
+        )
+        jportal = JPortal(
+            subject.program, opaque_call_sites=subject.opaque_call_sites
+        )
+        run = subject.run(default_config())
+        database = collect_metadata(run)
+        lossless = RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9)
+        for frontend in ("pt", "etrace"):
+            row = plan.plan_for(frontend)
+            trace = collect(
+                run, PTConfig(buffer=lossless, frontend=frontend)
+            )
+            result = jportal.analyze_trace(trace, database)
+            dynamic_ambiguous = sum(
+                flow.projection.ambiguous_steps
+                for flow in result.flows.values()
+            )
+            # statically clean <=> dynamically no ambiguous matched steps
+            assert (len(row.ambiguous_methods) == 0) == (dynamic_ambiguous == 0)
+            assert result.analysis_report.frontend == frontend
+
+
+class TestPlanCLI:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "plan"] + list(argv),
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+            cwd=_REPO_ROOT,
+        )
+
+    def test_plan_expect_best_passes(self):
+        proc = self._run("sunflow", "--expect-best", "pt")
+        assert proc.returncode == 0, proc.stderr
+        assert "recommendation: pt" in proc.stdout
+
+    def test_plan_expect_best_fails_on_wrong_frontend(self):
+        proc = self._run("sunflow", "--expect-best", "etrace")
+        assert proc.returncode == 1
+        assert "FAIL" in proc.stderr
+
+    def test_plan_json(self):
+        proc = self._run("sunflow", "--json")
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(proc.stdout)
+        assert document[0]["subject"] == "sunflow"
+        assert document[0]["recommended"] == "pt"

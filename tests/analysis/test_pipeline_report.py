@@ -59,6 +59,43 @@ class TestReportOnResult:
             assert flow.projection.confidence == 1.0
 
 
+class TestFrontendSelection:
+    def test_default_report_is_pt(self):
+        jportal, result = _analyse()
+        assert jportal.analysis_report.frontend == "pt"
+        assert result.analysis_report.frontend == "pt"
+        assert result.analysis_report.summary()["frontend"] == "pt"
+
+    def test_etrace_trace_gets_etrace_report(self):
+        """A run collected through the E-Trace frontend is analysed under
+        the E-Trace projection model, not the default."""
+        from repro.core.metadata import collect_metadata
+        from repro.pt.perf import PTConfig, collect
+
+        subject = build_subject("avrora")
+        jportal = JPortal(
+            subject.program, opaque_call_sites=subject.opaque_call_sites
+        )
+        run = subject.run(default_config())
+        trace = collect(
+            run, PTConfig(buffer=lossless_config().buffer, frontend="etrace")
+        )
+        result = jportal.analyze_trace(trace, collect_metadata(run))
+        assert result.analysis_report.frontend == "etrace"
+        # The pipeline's default static report is untouched.
+        assert jportal.analysis_report.frontend == "pt"
+
+    def test_analysis_frontend_constructor_override(self):
+        subject = build_subject("batik")
+        jportal = JPortal(subject.program, analysis_frontend="etrace")
+        assert jportal.analysis_report.frontend == "etrace"
+        # Both frontends observe outcomes and targets, so verdicts agree.
+        assert (
+            jportal.analysis_report.ambiguous_methods()
+            == jportal.analysis_report_for("pt").ambiguous_methods()
+        )
+
+
 class TestObservabilityFeedsRecovery:
     def test_engine_receives_observability(self):
         jportal, _result = _analyse()

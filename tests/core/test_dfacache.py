@@ -57,6 +57,39 @@ class TestCacheRoundTrip:
             analysis_cache_key(figure2)
         )
 
+    def test_frontend_is_part_of_the_cache_identity(self, figure2, tmp_path):
+        """Regression: a report built under one frontend's projection
+        model must never satisfy a lookup for another frontend.  Before
+        the key folded the frontend in, a pt-warmed cache served pt
+        verdicts to an etrace analysis."""
+        pt_key = analysis_cache_key(figure2)
+        assert pt_key == analysis_cache_key(figure2, frontend="pt")
+        etrace_key = analysis_cache_key(figure2, frontend="etrace")
+        assert pt_key != etrace_key
+        # Bumping a model's version (a projection-semantics change)
+        # invalidates that frontend's entries without touching others.
+        assert analysis_cache_key(figure2, frontend="pt", model_version=2) != pt_key
+        assert analysis_cache_key(
+            figure2, frontend="etrace", model_version=2
+        ) != etrace_key
+
+        # End to end: warming the cache under pt leaves etrace cold.
+        JPortal(figure2, cache_dir=str(tmp_path))  # pt populate
+        crossed = JPortal(
+            figure2, cache_dir=str(tmp_path), analysis_frontend="etrace"
+        )
+        assert crossed._cache_events == {"cache.misses": 1, "cache.stores": 1}
+        assert crossed.analysis_report.frontend == "etrace"
+        # And each frontend now hits its own entry.
+        assert JPortal(figure2, cache_dir=str(tmp_path))._cache_events == {
+            "cache.hits": 1
+        }
+        warm_etrace = JPortal(
+            figure2, cache_dir=str(tmp_path), analysis_frontend="etrace"
+        )
+        assert warm_etrace._cache_events == {"cache.hits": 1}
+        assert warm_etrace.analysis_report.frontend == "etrace"
+
     def test_warm_build_produces_identical_results(self, figure2, tmp_path):
         run = run_program_traced(figure2)
         config = lossless_config()
