@@ -244,6 +244,126 @@ def run_stream_lag(subject_name: str = "luindex") -> Dict[str, object]:
     }
 
 
+def run_resilience(subject_name: str = "luindex") -> Dict[str, object]:
+    """The resilience measurement: what a ``JPSC`` checkpoint costs per
+    poll and what it buys after a crash.
+
+    Streams a run into a growing archive while checkpointing on every
+    poll (the worst-case ``checkpoint_interval=1`` write amplification),
+    snapshots the sidecar once the reader has consumed roughly half the
+    archive, then compares two restarts against the sealed file: a
+    *recovery* that restores from the half-way checkpoint and drains the
+    remaining tail, and a *cold replay* that re-reads from offset zero.
+    Both must finalize bit-identical to the uninterrupted stream, and
+    the restore must be clean (no finalize replay) -- the ratio between
+    the two restart times is the checkpoint's payoff.
+    """
+    import shutil
+    import tempfile
+
+    from ..pt.archive import (
+        ArchiveWriter,
+        iter_archive_events,
+        write_archive_event,
+    )
+    from ..stream import StreamDecoder, checkpoint_path_for
+
+    subject, run, _config = _subject_setup(subject_name)
+    lossless = PTConfig(
+        buffer=RingBufferConfig(capacity_bytes=10**9, drain_bandwidth=1e9)
+    )
+    trace = collect(run, lossless)
+    database = collect_metadata(run)
+    jportal = JPortal(
+        subject.program,
+        recovery=RecoveryConfig(
+            cost_per_instruction=run.config.compiled_step_cost
+        ),
+        engine="array",
+    )
+    poll_times: List[float] = []
+    checkpoint_times: List[float] = []
+    checkpoint_bytes = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.rpt2")
+        sidecar = checkpoint_path_for(path)
+        half_sidecar = os.path.join(tmp, "half.jpsc")
+        half_offset = None
+        writer = ArchiveWriter(path)
+        writer.snapshot_metadata(database, include_dumps=False)
+        tenant = StreamDecoder(jportal, path, name="bench")
+        events = list(iter_archive_events(trace, database, 256))
+        for index, event in enumerate(events):
+            write_archive_event(writer, event)
+            if index % 4 == 3:
+                started = time.perf_counter()
+                tenant.poll()
+                poll_times.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                size = tenant.write_checkpoint(sidecar)
+                checkpoint_times.append(time.perf_counter() - started)
+                checkpoint_bytes = max(checkpoint_bytes, size or 0)
+                if half_offset is None and index >= len(events) // 2:
+                    shutil.copy(sidecar, half_sidecar)
+                    half_offset = tenant.reader.offset
+        writer.close()
+        tenant.poll()
+        reference = tenant.finalize()
+        archive_bytes = os.path.getsize(path)
+
+        started = time.perf_counter()
+        restored, anomaly = StreamDecoder.restore(
+            jportal, path, name="restored", checkpoint_path=half_sidecar
+        )
+        recovered = restored.finalize()
+        recovery_seconds = time.perf_counter() - started
+        if anomaly is not None:
+            raise AssertionError(
+                "half-way checkpoint failed to load: %s" % anomaly
+            )
+        if restored.replayed:
+            raise AssertionError(
+                "restore fell back to a finalize replay: %s"
+                % restored.replay_reason
+            )
+
+        started = time.perf_counter()
+        cold = StreamDecoder(jportal, path, name="cold").finalize()
+        cold_seconds = time.perf_counter() - started
+
+        for label, result in (("recovery", recovered), ("cold", cold)):
+            if result.total_entries() != reference.total_entries():
+                raise AssertionError(
+                    "%s diverged from the uninterrupted stream: %d != %d"
+                    % (
+                        label,
+                        result.total_entries(),
+                        reference.total_entries(),
+                    )
+                )
+    return {
+        "subject": subject_name,
+        "polls": len(poll_times),
+        "entries": reference.total_entries(),
+        "archive_bytes": archive_bytes,
+        "checkpoint_bytes": checkpoint_bytes,
+        "checkpoint_write_mean_s": sum(checkpoint_times) / len(checkpoint_times),
+        "checkpoint_write_max_s": max(checkpoint_times),
+        "checkpoint_overhead_fraction": (
+            sum(checkpoint_times) / sum(poll_times) if sum(poll_times) else 0.0
+        ),
+        "resume_offset": half_offset,
+        "resume_fraction": (
+            half_offset / archive_bytes if archive_bytes else 0.0
+        ),
+        "recovery_s": recovery_seconds,
+        "cold_replay_s": cold_seconds,
+        "recovery_speedup": (
+            cold_seconds / recovery_seconds if recovery_seconds else 0.0
+        ),
+    }
+
+
 def run_cross_format(subject_name: str = "sunflow") -> Dict[str, object]:
     """The cross-format measurement: PT vs E-Trace encoding density.
 
@@ -454,4 +574,20 @@ def check_regression(
     if not ok:
         verdict += "  REGRESSION (>%d%%)" % round(tolerance * 100)
     messages.append(verdict)
+    resilience = current.get("resilience")
+    if resilience:
+        # Self-consistency gate on the resilience run: restoring from a
+        # half-way checkpoint must not be slower than replaying the whole
+        # archive cold (within the same fractional tolerance) -- if it
+        # is, checkpoints have stopped paying for themselves.
+        recovery = resilience["recovery_s"]
+        cold = resilience["cold_replay_s"]
+        line = (
+            "resilience  recovery %.3fs vs cold replay %.3fs (%.2fx speedup)"
+            % (recovery, cold, resilience["recovery_speedup"])
+        )
+        if recovery > cold * (1.0 + tolerance):
+            ok = False
+            line += "  REGRESSION (checkpoint slower than cold replay)"
+        messages.append(line)
     return ok, messages

@@ -29,6 +29,7 @@ from . import (
     run_archive_overhead,
     run_cross_format,
     run_id,
+    run_resilience,
     run_stream_lag,
     run_table5,
 )
@@ -66,6 +67,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-stream", action="store_true",
         help="skip the streaming-lag benchmark",
+    )
+    parser.add_argument(
+        "--skip-resilience", action="store_true",
+        help="skip the checkpoint/recovery resilience benchmark",
     )
     parser.add_argument(
         "--skip-etrace", action="store_true",
@@ -137,6 +142,20 @@ def main(argv=None) -> int:
                 entry["stream"]["max_lag_segments"],
                 entry["stream"]["finalize_s"],
                 entry["stream"]["batch_s"],
+            )
+        )
+    if not args.skip_resilience:
+        entry["resilience"] = run_resilience()
+        print(
+            "bench: resilience checkpoint %.2fms mean write (%d bytes, %.1f%%"
+            " of poll time), recovery %.3fs vs cold replay %.3fs (%.2fx)"
+            % (
+                1e3 * entry["resilience"]["checkpoint_write_mean_s"],
+                entry["resilience"]["checkpoint_bytes"],
+                100.0 * entry["resilience"]["checkpoint_overhead_fraction"],
+                entry["resilience"]["recovery_s"],
+                entry["resilience"]["cold_replay_s"],
+                entry["resilience"]["recovery_speedup"],
             )
         )
     if not args.skip_etrace:

@@ -42,6 +42,7 @@ class MetricsRegistry:
         self._timings: Dict[Key, float] = {}
         self._maxima: Dict[Key, float] = {}
         self._gauges: Dict[Key, float] = {}
+        self._states: Dict[Key, str] = {}
 
     # ---------------------------------------------------------------- writes
     def incr(self, name: str, value: int = 1, tid: Optional[int] = None) -> None:
@@ -74,6 +75,19 @@ class MetricsRegistry:
         """Set the instantaneous gauge *name* for *tid* (overwrites)."""
         with self._lock:
             self._gauges[(name, tid)] = value
+
+    def set_state(
+        self, name: str, value: str, tid: Optional[int] = None
+    ) -> None:
+        """Set the string-valued state *name* for *tid* (overwrites).
+
+        States are gauges whose value is a label rather than a number
+        -- e.g. ``stream.health`` is ``"healthy"``/``"degraded"``/
+        ``"quarantined"`` per tenant index.  They overwrite like gauges
+        and ship across process boundaries like every other fact.
+        """
+        with self._lock:
+            self._states[(name, tid)] = str(value)
 
     @contextmanager
     def timer(self, phase: str, tid: Optional[int] = None) -> Iterator[None]:
@@ -116,6 +130,10 @@ class MetricsRegistry:
                     (name, tid, value)
                     for (name, tid), value in self._gauges.items()
                 ],
+                "states": [
+                    (name, tid, value)
+                    for (name, tid), value in self._states.items()
+                ],
             }
 
     def absorb(self, data: Dict[str, List[Tuple[str, Optional[int], float]]]) -> None:
@@ -133,6 +151,8 @@ class MetricsRegistry:
             self.observe_max(name, value, tid=tid)
         for name, tid, value in data.get("gauges", ()):
             self.set_gauge(name, value, tid=tid)
+        for name, tid, value in data.get("states", ()):
+            self.set_state(name, value, tid=tid)
 
     # ----------------------------------------------------------------- reads
     def counter(self, name: str, tid: Optional[int] = None) -> int:
@@ -213,13 +233,28 @@ class MetricsRegistry:
                 value for (key, _t), value in self._gauges.items() if key == name
             )
 
+    def state(self, name: str, tid: Optional[int] = None) -> Optional[str]:
+        """The state's current label for *(name, tid)*, or ``None``."""
+        with self._lock:
+            return self._states.get((name, tid))
+
+    def states_by_name(self, name: str) -> Dict[Optional[int], str]:
+        """Every tid's current label for *name* (health dashboards)."""
+        with self._lock:
+            return {
+                tid: value
+                for (key, tid), value in self._states.items()
+                if key == name
+            }
+
     def tids(self) -> List[int]:
         """All thread ids that recorded any fact, sorted."""
         with self._lock:
             seen = {
                 tid
                 for source in (
-                    self._counters, self._timings, self._maxima, self._gauges
+                    self._counters, self._timings, self._maxima,
+                    self._gauges, self._states,
                 )
                 for (_name, tid) in source
                 if tid is not None
@@ -235,7 +270,20 @@ class MetricsRegistry:
                 "maxima": dict(self._maxima),
                 "gauges": dict(self._gauges),
             }
+            states = dict(self._states)
         result: Dict[str, Dict[str, Dict]] = {}
+        # States are labels, not numbers: no total to accumulate.
+        state_view: Dict[str, Dict] = {}
+        for (name, tid), value in sorted(
+            states.items(),
+            key=lambda item: (item[0][0], item[0][1] is not None, item[0][1] or 0),
+        ):
+            entry = state_view.setdefault(name, {"total": None, "by_thread": {}})
+            if tid is None:
+                entry["total"] = value
+            else:
+                entry["by_thread"][tid] = value
+        result["states"] = state_view
         for kind, data in sources.items():
             view: Dict[str, Dict] = {}
             for (name, tid), value in sorted(

@@ -958,6 +958,55 @@ class _ArchiveScanner:
         new, self._new = self._new, []
         return new
 
+    def export_state(self) -> dict:
+        """The resumable scan state as a picklable dict (checkpointing).
+
+        Includes the cumulative :class:`ArchiveContents` fields the scan
+        has populated so far (stats, journal, sideband, trace format);
+        the assembled per-core streams only exist after :meth:`finish`
+        and are deliberately absent.  Values are live references --
+        callers persist by pickling immediately (deep copy on the way
+        out), exactly like ``BatchEventDecoder.export_state``.
+        """
+        contents = self.contents
+        return {
+            "buffer": bytes(self._buffer),
+            "base": self._base,
+            "total": self._total,
+            "magic_checked": self._magic_checked,
+            "legacy": self._legacy,
+            "finished": self._finished,
+            "known": self._known,
+            "segment_entries": self._segment_entries,
+            "synthesized": self._synthesized,
+            "new": self._new,
+            "stats": contents.stats,
+            "thread_switches": contents.thread_switches,
+            "journal_dumps": contents.journal_dumps,
+            "trace_format": contents.trace_format,
+        }
+
+    def restore_state(self, state: dict) -> "_ArchiveScanner":
+        """Adopt an :meth:`export_state` payload; feeding then resumes
+        byte-for-byte where the exporting scanner stopped."""
+        self._buffer = bytearray(state["buffer"])
+        self._base = state["base"]
+        self._total = state["total"]
+        self._magic_checked = state["magic_checked"]
+        self._legacy = state["legacy"]
+        self._finished = state["finished"]
+        self._known = state["known"]
+        self._segment_entries = state["segment_entries"]
+        self._synthesized = state["synthesized"]
+        self._new = state["new"]
+        contents = self.contents
+        contents.stats = state["stats"]
+        self.stats = contents.stats
+        contents.thread_switches = state["thread_switches"]
+        contents.journal_dumps = state["journal_dumps"]
+        contents.trace_format = state["trace_format"]
+        return self
+
     def feed(self, chunk) -> None:
         """Consume appended bytes; scans as far as is determinate."""
         if self._finished:
@@ -1300,10 +1349,22 @@ class ArchiveTailReader:
         self.contents = ArchiveContents(path=self.path, stats=SalvageStats())
         self._scanner = _ArchiveScanner(self.contents, self.snapshot_path)
         self._offset = 0
+        self._ino: Optional[int] = None
         self.dirty = False
         self.finished = False
+        self.released = False
         self.records_read = 0
         self.segments_read = 0
+        #: Optional per-poll read cap (backpressure: a huge append is
+        #: consumed across several polls instead of ballooning the
+        #: scanner buffer in one step).  ``None``: read everything.
+        self.max_poll_bytes: Optional[int] = None
+        #: Optional fault-injection hooks (``repro.pt.faults``): an
+        #: object with ``before_read(reader)`` (may raise ``OSError`` or
+        #: sleep, modelling transient I/O faults and slow media) and
+        #: ``read_limit(available)`` (may shorten one read, modelling
+        #: partial reads).  Production leaves this ``None``.
+        self.io_hooks = None
 
     # ---------------------------------------------------------------- API
     @property
@@ -1314,6 +1375,11 @@ class ArchiveTailReader:
     def sealed(self) -> bool:
         return self.contents.stats.sealed
 
+    @property
+    def offset(self) -> int:
+        """Absolute file offset of the next unread byte (checkpointing)."""
+        return self._offset
+
     def buffered_bytes(self) -> int:
         return self._scanner.buffered_bytes()
 
@@ -1321,20 +1387,45 @@ class ArchiveTailReader:
         """Consume newly appended bytes; returns new committed records.
 
         Returns an empty list when nothing new committed (including when
-        the file does not exist yet).  Never raises on file content.
+        the file does not exist yet).  Never raises on file *content*;
+        a transient I/O failure (``EIO``, permission revoked, a fault
+        hook firing) propagates as ``OSError`` with the reader state
+        untouched -- nothing was consumed, so the caller may simply
+        retry the poll later.
         """
-        if self.finished:
+        if self.finished or self.released:
             return []
+        hooks = self.io_hooks
+        if hooks is not None:
+            hooks.before_read(self)  # may raise OSError: transient fault
         try:
-            size = os.path.getsize(self.path)
-            if size < self._offset:
-                self.dirty = True  # file shrank: not an append-only writer
-                return []
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            return []  # no file yet: the writer has not started
+        if self._ino is None:
+            self._ino = stat.st_ino
+        elif stat.st_ino not in (0, self._ino):
+            # A different inode under the same name: the file was
+            # replaced mid-poll, so the consumed prefix no longer
+            # matches the bytes on disk.
+            self.dirty = True
+            return []
+        if stat.st_size < self._offset:
+            self.dirty = True  # file shrank: not an append-only writer
+            return []
+        available = stat.st_size - self._offset
+        limit = available
+        if self.max_poll_bytes is not None:
+            limit = min(limit, self.max_poll_bytes)
+        if hooks is not None and limit:
+            hook_limit = hooks.read_limit(limit)
+            if hook_limit is not None:
+                limit = max(0, min(limit, hook_limit))
+        chunk = b""
+        if limit:
             with open(self.path, "rb") as source:
                 source.seek(self._offset)
-                chunk = source.read()
-        except OSError:
-            return []
+                chunk = source.read(limit)
         if chunk:
             self._offset += len(chunk)
             self._scanner.feed(chunk)
@@ -1345,16 +1436,39 @@ class ArchiveTailReader:
         )
         return new
 
+    def release(self) -> None:
+        """Shed all buffered scan state (backpressure).
+
+        The reader stops consuming (``poll`` returns nothing) and
+        :meth:`finalize` degrades to a fresh batch read of the final
+        file -- the same degrade-to-replay shape as a dirty reader, but
+        triggered by memory pressure instead of file damage.
+        """
+        if self.released or self.finished:
+            return
+        self.released = True
+        self.dirty = True
+        self.contents = ArchiveContents(path=self.path, stats=SalvageStats())
+        self._scanner = _ArchiveScanner(self.contents, self.snapshot_path)
+
     def finalize(self) -> ArchiveContents:
         """Declare end-of-file and return the assembled contents.
 
         Equals :func:`read_archive` of the file's final bytes: directly
         (fresh batch read) when the reader went dirty, via the resumable
-        scanner's end-of-file pass otherwise.
+        scanner's end-of-file pass otherwise.  Fault-injection hooks
+        and per-poll read caps are lifted first: finalize is the
+        end-of-stream barrier, and it must drain whatever remains.
         """
         if self.finished:
             return self.contents
-        self.poll()
+        self.io_hooks = None
+        self.max_poll_bytes = None
+        while not self.dirty:
+            before = self._offset
+            self.poll()
+            if self._offset == before:
+                break
         self.finished = True
         if self.dirty:
             self.contents = read_archive(
@@ -1362,6 +1476,39 @@ class ArchiveTailReader:
             )
             return self.contents
         return self._scanner.finish()
+
+    # ------------------------------------------------------ checkpointing
+    def export_state(self) -> dict:
+        """The tail-follow position and scan state, picklable."""
+        return {
+            "offset": self._offset,
+            "ino": self._ino,
+            "dirty": self.dirty,
+            "finished": self.finished,
+            "released": self.released,
+            "records_read": self.records_read,
+            "segments_read": self.segments_read,
+            "scanner": self._scanner.export_state(),
+        }
+
+    def restore_state(self, state: dict) -> "ArchiveTailReader":
+        """Adopt an :meth:`export_state` payload: the next ``poll``
+        resumes reading at the checkpointed offset.
+
+        The inode is deliberately re-learned from disk rather than
+        restored: across a supervisor restart the archive may legally
+        have been recreated by a new writer pid, and staleness is the
+        checkpoint fingerprint's job, not the inode's.
+        """
+        self._offset = state["offset"]
+        self._ino = None
+        self.dirty = state["dirty"]
+        self.finished = state["finished"]
+        self.released = state["released"]
+        self.records_read = state["records_read"]
+        self.segments_read = state["segments_read"]
+        self._scanner.restore_state(state["scanner"])
+        return self
 
 
 def _detect_sequence_gaps(known, stats: SalvageStats, synthesize_loss) -> None:

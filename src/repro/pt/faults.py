@@ -77,6 +77,20 @@ class FaultKind(str, Enum):
     DUPLICATE_SEGMENT = "duplicate_segment"
     #: Remove or corrupt the metadata snapshot sidecar (stale export).
     STALE_SNAPSHOT = "stale_snapshot"
+    # ---- process / I/O level: runtime faults against a *live* reader
+    # or supervisor (``repro.stream`` resilience), not byte mutations.
+    #: Transient ``OSError`` raised from one read attempt.
+    IO_ERROR = "io_error"
+    #: One read returns fewer bytes than available (short read).
+    PARTIAL_READ = "partial_read"
+    #: One read stalls (slow media / contended device).
+    SLOW_READ = "slow_read"
+    #: The archive file is replaced wholesale under the reader.
+    FILE_REPLACED = "file_replaced"
+    #: The JPSC checkpoint sidecar is deleted/truncated/bit-rotted.
+    CHECKPOINT_CORRUPT = "checkpoint_corrupt"
+    #: The supervisor process dies at a seeded poll index and restarts.
+    SUPERVISOR_KILL = "supervisor_kill"
 
 
 #: Kinds applied at the archive-byte level by ``corrupt_archive``
@@ -93,14 +107,101 @@ DISK_FAULT_KINDS: Tuple[FaultKind, ...] = ARCHIVE_FAULT_KINDS + (
     FaultKind.STALE_SNAPSHOT,
 )
 
+#: Runtime process/I/O faults for the streaming resilience layer: the
+#: read-path ones drive :class:`IOFaultSchedule`, the rest are applied
+#: by the chaos harness (file replacement, checkpoint corruption via
+#: :meth:`FaultInjector.corrupt_checkpoint`, seeded supervisor kills).
+PROCESS_FAULT_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.IO_ERROR,
+    FaultKind.PARTIAL_READ,
+    FaultKind.SLOW_READ,
+    FaultKind.FILE_REPLACED,
+    FaultKind.CHECKPOINT_CORRUPT,
+    FaultKind.SUPERVISOR_KILL,
+)
+
 #: Kinds that mutate a packet/loss stream (everything except the
 #: metadata-level fault, which :meth:`FaultInjector.corrupt_database`
-#: applies to a code database instead, and the archive-byte-level
-#: faults, which mutate serialised files).
+#: applies to a code database instead, the archive-byte-level faults,
+#: which mutate serialised files, and the runtime process faults).
 STREAM_FAULT_KINDS: Tuple[FaultKind, ...] = tuple(
     kind for kind in FaultKind
-    if kind is not FaultKind.STALE_DEBUG and kind not in DISK_FAULT_KINDS
+    if kind is not FaultKind.STALE_DEBUG
+    and kind not in DISK_FAULT_KINDS
+    and kind not in PROCESS_FAULT_KINDS
 )
+
+
+class IOFaultSchedule:
+    """Seeded transient-fault hooks for an ``ArchiveTailReader``.
+
+    Plugs into :attr:`~repro.pt.archive.ArchiveTailReader.io_hooks`:
+    ``before_read`` fires on every poll and, per the seeded schedule,
+    raises a transient ``OSError`` (``EIO``) or sleeps (slow media);
+    ``read_limit`` occasionally shortens one read (partial read).  All
+    decisions flow from the seed, so a chaos run is reproducible; every
+    fired fault is recorded in :attr:`applied` for coverage assertions.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        error_rate: float = 0.0,
+        partial_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 0.01,
+        max_faults: Optional[int] = None,
+    ):
+        self.rng = random.Random(seed)
+        self.error_rate = error_rate
+        self.partial_rate = partial_rate
+        self.stall_rate = stall_rate
+        self.stall_seconds = stall_seconds
+        self.max_faults = max_faults
+        self.polls = 0
+        self.applied: List[InjectedFault] = []
+
+    def _exhausted(self) -> bool:
+        return (
+            self.max_faults is not None and len(self.applied) >= self.max_faults
+        )
+
+    def before_read(self, reader) -> None:
+        import errno
+        import time as _time
+
+        self.polls += 1
+        if self._exhausted():
+            return
+        if self.stall_rate and self.rng.random() < self.stall_rate:
+            self.applied.append(
+                InjectedFault(
+                    FaultKind.SLOW_READ, self.polls,
+                    "read stalled %.3fs" % self.stall_seconds,
+                )
+            )
+            _time.sleep(self.stall_seconds)
+        if self.error_rate and self.rng.random() < self.error_rate:
+            self.applied.append(
+                InjectedFault(
+                    FaultKind.IO_ERROR, self.polls, "transient EIO on poll"
+                )
+            )
+            raise OSError(errno.EIO, "injected transient I/O error")
+
+    def read_limit(self, available: int) -> Optional[int]:
+        if self._exhausted() or available <= 1:
+            return None
+        if self.partial_rate and self.rng.random() < self.partial_rate:
+            limit = self.rng.randrange(1, available)
+            self.applied.append(
+                InjectedFault(
+                    FaultKind.PARTIAL_READ, self.polls,
+                    "read shortened to %d of %d bytes" % (limit, available),
+                )
+            )
+            return limit
+        return None
 
 
 @dataclass(frozen=True)
@@ -425,6 +526,64 @@ class FaultInjector:
                 with open(path, "wb") as sink:
                     sink.write(bytes(blob))
         return InjectedFault(FaultKind.STALE_SNAPSHOT, -1, detail)
+
+    # ---------------------------------------------------- process / I/O level
+    def io_schedule(
+        self,
+        error_rate: float = 0.0,
+        partial_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 0.01,
+        max_faults: Optional[int] = None,
+    ) -> IOFaultSchedule:
+        """A seeded :class:`IOFaultSchedule` derived from this injector
+        (its own child seed, so archive and I/O faults stay independent
+        yet both reproduce from the one top-level seed)."""
+        return IOFaultSchedule(
+            seed=self.rng.getrandbits(32),
+            error_rate=error_rate,
+            partial_rate=partial_rate,
+            stall_rate=stall_rate,
+            stall_seconds=stall_seconds,
+            max_faults=max_faults,
+        )
+
+    def kill_index(self, polls: int) -> int:
+        """A seeded supervisor-kill point within *polls* rounds."""
+        return self.rng.randrange(1, max(polls, 2))
+
+    def corrupt_checkpoint(self, checkpoint_path) -> Optional[InjectedFault]:
+        """Damage a JPSC checkpoint sidecar: delete it, truncate it
+        mid-payload, or rot one byte.  The resilience contract under
+        test: every variant loads as a counted anomaly and a cold
+        start, never an exception.  Returns ``None`` if no sidecar
+        exists."""
+        import os
+
+        path = str(checkpoint_path)
+        if not os.path.exists(path):
+            return None
+        mode = self.rng.randrange(3)
+        if mode == 0:
+            os.unlink(path)
+            detail = "checkpoint deleted"
+        else:
+            with open(path, "rb") as source:
+                blob = bytearray(source.read())
+            if mode == 1 and len(blob) > 1:
+                blob = blob[:self.rng.randrange(1, len(blob))]
+                detail = "checkpoint truncated to %d bytes" % len(blob)
+            elif blob:
+                position = self.rng.randrange(len(blob))
+                blob[position] ^= 1 << self.rng.randrange(8)
+                detail = "checkpoint byte %d rotted" % position
+            else:
+                os.unlink(path)
+                detail = "empty checkpoint deleted"
+            if os.path.exists(path):
+                with open(path, "wb") as sink:
+                    sink.write(bytes(blob))
+        return InjectedFault(FaultKind.CHECKPOINT_CORRUPT, -1, detail)
 
     # --------------------------------------------------------- metadata level
     def corrupt_database(self, database, entries: int = 4):

@@ -2,11 +2,14 @@
 
 Two modes:
 
-* ``--demo [--subject NAME]`` -- end to end: run a workload subject,
-  commit its trace record-by-record into a growing archive while a
-  :class:`~repro.stream.StreamSupervisor` tail-follows it, then
-  finalize and check the streamed result against batch
-  ``analyze_archive`` on the same sealed file.
+* ``--demo [--subject NAME] [--kill-at N]`` -- end to end: run a
+  workload subject, commit its trace record-by-record into a growing
+  archive while a :class:`~repro.stream.StreamSupervisor` tail-follows
+  it, then finalize and check the streamed result against batch
+  ``analyze_archive`` on the same sealed file.  With ``--kill-at N``
+  the supervisor is discarded after its *N*-th poll (simulating a
+  crash) and a fresh one resumes from the ``JPSC`` checkpoint sidecar,
+  demonstrating recovery without a finalize replay.
 
 * ``PATH [--interval SECONDS]`` -- monitor an existing (possibly still
   growing) archive with the bare tail reader: print committed records
@@ -23,13 +26,14 @@ import tempfile
 import time
 
 
-def _demo(subject_name: str) -> int:
+def _demo(subject_name: str, kill_at=None) -> int:
     from ..core import JPortal
     from ..core.metadata import collect_metadata
     from ..core.recovery import RecoveryConfig
     from ..pt.archive import ArchiveWriter, iter_archive_events, write_archive_event
     from ..pt.perf import PTConfig, collect
     from ..workloads import build_subject, default_config
+    from .resilience import ResilienceConfig
     from .service import StreamSupervisor
 
     print("demo: running subject %r" % subject_name)
@@ -43,10 +47,13 @@ def _demo(subject_name: str) -> int:
         recovery=RecoveryConfig(cost_per_instruction=run.config.compiled_step_cost),
         engine="array",
     )
+    resilience = ResilienceConfig(checkpoint=kill_at is not None)
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "demo.rpt2")
-        with StreamSupervisor() as supervisor:
+        supervisor = StreamSupervisor(resilience=resilience)
+        try:
             tenant = supervisor.add_tenant(subject_name, path, jportal)
+            polls = 0
             with ArchiveWriter(path) as writer:
                 writer.snapshot_metadata(database, include_dumps=False)
                 committed = 0
@@ -57,12 +64,37 @@ def _demo(subject_name: str) -> int:
                     committed += 1
                     if committed % 4 == 0:  # poll while the file grows
                         delta = supervisor.poll_all()[subject_name]
+                        polls += 1
                         if delta.records:
                             print("demo:", delta.describe())
+                        if kill_at is not None and polls == kill_at:
+                            # Simulate a crash: drop the supervisor and
+                            # resume a fresh one from the checkpoint.
+                            supervisor.close()
+                            print(
+                                "demo: killed supervisor after poll %d; "
+                                "restoring from checkpoint" % polls
+                            )
+                            supervisor = StreamSupervisor(resilience=resilience)
+                            tenant = supervisor.add_tenant(
+                                subject_name, path, jportal, resume=True
+                            )
+                            restored = supervisor.metrics.counter(
+                                "stream.checkpoint.restored"
+                            )
+                            print(
+                                "demo: restore %s (poll cursor at %d)"
+                                % (
+                                    "clean" if restored else "cold",
+                                    tenant.polls,
+                                )
+                            )
                 writer.close()
             delta = supervisor.poll_all()[subject_name]
             print("demo:", delta.describe())
             streamed = supervisor.finalize(subject_name)
+        finally:
+            supervisor.close()
         print(
             "demo: streamed %d entries, %d anomalies (replayed=%s)"
             % (streamed.total_entries(), streamed.anomalies, tenant.replayed)
@@ -149,12 +181,17 @@ def main(argv=None) -> int:
         help="workload subject for --demo (default: luindex)",
     )
     parser.add_argument(
+        "--kill-at", type=int, default=None, metavar="N",
+        help="demo mode: kill the supervisor after its N-th poll and "
+             "resume a fresh one from the JPSC checkpoint",
+    )
+    parser.add_argument(
         "--interval", type=float, default=0.5,
         help="monitor-mode poll interval in seconds (default: 0.5)",
     )
     args = parser.parse_args(argv)
     if args.demo:
-        return _demo(args.subject)
+        return _demo(args.subject, kill_at=args.kill_at)
     if args.path is None:
         parser.error("either --demo or an archive PATH is required")
     return _monitor(args.path, args.interval)

@@ -15,7 +15,7 @@ of the same sealed archive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -48,6 +48,17 @@ class FlowDelta:
     latency_seconds: float = 0.0
     #: Whether the archive's seal record has been consumed.
     sealed: bool = False
+    #: The poll's failure, if any (``repr`` of the exception).  A set
+    #: error never escapes as an exception -- the supervisor's health
+    #: machine consumes it (backoff, quarantine).
+    error: Optional[str] = None
+    #: Whether :attr:`error` was transient (reader state untouched, a
+    #: later poll may simply retry) rather than a replay-flagging fault.
+    transient: bool = False
+    #: Whether this tenant's incremental state was shed to the replay
+    #: path (backpressure cap breach or quarantine) -- pending entries
+    #: and buffered bytes are zero from here on.
+    shed: bool = False
 
     def new_step_total(self) -> int:
         return sum(self.new_steps.values())
@@ -67,6 +78,12 @@ class FlowDelta:
             parts.append("anomalies=+%d" % self.new_anomalies)
         if self.salvage_events:
             parts.append("salvage=+%d" % self.salvage_events)
+        if self.error is not None:
+            parts.append(
+                "error=%s%s" % (self.error, " (transient)" if self.transient else "")
+            )
+        if self.shed:
+            parts.append("shed")
         if self.sealed:
             parts.append("sealed")
         return " ".join(parts)

@@ -36,12 +36,25 @@ The incremental path decodes with the metadata available *so far*
 physically consistent trace only branches into code at or after the
 code's ``load_tsc``, and any dump arriving at or behind the released
 watermark triggers replay instead.
+
+**Fault tolerance** (see :mod:`repro.stream.resilience` and DESIGN.md
+section 3j) extends the same degrade-to-replay contract to the process
+level: tenants checkpoint their resumable state into an atomically
+written ``JPSC`` sidecar so a restarted supervisor resumes tail-follow
+instead of re-decoding from scratch; transient I/O faults are retried
+under a per-tenant HEALTHY -> DEGRADED -> QUARANTINED health machine
+with capped, deterministically jittered backoff; hung polls are
+abandoned by a watchdog deadline; and per-tenant/global memory caps
+shed an over-budget tenant's incremental state to the replay path.
+Every degradation costs a re-decode, never correctness, and never an
+escaping exception.
 """
 
 from __future__ import annotations
 
 import time
 from bisect import bisect_right
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from typing import Dict, List, Optional, Tuple
 
 from ..core.metrics import MetricsRegistry
@@ -60,6 +73,22 @@ from ..pt.archive import (
 from ..tracesource import get_frontend
 from ..tracesource.engine import BatchEventDecoder
 from .delta import FlowDelta
+from .resilience import (
+    ANOMALY_CORRUPT,
+    ANOMALY_STALE,
+    ANOMALY_STORE_FAILED,
+    CHECKPOINT_METRIC_PREFIX,
+    BackpressureConfig,
+    ResilienceConfig,
+    TenantFailure,
+    TenantHealth,
+    TenantSupervision,
+    archive_fingerprint,
+    checkpoint_path_for,
+    fingerprint_matches,
+    load_checkpoint,
+    write_checkpoint_file,
+)
 
 
 class StreamDecoder:
@@ -83,8 +112,16 @@ class StreamDecoder:
         self.polls = 0
         self.replayed = False
         self.replay_reason: Optional[str] = None
+        #: Transient reader I/O failures survived so far (each one left
+        #: the incremental state untouched and was simply retried).
+        self.io_errors = 0
+        #: Why the incremental state was shed, when it was.
+        self.shed_reason: Optional[str] = None
+        #: Per-tenant memory caps (set by the supervisor; ``None`` off).
+        self.backpressure: Optional[BackpressureConfig] = None
         self._wall_started = time.perf_counter()
         self._replay = False
+        self._shed = False
         self._finalized = None
         # Sideband / attribution state (mirrors split_by_thread).
         self._switches_by_core: Dict[int, List[object]] = {}
@@ -129,7 +166,31 @@ class StreamDecoder:
         if self._finalized is not None:
             delta.sealed = self.reader.sealed
             return delta
-        records = self.reader.poll()
+        if self._shed:
+            # Incremental state is gone; finalize() replays from the
+            # file.  Polls stay cheap no-ops so memory stays at zero.
+            delta.shed = True
+            delta.sealed = self.reader.sealed
+            delta.latency_seconds = time.perf_counter() - started
+            return delta
+        records = []
+        try:
+            records = self.reader.poll()
+        except OSError as exc:
+            # Transient I/O fault (this used to escape the no-raise
+            # contract).  The reader consumed nothing, so the
+            # incremental state is still exactly consistent: report it
+            # on the delta and let the caller retry a later poll --
+            # no replay needed.
+            self.io_errors += 1
+            delta.error = "reader I/O error: %r" % (exc,)
+            delta.transient = True
+            self._fill_delta(delta)
+            delta.latency_seconds = time.perf_counter() - started
+            return delta
+        except Exception as exc:  # non-I/O reader failure: replay
+            delta.error = "reader error: %r" % (exc,)
+            self._flag_replay("reader error: %r" % (exc,))
         if self.reader.dirty:
             self._flag_replay("archive shrank or was replaced under the reader")
         try:
@@ -149,6 +210,7 @@ class StreamDecoder:
         except Exception as exc:  # no-crash contract: degrade to replay
             self._flag_replay("feed error: %r" % (exc,))
         delta.records = len(records)
+        self._enforce_backpressure(delta)
         self._fill_delta(delta)
         delta.latency_seconds = time.perf_counter() - started
         return delta
@@ -163,10 +225,39 @@ class StreamDecoder:
         """
         if self._finalized is not None:
             return self._finalized
-        contents = self.reader.finalize()
+        contents = None
+        try:
+            if not self._shed:
+                # End-of-stream: lift fault hooks and read caps, then
+                # drain the remaining tail *through the decoder* so
+                # every still-unread committed record reaches the
+                # incremental path.  (reader.finalize() alone would
+                # feed the scanner but bypass _on_segment, silently
+                # dropping those entries from the fast path -- only
+                # reachable when a partial read left bytes behind.)
+                self.reader.io_hooks = None
+                self.reader.max_poll_bytes = None
+                while not (
+                    self._replay or self.reader.dirty or self.reader.finished
+                ):
+                    before = self.reader.offset
+                    self.poll()
+                    if self.reader.offset == before:
+                        break
+            if not self._shed:
+                # A shed reader is dirty by construction and its
+                # finalize would burn a full batch read whose result
+                # the replay below re-derives anyway; skip it.
+                contents = self.reader.finalize()
+        except Exception as exc:
+            # A finalize-time read failure (file gone, EIO) degrades to
+            # the batch replay below; if *that* read fails too, the
+            # error is real and propagates to the supervisor's
+            # per-tenant isolation.
+            self._flag_replay("finalize read error: %r" % (exc,))
         if self.reader.dirty:
             self._flag_replay("archive shrank or was replaced under the reader")
-        if contents.stats.events:
+        if contents is not None and contents.stats.events:
             # Any salvage event (torn tail, CRC damage, missing seal or
             # snapshot, sequence gaps) means the batch reader degraded
             # somewhere the incremental path did not follow entry by
@@ -174,7 +265,7 @@ class StreamDecoder:
             self._flag_replay(
                 "salvage events present (%d)" % len(contents.stats.events)
             )
-        if self._replay:
+        if self._replay or contents is None:
             self.replayed = True
             self._finalized = self.jportal.analyze_archive(
                 self.reader.path,
@@ -228,6 +319,230 @@ class StreamDecoder:
     def buffered_bytes(self) -> int:
         """Raw tail bytes held by the reader (memory high-water input)."""
         return self.reader.buffered_bytes()
+
+    # ----------------------------------------------------------- backpressure
+    def shed(self, reason: str) -> None:
+        """Drop every byte of incremental state; rely on batch replay.
+
+        The bounded-memory degradation: pending entries, decoder state,
+        sideband, metadata, and the reader's scan buffers are all
+        released, ``poll()`` becomes a no-op, and ``finalize()`` takes
+        the replay path -- memory goes to (and stays at) zero at the
+        cost of one re-decode, never at the cost of correctness.
+        Idempotent.
+        """
+        self._flag_replay(reason)
+        if self._shed:
+            return
+        self._shed = True
+        self.shed_reason = reason
+        self.reader.release()
+        self._pending.clear()
+        self._seq_remaining.clear()
+        self._last_key.clear()
+        self._consumed.clear()
+        self._decoders.clear()
+        self._columns.clear()
+        self._switches_by_core.clear()
+        self._switch_tscs.clear()
+        self._journal_dumps = []
+        self._snapshot = None
+        self._database = None
+        self._db_dirty = True
+        # Delta bookkeeping restarts from the now-empty state, so later
+        # polls report zero change rather than negative deltas.
+        self._prior_steps = {}
+        self._prior_holes = 0
+        self._prior_anomalies = 0
+        self._prior_events = 0
+
+    def _enforce_backpressure(self, delta: FlowDelta) -> None:
+        config = self.backpressure
+        if config is None or self._shed:
+            return
+        if (
+            config.max_pending_entries is not None
+            and self.pending_entries() > config.max_pending_entries
+        ):
+            self.shed(
+                "pending entries %d exceed cap %d"
+                % (self.pending_entries(), config.max_pending_entries)
+            )
+        elif (
+            config.max_buffered_bytes is not None
+            and self.buffered_bytes() > config.max_buffered_bytes
+        ):
+            self.shed(
+                "buffered bytes %d exceed cap %d"
+                % (self.buffered_bytes(), config.max_buffered_bytes)
+            )
+        if self._shed:
+            delta.shed = True
+
+    # ---------------------------------------------------------- checkpointing
+    def checkpoint_state(self) -> dict:
+        """The tenant's full resumable state as a picklable dict.
+
+        Everything a restarted process needs to continue tail-follow
+        exactly where this one stood: the reader offset and scan state,
+        parsed-but-unreleased entries, the watermark, sideband and
+        metadata seen so far, per-thread decoder state (the
+        ``adopt_state`` field set), prior-delta cursors, and the
+        degradation flags.  An archive fingerprint pins the consumed
+        prefix so a restore detects truncated-or-replaced files as
+        *stale* rather than resuming into garbage.
+        """
+        if self._finalized is not None:
+            raise ValueError("cannot checkpoint a finalized tenant")
+        return {
+            "name": self.name,
+            "polls": self.polls,
+            "replay": self._replay,
+            "replay_reason": self.replay_reason,
+            "shed": self._shed,
+            "shed_reason": self.shed_reason,
+            "io_errors": self.io_errors,
+            "frontend": self._frontend_name,
+            "reader": self.reader.export_state(),
+            "archive_fingerprint": archive_fingerprint(
+                self.reader.path, self.reader.offset
+            ),
+            "switches_by_core": self._switches_by_core,
+            "switch_tscs": self._switch_tscs,
+            "default_tid": self._default_tid,
+            "default_min_tsc": self._default_min_tsc,
+            "pending": self._pending,
+            "last_key": self._last_key,
+            "consumed": self._consumed,
+            "seq_remaining": self._seq_remaining,
+            "released_any": self._released_any,
+            "max_released_tsc": self._max_released_tsc,
+            "commit_tsc": self._commit_tsc,
+            "snapshot": self._snapshot,
+            "journal_dumps": self._journal_dumps,
+            "decoders": {
+                tid: decoder.export_state()
+                for tid, decoder in self._decoders.items()
+            },
+            "prior_steps": self._prior_steps,
+            "prior_holes": self._prior_holes,
+            "prior_anomalies": self._prior_anomalies,
+            "prior_events": self._prior_events,
+            "metrics": self.metrics.export(),
+        }
+
+    def write_checkpoint(self, path=None) -> Optional[int]:
+        """Atomically persist a ``JPSC`` checkpoint sidecar.
+
+        Returns the sidecar's byte size, or ``None`` (plus a
+        ``stream.checkpoint.store_failed`` counter) on any failure -- a
+        tenant that cannot checkpoint simply stays hot, mirroring the
+        DFA cache's store contract.  Default path: ``<archive>.jpsc``.
+        """
+        target = path if path is not None else checkpoint_path_for(self.reader.path)
+        try:
+            state = self.checkpoint_state()
+            size = write_checkpoint_file(target, state)
+        except Exception:
+            self.metrics.incr(CHECKPOINT_METRIC_PREFIX + ANOMALY_STORE_FAILED)
+            return None
+        self.metrics.incr(CHECKPOINT_METRIC_PREFIX + "writes")
+        return size
+
+    @classmethod
+    def restore(
+        cls,
+        jportal,
+        path,
+        snapshot_path=None,
+        name: str = "tenant",
+        checkpoint_path=None,
+    ) -> Tuple["StreamDecoder", Optional[str]]:
+        """Resume a tenant from its ``JPSC`` sidecar, if possible.
+
+        Returns ``(decoder, anomaly)``.  On a clean resume *anomaly* is
+        ``None`` and the decoder continues tail-follow at the
+        checkpointed offset.  Any failure -- missing sidecar, corrupt
+        or version-skewed blob, an archive that no longer carries the
+        checkpointed prefix (*stale*) -- yields a cold-start decoder
+        plus the ``stream.checkpoint.<kind>`` suffix explaining why;
+        the cold start re-reads from offset zero, which is the replay
+        cost, never an exception.
+        """
+        target = (
+            checkpoint_path
+            if checkpoint_path is not None
+            else checkpoint_path_for(path)
+        )
+        decoder = cls(jportal, path, snapshot_path=snapshot_path, name=name)
+        state, anomaly = load_checkpoint(target)
+        if state is None:
+            return decoder, anomaly
+        fingerprint = state.get("archive_fingerprint")
+        if fingerprint is None or not fingerprint_matches(
+            fingerprint, decoder.reader.path
+        ):
+            return decoder, ANOMALY_STALE
+        try:
+            decoder._restore_state(state)
+        except Exception:
+            # A well-framed checkpoint whose body does not fit this
+            # decoder (e.g. hand-edited or semantically inconsistent):
+            # same degradation as a corrupt blob.
+            fresh = cls(jportal, path, snapshot_path=snapshot_path, name=name)
+            return fresh, ANOMALY_CORRUPT
+        return decoder, None
+
+    def _restore_state(self, state: dict) -> None:
+        self.polls = state["polls"]
+        self._replay = state["replay"]
+        self.replay_reason = state["replay_reason"]
+        self._shed = state["shed"]
+        self.shed_reason = state["shed_reason"]
+        self.io_errors = state["io_errors"]
+        self._frontend_name = state["frontend"]
+        get_frontend(self._frontend_name)  # unknown frontend -> corrupt
+        self.reader.restore_state(state["reader"])
+        self._switches_by_core = state["switches_by_core"]
+        self._switch_tscs = state["switch_tscs"]
+        self._default_tid = state["default_tid"]
+        self._default_min_tsc = state["default_min_tsc"]
+        self._pending = state["pending"]
+        self._last_key = state["last_key"]
+        self._consumed = state["consumed"]
+        self._seq_remaining = state["seq_remaining"]
+        self._released_any = state["released_any"]
+        self._max_released_tsc = state["max_released_tsc"]
+        self._commit_tsc = state["commit_tsc"]
+        self._snapshot = state["snapshot"]
+        self._journal_dumps = state["journal_dumps"]
+        self._prior_steps = state["prior_steps"]
+        self._prior_holes = state["prior_holes"]
+        self._prior_anomalies = state["prior_anomalies"]
+        self._prior_events = state["prior_events"]
+        self._database = None
+        self._db_dirty = True
+        self.metrics.absorb(state["metrics"])
+        decoder_states = state["decoders"]
+        if decoder_states:
+            # Rebuild each thread's decoder against the *restored*
+            # metadata view -- the same snapshot + journal prefix the
+            # exporting decoder was bound to -- then adopt its
+            # mid-stream state, exactly the adopt_state handoff that
+            # already powers mid-stream database growth.
+            database = self._current_database()
+            batch_decoder = get_frontend(self._frontend_name).batch_decoder
+            for tid in sorted(decoder_states):
+                decoder = batch_decoder(
+                    database,
+                    self.jportal._lifter_for(database),
+                    metrics=self.metrics,
+                    tid=tid,
+                    policy=self.jportal.degradation_policy,
+                )
+                decoder.restore_state(decoder_states[tid])
+                self._decoders[tid] = decoder
+                self._columns[tid] = decoder._columns
 
     # -------------------------------------------------------------- ingestion
     def _flag_replay(self, reason: str) -> None:
@@ -469,68 +784,222 @@ class StreamSupervisor:
     applied where per-thread analysis fans out -- the batch-replay path
     of ``finalize()`` -- since live incremental decoder state is
     host-memory-resident and shards on the thread pool.
+
+    Supervision is fault-isolated per tenant (see
+    :mod:`repro.stream.resilience`): a poll that reports a failure puts
+    only *that* tenant into DEGRADED (retried under backoff) and
+    eventually QUARANTINED (excluded from rounds, finalized via batch
+    replay); a poll that outlives ``poll_deadline`` is abandoned by the
+    watchdog and its thread left to drain; memory caps shed the largest
+    offender; and with ``checkpoint`` enabled every round persists each
+    tenant's ``JPSC`` sidecar so `add_tenant(..., resume=True)`` in a
+    restarted process continues where this one stopped.  *clock* is the
+    monotonic time source for backoff eligibility (injectable so the
+    directed tests can run the schedule without sleeping).
     """
 
-    def __init__(self, max_workers: Optional[int] = None, backend: str = "thread"):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        backend: str = "thread",
+        resilience: Optional[ResilienceConfig] = None,
+        clock=time.monotonic,
+    ):
         if backend not in BACKENDS:
             raise ValueError(
                 "backend must be one of %r, got %r" % (BACKENDS, backend)
             )
         self.max_workers = max_workers
         self.backend = backend
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.clock = clock
         self.metrics = MetricsRegistry()
         self._tenants: Dict[str, StreamDecoder] = {}
         self._indices: Dict[str, int] = {}
+        self._states: Dict[str, TenantSupervision] = {}
+        self._checkpoint_paths: Dict[str, Optional[str]] = {}
+        #: Polls the watchdog abandoned, still running on the pool.
+        self._inflight: Dict[str, object] = {}
+        self._rounds = 0
         self._pool = None
 
     # -------------------------------------------------------------------- API
     def add_tenant(
-        self, name: str, path, jportal, snapshot_path=None
+        self,
+        name: str,
+        path,
+        jportal,
+        snapshot_path=None,
+        resume: bool = False,
+        checkpoint_path=None,
     ) -> StreamDecoder:
+        """Register a tenant; with ``resume=True``, restore it from its
+        ``JPSC`` checkpoint sidecar (cold start, plus a
+        ``stream.checkpoint.<kind>`` anomaly counter, if the sidecar is
+        missing, damaged, version-skewed, or stale)."""
         if name in self._tenants:
             raise ValueError("duplicate tenant %r" % name)
-        tenant = StreamDecoder(
-            jportal, path, snapshot_path=snapshot_path, name=name
-        )
-        self._indices[name] = len(self._tenants)
+        config = self.resilience
+        target = checkpoint_path
+        if target is None and (resume or config.checkpoint):
+            target = checkpoint_path_for(path)
+        index = len(self._tenants)
+        anomaly = None
+        if resume:
+            tenant, anomaly = StreamDecoder.restore(
+                jportal,
+                path,
+                snapshot_path=snapshot_path,
+                name=name,
+                checkpoint_path=target,
+            )
+        else:
+            tenant = StreamDecoder(
+                jportal, path, snapshot_path=snapshot_path, name=name
+            )
+        tenant.backpressure = config.backpressure
+        if config.backpressure.max_buffered_bytes is not None:
+            # Cap each raw read too, so a single poll cannot balloon
+            # the scan buffer far past the configured bound.
+            tenant.reader.max_poll_bytes = config.backpressure.max_buffered_bytes
+        self._indices[name] = index
         self._tenants[name] = tenant
+        self._states[name] = TenantSupervision(name=name, policy=config.retry)
+        self._checkpoint_paths[name] = target
+        if anomaly is not None:
+            self.metrics.incr(CHECKPOINT_METRIC_PREFIX + anomaly, tid=index)
+        elif resume:
+            self.metrics.incr(CHECKPOINT_METRIC_PREFIX + "restored", tid=index)
+        self.metrics.set_state(
+            "stream.health", self._states[name].health.value, tid=index
+        )
         return tenant
 
     def tenants(self) -> List[str]:
         return sorted(self._tenants)
 
+    def health(self, name: str) -> TenantHealth:
+        """The tenant's current supervision state."""
+        return self._states[name].health
+
     def poll_all(self) -> Dict[str, FlowDelta]:
-        """Poll every tenant once (sharded); deterministic join order."""
-        names = self.tenants()
-        if len(names) > 1:
+        """Poll every eligible tenant once; deterministic join order.
+
+        Fault-isolated: a failing, hanging, or backing-off tenant never
+        affects the others' polls.  Quarantined tenants and tenants
+        still inside their backoff window are skipped (no delta in the
+        result); a poll abandoned by the watchdog stays in flight and
+        is reaped by a later round.  Never raises.
+        """
+        self._rounds += 1
+        now = self.clock()
+        deltas: Dict[str, FlowDelta] = {}
+        for name in sorted(self._inflight):
+            future = self._inflight[name]
+            if future.done():
+                del self._inflight[name]
+                self._join(name, future, None, deltas, now)
+        due = [
+            name
+            for name in self.tenants()
+            if name not in self._inflight and self._states[name].should_poll(now)
+        ]
+        deadline = self.resilience.poll_deadline
+        if len(due) > 1 or (due and deadline is not None):
             pool = self._executor()
             futures = {
-                name: pool.submit(self._tenants[name].poll) for name in names
+                name: pool.submit(self._tenants[name].poll) for name in due
             }
-            deltas = {name: futures[name].result() for name in names}
+            stop_at = (
+                None if deadline is None else time.monotonic() + deadline
+            )
+            for name in due:
+                timeout = (
+                    None
+                    if stop_at is None
+                    else max(0.0, stop_at - time.monotonic())
+                )
+                self._join(name, futures[name], timeout, deltas, now)
         else:
-            deltas = {name: self._tenants[name].poll() for name in names}
-        for name in names:
+            for name in due:
+                try:
+                    delta = self._tenants[name].poll()
+                except Exception as exc:  # isolation backstop
+                    self._on_failure(name, "poll raised: %r" % (exc,), now)
+                    continue
+                deltas[name] = delta
+                self._account(name, delta, now)
+        self._enforce_global_caps(deltas)
+        for name in sorted(deltas):
             self._publish(name, deltas[name])
+        self._maybe_checkpoint()
         return deltas
 
+    def checkpoint_all(self) -> Dict[str, Optional[int]]:
+        """Write every joinable tenant's ``JPSC`` sidecar now.
+
+        Returns ``{name: sidecar bytes}``; ``None`` marks a tenant that
+        was skipped (in-flight poll, already finalized) or whose store
+        failed (counted under ``stream.checkpoint.store_failed``).
+        """
+        return {name: self._checkpoint_tenant(name) for name in self.tenants()}
+
     def finalize(self, name: str):
+        """Finalize one tenant; still correct for degraded, shed,
+        quarantined, and even hung tenants (those replay from the file
+        without touching racy decoder state)."""
         tenant = self._tenants[name]
+        state = self._states[name]
+        index = self._indices[name]
+        future = self._inflight.pop(name, None)
+        if future is not None and (
+            not future.done() or future.exception() is not None
+        ):
+            # The poll thread may still be mutating the decoder (or
+            # died mid-mutation): its incremental state cannot be
+            # trusted, so replay from the file instead of joining it.
+            state.force_replay = True
+        if state.force_replay:
+            self.metrics.incr("stream.forced_replays", tid=index)
+            self.metrics.incr("stream.finalize_replays", tid=index)
+            return tenant.jportal.analyze_archive(
+                tenant.reader.path,
+                max_workers=self.max_workers or 1,
+                backend=self.backend,
+                snapshot_path=tenant.reader.snapshot_path,
+            )
         result = tenant.finalize(
             max_workers=self.max_workers or 1, backend=self.backend
         )
         if tenant.replayed:
-            self.metrics.incr(
-                "stream.finalize_replays", tid=self._indices[name]
-            )
+            self.metrics.incr("stream.finalize_replays", tid=index)
         return result
 
     def finalize_all(self) -> Dict[str, object]:
-        return {name: self.finalize(name) for name in self.tenants()}
+        """Finalize every tenant, isolating failures per tenant.
+
+        A finalize that raises even after its replay fallback (e.g. the
+        archive file was deleted outright) yields a
+        :class:`~repro.stream.resilience.TenantFailure` in that
+        tenant's slot instead of aborting the remaining tenants.
+        """
+        results: Dict[str, object] = {}
+        for name in self.tenants():
+            try:
+                results[name] = self.finalize(name)
+            except Exception as exc:
+                self.metrics.incr(
+                    "stream.finalize_failures", tid=self._indices[name]
+                )
+                results[name] = TenantFailure(tenant=name, error=repr(exc))
+        return results
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # Abandoned (hung) polls still occupy pool threads; waiting
+            # on them here would turn one hung tenant into a hung
+            # shutdown.
+            self._pool.shutdown(wait=not self._inflight)
             self._pool = None
 
     def __enter__(self) -> "StreamSupervisor":
@@ -551,6 +1020,129 @@ class StreamSupervisor:
                 workers, thread_name_prefix="jportal-stream"
             )
         return self._pool
+
+    def _join(self, name, future, timeout, deltas, now) -> None:
+        """Collect one tenant's poll future into *deltas* (watchdog)."""
+        try:
+            delta = future.result(timeout=timeout)
+        except _FuturesTimeout:
+            self._inflight[name] = future
+            self.metrics.incr(
+                "stream.watchdog_timeouts", tid=self._indices[name]
+            )
+            self._on_failure(name, "poll deadline exceeded", now, hung=True)
+            return
+        except Exception as exc:  # isolation backstop
+            self._on_failure(name, "poll raised: %r" % (exc,), now)
+            return
+        deltas[name] = delta
+        self._account(name, delta, now)
+
+    def _account(self, name: str, delta: FlowDelta, now: float) -> None:
+        state = self._states[name]
+        index = self._indices[name]
+        if delta.error is not None:
+            self.metrics.incr("stream.poll_errors", tid=index)
+            if delta.transient:
+                self.metrics.incr("stream.transient_io_errors", tid=index)
+            self._note_failure(name, delta.error, now)
+        elif state.record_success():
+            self.metrics.incr("stream.recoveries", tid=index)
+        if delta.shed:
+            self.metrics.incr("stream.sheds", tid=index)
+        self.metrics.set_state("stream.health", state.health.value, tid=index)
+
+    def _on_failure(self, name: str, error: str, now: float, hung: bool = False) -> None:
+        index = self._indices[name]
+        self.metrics.incr("stream.poll_errors", tid=index)
+        self._note_failure(name, error, now, hung=hung)
+        self.metrics.set_state(
+            "stream.health", self._states[name].health.value, tid=index
+        )
+
+    def _note_failure(
+        self, name: str, error: str, now: float, hung: bool = False
+    ) -> None:
+        state = self._states[name]
+        index = self._indices[name]
+        exhausted = state.record_failure(error, now)
+        if state.health is TenantHealth.DEGRADED:
+            self.metrics.incr("stream.retries_scheduled", tid=index)
+        if exhausted:
+            self.metrics.incr("stream.quarantines", tid=index)
+            if hung or name in self._inflight:
+                # The poll thread is still running: shedding would race
+                # it, so just mark the decoder state untrusted.
+                state.force_replay = True
+            else:
+                self._tenants[name].shed("quarantined: %s" % error)
+
+    def _enforce_global_caps(self, deltas: Dict[str, FlowDelta]) -> None:
+        config = self.resilience.backpressure
+        bounds = (
+            (
+                "pending entries",
+                config.global_max_pending_entries,
+                lambda tenant: tenant.pending_entries(),
+            ),
+            (
+                "buffered bytes",
+                config.global_max_buffered_bytes,
+                lambda tenant: tenant.buffered_bytes(),
+            ),
+        )
+        for label, cap, measure in bounds:
+            if cap is None:
+                continue
+            while True:
+                loads = {
+                    name: measure(tenant)
+                    for name, tenant in self._tenants.items()
+                    if name not in self._inflight and not tenant._shed
+                }
+                total = sum(loads.values())
+                if total <= cap or not loads:
+                    break
+                # Shed the largest offender first: one shed frees the
+                # most memory, so the fewest tenants pay the re-decode.
+                victim = max(sorted(loads), key=lambda name: loads[name])
+                if loads[victim] == 0:
+                    break
+                self._tenants[victim].shed(
+                    "global %s cap breached (%d > %d)" % (label, total, cap)
+                )
+                self.metrics.incr("stream.sheds", tid=self._indices[victim])
+                if victim in deltas:
+                    delta = deltas[victim]
+                    delta.shed = True
+                    delta.pending_entries = 0
+                    delta.lag_segments = 0
+
+    def _maybe_checkpoint(self) -> None:
+        config = self.resilience
+        if not config.checkpoint:
+            return
+        if self._rounds % max(1, config.checkpoint_interval):
+            return
+        for name in self.tenants():
+            self._checkpoint_tenant(name)
+
+    def _checkpoint_tenant(self, name: str) -> Optional[int]:
+        tenant = self._tenants[name]
+        if name in self._inflight or tenant._finalized is not None:
+            return None
+        index = self._indices[name]
+        size = tenant.write_checkpoint(self._checkpoint_paths[name])
+        if size is None:
+            self.metrics.incr(
+                CHECKPOINT_METRIC_PREFIX + ANOMALY_STORE_FAILED, tid=index
+            )
+        else:
+            self.metrics.incr(CHECKPOINT_METRIC_PREFIX + "writes", tid=index)
+            self.metrics.observe_max(
+                CHECKPOINT_METRIC_PREFIX + "bytes", size, tid=index
+            )
+        return size
 
     def _publish(self, name: str, delta: FlowDelta) -> None:
         index = self._indices[name]
